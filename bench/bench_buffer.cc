@@ -1,0 +1,71 @@
+// Ablation — buffer-pool sensitivity of the paper's page-access metric.
+//
+// The paper's testbed had 512 MB RAM against a ~141 MB signature index: the
+// whole index was effectively cached, so its "page accesses" reflect a warm
+// buffer. Our default benches charge a deliberately small LRU pool (a
+// disk-resident index), which penalizes the signature's backtracking walks
+// at large k far more than the paper's numbers show. This bench sweeps the
+// buffer size to show both regimes and quantify the crossover — signature
+// kNN page counts collapse toward the paper's once the pool approaches the
+// index size.
+#include "bench/bench_common.h"
+
+#include "query/knn_query.h"
+
+int main(int argc, char** argv) {
+  using namespace dsig;
+  using namespace dsig::bench;
+
+  const Flags flags(argc, argv);
+  const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 20000));
+  const size_t num_queries = static_cast<size_t>(flags.GetInt("queries", 60));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::printf("=== Ablation: buffer size vs page accesses (kNN, k=20) ===\n");
+  std::printf("%zu nodes, p = 0.01, %zu type-3 queries per point\n\n", nodes,
+              num_queries);
+
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = nodes, .seed = seed});
+  const std::vector<NodeId> order = ComputeCcamOrder(graph, 64);
+  const std::vector<NodeId> objects = UniformDataset(graph, 0.01, seed + 1);
+  const std::vector<NodeId> queries =
+      RandomQueryNodes(graph, num_queries, seed + 2);
+  const auto index = BuildSignatureIndex(
+      graph, objects, {.t = 10, .c = 2.718281828, .keep_forest = false});
+
+  TablePrinter table({"buffer (pages)", "buffer (MB)", "physical pg/query",
+                      "logical pg/query", "hit rate"});
+  for (const size_t buffer_pages : {64ul, 256ul, 1024ul, 4096ul, 1048576ul}) {
+    BufferManager buffer(buffer_pages);
+    const NetworkStore network(graph, order, &buffer);
+    index->AttachStorage(&buffer, &network, order);
+    // Warm-up pass (the paper's queries also ran against a warm testbed).
+    for (const NodeId q : queries) {
+      SignatureKnnQuery(*index, q, 20, KnnResultType::kType3);
+    }
+    buffer.ResetStats();
+    for (const NodeId q : queries) {
+      SignatureKnnQuery(*index, q, 20, KnnResultType::kType3);
+    }
+    const BufferStats stats = buffer.stats();
+    const double n = static_cast<double>(queries.size());
+    const double hit_rate =
+        stats.logical_accesses == 0
+            ? 0
+            : 1.0 - static_cast<double>(stats.physical_accesses) /
+                        static_cast<double>(stats.logical_accesses);
+    table.AddRow(
+        {buffer_pages >= 1048576ul ? "unbounded"
+                                   : std::to_string(buffer_pages),
+         Fmt("%.1f", ToMb(buffer_pages * kPageSizeBytes)),
+         Fmt("%.1f", static_cast<double>(stats.physical_accesses) / n),
+         Fmt("%.1f", static_cast<double>(stats.logical_accesses) / n),
+         Fmt("%.0f%%", 100 * hit_rate)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: physical accesses collapse once the pool holds the\n"
+      "index working set — the regime the paper's 512 MB testbed ran in;\n"
+      "logical accesses are buffer-independent.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Shared scaffolding for the paper-reproduction benches.
+//
+// Every bench binary reproduces one exhibit of the paper's §6 evaluation
+// (see DESIGN.md's experiment index) and prints the same rows/series the
+// paper reports. Networks are scaled down by default so the full suite runs
+// on a laptop in minutes; flags let you scale up:
+//   --nodes=N      synthetic network size (default per bench)
+//   --queries=Q    queries per workload point
+//   --seed=S       master seed
+//   --buffer=B     buffer pool pages (default 256)
+#ifndef DSIG_BENCH_BENCH_COMMON_H_
+#define DSIG_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/full_index.h"
+#include "baselines/ine.h"
+#include "baselines/nvd/vn3.h"
+#include "core/signature_builder.h"
+#include "graph/ccam.h"
+#include "graph/graph_generator.h"
+#include "storage/network_store.h"
+#include "util/flags.h"
+#include "util/timer.h"
+#include "workload/dataset_generator.h"
+#include "workload/query_generator.h"
+
+namespace dsig {
+namespace bench {
+
+// The paper's dataset grid: uniform densities plus the clustered 0.01(nu).
+struct DatasetSpec {
+  std::string label;
+  double density;
+  bool clustered;
+};
+
+inline std::vector<DatasetSpec> PaperDatasets() {
+  return {{"0.0005", 0.0005, false},
+          {"0.001", 0.001, false},
+          {"0.01", 0.01, false},
+          {"0.01(nu)", 0.01, true},
+          {"0.05", 0.05, false}};
+}
+
+inline std::vector<NodeId> MakeDataset(const RoadNetwork& graph,
+                                       const DatasetSpec& spec,
+                                       uint64_t seed) {
+  if (spec.clustered) {
+    // Paper: the non-uniform dataset has 100 clusters; scale the cluster
+    // count with the dataset so tiny datasets still have >1 object/cluster.
+    const size_t want = static_cast<size_t>(
+        spec.density * static_cast<double>(graph.num_nodes()));
+    const size_t clusters = std::max<size_t>(4, std::min<size_t>(100, want / 2));
+    return ClusteredDataset(graph, spec.density, clusters, seed);
+  }
+  return UniformDataset(graph, spec.density, seed);
+}
+
+// A fully-attached experiment context: one network, one buffer pool, one
+// CCAM layout shared by all indexes.
+struct Workbench {
+  std::unique_ptr<RoadNetwork> graph;
+  std::vector<NodeId> order;
+  std::unique_ptr<BufferManager> buffer;
+  std::unique_ptr<NetworkStore> network;
+
+  static Workbench Create(size_t nodes, uint64_t seed, size_t buffer_pages) {
+    Workbench w;
+    w.graph = std::make_unique<RoadNetwork>(
+        MakeRandomPlanar({.num_nodes = nodes, .seed = seed}));
+    w.order = ComputeCcamOrder(*w.graph, 64);
+    w.buffer = std::make_unique<BufferManager>(buffer_pages);
+    w.network =
+        std::make_unique<NetworkStore>(*w.graph, w.order, w.buffer.get());
+    return w;
+  }
+};
+
+inline double ToMb(uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+// Simple aligned table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    PrintRow(headers_, widths);
+    std::string rule;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      rule += std::string(widths[i], '-');
+      if (i + 1 < widths.size()) rule += "-+-";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) PrintRow(row, widths);
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& row,
+                       const std::vector<size_t>& widths) {
+    std::string line;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      cell.resize(widths[i], ' ');
+      line += cell;
+      if (i + 1 < widths.size()) line += " | ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace dsig
+
+#endif  // DSIG_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,54 @@
+// E3 — Table 1: effectiveness of encoding and compression.
+//
+// For each dataset: the raw signature size (fixed-length category ids), the
+// entropy-coded size and its ratio, and the compressed size and its ratio.
+// Paper: encoding ratio ~0.74 across datasets (3 -> ~1.4 bits/id);
+// compression flags ~70% of entries; compressed/encoded ~0.75-0.9.
+#include "bench/bench_common.h"
+
+#include "core/cross_node.h"
+
+int main(int argc, char** argv) {
+  using namespace dsig;
+  using namespace dsig::bench;
+
+  const Flags flags(argc, argv);
+  const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 8000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::printf("=== Table 1: encoding and compression on signatures ===\n");
+  std::printf("%zu-node synthetic network, T=10, c=e\n\n", nodes);
+
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = nodes, .seed = seed});
+
+  const std::vector<NodeId> order = ComputeCcamOrder(graph, 64);
+  TablePrinter table({"dataset p", "Raw (MB)", "Encoded (MB)", "Ratio",
+                      "Compressed (MB)", "Ratio", "entries flagged",
+                      "x-node Ratio"});
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    const std::vector<NodeId> objects = MakeDataset(graph, spec, seed + 1);
+    const auto index = BuildSignatureIndex(
+        graph, objects, {.t = 10, .c = 2.718281828, .keep_forest = false});
+    const SignatureSizeStats& s = index->size_stats();
+    // §7 future-work ablation: cross-node deltas on top of the stored form.
+    const CrossNodeStats cross =
+        AnalyzeCrossNodeCompression(*index, order, /*max_chain=*/8);
+    table.AddRow({spec.label, Fmt("%.3f", ToMb(s.raw_bits / 8)),
+                  Fmt("%.3f", ToMb(s.encoded_bits / 8)),
+                  Fmt("%.2f", s.EncodedRatio()),
+                  Fmt("%.3f", ToMb(s.compressed_bits / 8)),
+                  Fmt("%.2f", s.CompressedRatio()),
+                  Fmt("%.0f%%", 100.0 * static_cast<double>(
+                                            s.compressed_entries) /
+                                    static_cast<double>(s.entries)),
+                  Fmt("%.2f", cross.Ratio())});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: encoding ratio roughly constant (~0.6-0.8);\n"
+      "compression ratio improves (smaller) as density p grows.\n"
+      "x-node = paper's §7 future-work cross-node compression, relative to\n"
+      "the stored (within-row compressed) size; < 1 confirms the hypothesis\n"
+      "that nearby nodes' signatures are similar enough to delta-encode.\n");
+  return 0;
+}

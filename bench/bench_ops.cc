@@ -1,0 +1,128 @@
+// E8 — micro-benchmarks of the signature's basic operations (§3.2), using
+// google-benchmark: exact/approximate retrieval, exact/approximate
+// comparison, distance sorting, and row decode/encode.
+#include <benchmark/benchmark.h>
+
+#include "core/distance_ops.h"
+#include "core/signature_builder.h"
+#include "graph/graph_generator.h"
+#include "util/random.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+// One shared fixture: building the index dominates setup time, so reuse it
+// across benchmarks (function-local static, never destroyed).
+struct OpsEnv {
+  RoadNetwork graph;
+  std::vector<NodeId> objects;
+  std::unique_ptr<SignatureIndex> index;
+
+  OpsEnv()
+      : graph(MakeRandomPlanar({.num_nodes = 10000, .seed = 42})),
+        objects(UniformDataset(graph, 0.01, 43)),
+        index(BuildSignatureIndex(graph, objects,
+                                  {.t = 10,
+                                   .c = 2.718281828,
+                                   .keep_forest = false})) {}
+};
+
+OpsEnv& Env() {
+  static OpsEnv& env = *new OpsEnv();
+  return env;
+}
+
+void BM_ExactDistance(benchmark::State& state) {
+  OpsEnv& env = Env();
+  Random rng(1);
+  for (auto _ : state) {
+    const NodeId n = static_cast<NodeId>(rng.NextUint64(env.graph.num_nodes()));
+    const auto o = static_cast<uint32_t>(rng.NextUint64(env.objects.size()));
+    benchmark::DoNotOptimize(ExactDistance(*env.index, n, o));
+  }
+}
+BENCHMARK(BM_ExactDistance);
+
+void BM_ApproximateDistance(benchmark::State& state) {
+  OpsEnv& env = Env();
+  Random rng(2);
+  const Weight eps = static_cast<Weight>(state.range(0));
+  for (auto _ : state) {
+    const NodeId n = static_cast<NodeId>(rng.NextUint64(env.graph.num_nodes()));
+    const auto o = static_cast<uint32_t>(rng.NextUint64(env.objects.size()));
+    benchmark::DoNotOptimize(
+        ApproximateDistance(*env.index, n, o, {eps, eps}));
+  }
+}
+BENCHMARK(BM_ApproximateDistance)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ExactCompare(benchmark::State& state) {
+  OpsEnv& env = Env();
+  Random rng(3);
+  for (auto _ : state) {
+    const NodeId n = static_cast<NodeId>(rng.NextUint64(env.graph.num_nodes()));
+    const SignatureRow row = env.index->ReadRow(n);
+    const auto a = static_cast<uint32_t>(rng.NextUint64(env.objects.size()));
+    const auto b = static_cast<uint32_t>(rng.NextUint64(env.objects.size()));
+    benchmark::DoNotOptimize(ExactCompare(*env.index, n, a, b, row));
+  }
+}
+BENCHMARK(BM_ExactCompare);
+
+void BM_ApproximateCompare(benchmark::State& state) {
+  OpsEnv& env = Env();
+  Random rng(4);
+  for (auto _ : state) {
+    const NodeId n = static_cast<NodeId>(rng.NextUint64(env.graph.num_nodes()));
+    const SignatureRow row = env.index->ReadRow(n);
+    const auto a = static_cast<uint32_t>(rng.NextUint64(env.objects.size()));
+    const auto b = static_cast<uint32_t>(rng.NextUint64(env.objects.size()));
+    benchmark::DoNotOptimize(ApproximateCompare(*env.index, n, a, b, row));
+  }
+}
+BENCHMARK(BM_ApproximateCompare);
+
+void BM_SortByDistance(benchmark::State& state) {
+  OpsEnv& env = Env();
+  Random rng(5);
+  const size_t set_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    const NodeId n = static_cast<NodeId>(rng.NextUint64(env.graph.num_nodes()));
+    const SignatureRow row = env.index->ReadRow(n);
+    std::vector<uint32_t> objs;
+    for (size_t i = 0; i < set_size; ++i) {
+      objs.push_back(static_cast<uint32_t>(
+          rng.NextUint64(env.objects.size())));
+    }
+    SortByDistance(*env.index, n, row, &objs);
+    benchmark::DoNotOptimize(objs);
+  }
+}
+BENCHMARK(BM_SortByDistance)->Arg(5)->Arg(20)->Arg(50);
+
+void BM_DecodeRow(benchmark::State& state) {
+  OpsEnv& env = Env();
+  Random rng(6);
+  for (auto _ : state) {
+    const NodeId n = static_cast<NodeId>(rng.NextUint64(env.graph.num_nodes()));
+    benchmark::DoNotOptimize(env.index->ReadRow(n));
+  }
+}
+BENCHMARK(BM_DecodeRow);
+
+void BM_DecodeSingleEntry(benchmark::State& state) {
+  OpsEnv& env = Env();
+  Random rng(7);
+  for (auto _ : state) {
+    const NodeId n = static_cast<NodeId>(rng.NextUint64(env.graph.num_nodes()));
+    const auto o = static_cast<uint32_t>(rng.NextUint64(env.objects.size()));
+    benchmark::DoNotOptimize(env.index->ReadEntry(n, o));
+  }
+}
+BENCHMARK(BM_DecodeSingleEntry);
+
+}  // namespace
+}  // namespace dsig
+
+BENCHMARK_MAIN();

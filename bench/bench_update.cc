@@ -1,0 +1,100 @@
+// E7 — update-cost ablation (paper §5.4 claims, no dedicated figure).
+//
+// Applies random edge-weight changes and edge insertions to a live signature
+// index and reports how many spanning-tree entries and signature rows each
+// update touches, versus the cost of rebuilding the index from scratch.
+// Expected shape: updates touch a small fraction of rows (locality from the
+// exponential categories + reverse edge index), orders of magnitude cheaper
+// than a rebuild.
+#include "bench/bench_common.h"
+
+#include "core/update.h"
+#include "util/random.h"
+
+int main(int argc, char** argv) {
+  using namespace dsig;
+  using namespace dsig::bench;
+
+  const Flags flags(argc, argv);
+  const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 10000));
+  const size_t num_updates = static_cast<size_t>(flags.GetInt("updates", 60));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::printf("=== Update cost: incremental maintenance vs rebuild ===\n");
+  std::printf("%zu nodes, %zu random updates per dataset\n\n", nodes,
+              num_updates);
+
+  TablePrinter table({"dataset p", "kind", "rows touched/upd", "% of rows",
+                      "tree entries/upd", "ms/update", "rebuild (ms)"});
+
+  for (const double density : {0.001, 0.01}) {
+    for (const int kind : {0, 1, 2}) {  // 0=decrease, 1=increase, 2=insert
+      RoadNetwork graph =
+          MakeRandomPlanar({.num_nodes = nodes, .seed = seed});
+      const std::vector<NodeId> objects =
+          UniformDataset(graph, density, seed + 1);
+
+      Timer rebuild_timer;
+      auto index = BuildSignatureIndex(graph, objects,
+                                       {.t = 10, .c = 2.718281828});
+      const double rebuild_ms = rebuild_timer.ElapsedMillis();
+      SignatureUpdater updater(&graph, index.get());
+
+      Random rng(seed + static_cast<uint64_t>(kind));
+      size_t rows = 0, tree_entries = 0, applied = 0;
+      Timer update_timer;
+      for (size_t i = 0; i < num_updates; ++i) {
+        UpdateStats stats;
+        if (kind == 2) {
+          // A realistic new road is local: connect a node to a
+          // neighbour-of-neighbour it has no direct edge to yet.
+          const NodeId u =
+              static_cast<NodeId>(rng.NextUint64(graph.num_nodes()));
+          NodeId v = kInvalidNode;
+          for (const AdjacencyEntry& e1 : graph.adjacency(u)) {
+            if (e1.removed) continue;
+            for (const AdjacencyEntry& e2 : graph.adjacency(e1.to)) {
+              if (e2.removed || e2.to == u) continue;
+              if (graph.FindEdge(u, e2.to) == kInvalidEdge) {
+                v = e2.to;
+                break;
+              }
+            }
+            if (v != kInvalidNode) break;
+          }
+          if (v == kInvalidNode) continue;
+          stats = updater.AddEdge(u, v, rng.NextInt(1, 10));
+        } else {
+          const EdgeId e =
+              static_cast<EdgeId>(rng.NextUint64(graph.num_edge_slots()));
+          if (graph.edge_removed(e)) continue;
+          const Weight w = graph.edge_weight(e);
+          const Weight nw = kind == 0 ? std::max<Weight>(1, w - 2) : w + 2;
+          if (nw == w) continue;
+          stats = updater.SetEdgeWeight(e, nw);
+        }
+        rows += stats.rows_rewritten;
+        tree_entries += stats.tree_entries_changed;
+        ++applied;
+      }
+      const double ms_per_update =
+          update_timer.ElapsedMillis() / static_cast<double>(applied);
+      const double rows_per_update =
+          static_cast<double>(rows) / static_cast<double>(applied);
+      const char* kind_name =
+          kind == 0 ? "decrease" : (kind == 1 ? "increase" : "insert");
+      table.AddRow({Fmt("%.3f", density), kind_name,
+                    Fmt("%.1f", rows_per_update),
+                    Fmt("%.2f%%", 100.0 * rows_per_update /
+                                      static_cast<double>(nodes)),
+                    Fmt("%.1f", static_cast<double>(tree_entries) /
+                                    static_cast<double>(applied)),
+                    Fmt("%.2f", ms_per_update), Fmt("%.0f", rebuild_ms)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: a few %% of rows touched per update; ms/update "
+      "orders\nof magnitude below the rebuild time.\n");
+  return 0;
+}

@@ -1,0 +1,183 @@
+// dsig_tool — command-line front end for building, persisting, and querying
+// signature indexes. Demonstrates the persistence API end to end.
+//
+// Commands:
+//   generate  --network=<file> [--nodes=N] [--kind=planar|continental] [--seed=S]
+//   build     --network=<file> --index=<file> [--density=p] [--t=T] [--c=C]
+//   info      --network=<file> --index=<file>
+//   knn       --network=<file> --index=<file> --node=<id> [--k=K]
+//   range     --network=<file> --index=<file> --node=<id> [--radius=R]
+//
+// Example session:
+//   dsig_tool generate --network=/tmp/city.net --nodes=5000
+//   dsig_tool build    --network=/tmp/city.net --index=/tmp/city.idx
+//   dsig_tool knn      --network=/tmp/city.net --index=/tmp/city.idx --node=42
+#include <cstdio>
+#include <string>
+
+#include "core/signature_builder.h"
+#include "graph/graph_generator.h"
+#include "io/persistence.h"
+#include "query/knn_query.h"
+#include "query/range_query.h"
+#include "util/flags.h"
+#include "util/timer.h"
+#include "workload/dataset_generator.h"
+
+namespace {
+
+using namespace dsig;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dsig_tool <generate|build|info|knn|range> [flags]\n"
+               "see the header of examples/dsig_tool.cpp for details\n");
+  return 1;
+}
+
+int Generate(const Flags& flags) {
+  const std::string path = flags.GetString("network", "");
+  if (path.empty()) return Usage();
+  const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 5000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string kind = flags.GetString("kind", "planar");
+  RoadNetwork graph;
+  if (kind == "continental") {
+    graph = MakeClusteredContinental(
+        {.num_clusters = std::max<size_t>(2, nodes / 1000),
+         .nodes_per_cluster = 1000,
+         .seed = seed});
+  } else {
+    graph = MakeRandomPlanar({.num_nodes = nodes, .seed = seed});
+  }
+  if (!SaveRoadNetwork(graph, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu junctions, %zu segments\n", path.c_str(),
+              graph.num_nodes(), graph.num_edges());
+  return 0;
+}
+
+int Build(const Flags& flags) {
+  const std::string network_path = flags.GetString("network", "");
+  const std::string index_path = flags.GetString("index", "");
+  if (network_path.empty() || index_path.empty()) return Usage();
+  const auto graph = LoadRoadNetwork(network_path);
+  if (graph == nullptr) {
+    std::fprintf(stderr, "cannot load %s\n", network_path.c_str());
+    return 1;
+  }
+  const double density = flags.GetDouble("density", 0.01);
+  const std::vector<NodeId> objects = UniformDataset(
+      *graph, density, static_cast<uint64_t>(flags.GetInt("seed", 43)));
+  Timer timer;
+  const auto index = BuildSignatureIndex(
+      *graph, objects,
+      {.t = flags.GetDouble("t", 10.0),
+       .c = flags.GetDouble("c", 2.718281828),
+       .keep_forest = false});
+  std::printf("built index over %zu objects in %.2fs (%.1f KB)\n",
+              objects.size(), timer.ElapsedSeconds(),
+              static_cast<double>(index->IndexBytes()) / 1024.0);
+  if (!SaveSignatureIndex(*index, index_path)) {
+    std::fprintf(stderr, "cannot write %s\n", index_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", index_path.c_str());
+  return 0;
+}
+
+struct Loaded {
+  std::unique_ptr<RoadNetwork> graph;
+  std::unique_ptr<SignatureIndex> index;
+};
+
+Loaded LoadBoth(const Flags& flags) {
+  Loaded loaded;
+  loaded.graph = LoadRoadNetwork(flags.GetString("network", ""));
+  if (loaded.graph == nullptr) {
+    std::fprintf(stderr, "cannot load network\n");
+    return loaded;
+  }
+  loaded.index =
+      LoadSignatureIndex(*loaded.graph, flags.GetString("index", ""));
+  if (loaded.index == nullptr) {
+    std::fprintf(stderr, "cannot load index (wrong network?)\n");
+  }
+  return loaded;
+}
+
+int Info(const Flags& flags) {
+  const Loaded loaded = LoadBoth(flags);
+  if (loaded.index == nullptr) return 1;
+  const SignatureSizeStats& s = loaded.index->size_stats();
+  std::printf("network : %zu junctions, %zu segments\n",
+              loaded.graph->num_nodes(), loaded.graph->num_edges());
+  std::printf("objects : %zu\n", loaded.index->num_objects());
+  std::printf("categories: %d (T=%.1f, c=%.3f)\n",
+              loaded.index->partition().num_categories(),
+              loaded.index->partition().t(), loaded.index->partition().c());
+  std::printf("size    : %.1f KB stored (raw %.1f KB, encoded %.1f KB)\n",
+              static_cast<double>(s.compressed_bits) / 8 / 1024.0,
+              static_cast<double>(s.raw_bits) / 8 / 1024.0,
+              static_cast<double>(s.encoded_bits) / 8 / 1024.0);
+  std::printf("compressed entries: %.0f%%\n",
+              100.0 * static_cast<double>(s.compressed_entries) /
+                  static_cast<double>(s.entries));
+  return 0;
+}
+
+int Knn(const Flags& flags) {
+  const Loaded loaded = LoadBoth(flags);
+  if (loaded.index == nullptr) return 1;
+  const NodeId node = static_cast<NodeId>(flags.GetInt("node", 0));
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 5));
+  if (node >= loaded.graph->num_nodes()) {
+    std::fprintf(stderr, "node out of range\n");
+    return 1;
+  }
+  const KnnResult result =
+      SignatureKnnQuery(*loaded.index, node, k, KnnResultType::kType1);
+  std::printf("%zu nearest objects from node %u:\n", result.objects.size(),
+              node);
+  for (size_t i = 0; i < result.objects.size(); ++i) {
+    std::printf("  #%u at node %u, distance %.0f\n", result.objects[i],
+                loaded.index->object_node(result.objects[i]),
+                result.distances[i]);
+  }
+  return 0;
+}
+
+int Range(const Flags& flags) {
+  const Loaded loaded = LoadBoth(flags);
+  if (loaded.index == nullptr) return 1;
+  const NodeId node = static_cast<NodeId>(flags.GetInt("node", 0));
+  const Weight radius = flags.GetDouble("radius", 50.0);
+  if (node >= loaded.graph->num_nodes()) {
+    std::fprintf(stderr, "node out of range\n");
+    return 1;
+  }
+  const RangeQueryResult result =
+      SignatureRangeQuery(*loaded.index, node, radius);
+  std::printf("%zu objects within %.0f of node %u (refined %zu)\n",
+              result.objects.size(), radius, node, result.refined);
+  for (const uint32_t o : result.objects) {
+    std::printf("  #%u at node %u\n", o, loaded.index->object_node(o));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv);
+  if (command == "generate") return Generate(flags);
+  if (command == "build") return Build(flags);
+  if (command == "info") return Info(flags);
+  if (command == "knn") return Knn(flags);
+  if (command == "range") return Range(flags);
+  return Usage();
+}

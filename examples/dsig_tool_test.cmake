@@ -1,0 +1,15 @@
+# End-to-end pipeline smoke test for dsig_tool: generate -> build -> info ->
+# knn -> range, failing on any non-zero exit.
+set(NET ${WORKDIR}/tool_test.net)
+set(IDX ${WORKDIR}/tool_test.idx)
+foreach(args
+    "generate;--network=${NET};--nodes=2000"
+    "build;--network=${NET};--index=${IDX};--density=0.02"
+    "info;--network=${NET};--index=${IDX}"
+    "knn;--network=${NET};--index=${IDX};--node=10;--k=3"
+    "range;--network=${NET};--index=${IDX};--node=10;--radius=40")
+  execute_process(COMMAND ${TOOL} ${args} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "dsig_tool ${args} failed with ${rc}")
+  endif()
+endforeach()

@@ -1,0 +1,65 @@
+// Quickstart: build a distance-signature index on a small road network and
+// run the basic operations plus one of each query type.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/distance_ops.h"
+#include "core/signature_builder.h"
+#include "graph/graph_generator.h"
+#include "query/knn_query.h"
+#include "query/range_query.h"
+#include "workload/dataset_generator.h"
+
+int main() {
+  using namespace dsig;
+
+  // 1. A road network: junctions + weighted road segments. Generators for
+  //    grids, random planar networks, and clustered continents are provided;
+  //    you can also AddNode/AddEdge your own data.
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = 2000, .seed = 7});
+  std::printf("network: %zu junctions, %zu road segments\n",
+              graph.num_nodes(), graph.num_edges());
+
+  // 2. A dataset: objects (restaurants, hospitals, ...) living on nodes.
+  const std::vector<NodeId> restaurants = UniformDataset(graph, 0.01, 11);
+  std::printf("dataset: %zu restaurants\n\n", restaurants.size());
+
+  // 3. The index. T and c control the exponential category partition
+  //    (paper's optimum: c = e, T = sqrt(SP/e)); compression and the
+  //    reverse-zero-padding category code are on by default.
+  const auto index = BuildSignatureIndex(
+      graph, restaurants, {.t = 10.0, .c = 2.718281828});
+  std::printf("signature index: %.1f KB (%.2f bits/entry)\n",
+              static_cast<double>(index->IndexBytes()) / 1024.0,
+              static_cast<double>(index->size_stats().compressed_bits) /
+                  static_cast<double>(index->size_stats().entries));
+
+  const NodeId home = 42;
+
+  // 4a. Exact distance by guided backtracking.
+  std::printf("\nexact distance home -> restaurant #0: %.0f\n",
+              ExactDistance(*index, home, 0));
+
+  // 4b. Approximate distance: a range good enough to answer "within 25?".
+  const DistanceRange approx =
+      ApproximateDistance(*index, home, 0, {25.0, 25.0});
+  std::printf("approximate distance: [%.0f, %s)\n", approx.lb,
+              approx.ub == kInfiniteWeight ? "inf"
+                                           : std::to_string(approx.ub).c_str());
+
+  // 5. Range query: everything within 60 units.
+  const RangeQueryResult range = SignatureRangeQuery(*index, home, 60);
+  std::printf("\nrestaurants within 60 units: %zu (refined %zu)\n",
+              range.objects.size(), range.refined);
+
+  // 6. kNN with exact distances (type 1).
+  const KnnResult knn =
+      SignatureKnnQuery(*index, home, 3, KnnResultType::kType1);
+  std::printf("3 nearest restaurants:\n");
+  for (size_t i = 0; i < knn.objects.size(); ++i) {
+    std::printf("  #%u at node %u, distance %.0f\n", knn.objects[i],
+                index->object_node(knn.objects[i]), knn.distances[i]);
+  }
+  return 0;
+}

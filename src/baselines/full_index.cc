@@ -1,0 +1,72 @@
+#include "baselines/full_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/dijkstra.h"
+
+namespace dsig {
+
+FullIndex::FullIndex(const RoadNetwork* graph, std::vector<NodeId> objects)
+    : graph_(graph), objects_(std::move(objects)) {}
+
+std::unique_ptr<FullIndex> FullIndex::Build(const RoadNetwork& graph,
+                                            std::vector<NodeId> objects) {
+  DSIG_CHECK(!objects.empty());
+  std::sort(objects.begin(), objects.end());
+  auto index =
+      std::unique_ptr<FullIndex>(new FullIndex(&graph, std::move(objects)));
+  index->dist_.assign(graph.num_nodes() * index->objects_.size(), 0);
+  for (uint32_t o = 0; o < index->objects_.size(); ++o) {
+    const ShortestPathTree tree = RunDijkstra(graph, index->objects_[o]);
+    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+      DSIG_CHECK_LT(tree.dist[n], kInfiniteWeight)
+          << "full index requires a connected network";
+      index->dist_[index->Slot(n, o)] = static_cast<float>(tree.dist[n]);
+    }
+  }
+  return index;
+}
+
+void FullIndex::AttachStorage(BufferManager* buffer,
+                              const std::vector<NodeId>& order) {
+  std::vector<uint64_t> record_bits(
+      graph_->num_nodes(), 32 * static_cast<uint64_t>(objects_.size()));
+  store_ = PagedStore(PageLayout(record_bits, order), buffer);
+}
+
+uint64_t FullIndex::IndexBytes() const {
+  return static_cast<uint64_t>(graph_->num_nodes()) * objects_.size() * 4;
+}
+
+Weight FullIndex::Distance(NodeId n, uint32_t object_index) const {
+  DSIG_CHECK_LT(object_index, objects_.size());
+  store_.TouchRecordAt(n, 32 * static_cast<uint64_t>(object_index));
+  return dist_[Slot(n, object_index)];
+}
+
+std::vector<uint32_t> FullIndex::RangeQuery(NodeId n, Weight epsilon) const {
+  store_.TouchRecord(n);
+  std::vector<uint32_t> result;
+  for (uint32_t o = 0; o < objects_.size(); ++o) {
+    if (dist_[Slot(n, o)] <= epsilon) result.push_back(o);
+  }
+  return result;
+}
+
+std::vector<std::pair<Weight, uint32_t>> FullIndex::KnnQuery(NodeId n,
+                                                             size_t k) const {
+  store_.TouchRecord(n);
+  std::vector<std::pair<Weight, uint32_t>> all;
+  all.reserve(objects_.size());
+  for (uint32_t o = 0; o < objects_.size(); ++o) {
+    all.push_back({dist_[Slot(n, o)], o});
+  }
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k),
+                    all.end());
+  all.resize(k);
+  return all;
+}
+
+}  // namespace dsig

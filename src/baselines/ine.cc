@@ -1,0 +1,63 @@
+#include "baselines/ine.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dsig {
+
+IneSearch::IneSearch(const RoadNetwork* graph, std::vector<NodeId> objects,
+                     const NetworkStore* store)
+    : graph_(graph), objects_(std::move(objects)), store_(store) {
+  DSIG_CHECK(graph_ != nullptr);
+  std::sort(objects_.begin(), objects_.end());
+  object_of_node_.assign(graph_->num_nodes(), kInvalidObject);
+  for (uint32_t i = 0; i < objects_.size(); ++i) {
+    object_of_node_[objects_[i]] = i;
+  }
+}
+
+IneResult IneSearch::Expand(NodeId n, Weight epsilon, size_t k) const {
+  DSIG_CHECK_LT(n, graph_->num_nodes());
+  IneResult result;
+  std::vector<Weight> dist(graph_->num_nodes(), kInfiniteWeight);
+  std::vector<bool> settled(graph_->num_nodes(), false);
+  using Entry = std::pair<Weight, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[n] = 0;
+  heap.push({0, n});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (settled[u] || d > dist[u]) continue;
+    if (d > epsilon) break;
+    settled[u] = true;
+    ++result.nodes_expanded;
+    if (store_ != nullptr) store_->TouchNode(u);
+    if (object_of_node_[u] != kInvalidObject) {
+      result.objects.push_back({d, object_of_node_[u]});
+      if (result.objects.size() >= k) break;
+    }
+    for (const AdjacencyEntry& entry : graph_->adjacency(u)) {
+      if (entry.removed) continue;
+      const Weight nd = d + entry.weight;
+      if (nd < dist[entry.to]) {
+        dist[entry.to] = nd;
+        heap.push({nd, entry.to});
+      }
+    }
+  }
+  return result;
+}
+
+IneResult IneSearch::Range(NodeId n, Weight epsilon) const {
+  return Expand(n, epsilon, objects_.size() + 1);
+}
+
+IneResult IneSearch::Knn(NodeId n, size_t k) const {
+  return Expand(n, kInfiniteWeight, std::min(k, objects_.size()));
+}
+
+}  // namespace dsig

@@ -1,0 +1,50 @@
+// Incremental Network Expansion (INE) baseline (paper §2; Papadias et al.,
+// VLDB 2003).
+//
+// The index-free competitor: queries expand the network from the query node
+// with online Dijkstra, reporting objects as their nodes are settled. Every
+// settled node charges its adjacency page — the cost profile that makes INE
+// great for short ranges and hopeless for long ones.
+#ifndef DSIG_BASELINES_INE_H_
+#define DSIG_BASELINES_INE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "storage/network_store.h"
+
+namespace dsig {
+
+struct IneResult {
+  // Objects found, with exact distances, in ascending distance order.
+  std::vector<std::pair<Weight, uint32_t>> objects;
+  size_t nodes_expanded = 0;
+};
+
+class IneSearch {
+ public:
+  // `store` may be null (no page charging). Referents must outlive this.
+  IneSearch(const RoadNetwork* graph, std::vector<NodeId> objects,
+            const NetworkStore* store);
+
+  // All objects within `epsilon` of n.
+  IneResult Range(NodeId n, Weight epsilon) const;
+
+  // The k nearest objects to n.
+  IneResult Knn(NodeId n, size_t k) const;
+
+ private:
+  // Expands until `epsilon` is exceeded or `k` objects are found (use
+  // kInfiniteWeight / SIZE_MAX to disable either bound).
+  IneResult Expand(NodeId n, Weight epsilon, size_t k) const;
+
+  const RoadNetwork* graph_;
+  std::vector<NodeId> objects_;
+  std::vector<ObjectId> object_of_node_;
+  const NetworkStore* store_;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_BASELINES_INE_H_

@@ -1,0 +1,293 @@
+#include "baselines/nn_lists.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <queue>
+#include <set>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dsig {
+namespace {
+
+using HeapEntry = std::pair<Weight, NodeId>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+size_t LiveDegree(const RoadNetwork& graph, NodeId n) {
+  size_t degree = 0;
+  for (const AdjacencyEntry& e : graph.adjacency(n)) {
+    if (!e.removed) ++degree;
+  }
+  return degree;
+}
+
+}  // namespace
+
+NnListIndex::NnListIndex(const RoadNetwork* graph, std::vector<NodeId> objects,
+                         size_t list_depth, size_t condensed_degree)
+    : graph_(graph), objects_(std::move(objects)), list_depth_(list_depth) {
+  DSIG_CHECK(graph_ != nullptr);
+  DSIG_CHECK_GE(list_depth_, 1u);
+  std::sort(objects_.begin(), objects_.end());
+  list_depth_ = std::min(list_depth_, objects_.size());
+  object_of_node_.assign(graph_->num_nodes(), kInvalidObject);
+  for (uint32_t i = 0; i < objects_.size(); ++i) {
+    object_of_node_[objects_[i]] = i;
+  }
+
+  condensed_slot_.assign(graph_->num_nodes(), kInvalidNode);
+  for (NodeId n = 0; n < graph_->num_nodes(); ++n) {
+    if (LiveDegree(*graph_, n) >= condensed_degree) {
+      condensed_slot_[n] = static_cast<uint32_t>(condensed_.size());
+      condensed_.push_back(n);
+    }
+  }
+
+  // One expansion per condensed node, stopping once its list is full — the
+  // solution-based precomputation whose cost scales with the number of
+  // condensed nodes.
+  lists_.resize(condensed_.size());
+  for (uint32_t s = 0; s < condensed_.size(); ++s) {
+    lists_[s] = ExpandKnn(condensed_[s], list_depth_);
+  }
+}
+
+uint64_t NnListIndex::IndexBytes() const {
+  uint64_t entries = 0;
+  for (const auto& list : lists_) entries += list.size();
+  return entries * 8;
+}
+
+std::vector<NnListEntry> NnListIndex::ExpandKnn(NodeId q, size_t k) const {
+  std::vector<NnListEntry> result;
+  std::vector<Weight> dist(graph_->num_nodes(), kInfiniteWeight);
+  std::vector<bool> settled(graph_->num_nodes(), false);
+  MinHeap heap;
+  dist[q] = 0;
+  heap.push({0, q});
+  while (!heap.empty() && result.size() < k) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (settled[u] || d > dist[u]) continue;
+    settled[u] = true;
+    if (object_of_node_[u] != kInvalidObject) {
+      result.push_back({d, object_of_node_[u]});
+    }
+    for (const AdjacencyEntry& e : graph_->adjacency(u)) {
+      if (e.removed) continue;
+      if (d + e.weight < dist[e.to]) {
+        dist[e.to] = d + e.weight;
+        heap.push({d + e.weight, e.to});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<NnListEntry> NnListIndex::Knn(NodeId q, size_t k) const {
+  k = std::min(k, objects_.size());
+  DSIG_CHECK_LE(k, list_depth_) << "NN lists only answer k <= list depth";
+  if (k == 0) return {};
+  if (condensed_slot_[q] != kInvalidNode) {
+    std::vector<NnListEntry> result = lists_[condensed_slot_[q]];
+    result.resize(std::min(result.size(), k));
+    return result;
+  }
+
+  // Expansion that terminates at condensed nodes: a shortest path through a
+  // condensed node c only yields top-k results already on c's list (any
+  // object nearer to c is nearer to q as well), so c's distance-shifted
+  // list covers everything beyond it. The same object arrives via several
+  // condensed nodes, so candidates are tracked per object (best offer).
+  std::vector<Weight> best(objects_.size(), kInfiniteWeight);
+  const auto offer = [&](Weight d, uint32_t object) {
+    best[object] = std::min(best[object], d);
+  };
+  // k-th smallest per-object candidate so far (kInfiniteWeight if < k).
+  const auto kth_best = [&]() {
+    std::vector<Weight> finite;
+    for (const Weight d : best) {
+      if (d < kInfiniteWeight) finite.push_back(d);
+    }
+    if (finite.size() < k) return kInfiniteWeight;
+    std::nth_element(finite.begin(),
+                     finite.begin() + static_cast<long>(k) - 1,
+                     finite.end());
+    return finite[k - 1];
+  };
+  std::vector<Weight> dist(graph_->num_nodes(), kInfiniteWeight);
+  std::vector<bool> settled(graph_->num_nodes(), false);
+  MinHeap heap;
+  dist[q] = 0;
+  heap.push({0, q});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (settled[u] || d > dist[u]) continue;
+    // Early exit: the k-th distinct candidate cannot be beaten by farther
+    // frontiers (offers from frontier nodes are >= their settle distance).
+    if (kth_best() <= d) break;
+    settled[u] = true;
+    if (object_of_node_[u] != kInvalidObject) {
+      offer(d, object_of_node_[u]);
+    }
+    if (condensed_slot_[u] != kInvalidNode && u != q) {
+      for (const NnListEntry& entry : lists_[condensed_slot_[u]]) {
+        offer(d + entry.distance, entry.object);
+      }
+      continue;  // the list covers everything beyond this node
+    }
+    for (const AdjacencyEntry& e : graph_->adjacency(u)) {
+      if (e.removed) continue;
+      if (d + e.weight < dist[e.to]) {
+        dist[e.to] = d + e.weight;
+        heap.push({d + e.weight, e.to});
+      }
+    }
+  }
+  std::vector<NnListEntry> result;
+  for (uint32_t o = 0; o < objects_.size(); ++o) {
+    if (best[o] < kInfiniteWeight) result.push_back({best[o], o});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const NnListEntry& a, const NnListEntry& b) {
+              return std::tie(a.distance, a.object) <
+                     std::tie(b.distance, b.object);
+            });
+  result.resize(std::min(result.size(), k));
+  return result;
+}
+
+std::vector<NnListCnnInterval> NnListIndex::ContinuousKnn(
+    const std::vector<NodeId>& path, size_t k) const {
+  std::vector<NnListCnnInterval> intervals;
+  if (path.empty()) return intervals;
+  k = std::min(k, objects_.size());
+  DSIG_CHECK_LE(k, list_depth_);
+
+  // Split at intersection nodes (live degree >= 3), per UNICONS: sub-path
+  // interiors are then corridors with no branching, so every distance from
+  // an interior node routes through one of the sub-path's endpoints (or
+  // stays on the corridor).
+  std::vector<size_t> cuts = {0};
+  for (size_t i = 1; i + 1 < path.size(); ++i) {
+    if (LiveDegree(*graph_, path[i]) >= 3) cuts.push_back(i);
+  }
+  cuts.push_back(path.size() - 1);
+
+  std::vector<std::vector<uint32_t>> per_node_results(path.size());
+  for (size_t c = 0; c + 1 < cuts.size(); ++c) {
+    const size_t s = cuts[c];
+    const size_t e = cuts[c + 1];
+    // The corridor argument needs simple sub-paths (a walk that doubles
+    // back breaks the along-the-line distance accounting). Route queries —
+    // shortest paths — are always simple.
+    std::set<NodeId> distinct(path.begin() + static_cast<long>(s),
+                              path.begin() + static_cast<long>(e) + 1);
+    DSIG_CHECK_EQ(distinct.size(), e - s + 1)
+        << "UNICONS CNN requires simple sub-paths";
+    // Corridor prefix distances along the walk.
+    std::vector<Weight> along = {0};
+    for (size_t i = s; i < e; ++i) {
+      const EdgeId edge = graph_->FindEdge(path[i], path[i + 1]);
+      DSIG_CHECK_NE(edge, kInvalidEdge) << "path must be a walk";
+      along.push_back(along.back() + graph_->edge_weight(edge));
+    }
+
+    // Candidate set: endpoint kNNs plus on-corridor objects (UNICONS).
+    std::set<uint32_t> candidate_set;
+    std::vector<NnListEntry> s_knn = Knn(path[s], k);
+    std::vector<NnListEntry> e_knn = Knn(path[e], k);
+    for (const auto& entry : s_knn) candidate_set.insert(entry.object);
+    for (const auto& entry : e_knn) candidate_set.insert(entry.object);
+    for (size_t i = s; i <= e; ++i) {
+      if (object_of_node_[path[i]] != kInvalidObject) {
+        candidate_set.insert(object_of_node_[path[i]]);
+      }
+    }
+    const std::vector<uint32_t> candidates(candidate_set.begin(),
+                                           candidate_set.end());
+
+    // Exact endpoint distances for every candidate (bounded expansions).
+    const auto endpoint_distances = [&](NodeId endpoint) {
+      std::vector<Weight> d(candidates.size(), kInfiniteWeight);
+      std::vector<Weight> dist(graph_->num_nodes(), kInfiniteWeight);
+      std::vector<bool> settled(graph_->num_nodes(), false);
+      size_t found = 0;
+      MinHeap heap;
+      dist[endpoint] = 0;
+      heap.push({0, endpoint});
+      while (!heap.empty() && found < candidates.size()) {
+        const auto [dd, u] = heap.top();
+        heap.pop();
+        if (settled[u] || dd > dist[u]) continue;
+        settled[u] = true;
+        if (object_of_node_[u] != kInvalidObject) {
+          const auto it = std::lower_bound(candidates.begin(),
+                                           candidates.end(),
+                                           object_of_node_[u]);
+          if (it != candidates.end() && *it == object_of_node_[u]) {
+            d[static_cast<size_t>(it - candidates.begin())] = dd;
+            ++found;
+          }
+        }
+        for (const AdjacencyEntry& edge : graph_->adjacency(u)) {
+          if (edge.removed) continue;
+          if (dd + edge.weight < dist[edge.to]) {
+            dist[edge.to] = dd + edge.weight;
+            heap.push({dd + edge.weight, edge.to});
+          }
+        }
+      }
+      return d;
+    };
+    const std::vector<Weight> from_s = endpoint_distances(path[s]);
+    const std::vector<Weight> from_e = endpoint_distances(path[e]);
+
+    // On-corridor object positions.
+    std::vector<std::pair<Weight, uint32_t>> corridor_objects;
+    for (size_t i = s; i <= e; ++i) {
+      if (object_of_node_[path[i]] != kInvalidObject) {
+        corridor_objects.push_back({along[i - s], object_of_node_[path[i]]});
+      }
+    }
+
+    // Exact per-node result from the candidate set.
+    for (size_t i = s; i <= e; ++i) {
+      if (!per_node_results[i].empty()) continue;  // shared endpoint
+      std::vector<std::pair<Weight, uint32_t>> scored;
+      for (size_t ci = 0; ci < candidates.size(); ++ci) {
+        Weight d = std::min(along[i - s] + from_s[ci],
+                            (along.back() - along[i - s]) + from_e[ci]);
+        for (const auto& [pos, o] : corridor_objects) {
+          if (o == candidates[ci]) {
+            d = std::min(d, std::abs(along[i - s] - pos));
+          }
+        }
+        scored.push_back({d, candidates[ci]});
+      }
+      std::sort(scored.begin(), scored.end());
+      scored.resize(std::min(scored.size(), k));
+      std::vector<uint32_t> members;
+      for (const auto& [d, o] : scored) members.push_back(o);
+      std::sort(members.begin(), members.end());
+      per_node_results[i] = std::move(members);
+    }
+  }
+
+  // Merge per-node membership into validity intervals.
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (!intervals.empty() &&
+        intervals.back().objects == per_node_results[i]) {
+      intervals.back().last_index = i;
+    } else {
+      intervals.push_back({i, i, per_node_results[i]});
+    }
+  }
+  return intervals;
+}
+
+}  // namespace dsig

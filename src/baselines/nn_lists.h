@@ -1,0 +1,78 @@
+// NN-lists + UNICONS-style continuous kNN baseline (paper §2; Cho & Chung,
+// VLDB 2005).
+//
+// UNICONS accelerates kNN and continuous kNN with a solution-based index:
+// precomputed NN lists for *condensed nodes* (nodes of large degree). A kNN
+// query at an arbitrary node expands to the nearest condensed nodes and
+// merges their lists; a CNN query over a path splits it into sub-paths at
+// intersection (condensed) nodes, unions the kNN sets of the sub-path
+// endpoints with the objects on the sub-path, and scans for split points.
+//
+// The paper's introduction calls out this index's key limitation — NN lists
+// store no path information, so they cannot even answer "kNN with paths" —
+// which the signature index fixes. We implement the baseline to make the
+// comparison concrete: exact kNN/CNN results, with the precomputation and
+// query costs of the solution-based design.
+#ifndef DSIG_BASELINES_NN_LISTS_H_
+#define DSIG_BASELINES_NN_LISTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace dsig {
+
+struct NnListEntry {
+  Weight distance;
+  uint32_t object;
+};
+
+// Validity interval of one kNN membership set along a path (node indexes).
+struct NnListCnnInterval {
+  size_t first_index;
+  size_t last_index;
+  std::vector<uint32_t> objects;  // ascending object index
+};
+
+class NnListIndex {
+ public:
+  // Precomputes `list_depth`-NN lists for every node whose degree is at
+  // least `condensed_degree` (the "condensed nodes"), via one bounded
+  // multi-visit expansion per condensed node.
+  NnListIndex(const RoadNetwork* graph, std::vector<NodeId> objects,
+              size_t list_depth, size_t condensed_degree);
+
+  size_t num_condensed() const { return condensed_.size(); }
+  size_t list_depth() const { return list_depth_; }
+
+  // Precomputed-list bytes (each entry: 4-byte distance + 4-byte object id).
+  uint64_t IndexBytes() const;
+
+  // Exact kNN (k <= list_depth): served from the node's own list when the
+  // node is condensed; otherwise by a Dijkstra expansion that terminates at
+  // condensed nodes, merging their (distance-shifted) lists.
+  std::vector<NnListEntry> Knn(NodeId q, size_t k) const;
+
+  // UNICONS-style continuous kNN along a walk: kNN at each sub-path
+  // endpoint, candidates = union of endpoint kNNs + objects on the
+  // sub-path, exact per-node results from the candidate set.
+  std::vector<NnListCnnInterval> ContinuousKnn(
+      const std::vector<NodeId>& path, size_t k) const;
+
+ private:
+  // Full expansion fallback (also used for correctness at tiny k).
+  std::vector<NnListEntry> ExpandKnn(NodeId q, size_t k) const;
+
+  const RoadNetwork* graph_;
+  std::vector<NodeId> objects_;
+  std::vector<ObjectId> object_of_node_;
+  size_t list_depth_;
+  std::vector<NodeId> condensed_;            // condensed node ids
+  std::vector<uint32_t> condensed_slot_;     // node -> slot or kInvalidNode
+  std::vector<std::vector<NnListEntry>> lists_;  // per condensed slot
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_BASELINES_NN_LISTS_H_

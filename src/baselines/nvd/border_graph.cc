@@ -1,0 +1,151 @@
+#include "baselines/nvd/border_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dsig {
+namespace {
+
+const std::vector<std::pair<NodeId, Weight>> kNoCrossEdges;
+
+}  // namespace
+
+BorderGraph::BorderGraph(const RoadNetwork& graph, const VoronoiDiagram* nvd)
+    : graph_(&graph), nvd_(nvd) {
+  DSIG_CHECK(nvd_ != nullptr);
+  const size_t v = graph.num_nodes();
+  const size_t cells = nvd_->num_cells();
+
+  border_slot_.assign(v, kInvalidNode);
+  for (uint32_t c = 0; c < cells; ++c) {
+    for (uint32_t s = 0; s < nvd_->borders[c].size(); ++s) {
+      border_slot_[nvd_->borders[c][s]] = s;
+    }
+  }
+
+  b2b_.resize(cells);
+  gen2b_.resize(cells);
+  inner2b_.resize(v);
+  for (NodeId n = 0; n < v; ++n) {
+    inner2b_[n].assign(nvd_->borders[nvd_->cell_of_node[n]].size(),
+                       kInfiniteWeight);
+  }
+
+  // Per-border Dijkstra restricted to the cell; fills the whole
+  // inner-to-border table as a by-product.
+  std::vector<Weight> dist(v, kInfiniteWeight);
+  std::vector<bool> settled(v, false);
+  for (uint32_t c = 0; c < cells; ++c) {
+    const std::vector<NodeId>& borders = nvd_->borders[c];
+    const size_t nb = borders.size();
+    b2b_[c].assign(nb * nb, kInfiniteWeight);
+    gen2b_[c].assign(nb, kInfiniteWeight);
+    for (uint32_t s = 0; s < nb; ++s) {
+      // Restricted Dijkstra from border s within cell c.
+      using Entry = std::pair<Weight, NodeId>;
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+      dist[borders[s]] = 0;
+      heap.push({0, borders[s]});
+      std::vector<NodeId> touched = {borders[s]};
+      while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (settled[u] || d > dist[u]) continue;
+        settled[u] = true;
+        inner2b_[u][s] = d;
+        for (const AdjacencyEntry& entry : graph.adjacency(u)) {
+          if (entry.removed) continue;
+          if (nvd_->cell_of_node[entry.to] != c) continue;  // stay inside
+          const Weight nd = d + entry.weight;
+          if (nd < dist[entry.to]) {
+            if (dist[entry.to] == kInfiniteWeight) touched.push_back(entry.to);
+            dist[entry.to] = nd;
+            heap.push({nd, entry.to});
+          }
+        }
+      }
+      for (uint32_t s2 = 0; s2 < nb; ++s2) {
+        b2b_[c][static_cast<size_t>(s) * nb + s2] = inner2b_[borders[s2]][s];
+      }
+      gen2b_[c][s] = inner2b_[nvd_->generators[c]][s];
+      for (const NodeId t : touched) {
+        dist[t] = kInfiniteWeight;
+        settled[t] = false;
+      }
+    }
+  }
+
+  // Cross-cell edges between border nodes.
+  cross_edges_.resize(v);
+  for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
+    if (graph.edge_removed(e)) continue;
+    const auto [a, b] = graph.edge_endpoints(e);
+    if (nvd_->cell_of_node[a] == nvd_->cell_of_node[b]) continue;
+    const Weight w = graph.edge_weight(e);
+    cross_edges_[a].push_back({b, w});
+    cross_edges_[b].push_back({a, w});
+  }
+}
+
+Weight BorderGraph::BorderToBorder(uint32_t cell, NodeId b1, NodeId b2) const {
+  const uint32_t s1 = border_slot_[b1];
+  const uint32_t s2 = border_slot_[b2];
+  DSIG_CHECK_NE(s1, kInvalidNode);
+  DSIG_CHECK_NE(s2, kInvalidNode);
+  const size_t nb = nvd_->borders[cell].size();
+  return b2b_[cell][static_cast<size_t>(s1) * nb + s2];
+}
+
+Weight BorderGraph::GeneratorToBorder(uint32_t cell, NodeId border) const {
+  const uint32_t s = border_slot_[border];
+  DSIG_CHECK_NE(s, kInvalidNode);
+  return gen2b_[cell][s];
+}
+
+Weight BorderGraph::InnerToBorder(NodeId n, NodeId border) const {
+  const uint32_t s = border_slot_[border];
+  DSIG_CHECK_NE(s, kInvalidNode);
+  return inner2b_[n][s];
+}
+
+const std::vector<std::pair<NodeId, Weight>>& BorderGraph::CrossEdges(
+    NodeId b) const {
+  if (b >= cross_edges_.size()) return kNoCrossEdges;
+  return cross_edges_[b];
+}
+
+uint64_t BorderGraph::BorderTableBytes() const {
+  uint64_t entries = 0;
+  for (uint32_t c = 0; c < nvd_->num_cells(); ++c) {
+    entries += b2b_[c].size() + gen2b_[c].size();
+  }
+  return entries * 4;
+}
+
+uint64_t BorderGraph::InnerTableBytes() const {
+  uint64_t entries = 0;
+  for (const auto& row : inner2b_) entries += row.size();
+  return entries * 4;
+}
+
+void BorderGraph::AttachStorage(BufferManager* buffer) {
+  const size_t cells = nvd_->num_cells();
+  std::vector<uint64_t> cell_bits(cells);
+  std::vector<uint32_t> cell_order(cells);
+  for (uint32_t c = 0; c < cells; ++c) {
+    cell_bits[c] = 32 * (b2b_[c].size() + gen2b_[c].size());
+    cell_order[c] = c;
+  }
+  cell_store_ = PagedStore(PageLayout(cell_bits, cell_order), buffer);
+
+  const size_t v = inner2b_.size();
+  std::vector<uint64_t> inner_bits(v);
+  std::vector<uint32_t> inner_order(v);
+  for (uint32_t n = 0; n < v; ++n) {
+    inner_bits[n] = 32 * inner2b_[n].size();
+    inner_order[n] = n;
+  }
+  inner_store_ = PagedStore(PageLayout(inner_bits, inner_order), buffer);
+}
+
+}  // namespace dsig

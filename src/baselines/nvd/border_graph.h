@@ -1,0 +1,91 @@
+// Precomputed NVD distance tables and the border graph (VN³'s machinery).
+//
+// VN³ answers queries on a reduced graph whose vertices are cell border
+// nodes and generators:
+//   * within each cell: border-to-border and generator-to-border distances,
+//     computed by per-border Dijkstras restricted to the cell (a maximal
+//     within-cell segment of any shortest path stays inside the cell, so
+//     restricted distances compose exactly);
+//   * across cells: the original road edges joining borders of different
+//     cells;
+//   * per inner node: distances to all borders of its cell, which embed an
+//     arbitrary query node into the border graph.
+//
+// The inner-to-border table is what explodes for sparse datasets (few huge
+// cells with many borders) — the effect behind NVD's curve in Fig 6.4.
+#ifndef DSIG_BASELINES_NVD_BORDER_GRAPH_H_
+#define DSIG_BASELINES_NVD_BORDER_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/nvd/voronoi.h"
+#include "storage/pager.h"
+
+namespace dsig {
+
+class BorderGraph {
+ public:
+  // Runs the restricted Dijkstras. `nvd` must outlive the border graph.
+  BorderGraph(const RoadNetwork& graph, const VoronoiDiagram* nvd);
+
+  BorderGraph(const BorderGraph&) = delete;
+  BorderGraph& operator=(const BorderGraph&) = delete;
+
+  const VoronoiDiagram& nvd() const { return *nvd_; }
+
+  // Within-cell border-to-border distance; b1 and b2 must be borders of
+  // `cell`. kInfiniteWeight when the cell interior does not connect them.
+  Weight BorderToBorder(uint32_t cell, NodeId b1, NodeId b2) const;
+
+  // Within-cell generator-to-border distance.
+  Weight GeneratorToBorder(uint32_t cell, NodeId border) const;
+
+  // Within-cell distance from any node to a border of its own cell.
+  Weight InnerToBorder(NodeId n, NodeId border) const;
+
+  // Cross-cell road edges incident to border node `b`:
+  // (other border, weight).
+  const std::vector<std::pair<NodeId, Weight>>& CrossEdges(NodeId b) const;
+
+  // Dense per-cell index of a border node, or kInvalidNode if `n` is not a
+  // border of its cell.
+  uint32_t BorderSlot(NodeId n) const { return border_slot_[n]; }
+
+  // --- storage & accounting ------------------------------------------------
+
+  // Total table bytes (border-to-border + generator-to-border +
+  // inner-to-border), 4 bytes per distance — the Bor-Bor and OPC storage of
+  // Fig 6.4(a).
+  uint64_t BorderTableBytes() const;
+  uint64_t InnerTableBytes() const;
+
+  // Lays out per-cell tables and per-node inner rows into pages.
+  void AttachStorage(BufferManager* buffer);
+
+  // Charges the whole per-cell table (first consultation of a cell during a
+  // query) / the query node's inner row.
+  void TouchCellTables(uint32_t cell) const { cell_store_.TouchRecord(cell); }
+  void TouchInnerRow(NodeId n) const { inner_store_.TouchRecord(n); }
+
+ private:
+  const RoadNetwork* graph_;
+  const VoronoiDiagram* nvd_;
+  // border_slot_[n] = index of n within its cell's border list.
+  std::vector<uint32_t> border_slot_;
+  // Per cell: flattened |b| x |b| border-to-border matrix.
+  std::vector<std::vector<Weight>> b2b_;
+  // Per cell: generator-to-border distances, aligned with the border list.
+  std::vector<std::vector<Weight>> gen2b_;
+  // Per node: distances to the borders of its cell, aligned with the list.
+  std::vector<std::vector<Weight>> inner2b_;
+  // Per node: cross-cell edges (empty for non-borders).
+  std::vector<std::vector<std::pair<NodeId, Weight>>> cross_edges_;
+
+  PagedStore cell_store_;
+  PagedStore inner_store_;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_BASELINES_NVD_BORDER_GRAPH_H_

@@ -1,0 +1,137 @@
+#include "baselines/nvd/vn3.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace dsig {
+
+Vn3Index::Vn3Index(const RoadNetwork& graph, std::vector<NodeId> objects)
+    : graph_(&graph), nvd_(BuildVoronoiDiagram(graph, std::move(objects))) {
+  border_graph_ = std::make_unique<BorderGraph>(graph, &nvd_);
+  for (uint32_t c = 0; c < nvd_.num_cells(); ++c) {
+    rtree_.Insert(nvd_.cell_bounds[c], c);
+  }
+}
+
+void Vn3Index::AttachStorage(BufferManager* buffer) {
+  buffer_ = buffer;
+  border_graph_->AttachStorage(buffer);
+  if (buffer != nullptr) rtree_file_ = buffer->RegisterFile();
+}
+
+uint64_t Vn3Index::IndexBytes() const {
+  return rtree_.SizeBytes() + border_graph_->BorderTableBytes() +
+         border_graph_->InnerTableBytes() +
+         4 * static_cast<uint64_t>(graph_->num_nodes());
+}
+
+uint32_t Vn3Index::LocateCell(NodeId q) const {
+  const RTreeSearchResult located = rtree_.Locate(graph_->position(q));
+  if (buffer_ != nullptr) {
+    // One page per R-tree node visited during point location.
+    for (const uint32_t node : located.visited_nodes) {
+      buffer_->Access(rtree_file_, node);
+    }
+  }
+  // Bounding boxes overlap, so the R-tree yields candidates; the exact cell
+  // map (part of the NVD's stored data) resolves them.
+  return nvd_.cell_of_node[q];
+}
+
+std::vector<std::pair<Weight, uint32_t>> Vn3Index::Search(NodeId q,
+                                                          Weight epsilon,
+                                                          size_t k) const {
+  std::vector<std::pair<Weight, uint32_t>> results;
+  if (k == 0) return results;
+  k = std::min(k, nvd_.num_cells());
+
+  const uint32_t home_cell = LocateCell(q);
+  border_graph_->TouchInnerRow(q);
+
+  // Dijkstra over the border graph. Vertices are node ids (borders and
+  // generators); dist is sparse via a hash-free dense array (node count is
+  // laptop-scale throughout this repo).
+  const size_t v = graph_->num_nodes();
+  std::vector<Weight> dist(v, kInfiniteWeight);
+  std::vector<bool> settled(v, false);
+  std::vector<bool> cell_charged(nvd_.num_cells(), false);
+  using Entry = std::pair<Weight, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+  const auto charge_cell = [&](uint32_t cell) {
+    if (cell_charged[cell]) return;
+    cell_charged[cell] = true;
+    border_graph_->TouchCellTables(cell);
+  };
+
+  const auto relax = [&](NodeId to, Weight d) {
+    if (d < dist[to]) {
+      dist[to] = d;
+      heap.push({d, to});
+    }
+  };
+
+  // Seed: the home generator (d known from the NVD) and the home cell's
+  // borders (inner-to-border row of q).
+  charge_cell(home_cell);
+  relax(nvd_.generators[home_cell], nvd_.dist_to_generator[q]);
+  for (const NodeId b : nvd_.borders[home_cell]) {
+    const Weight d = border_graph_->InnerToBorder(q, b);
+    if (d < kInfiniteWeight) relax(b, d);
+  }
+
+  std::vector<bool> reported(nvd_.num_cells(), false);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (settled[u] || d > dist[u]) continue;
+    if (d > epsilon) break;
+    settled[u] = true;
+
+    const uint32_t cell = nvd_.cell_of_node[u];
+    if (nvd_.generators[cell] == u && !reported[cell]) {
+      reported[cell] = true;
+      results.push_back({d, cell});
+      if (results.size() >= k) break;
+    }
+
+    // Within-cell moves (border tables of u's cell).
+    const uint32_t slot = border_graph_->BorderSlot(u);
+    if (slot != kInvalidNode) {
+      charge_cell(cell);
+      for (const NodeId b2 : nvd_.borders[cell]) {
+        const Weight w = border_graph_->BorderToBorder(cell, u, b2);
+        if (w < kInfiniteWeight) relax(b2, d + w);
+      }
+      const Weight to_gen = border_graph_->GeneratorToBorder(cell, u);
+      if (to_gen < kInfiniteWeight) relax(nvd_.generators[cell], d + to_gen);
+      // Cross-cell road edges.
+      for (const auto& [b2, w] : border_graph_->CrossEdges(u)) {
+        relax(b2, d + w);
+      }
+    } else if (nvd_.generators[cell] == u) {
+      // A settled generator also relaxes outward to its cell's borders —
+      // shortest paths may pass through object nodes.
+      charge_cell(cell);
+      for (const NodeId b2 : nvd_.borders[cell]) {
+        const Weight w = border_graph_->GeneratorToBorder(cell, b2);
+        if (w < kInfiniteWeight) relax(b2, d + w);
+      }
+    }
+  }
+  std::sort(results.begin(), results.end());
+  return results;
+}
+
+std::vector<std::pair<Weight, uint32_t>> Vn3Index::Knn(NodeId q,
+                                                       size_t k) const {
+  return Search(q, kInfiniteWeight, k);
+}
+
+std::vector<std::pair<Weight, uint32_t>> Vn3Index::Range(
+    NodeId q, Weight epsilon) const {
+  return Search(q, epsilon, nvd_.num_cells());
+}
+
+}  // namespace dsig

@@ -1,0 +1,68 @@
+// VN³ — Voronoi-based Network Nearest Neighbour index (paper §2 & §6
+// baseline; Kolahdouzan & Shahabi, VLDB 2004).
+//
+// Combines the Network Voronoi Diagram, its precomputed border/inner
+// distance tables, and an R-tree over NVP bounding boxes. The first NN is a
+// point-location lookup; farther neighbours are found by Dijkstra over the
+// *border graph* (expanding Voronoi cells in distance order), which is the
+// VN³ behaviour whose cost grows sharply with k — the shape Fig 6.6
+// reproduces. Range queries follow the paper's §6 design: check the query's
+// NVP, then expand through adjacent NVPs while the distance allows.
+#ifndef DSIG_BASELINES_NVD_VN3_H_
+#define DSIG_BASELINES_NVD_VN3_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/nvd/border_graph.h"
+#include "baselines/nvd/voronoi.h"
+#include "spatial/rtree.h"
+#include "storage/buffer_manager.h"
+
+namespace dsig {
+
+class Vn3Index {
+ public:
+  // Builds NVD + border tables + NVP R-tree. The graph must stay alive and
+  // unchanged for the index lifetime.
+  Vn3Index(const RoadNetwork& graph, std::vector<NodeId> objects);
+
+  Vn3Index(const Vn3Index&) = delete;
+  Vn3Index& operator=(const Vn3Index&) = delete;
+
+  const VoronoiDiagram& nvd() const { return nvd_; }
+  const BorderGraph& border_graph() const { return *border_graph_; }
+
+  void AttachStorage(BufferManager* buffer);
+
+  // NVP R-tree + border/inner distance tables + node->cell map.
+  uint64_t IndexBytes() const;
+
+  // k nearest objects with exact distances, ascending.
+  std::vector<std::pair<Weight, uint32_t>> Knn(NodeId q, size_t k) const;
+
+  // Objects within `epsilon`, with exact distances, ascending.
+  std::vector<std::pair<Weight, uint32_t>> Range(NodeId q,
+                                                 Weight epsilon) const;
+
+ private:
+  // Shared engine: settles generators in distance order until k results or
+  // the frontier passes epsilon.
+  std::vector<std::pair<Weight, uint32_t>> Search(NodeId q, Weight epsilon,
+                                                  size_t k) const;
+
+  // Point location of the query via the NVP R-tree (charged), resolved
+  // against the exact cell map.
+  uint32_t LocateCell(NodeId q) const;
+
+  const RoadNetwork* graph_;
+  VoronoiDiagram nvd_;
+  std::unique_ptr<BorderGraph> border_graph_;
+  RTree rtree_;
+  BufferManager* buffer_ = nullptr;
+  FileId rtree_file_ = 0;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_BASELINES_NVD_VN3_H_

@@ -1,0 +1,63 @@
+#include "baselines/nvd/voronoi.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/dijkstra.h"
+
+namespace dsig {
+
+VoronoiDiagram BuildVoronoiDiagram(const RoadNetwork& graph,
+                                   std::vector<NodeId> objects) {
+  DSIG_CHECK(!objects.empty());
+  std::sort(objects.begin(), objects.end());
+  VoronoiDiagram nvd;
+  nvd.generators = std::move(objects);
+
+  const ShortestPathTree tree =
+      RunDijkstraMultiSource(graph, nvd.generators);
+  // Map owner node ids back to object indexes.
+  std::vector<uint32_t> object_of_node(graph.num_nodes(), kInvalidObject);
+  for (uint32_t i = 0; i < nvd.generators.size(); ++i) {
+    object_of_node[nvd.generators[i]] = i;
+  }
+  nvd.cell_of_node.resize(graph.num_nodes());
+  nvd.dist_to_generator.resize(graph.num_nodes());
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    DSIG_CHECK_NE(tree.owner[n], kInvalidNode)
+        << "NVD requires a connected network";
+    nvd.cell_of_node[n] = object_of_node[tree.owner[n]];
+    nvd.dist_to_generator[n] = tree.dist[n];
+  }
+
+  const size_t cells = nvd.generators.size();
+  nvd.borders.resize(cells);
+  nvd.adjacent_cells.resize(cells);
+  nvd.cell_bounds.resize(cells);
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    nvd.cell_bounds[nvd.cell_of_node[n]].ExpandToInclude(graph.position(n));
+  }
+
+  std::vector<bool> is_border(graph.num_nodes(), false);
+  for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
+    if (graph.edge_removed(e)) continue;
+    const auto [u, v] = graph.edge_endpoints(e);
+    const uint32_t cu = nvd.cell_of_node[u];
+    const uint32_t cv = nvd.cell_of_node[v];
+    if (cu == cv) continue;
+    is_border[u] = is_border[v] = true;
+    nvd.adjacent_cells[cu].push_back(cv);
+    nvd.adjacent_cells[cv].push_back(cu);
+  }
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (is_border[n]) nvd.borders[nvd.cell_of_node[n]].push_back(n);
+  }
+  for (auto& adjacent : nvd.adjacent_cells) {
+    std::sort(adjacent.begin(), adjacent.end());
+    adjacent.erase(std::unique(adjacent.begin(), adjacent.end()),
+                   adjacent.end());
+  }
+  return nvd;
+}
+
+}  // namespace dsig

@@ -1,0 +1,45 @@
+// Network Voronoi Diagram (NVD) construction (paper §2; Kolahdouzan &
+// Shahabi, VLDB 2004).
+//
+// A single multi-source Dijkstra grown from every object simultaneously
+// assigns each node to its nearest object — its Voronoi cell generator —
+// and yields d(node, generator) for free. Border nodes (nodes with a
+// neighbour in a different cell) and cell adjacency fall out of one edge
+// sweep; each cell's bounding rectangle approximates its Network Voronoi
+// Polygon for the R-tree.
+#ifndef DSIG_BASELINES_NVD_VORONOI_H_
+#define DSIG_BASELINES_NVD_VORONOI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "spatial/rect.h"
+
+namespace dsig {
+
+struct VoronoiDiagram {
+  // Object nodes, indexed by object index ("generators" of the cells).
+  std::vector<NodeId> generators;
+  // cell_of_node[n] = object index owning node n.
+  std::vector<uint32_t> cell_of_node;
+  // d(n, generator of its cell).
+  std::vector<Weight> dist_to_generator;
+  // Border nodes of each cell (nodes adjacent to a different cell),
+  // ascending node id.
+  std::vector<std::vector<NodeId>> borders;
+  // Adjacent cells of each cell, ascending, deduplicated.
+  std::vector<std::vector<uint32_t>> adjacent_cells;
+  // Bounding rectangle of each cell's nodes (the NVP approximation).
+  std::vector<Rect> cell_bounds;
+
+  size_t num_cells() const { return generators.size(); }
+};
+
+// `objects` must be distinct node ids on a connected network.
+VoronoiDiagram BuildVoronoiDiagram(const RoadNetwork& graph,
+                                   std::vector<NodeId> objects);
+
+}  // namespace dsig
+
+#endif  // DSIG_BASELINES_NVD_VORONOI_H_

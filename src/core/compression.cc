@@ -1,0 +1,127 @@
+#include "core/compression.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/logging.h"
+
+namespace dsig {
+
+int AddUpCategories(int a, int b, int num_categories) {
+  DSIG_CHECK_GE(a, 0);
+  DSIG_CHECK_GE(b, 0);
+  DSIG_CHECK_LT(a, num_categories);
+  DSIG_CHECK_LT(b, num_categories);
+  if (a != b) return std::max(a, b);
+  return std::min(a + 1, num_categories - 1);
+}
+
+RowCompressor::RowCompressor(const CategoryPartition* partition,
+                             const ObjectDistanceTable* table)
+    : partition_(partition), table_(table) {
+  DSIG_CHECK(partition_ != nullptr);
+  DSIG_CHECK(table_ != nullptr);
+}
+
+int RowCompressor::ObjectPairCategory(uint32_t u, uint32_t v) const {
+  if (table_->IsFar(u, v)) return partition_->num_categories() - 1;
+  return partition_->CategoryOf(table_->Get(u, v));
+}
+
+std::vector<RowCompressor::Rep> RowCompressor::ComputeReps(
+    const SignatureRow& row) const {
+  std::vector<Rep> reps;
+  for (uint32_t i = 0; i < row.size(); ++i) {
+    const SignatureEntry& entry = row[i];
+    if (entry.compressed) continue;
+    bool found = false;
+    for (Rep& rep : reps) {
+      if (rep.link != entry.link) continue;
+      found = true;
+      // Position is the tie-break: the earlier object wins, and since we
+      // scan in position order the incumbent already wins ties.
+      if (entry.category < rep.category) {
+        rep = {i, entry.category, entry.link};
+      }
+      break;
+    }
+    if (!found) reps.push_back({i, entry.category, entry.link});
+  }
+  return reps;
+}
+
+bool RowCompressor::BestRep(const std::vector<Rep>& reps, uint32_t v,
+                            uint8_t* category, uint8_t* link) const {
+  const int m = partition_->num_categories();
+  bool have = false;
+  int best_sum = 0;
+  uint8_t best_cat = 0;
+  uint32_t best_pos = 0;
+  uint8_t best_link = 0;
+  for (const Rep& rep : reps) {
+    if (rep.object == v) continue;
+    const int sum =
+        AddUpCategories(rep.category, ObjectPairCategory(rep.object, v), m);
+    const bool better =
+        !have ||
+        std::make_tuple(sum, static_cast<int>(rep.category), rep.object) <
+            std::make_tuple(best_sum, static_cast<int>(best_cat), best_pos);
+    if (better) {
+      have = true;
+      best_sum = sum;
+      best_cat = rep.category;
+      best_pos = rep.object;
+      best_link = rep.link;
+    }
+  }
+  if (!have) return false;
+  *category = static_cast<uint8_t>(best_sum);
+  *link = best_link;
+  return true;
+}
+
+size_t RowCompressor::Compress(SignatureRow* row) const {
+  // Reps are fixed from the fully uncompressed row; flagged entries never
+  // include a rep, so the decoder recovers the identical rep set.
+  for (SignatureEntry& entry : *row) {
+    DSIG_CHECK(!entry.compressed) << "row already compressed";
+  }
+  const std::vector<Rep> reps = ComputeReps(*row);
+  size_t flagged = 0;
+  for (uint32_t v = 0; v < row->size(); ++v) {
+    SignatureEntry& entry = (*row)[v];
+    uint8_t category = 0, link = 0;
+    if (!BestRep(reps, v, &category, &link)) continue;
+    if (category == entry.category && link == entry.link) {
+      entry.compressed = true;
+      ++flagged;
+    }
+  }
+  return flagged;
+}
+
+SignatureEntry RowCompressor::Resolve(const SignatureRow& row,
+                                      uint32_t index) const {
+  DSIG_CHECK_LT(index, row.size());
+  const SignatureEntry& entry = row[index];
+  if (!entry.compressed) return entry;
+  const std::vector<Rep> reps = ComputeReps(row);
+  SignatureEntry resolved;
+  const bool ok = BestRep(reps, index, &resolved.category, &resolved.link);
+  DSIG_CHECK(ok) << "compressed entry with no representative";
+  resolved.compressed = false;
+  return resolved;
+}
+
+void RowCompressor::ResolveRow(SignatureRow* row) const {
+  const std::vector<Rep> reps = ComputeReps(*row);
+  for (uint32_t v = 0; v < row->size(); ++v) {
+    SignatureEntry& entry = (*row)[v];
+    if (!entry.compressed) continue;
+    const bool ok = BestRep(reps, v, &entry.category, &entry.link);
+    DSIG_CHECK(ok) << "compressed entry with no representative";
+    entry.compressed = false;
+  }
+}
+
+}  // namespace dsig

@@ -1,0 +1,59 @@
+// Cross-node signature compression — the paper's §7 future work, built out.
+//
+// Hypothesis (paper): "the signatures of nearby nodes are expected to be
+// similar, [so cross-node] compression can further reduce the storage and
+// search overhead, but possibly at the cost of a higher update overhead."
+//
+// We encode rows in storage (CCAM) order; a row may be stored as a *delta*
+// against the immediately preceding row (reference chains are depth-limited
+// so a read follows at most `max_chain` references). Delta format per
+// object: a 1-bit same-category flag, the category code only when it
+// differs, and the backtracking link always (links are node-local adjacency
+// slots, which rarely coincide across nodes). Each row independently keeps
+// whichever of {within-row form, delta form} is smaller (1 header bit).
+//
+// This module measures the achievable size so the hypothesis can be tested
+// quantitatively (see bench_encoding); it is deliberately an analysis tool,
+// not a third on-disk format.
+#ifndef DSIG_CORE_CROSS_NODE_H_
+#define DSIG_CORE_CROSS_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signature_index.h"
+
+namespace dsig {
+
+struct CrossNodeStats {
+  // The index's stored (within-row compressed) size, for comparison.
+  uint64_t within_row_bits = 0;
+  // Total size when each row may delta against its predecessor.
+  uint64_t cross_node_bits = 0;
+  // Rows that chose the delta form.
+  uint64_t delta_rows = 0;
+  // Of the entries in delta rows: how many matched the reference category.
+  uint64_t same_category_entries = 0;
+  uint64_t delta_entries = 0;
+
+  double Ratio() const {
+    return within_row_bits == 0
+               ? 1.0
+               : static_cast<double>(cross_node_bits) / within_row_bits;
+  }
+  double SameCategoryFraction() const {
+    return delta_entries == 0
+               ? 0.0
+               : static_cast<double>(same_category_entries) / delta_entries;
+  }
+};
+
+// `order` is the storage order (reference = previous row in it); chains are
+// cut every `max_chain` rows so reads stay bounded. max_chain >= 1.
+CrossNodeStats AnalyzeCrossNodeCompression(const SignatureIndex& index,
+                                           const std::vector<NodeId>& order,
+                                           int max_chain);
+
+}  // namespace dsig
+
+#endif  // DSIG_CORE_CROSS_NODE_H_

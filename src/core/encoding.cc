@@ -1,0 +1,44 @@
+#include "core/encoding.h"
+
+#include "util/logging.h"
+
+namespace dsig {
+
+const char* CategoryCodeKindName(CategoryCodeKind kind) {
+  switch (kind) {
+    case CategoryCodeKind::kFixed:
+      return "fixed";
+    case CategoryCodeKind::kReverseZeroPadding:
+      return "reverse-zero-padding";
+    case CategoryCodeKind::kHuffman:
+      return "huffman";
+  }
+  return "unknown";
+}
+
+HuffmanCode BuildCategoryCode(CategoryCodeKind kind, int num_categories,
+                              const std::vector<uint64_t>& frequencies) {
+  switch (kind) {
+    case CategoryCodeKind::kFixed:
+      return HuffmanCode::FixedLength(num_categories);
+    case CategoryCodeKind::kReverseZeroPadding:
+      return HuffmanCode::ReverseZeroPadding(num_categories);
+    case CategoryCodeKind::kHuffman: {
+      DSIG_CHECK_EQ(frequencies.size(), static_cast<size_t>(num_categories));
+      return HuffmanCode::FromFrequencies(frequencies);
+    }
+  }
+  DSIG_LOG(Fatal) << "unreachable";
+  return HuffmanCode::FixedLength(num_categories);
+}
+
+void AccumulateCategoryFrequencies(const SignatureRow& row,
+                                   std::vector<uint64_t>* frequencies) {
+  for (const SignatureEntry& entry : row) {
+    if (entry.compressed) continue;
+    DSIG_CHECK_LT(entry.category, frequencies->size());
+    ++(*frequencies)[entry.category];
+  }
+}
+
+}  // namespace dsig

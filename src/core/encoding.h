@@ -1,0 +1,42 @@
+// Category-code selection (paper §5.2).
+//
+// Three schemes, in increasing sophistication:
+//  * kFixed — ceil(log2 M) bits per category id; the "raw signature".
+//  * kReverseZeroPadding — the paper's unary-style code; optimal whenever
+//    each category holds more objects than all earlier categories combined
+//    (Theorem 5.1: guaranteed under exponential partition with c > 3/2 and
+//    uniform data).
+//  * kHuffman — exact Huffman code for the measured category frequencies;
+//    optimal unconditionally, used as the fallback and as the yardstick in
+//    tests of Theorem 5.1.
+#ifndef DSIG_CORE_ENCODING_H_
+#define DSIG_CORE_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signature.h"
+#include "util/huffman.h"
+
+namespace dsig {
+
+enum class CategoryCodeKind {
+  kFixed,
+  kReverseZeroPadding,
+  kHuffman,
+};
+
+const char* CategoryCodeKindName(CategoryCodeKind kind);
+
+// Builds the category code. `frequencies` (one count per category) is only
+// consulted by kHuffman; pass the real distribution for best compression.
+HuffmanCode BuildCategoryCode(CategoryCodeKind kind, int num_categories,
+                              const std::vector<uint64_t>& frequencies);
+
+// Adds the row's category occurrences into `frequencies` (size M).
+void AccumulateCategoryFrequencies(const SignatureRow& row,
+                                   std::vector<uint64_t>* frequencies);
+
+}  // namespace dsig
+
+#endif  // DSIG_CORE_ENCODING_H_

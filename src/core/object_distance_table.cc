@@ -1,0 +1,38 @@
+#include "core/object_distance_table.h"
+
+namespace dsig {
+
+ObjectDistanceTable::ObjectDistanceTable(size_t num_objects)
+    : num_objects_(num_objects),
+      table_(num_objects * num_objects, kInfiniteWeight) {
+  for (uint32_t i = 0; i < num_objects_; ++i) table_[Slot(i, i)] = 0;
+}
+
+void ObjectDistanceTable::Set(uint32_t u, uint32_t v, Weight distance) {
+  DSIG_CHECK_GE(distance, 0);
+  DSIG_CHECK_LT(distance, kInfiniteWeight);
+  if (table_[Slot(u, v)] == kInfiniteWeight && u != v) ++stored_pairs_;
+  table_[Slot(u, v)] = distance;
+  table_[Slot(v, u)] = distance;
+}
+
+void ObjectDistanceTable::MarkFar(uint32_t u, uint32_t v) {
+  DSIG_CHECK_NE(u, v);
+  if (table_[Slot(u, v)] != kInfiniteWeight) --stored_pairs_;
+  table_[Slot(u, v)] = kInfiniteWeight;
+  table_[Slot(v, u)] = kInfiniteWeight;
+}
+
+Weight ObjectDistanceTable::Get(uint32_t u, uint32_t v) const {
+  const Weight d = table_[Slot(u, v)];
+  DSIG_CHECK_LT(d, kInfiniteWeight);
+  return d;
+}
+
+uint64_t ObjectDistanceTable::MemoryBytes() const {
+  // Pairs are stored once conceptually (the matrix mirrors them for O(1)
+  // lookup, but an on-disk/packed layout would not).
+  return stored_pairs_ * sizeof(Weight);
+}
+
+}  // namespace dsig

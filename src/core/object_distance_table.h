@@ -1,0 +1,60 @@
+// In-memory object-to-object distance table (paper §3.2.2, §5.3).
+//
+// Approximate distance comparison embeds nodes in 2-D using exact distances
+// *between objects*, and signature compression adds up an object-to-object
+// category; both need d(u, v) for object pairs. The paper stores these in
+// memory ("to eliminate the I/O cost for these frequently accessed
+// distances") and drops pairs whose distance falls in the last category —
+// such objects are never each other's observers. Dropped pairs keep a "far"
+// marker: the pair's category is still known (the last one), only the exact
+// value is gone.
+#ifndef DSIG_CORE_OBJECT_DISTANCE_TABLE_H_
+#define DSIG_CORE_OBJECT_DISTANCE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace dsig {
+
+class ObjectDistanceTable {
+ public:
+  explicit ObjectDistanceTable(size_t num_objects);
+
+  size_t num_objects() const { return num_objects_; }
+
+  // Records the exact distance between object indexes u and v (symmetric).
+  void Set(uint32_t u, uint32_t v, Weight distance);
+
+  // Marks the pair as falling in the last category; its exact distance is
+  // not retained.
+  void MarkFar(uint32_t u, uint32_t v);
+
+  bool IsFar(uint32_t u, uint32_t v) const {
+    return table_[Slot(u, v)] == kInfiniteWeight;
+  }
+
+  // Exact distance; the pair must not be far.
+  Weight Get(uint32_t u, uint32_t v) const;
+
+  // Memory footprint of the retained distances (what the paper reports as
+  // the "additional memory cost for object distances").
+  uint64_t MemoryBytes() const;
+
+ private:
+  size_t Slot(uint32_t u, uint32_t v) const {
+    DSIG_CHECK_LT(u, num_objects_);
+    DSIG_CHECK_LT(v, num_objects_);
+    return static_cast<size_t>(u) * num_objects_ + v;
+  }
+
+  size_t num_objects_;
+  // kInfiniteWeight encodes "far"; the diagonal is 0.
+  std::vector<Weight> table_;
+  uint64_t stored_pairs_ = 0;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_CORE_OBJECT_DISTANCE_TABLE_H_

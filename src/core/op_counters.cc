@@ -1,0 +1,14 @@
+#include "core/op_counters.h"
+
+namespace dsig {
+namespace {
+
+OpCounters g_counters;
+
+}  // namespace
+
+OpCounters& GlobalOpCounters() { return g_counters; }
+
+void ResetOpCounters() { g_counters = OpCounters{}; }
+
+}  // namespace dsig

@@ -1,0 +1,41 @@
+// Process-wide counters of the signature's basic operations.
+//
+// The paper's analysis decomposes query cost into signature reads,
+// backtracking steps, and comparisons (e.g., §6.2 attributes the kNN
+// clock-time gap at k = 50 to sorting CPU and decompression). These counters
+// expose that decomposition to benches and tests. Plain globals — the
+// library is single-threaded per query stream, and the counters are
+// diagnostics, not control flow.
+#ifndef DSIG_CORE_OP_COUNTERS_H_
+#define DSIG_CORE_OP_COUNTERS_H_
+
+#include <cstdint>
+
+namespace dsig {
+
+struct OpCounters {
+  uint64_t row_reads = 0;         // whole signature rows decoded
+  uint64_t entry_reads = 0;       // single components decoded
+  uint64_t backtrack_steps = 0;   // guided-backtracking hops
+  uint64_t exact_compares = 0;    // Algorithm 2 invocations
+  uint64_t approx_compares = 0;   // Algorithm 3 invocations
+  uint64_t resolves = 0;          // compressed components decompressed
+
+  OpCounters operator-(const OpCounters& other) const {
+    return {row_reads - other.row_reads,
+            entry_reads - other.entry_reads,
+            backtrack_steps - other.backtrack_steps,
+            exact_compares - other.exact_compares,
+            approx_compares - other.approx_compares,
+            resolves - other.resolves};
+  }
+};
+
+// The live counters (mutable; reset with ResetOpCounters).
+OpCounters& GlobalOpCounters();
+
+void ResetOpCounters();
+
+}  // namespace dsig
+
+#endif  // DSIG_CORE_OP_COUNTERS_H_

@@ -1,0 +1,86 @@
+#include "core/signature.h"
+
+#include <utility>
+
+#include "util/bitstream.h"
+#include "util/logging.h"
+
+namespace dsig {
+
+SignatureCodec::SignatureCodec(HuffmanCode category_code, int link_bits,
+                               bool has_flags)
+    : category_code_(std::move(category_code)),
+      link_bits_(link_bits),
+      has_flags_(has_flags) {
+  DSIG_CHECK_GE(link_bits_, 0);
+  DSIG_CHECK_LE(link_bits_, 16);
+}
+
+EncodedRow SignatureCodec::EncodeRow(const SignatureRow& row) const {
+  EncodedRow encoded;
+  BitWriter writer;
+  for (uint32_t i = 0; i < row.size(); ++i) {
+    if (i % kCheckpointInterval == 0) {
+      encoded.checkpoints.push_back(static_cast<uint32_t>(writer.size_bits()));
+    }
+    const SignatureEntry& entry = row[i];
+    if (has_flags_) writer.WriteBit(entry.compressed);
+    if (entry.compressed) {
+      DSIG_CHECK(has_flags_) << "compressed entries need flag bits";
+      continue;
+    }
+    category_code_.Encode(entry.category, &writer);
+    DSIG_CHECK_LT(entry.link, 1u << link_bits_)
+        << "backtracking link does not fit the codec's link width";
+    writer.WriteBits(entry.link, link_bits_);
+  }
+  encoded.size_bits = static_cast<uint32_t>(writer.size_bits());
+  encoded.bytes = writer.TakeBytes();
+  return encoded;
+}
+
+SignatureRow SignatureCodec::DecodeRow(const EncodedRow& encoded) const {
+  SignatureRow row;
+  BitReader reader(encoded.bytes.data(), encoded.size_bits);
+  while (!reader.AtEnd()) {
+    SignatureEntry entry;
+    if (has_flags_ && reader.ReadBit()) {
+      entry.category = kUnresolvedCategory;
+      entry.link = kUnresolvedLink;
+      entry.compressed = true;
+    } else {
+      entry.category = static_cast<uint8_t>(category_code_.Decode(&reader));
+      entry.link = static_cast<uint8_t>(reader.ReadBits(link_bits_));
+    }
+    row.push_back(entry);
+  }
+  return row;
+}
+
+SignatureEntry SignatureCodec::DecodeEntry(const EncodedRow& encoded,
+                                           uint32_t index,
+                                           uint64_t* bit_offset) const {
+  const uint32_t checkpoint = index / kCheckpointInterval;
+  DSIG_CHECK_LT(checkpoint, encoded.checkpoints.size());
+  BitReader reader(encoded.bytes.data(), encoded.size_bits);
+  reader.Seek(encoded.checkpoints[checkpoint]);
+  SignatureEntry entry;
+  for (uint32_t i = checkpoint * kCheckpointInterval;; ++i) {
+    const uint64_t start = reader.position();
+    if (has_flags_ && reader.ReadBit()) {
+      entry.category = kUnresolvedCategory;
+      entry.link = kUnresolvedLink;
+      entry.compressed = true;
+    } else {
+      entry.category = static_cast<uint8_t>(category_code_.Decode(&reader));
+      entry.link = static_cast<uint8_t>(reader.ReadBits(link_bits_));
+      entry.compressed = false;
+    }
+    if (i == index) {
+      if (bit_offset != nullptr) *bit_offset = start;
+      return entry;
+    }
+  }
+}
+
+}  // namespace dsig

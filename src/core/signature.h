@@ -1,0 +1,88 @@
+// Distance-signature rows and their bit-level encoding (paper §3.1, §5.2-5.3).
+//
+// A node's signature is a sequence of components, one per dataset object (in
+// a fixed global object order): the object's distance *category* plus a
+// *backtracking link* — the position, in the node's adjacency list, of the
+// next hop on the shortest path toward the object. Components may instead be
+// *compressed* to a single flag bit (§5.3), in which case both category and
+// link are reconstructed from the closest link-sharing object (see
+// compression.h).
+//
+// Encoded layout per component:
+//   [flag (1 bit, only when the codec has compression flags)]
+//   [category code (variable, Huffman/reverse-zero-padding/fixed)]
+//   [link (fixed link_bits)]
+// Compressed components consist of the flag bit alone.
+#ifndef DSIG_CORE_SIGNATURE_H_
+#define DSIG_CORE_SIGNATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/huffman.h"
+
+namespace dsig {
+
+// Sentinels for entries whose category/link await decompression.
+inline constexpr uint8_t kUnresolvedCategory = 0xFF;
+inline constexpr uint8_t kUnresolvedLink = 0xFF;
+
+struct SignatureEntry {
+  uint8_t category = 0;  // distance category id
+  uint8_t link = 0;      // index into the node's adjacency list
+  bool compressed = false;
+
+  bool IsResolved() const { return !compressed; }
+};
+
+inline bool operator==(const SignatureEntry& a, const SignatureEntry& b) {
+  return a.category == b.category && a.link == b.link &&
+         a.compressed == b.compressed;
+}
+
+// One node's signature row, indexed by object index.
+using SignatureRow = std::vector<SignatureEntry>;
+
+// Bit-packed row plus checkpoints for random component access.
+struct EncodedRow {
+  std::vector<uint8_t> bytes;
+  uint32_t size_bits = 0;
+  // checkpoints[k] = bit offset where component k * kCheckpointInterval
+  // starts; an in-memory acceleration, not counted in index size.
+  std::vector<uint32_t> checkpoints;
+};
+
+class SignatureCodec {
+ public:
+  static constexpr uint32_t kCheckpointInterval = 32;
+
+  // `category_code` encodes category ids; `link_bits` is the fixed width of
+  // a backtracking link; `has_flags` prefixes every component with a
+  // compression flag bit.
+  SignatureCodec(HuffmanCode category_code, int link_bits, bool has_flags);
+
+  int link_bits() const { return link_bits_; }
+  bool has_flags() const { return has_flags_; }
+  const HuffmanCode& category_code() const { return category_code_; }
+
+  EncodedRow EncodeRow(const SignatureRow& row) const;
+
+  // Decodes all components. Compressed components come back with
+  // kUnresolvedCategory / kUnresolvedLink and compressed = true.
+  SignatureRow DecodeRow(const EncodedRow& encoded) const;
+
+  // Decodes component `index` only, scanning from the nearest checkpoint.
+  // If `bit_offset` is non-null it receives the component's start offset —
+  // the address used to charge the page holding this component.
+  SignatureEntry DecodeEntry(const EncodedRow& encoded, uint32_t index,
+                             uint64_t* bit_offset) const;
+
+ private:
+  HuffmanCode category_code_;
+  int link_bits_;
+  bool has_flags_;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_CORE_SIGNATURE_H_

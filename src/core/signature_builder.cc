@@ -1,0 +1,131 @@
+#include "core/signature_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dsig {
+
+SignatureRow BuildRowFromForest(const RoadNetwork& graph,
+                                const SpanningForest& forest,
+                                const CategoryPartition& partition, NodeId n) {
+  SignatureRow row(forest.num_objects());
+  for (uint32_t o = 0; o < forest.num_objects(); ++o) {
+    const Weight d = forest.dist(o, n);
+    DSIG_CHECK_LT(d, kInfiniteWeight)
+        << "node " << n << " cannot reach object " << o
+        << "; signatures require a connected network";
+    SignatureEntry& entry = row[o];
+    entry.category = static_cast<uint8_t>(partition.CategoryOf(d));
+    if (forest.objects()[o] == n) {
+      entry.link = 0;  // the object lives here; no next hop
+    } else {
+      // parent(o, n) is n's parent in the tree rooted at the object — the
+      // next hop from n toward the object. The link stores its slot in n's
+      // adjacency list (Fig 3.1).
+      const EdgeId via = forest.parent_edge(o, n);
+      DSIG_CHECK_NE(via, kInvalidEdge);
+      const uint32_t slot = graph.AdjacencyIndexOf(n, via);
+      DSIG_CHECK_LT(slot, 256u) << "adjacency slot exceeds 8-bit link";
+      entry.link = static_cast<uint8_t>(slot);
+    }
+  }
+  return row;
+}
+
+std::unique_ptr<SignatureIndex> BuildSignatureIndex(
+    const RoadNetwork& graph, std::vector<NodeId> objects,
+    const SignatureBuildOptions& options) {
+  DSIG_CHECK(!objects.empty());
+  std::sort(objects.begin(), objects.end());
+  DSIG_CHECK(std::adjacent_find(objects.begin(), objects.end()) ==
+             objects.end())
+      << "duplicate object nodes";
+
+  auto forest = std::make_unique<SpanningForest>(&graph, objects);
+  forest->Build();
+
+  // Partition the spectrum. max_distance = farthest (object, node) pair so
+  // the finite boundaries cover the whole observed spectrum.
+  Weight max_distance = 1;
+  for (uint32_t o = 0; o < objects.size(); ++o) {
+    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+      const Weight d = forest->dist(o, n);
+      DSIG_CHECK_LT(d, kInfiniteWeight)
+          << "disconnected network: object " << o << " cannot reach node "
+          << n;
+      max_distance = std::max(max_distance, d);
+    }
+  }
+  const CategoryPartition partition =
+      options.optimal_partition
+          ? CategoryPartition::Optimal(options.spreading_bound, max_distance)
+          : CategoryPartition::Exponential(options.t, options.c,
+                                           max_distance);
+  const int m = partition.num_categories();
+  DSIG_CHECK_LE(m, 255) << "category id must fit 8 bits";
+
+  // Object-object distances; last-category pairs keep only a far marker.
+  ObjectDistanceTable table(objects.size());
+  for (uint32_t u = 0; u < objects.size(); ++u) {
+    for (uint32_t v = u + 1; v < objects.size(); ++v) {
+      const Weight d = forest->dist(u, objects[v]);
+      if (partition.CategoryOf(d) == m - 1) {
+        table.MarkFar(u, v);
+      } else {
+        table.Set(u, v, d);
+      }
+    }
+  }
+
+  const RowCompressor compressor(&partition, &table);
+
+  // Pass 1: category frequencies of the uncompressed rows (the entropy code
+  // is chosen against the pre-compression distribution, as in §5.2).
+  std::vector<uint64_t> frequencies(static_cast<size_t>(m), 0);
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    const SignatureRow row = BuildRowFromForest(graph, *forest, partition, n);
+    AccumulateCategoryFrequencies(row, &frequencies);
+  }
+
+  // Link width: one slot index per adjacency entry, with one spare bit of
+  // headroom so edge insertions during maintenance rarely force a re-encode.
+  int link_bits = 1;
+  while ((1u << link_bits) < graph.max_degree()) ++link_bits;
+  link_bits += 1;
+  DSIG_CHECK_LE(link_bits, 8);
+
+  SignatureCodec codec(BuildCategoryCode(options.code_kind, m, frequencies),
+                       link_bits, options.compress);
+  const HuffmanCode entropy_code =
+      options.code_kind == CategoryCodeKind::kFixed
+          ? HuffmanCode::ReverseZeroPadding(m)
+          : BuildCategoryCode(options.code_kind, m, frequencies);
+
+  // Pass 2: compress + encode every row, accumulating the size accounting
+  // of Table 1 (raw -> encoded -> compressed).
+  SignatureSizeStats stats;
+  const int fixed_bits = partition.fixed_code_bits();
+  std::vector<EncodedRow> rows(graph.num_nodes());
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    SignatureRow row = BuildRowFromForest(graph, *forest, partition, n);
+    for (const SignatureEntry& entry : row) {
+      stats.raw_bits += static_cast<uint64_t>(fixed_bits) + link_bits;
+      stats.encoded_bits +=
+          static_cast<uint64_t>(entropy_code.length(entry.category)) +
+          link_bits;
+      ++stats.entries;
+    }
+    if (options.compress) {
+      stats.compressed_entries += compressor.Compress(&row);
+    }
+    rows[n] = codec.EncodeRow(row);
+    stats.compressed_bits += rows[n].size_bits;
+  }
+
+  return std::make_unique<SignatureIndex>(
+      &graph, std::move(objects), partition, std::move(codec),
+      std::move(rows), std::move(table), stats,
+      options.keep_forest ? std::move(forest) : nullptr);
+}
+
+}  // namespace dsig

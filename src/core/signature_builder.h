@@ -1,0 +1,48 @@
+// Signature-index construction (paper §5.2).
+//
+// Builds the shortest-path spanning tree of every object (not of every node:
+// only object-rooted trees compute distances the signatures need), derives
+// the category partition, fills and compresses each node's row, picks the
+// category code, and bit-packs everything.
+#ifndef DSIG_CORE_SIGNATURE_BUILDER_H_
+#define DSIG_CORE_SIGNATURE_BUILDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/signature_index.h"
+
+namespace dsig {
+
+struct SignatureBuildOptions {
+  // Exponential partition parameters (§5.1): first boundary T and growth c.
+  // When `optimal_partition` is set they are derived instead as c = e,
+  // T = sqrt(spreading_bound / e).
+  double t = 10.0;
+  double c = 2.718281828459045;
+  bool optimal_partition = false;
+  Weight spreading_bound = 1000.0;
+
+  CategoryCodeKind code_kind = CategoryCodeKind::kReverseZeroPadding;
+  bool compress = true;
+  // Retain the spanning forest (needed by SignatureUpdater). Costs
+  // O(objects x nodes) memory.
+  bool keep_forest = true;
+};
+
+// `objects` are dataset node ids (distinct). The graph must be connected and
+// outlive the returned index.
+std::unique_ptr<SignatureIndex> BuildSignatureIndex(
+    const RoadNetwork& graph, std::vector<NodeId> objects,
+    const SignatureBuildOptions& options);
+
+// Builds node `n`'s uncompressed row from a finished forest — shared by the
+// builder and the updater.
+SignatureRow BuildRowFromForest(const RoadNetwork& graph,
+                                const SpanningForest& forest,
+                                const CategoryPartition& partition, NodeId n);
+
+}  // namespace dsig
+
+#endif  // DSIG_CORE_SIGNATURE_BUILDER_H_

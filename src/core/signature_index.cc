@@ -1,0 +1,155 @@
+#include "core/signature_index.h"
+
+#include <utility>
+
+#include "core/op_counters.h"
+
+namespace dsig {
+namespace {
+
+// Bound on the resolved-row memo (rows are a few hundred bytes each).
+constexpr size_t kResolvedCacheRows = 4096;
+
+}  // namespace
+
+SignatureIndex::SignatureIndex(const RoadNetwork* graph,
+                               std::vector<NodeId> objects,
+                               CategoryPartition partition,
+                               SignatureCodec codec,
+                               std::vector<EncodedRow> rows,
+                               ObjectDistanceTable table,
+                               SignatureSizeStats size_stats,
+                               std::unique_ptr<SpanningForest> forest)
+    : graph_(graph),
+      objects_(std::move(objects)),
+      partition_(std::move(partition)),
+      codec_(std::move(codec)),
+      rows_(std::move(rows)),
+      table_(std::move(table)),
+      compressor_(&partition_, &table_),
+      size_stats_(size_stats),
+      forest_(std::move(forest)) {
+  DSIG_CHECK(graph_ != nullptr);
+  DSIG_CHECK_EQ(rows_.size(), graph_->num_nodes());
+  object_of_node_.assign(graph_->num_nodes(), kInvalidObject);
+  for (uint32_t i = 0; i < objects_.size(); ++i) {
+    object_of_node_[objects_[i]] = i;
+  }
+}
+
+SignatureRow SignatureIndex::ReadRow(NodeId n) const {
+  SignatureRow row = ReadRowUnresolved(n);
+  compressor_.ResolveRow(&row);
+  return row;
+}
+
+SignatureRow SignatureIndex::ReadRowUnresolved(NodeId n) const {
+  DSIG_CHECK_LT(n, rows_.size());
+  ++GlobalOpCounters().row_reads;
+  if (merged_) {
+    // Only the signature portion of the combined record is scanned.
+    store_.TouchRecordBits(n, adjacency_bits_[n],
+                           adjacency_bits_[n] + rows_[n].size_bits);
+  } else {
+    store_.TouchRecord(n);
+  }
+  return codec_.DecodeRow(rows_[n]);
+}
+
+SignatureEntry SignatureIndex::ReadEntry(NodeId n,
+                                         uint32_t object_index) const {
+  DSIG_CHECK_LT(n, rows_.size());
+  DSIG_CHECK_LT(object_index, objects_.size());
+  ++GlobalOpCounters().entry_reads;
+  uint64_t bit_offset = 0;
+  SignatureEntry entry = codec_.DecodeEntry(rows_[n], object_index,
+                                            &bit_offset);
+  if (merged_) bit_offset += adjacency_bits_[n];
+  store_.TouchRecordAt(n, bit_offset);
+  if (entry.compressed) {
+    ++GlobalOpCounters().resolves;
+    // Decompression is CPU work against the in-memory object table plus the
+    // already-fetched row (paper §5.3); no extra page charge. Resolved rows
+    // are memoized — backtracking walks revisit nodes constantly.
+    auto it = resolved_cache_.find(n);
+    if (it == resolved_cache_.end()) {
+      if (resolved_cache_.size() >= kResolvedCacheRows) {
+        resolved_cache_.clear();
+      }
+      SignatureRow row = codec_.DecodeRow(rows_[n]);
+      compressor_.ResolveRow(&row);
+      it = resolved_cache_.emplace(n, std::move(row)).first;
+    }
+    entry = it->second[object_index];
+  }
+  return entry;
+}
+
+void SignatureIndex::AttachStorage(BufferManager* buffer,
+                                   const NetworkStore* network,
+                                   const std::vector<NodeId>& order) {
+  std::vector<uint64_t> record_bits(rows_.size());
+  for (size_t n = 0; n < rows_.size(); ++n) {
+    record_bits[n] = rows_[n].size_bits;
+  }
+  store_ = PagedStore(PageLayout(record_bits, order), buffer);
+  network_store_ = network;
+  merged_ = false;
+  adjacency_bits_.clear();
+}
+
+void SignatureIndex::AttachMergedStorage(BufferManager* buffer,
+                                         const std::vector<NodeId>& order) {
+  adjacency_bits_.resize(rows_.size());
+  std::vector<uint64_t> record_bits(rows_.size());
+  for (NodeId n = 0; n < rows_.size(); ++n) {
+    adjacency_bits_[n] = AdjacencyRecordBits(*graph_, n);
+    record_bits[n] = adjacency_bits_[n] + rows_[n].size_bits;
+  }
+  store_ = PagedStore(PageLayout(record_bits, order), buffer);
+  network_store_ = nullptr;
+  merged_ = true;
+}
+
+void SignatureIndex::TouchAdjacency(NodeId n) const {
+  if (merged_) {
+    // The adjacency list heads the combined record.
+    store_.TouchRecordAt(n, 0);
+    return;
+  }
+  if (network_store_ != nullptr) network_store_->TouchNode(n);
+}
+
+void SignatureIndex::RebuildForest() {
+  forest_ = std::make_unique<SpanningForest>(graph_, objects_);
+  forest_->Build();
+}
+
+uint64_t SignatureIndex::IndexBytes() const {
+  return (size_stats_.compressed_bits + 7) / 8;
+}
+
+size_t SignatureIndex::ReplaceRow(NodeId n, const SignatureRow& row) {
+  DSIG_CHECK_LT(n, rows_.size());
+  DSIG_CHECK_EQ(row.size(), objects_.size());
+  // Diff against the old row in resolved form so flag-only differences (same
+  // category/link, different compression decision) do not count as changes.
+  SignatureRow old_row = codec_.DecodeRow(rows_[n]);
+  compressor_.ResolveRow(&old_row);
+  SignatureRow new_resolved = row;
+  compressor_.ResolveRow(&new_resolved);
+  size_t changed = 0;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!(old_row[i] == new_resolved[i])) ++changed;
+  }
+
+  resolved_cache_.erase(n);
+  const EncodedRow& old_encoded = rows_[n];
+  EncodedRow new_encoded = codec_.EncodeRow(row);
+  size_stats_.compressed_bits += new_encoded.size_bits;
+  size_stats_.compressed_bits -= old_encoded.size_bits;
+  rows_[n] = std::move(new_encoded);
+  return changed;
+}
+
+}  // namespace dsig

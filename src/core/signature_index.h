@@ -1,0 +1,160 @@
+// The distance-signature index — the paper's primary contribution.
+//
+// One SignatureIndex bundles everything a query processor needs:
+//   * the category partition (§5.1) and codec (§5.2-5.3),
+//   * one encoded signature row per network node,
+//   * the in-memory object-object distance table (§3.2.2),
+//   * optionally the per-object spanning forest kept for updates (§5.4),
+//   * optionally a paged store charging row accesses to a buffer pool.
+//
+// Build instances with BuildSignatureIndex (signature_builder.h); distance
+// retrieval / comparison / sorting live in distance_ops.h; query processing
+// in query/; maintenance in update.h.
+#ifndef DSIG_CORE_SIGNATURE_INDEX_H_
+#define DSIG_CORE_SIGNATURE_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/category_partition.h"
+#include "core/compression.h"
+#include "core/object_distance_table.h"
+#include "core/signature.h"
+#include "graph/road_network.h"
+#include "graph/spanning_tree.h"
+#include "storage/network_store.h"
+#include "storage/pager.h"
+
+namespace dsig {
+
+// Byte/bit accounting for Fig 6.4(a) and Table 1.
+struct SignatureSizeStats {
+  uint64_t raw_bits = 0;         // fixed-length category ids + links
+  uint64_t encoded_bits = 0;     // entropy-coded ids + links, no compression
+  uint64_t compressed_bits = 0;  // as stored (flags + surviving components)
+  uint64_t entries = 0;
+  uint64_t compressed_entries = 0;
+
+  double EncodedRatio() const {
+    return raw_bits == 0 ? 0 : static_cast<double>(encoded_bits) / raw_bits;
+  }
+  double CompressedRatio() const {
+    return encoded_bits == 0
+               ? 0
+               : static_cast<double>(compressed_bits) / encoded_bits;
+  }
+};
+
+class SignatureIndex {
+ public:
+  // Assembled by BuildSignatureIndex; not movable (internal back-pointers).
+  SignatureIndex(const RoadNetwork* graph, std::vector<NodeId> objects,
+                 CategoryPartition partition, SignatureCodec codec,
+                 std::vector<EncodedRow> rows, ObjectDistanceTable table,
+                 SignatureSizeStats size_stats,
+                 std::unique_ptr<SpanningForest> forest);
+
+  SignatureIndex(const SignatureIndex&) = delete;
+  SignatureIndex& operator=(const SignatureIndex&) = delete;
+
+  const RoadNetwork& graph() const { return *graph_; }
+  const CategoryPartition& partition() const { return partition_; }
+  const SignatureCodec& codec() const { return codec_; }
+  const ObjectDistanceTable& object_table() const { return table_; }
+  const RowCompressor& compressor() const { return compressor_; }
+
+  size_t num_objects() const { return objects_.size(); }
+  const std::vector<NodeId>& objects() const { return objects_; }
+  NodeId object_node(uint32_t object_index) const {
+    return objects_[object_index];
+  }
+  // Object living on node `n`, or kInvalidObject.
+  ObjectId object_at(NodeId n) const { return object_of_node_[n]; }
+
+  // --- Row access (all charge pages when storage is attached) -------------
+
+  // Full signature of `n` with every compressed component resolved; charges
+  // every page the row spans.
+  SignatureRow ReadRow(NodeId n) const;
+
+  // Full signature with compressed components left unresolved (cheaper when
+  // the caller only cares about categories of resolved entries).
+  SignatureRow ReadRowUnresolved(NodeId n) const;
+
+  // Single component, resolved; charges only the page holding it.
+  SignatureEntry ReadEntry(NodeId n, uint32_t object_index) const;
+
+  // --- Storage -------------------------------------------------------------
+
+  // Separate storage schema (paper §3.1, Fig 3.1): signature rows live in
+  // their own file, laid out in `order`; backtracking charges adjacency
+  // pages to `network` (may be null) and signature pages here.
+  void AttachStorage(BufferManager* buffer, const NetworkStore* network,
+                     const std::vector<NodeId>& order);
+
+  // Merged storage schema (paper §3.1's preferred option when signatures
+  // are usually accessed together with the adjacency list): each node's
+  // record holds its adjacency list followed by its signature, so a
+  // backtracking step usually costs a single page.
+  void AttachMergedStorage(BufferManager* buffer,
+                           const std::vector<NodeId>& order);
+
+  // Charges the page(s) for reading node `n`'s adjacency list under the
+  // current schema. Used by the retrieval cursor.
+  void TouchAdjacency(NodeId n) const;
+
+  const NetworkStore* network_store() const { return network_store_; }
+  bool merged_storage() const { return merged_; }
+
+  // Payload size of the index as stored (compressed form), in bytes.
+  uint64_t IndexBytes() const;
+  const SignatureSizeStats& size_stats() const { return size_stats_; }
+
+  // --- Maintenance hooks (used by SignatureUpdater) ------------------------
+
+  // Forest retained for updates; null when built with keep_forest = false.
+  SpanningForest* mutable_forest() { return forest_.get(); }
+
+  // (Re)builds the spanning forest — e.g. after loading a serialized index,
+  // which does not persist it. One Dijkstra per object.
+  void RebuildForest();
+  const SpanningForest* forest() const { return forest_.get(); }
+  ObjectDistanceTable* mutable_object_table() { return &table_; }
+
+  // Replaces node `n`'s row (already compressed by the caller), returning
+  // how many resolved components differ from the previous row. Invalidates
+  // the page layout until AttachStorage is called again.
+  size_t ReplaceRow(NodeId n, const SignatureRow& row);
+
+  const EncodedRow& encoded_row(NodeId n) const { return rows_[n]; }
+
+ private:
+  const RoadNetwork* graph_;
+  std::vector<NodeId> objects_;
+  std::vector<ObjectId> object_of_node_;
+  CategoryPartition partition_;
+  SignatureCodec codec_;
+  std::vector<EncodedRow> rows_;
+  ObjectDistanceTable table_;
+  RowCompressor compressor_;
+  SignatureSizeStats size_stats_;
+  std::unique_ptr<SpanningForest> forest_;
+
+  PagedStore store_;
+  const NetworkStore* network_store_ = nullptr;
+  // CPU cache of resolved rows, used when a single-component read hits a
+  // compressed entry (resolution needs the whole row). Bounded; cleared
+  // wholesale when full. Not thread-safe — the index is single-threaded by
+  // design (one query stream), like the paper's testbed.
+  mutable std::unordered_map<NodeId, SignatureRow> resolved_cache_;
+  // Merged schema: row bits start after the adjacency record inside each
+  // node's combined record.
+  bool merged_ = false;
+  std::vector<uint64_t> adjacency_bits_;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_CORE_SIGNATURE_INDEX_H_

@@ -1,0 +1,119 @@
+#include "core/update.h"
+
+#include <algorithm>
+
+#include "core/signature_builder.h"
+
+namespace dsig {
+
+SignatureUpdater::SignatureUpdater(RoadNetwork* graph, SignatureIndex* index)
+    : graph_(graph), index_(index) {
+  DSIG_CHECK(graph_ != nullptr);
+  DSIG_CHECK(index_ != nullptr);
+  DSIG_CHECK_EQ(graph_, &index_->graph());
+  DSIG_CHECK(index_->mutable_forest() != nullptr)
+      << "build the index with keep_forest = true to enable updates";
+}
+
+UpdateStats SignatureUpdater::AddEdge(NodeId u, NodeId v, Weight weight,
+                                      EdgeId* edge_out) {
+  const EdgeId edge = graph_->AddEdge(u, v, weight);
+  if (edge_out != nullptr) *edge_out = edge;
+  return ApplyTreeChanges(index_->mutable_forest()->OnEdgeAddedOrDecreased(edge));
+}
+
+UpdateStats SignatureUpdater::RemoveEdge(EdgeId edge) {
+  graph_->RemoveEdge(edge);
+  return ApplyTreeChanges(
+      index_->mutable_forest()->OnEdgeIncreasedOrRemoved(edge));
+}
+
+UpdateStats SignatureUpdater::SetEdgeWeight(EdgeId edge, Weight weight) {
+  const Weight old_weight = graph_->edge_weight(edge);
+  graph_->SetEdgeWeight(edge, weight);
+  if (weight == old_weight) return {};
+  if (weight < old_weight) {
+    return ApplyTreeChanges(
+        index_->mutable_forest()->OnEdgeAddedOrDecreased(edge));
+  }
+  return ApplyTreeChanges(
+      index_->mutable_forest()->OnEdgeIncreasedOrRemoved(edge));
+}
+
+UpdateStats SignatureUpdater::ApplyTreeChanges(
+    const std::vector<TreeChange>& changes) {
+  UpdateStats stats;
+  stats.tree_entries_changed = changes.size();
+  if (changes.empty()) return stats;
+
+  const SpanningForest& forest = *index_->forest();
+  const CategoryPartition& partition = index_->partition();
+  ObjectDistanceTable* table = index_->mutable_object_table();
+  const int last_category = partition.num_categories() - 1;
+
+  // Refresh object-object distances first: row recompression consults them.
+  // Pairs whose *category* moved poison the compression of rows that were
+  // otherwise untouched (their flagged entries resolve through the table),
+  // so track the affected objects and rewrite those rows too below.
+  std::vector<bool> dirty_object(index_->num_objects(), false);
+  bool any_dirty = false;
+  for (const TreeChange& change : changes) {
+    const ObjectId other = index_->object_at(change.node);
+    if (other == kInvalidObject || other == change.object_index) continue;
+    const Weight d = forest.dist(change.object_index, change.node);
+    const int old_category =
+        table->IsFar(change.object_index, other)
+            ? last_category
+            : partition.CategoryOf(table->Get(change.object_index, other));
+    int new_category;
+    if (d == kInfiniteWeight || partition.CategoryOf(d) == last_category) {
+      if (!table->IsFar(change.object_index, other)) {
+        table->MarkFar(change.object_index, other);
+      }
+      new_category = last_category;
+    } else {
+      table->Set(change.object_index, other, d);
+      new_category = partition.CategoryOf(d);
+    }
+    if (new_category != old_category) {
+      dirty_object[change.object_index] = true;
+      dirty_object[other] = true;
+      any_dirty = true;
+    }
+  }
+
+  // Rewrite each affected node's row once (a node may appear under several
+  // objects). Rebuilding the whole row keeps compression decisions
+  // consistent — a changed component can alter its neighbours' reps.
+  std::vector<NodeId> nodes;
+  nodes.reserve(changes.size());
+  for (const TreeChange& change : changes) nodes.push_back(change.node);
+  if (any_dirty && index_->codec().has_flags()) {
+    // Category changes in the object table invalidate the stored compression
+    // of rows holding a flagged entry for a dirty object: their decoder-side
+    // resolution would now disagree with the encoder's. Sweep the rows (an
+    // in-memory scan; no page I/O) and schedule the affected ones.
+    for (NodeId n = 0; n < graph_->num_nodes(); ++n) {
+      const SignatureRow row = index_->codec().DecodeRow(index_->encoded_row(n));
+      for (uint32_t o = 0; o < row.size(); ++o) {
+        if (row[o].compressed && dirty_object[o]) {
+          nodes.push_back(n);
+          break;
+        }
+      }
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  for (const NodeId n : nodes) {
+    SignatureRow row =
+        BuildRowFromForest(*graph_, forest, partition, n);
+    if (index_->codec().has_flags()) index_->compressor().Compress(&row);
+    stats.entries_changed += index_->ReplaceRow(n, row);
+    ++stats.rows_rewritten;
+  }
+  return stats;
+}
+
+}  // namespace dsig

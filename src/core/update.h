@@ -1,0 +1,47 @@
+// Incremental signature maintenance under network updates (paper §5.4).
+//
+// The updater owns the mutation protocol: it applies the edge change to the
+// RoadNetwork, lets the retained spanning forest repair itself (decrease ->
+// label-correcting relaxation; increase/removal -> reverse-indexed subtree
+// rebuild), refreshes affected object-object table entries, and finally
+// rewrites only the signature rows whose category or backtracking link
+// actually changed — the locality the paper's update argument rests on.
+#ifndef DSIG_CORE_UPDATE_H_
+#define DSIG_CORE_UPDATE_H_
+
+#include <cstdint>
+
+#include "core/signature_index.h"
+
+namespace dsig {
+
+struct UpdateStats {
+  size_t tree_entries_changed = 0;   // (object, node) pairs re-labelled
+  size_t rows_rewritten = 0;         // signature rows re-encoded
+  size_t entries_changed = 0;        // components whose category/link moved
+};
+
+class SignatureUpdater {
+ public:
+  // `graph` must be the same network the index was built on, and the index
+  // must have been built with keep_forest = true.
+  SignatureUpdater(RoadNetwork* graph, SignatureIndex* index);
+
+  // Inserts a new road segment; returns its id via `edge_out` if non-null.
+  UpdateStats AddEdge(NodeId u, NodeId v, Weight weight,
+                      EdgeId* edge_out = nullptr);
+
+  UpdateStats RemoveEdge(EdgeId edge);
+
+  UpdateStats SetEdgeWeight(EdgeId edge, Weight weight);
+
+ private:
+  UpdateStats ApplyTreeChanges(const std::vector<TreeChange>& changes);
+
+  RoadNetwork* graph_;
+  SignatureIndex* index_;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_CORE_UPDATE_H_

@@ -1,0 +1,84 @@
+#include "graph/astar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <utility>
+
+namespace dsig {
+namespace {
+
+double EuclideanDistance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+}  // namespace
+
+AStarResult RunAStar(const RoadNetwork& graph, NodeId source, NodeId target,
+                     const AStarHeuristic& heuristic) {
+  DSIG_CHECK_LT(source, graph.num_nodes());
+  DSIG_CHECK_LT(target, graph.num_nodes());
+  const size_t n = graph.num_nodes();
+  std::vector<Weight> g(n, kInfiniteWeight);
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<bool> settled(n, false);
+
+  // (f = g + h, node) min-heap with lazy deletion.
+  using Entry = std::pair<Weight, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  g[source] = 0;
+  heap.push({heuristic(source), source});
+
+  AStarResult result;
+  while (!heap.empty()) {
+    const NodeId u = heap.top().second;
+    heap.pop();
+    if (settled[u]) continue;
+    settled[u] = true;
+    ++result.nodes_expanded;
+    if (u == target) break;
+    for (const AdjacencyEntry& entry : graph.adjacency(u)) {
+      if (entry.removed || settled[entry.to]) continue;
+      const Weight nd = g[u] + entry.weight;
+      if (nd < g[entry.to]) {
+        g[entry.to] = nd;
+        parent[entry.to] = u;
+        heap.push({nd + heuristic(entry.to), entry.to});
+      }
+    }
+  }
+  if (!settled[target]) return result;
+
+  result.distance = g[target];
+  for (NodeId v = target; v != kInvalidNode; v = parent[v]) {
+    result.path.push_back(v);
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  DSIG_CHECK_EQ(result.path.front(), source);
+  return result;
+}
+
+AStarHeuristic ZeroHeuristic() {
+  return [](NodeId) { return Weight{0}; };
+}
+
+AStarHeuristic EuclideanHeuristic(const RoadNetwork& graph, NodeId target,
+                                  double scale) {
+  const Point goal = graph.position(target);
+  return [&graph, goal, scale](NodeId n) {
+    return scale * EuclideanDistance(graph.position(n), goal);
+  };
+}
+
+double MaxAdmissibleEuclideanScale(const RoadNetwork& graph) {
+  double scale = kInfiniteWeight;
+  for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
+    if (graph.edge_removed(e)) continue;
+    const auto [u, v] = graph.edge_endpoints(e);
+    const double len = EuclideanDistance(graph.position(u), graph.position(v));
+    if (len > 0) scale = std::min(scale, graph.edge_weight(e) / len);
+  }
+  return scale == kInfiniteWeight ? 0.0 : scale;
+}
+
+}  // namespace dsig

@@ -1,0 +1,48 @@
+// A* point-to-point search (paper §2 cites A* with expansion heuristics as an
+// alternative to Dijkstra for network expansion).
+//
+// The heuristic must be admissible (never overestimate the remaining network
+// distance) for the returned distance to be exact. On road networks whose
+// weights are metric road lengths, scaled Euclidean distance qualifies; on
+// networks with arbitrary weights (e.g., travel times), only the zero
+// heuristic is safe — the same caveat the paper raises against IER.
+#ifndef DSIG_GRAPH_ASTAR_H_
+#define DSIG_GRAPH_ASTAR_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace dsig {
+
+// Lower-bound estimate of the network distance from a node to the target.
+using AStarHeuristic = std::function<Weight(NodeId)>;
+
+struct AStarResult {
+  Weight distance = kInfiniteWeight;
+  std::vector<NodeId> path;  // empty when unreachable
+  size_t nodes_expanded = 0;
+};
+
+// Exact point-to-point search with the given admissible heuristic.
+AStarResult RunAStar(const RoadNetwork& graph, NodeId source, NodeId target,
+                     const AStarHeuristic& heuristic);
+
+// h(n) = 0: degenerates to bidirectionally-unguided Dijkstra.
+AStarHeuristic ZeroHeuristic();
+
+// h(n) = scale * euclidean(n, target). `scale` must satisfy
+// scale * euclidean(u, v) <= weight(u, v) for every edge for admissibility;
+// MaxAdmissibleEuclideanScale computes the largest such scale.
+AStarHeuristic EuclideanHeuristic(const RoadNetwork& graph, NodeId target,
+                                  double scale);
+
+// Largest `scale` for which EuclideanHeuristic is admissible on `graph`:
+// min over live edges of weight / euclidean-length (edges between co-located
+// points impose no constraint). Returns 0 for an edgeless graph.
+double MaxAdmissibleEuclideanScale(const RoadNetwork& graph);
+
+}  // namespace dsig
+
+#endif  // DSIG_GRAPH_ASTAR_H_

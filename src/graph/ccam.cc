@@ -1,0 +1,76 @@
+#include "graph/ccam.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dsig {
+
+std::vector<NodeId> ComputeCcamOrder(const RoadNetwork& graph,
+                                     size_t nodes_per_cluster) {
+  DSIG_CHECK_GE(nodes_per_cluster, 1u);
+  const size_t n = graph.num_nodes();
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<bool> placed(n, false);
+
+  // connectivity[v] = number of live edges from v into the cluster being
+  // grown; the greedy rule picks the most connected fringe node next.
+  std::vector<uint32_t> connectivity(n, 0);
+  // (connectivity snapshot, node) max-heap with lazy deletion.
+  using Entry = std::pair<uint32_t, NodeId>;
+  std::priority_queue<Entry> fringe;
+
+  NodeId next_seed = 0;
+  while (order.size() < n) {
+    // Start a new cluster from the lowest-id unplaced node.
+    while (next_seed < n && placed[next_seed]) ++next_seed;
+    DSIG_CHECK_LT(next_seed, n);
+    fringe = {};
+    fringe.push({0, next_seed});
+    size_t cluster_size = 0;
+    while (cluster_size < nodes_per_cluster && !fringe.empty()) {
+      const auto [conn, u] = fringe.top();
+      fringe.pop();
+      if (placed[u] || conn != connectivity[u]) continue;  // stale entry
+      placed[u] = true;
+      order.push_back(u);
+      ++cluster_size;
+      for (const AdjacencyEntry& entry : graph.adjacency(u)) {
+        if (entry.removed || placed[entry.to]) continue;
+        ++connectivity[entry.to];
+        fringe.push({connectivity[entry.to], entry.to});
+      }
+    }
+    // Reset fringe connectivity so the next cluster starts clean. Only nodes
+    // touched by this cluster can be non-zero; clearing lazily via the heap
+    // would leak state, so sweep the placed nodes' neighbours.
+    if (order.size() < n) {
+      for (size_t i = order.size() - cluster_size; i < order.size(); ++i) {
+        for (const AdjacencyEntry& entry : graph.adjacency(order[i])) {
+          connectivity[entry.to] = 0;
+        }
+      }
+    }
+  }
+  return order;
+}
+
+double IntraClusterEdgeFraction(const RoadNetwork& graph,
+                                const std::vector<NodeId>& order,
+                                size_t nodes_per_cluster) {
+  DSIG_CHECK_EQ(order.size(), graph.num_nodes());
+  std::vector<size_t> cluster_of(graph.num_nodes());
+  for (size_t slot = 0; slot < order.size(); ++slot) {
+    cluster_of[order[slot]] = slot / nodes_per_cluster;
+  }
+  size_t intra = 0, total = 0;
+  for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
+    if (graph.edge_removed(e)) continue;
+    ++total;
+    const auto [u, v] = graph.edge_endpoints(e);
+    if (cluster_of[u] == cluster_of[v]) ++intra;
+  }
+  return total == 0 ? 1.0 : static_cast<double>(intra) / total;
+}
+
+}  // namespace dsig

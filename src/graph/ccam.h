@@ -1,0 +1,34 @@
+// Connectivity-Clustered Access Method (CCAM) style node ordering.
+//
+// The paper (§6) stores nodes, adjacency lists, and signatures with CCAM
+// (Shekhar & Liu, TKDE 1997), which packs strongly connected neighbourhoods
+// into common disk pages to minimise page faults during network traversals.
+// We implement its core heuristic: grow clusters of `nodes_per_page` nodes by
+// greedy best-first expansion over edge connectivity, then emit clusters in
+// discovery order. The resulting permutation is handed to the Pager, which
+// lays records out in this order.
+#ifndef DSIG_GRAPH_CCAM_H_
+#define DSIG_GRAPH_CCAM_H_
+
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace dsig {
+
+// Returns a permutation `order` of all nodes: order[i] = node stored in the
+// i-th record slot. Nodes of one greedily grown cluster occupy consecutive
+// slots. `nodes_per_cluster` is the target cluster size (the number of node
+// records that fit one page); must be >= 1.
+std::vector<NodeId> ComputeCcamOrder(const RoadNetwork& graph,
+                                     size_t nodes_per_cluster);
+
+// Fraction of live edges whose two endpoints land in the same cluster under
+// `order` — the quality metric CCAM maximises. Useful for tests/benches.
+double IntraClusterEdgeFraction(const RoadNetwork& graph,
+                                const std::vector<NodeId>& order,
+                                size_t nodes_per_cluster);
+
+}  // namespace dsig
+
+#endif  // DSIG_GRAPH_CCAM_H_

@@ -1,0 +1,118 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace dsig {
+namespace {
+
+// (tentative distance, node); min-heap with lazy deletion.
+using QueueEntry = std::pair<Weight, NodeId>;
+using MinHeap =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
+
+ShortestPathTree MakeTree(size_t n) {
+  ShortestPathTree tree;
+  tree.dist.assign(n, kInfiniteWeight);
+  tree.parent.assign(n, kInvalidNode);
+  tree.parent_edge.assign(n, kInvalidEdge);
+  return tree;
+}
+
+// Core loop shared by all variants. `radius` bounds settling (use
+// kInfiniteWeight for unbounded); `target` enables early exit (kInvalidNode
+// for none); `multi_source` fills tree->owner.
+void Run(const RoadNetwork& graph, const std::vector<NodeId>& sources,
+         Weight radius, NodeId target, bool multi_source,
+         ShortestPathTree* tree) {
+  const size_t n = graph.num_nodes();
+  if (multi_source) tree->owner.assign(n, kInvalidNode);
+  std::vector<bool> settled(n, false);
+  MinHeap heap;
+  for (const NodeId s : sources) {
+    DSIG_CHECK_LT(s, n);
+    tree->dist[s] = 0;
+    if (multi_source) tree->owner[s] = s;
+    heap.push({0, s});
+  }
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (settled[u] || d > tree->dist[u]) continue;  // stale entry
+    if (d > radius) break;  // all remaining entries are at least this far
+    settled[u] = true;
+    tree->settle_order.push_back(u);
+    if (u == target) return;
+    for (const AdjacencyEntry& entry : graph.adjacency(u)) {
+      if (entry.removed) continue;
+      const Weight nd = d + entry.weight;
+      if (nd < tree->dist[entry.to]) {
+        tree->dist[entry.to] = nd;
+        tree->parent[entry.to] = u;
+        tree->parent_edge[entry.to] = entry.edge_id;
+        if (multi_source) tree->owner[entry.to] = tree->owner[u];
+        heap.push({nd, entry.to});
+      }
+    }
+  }
+  // Bounded runs leave unsettled nodes marked unreachable so callers cannot
+  // mistake a tentative distance for a final one.
+  if (radius != kInfiniteWeight) {
+    for (size_t v = 0; v < n; ++v) {
+      if (!settled[v]) {
+        tree->dist[v] = kInfiniteWeight;
+        tree->parent[v] = kInvalidNode;
+        tree->parent_edge[v] = kInvalidEdge;
+        if (multi_source) tree->owner[v] = kInvalidNode;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ShortestPathTree RunDijkstra(const RoadNetwork& graph, NodeId source) {
+  ShortestPathTree tree = MakeTree(graph.num_nodes());
+  Run(graph, {source}, kInfiniteWeight, kInvalidNode, /*multi_source=*/false,
+      &tree);
+  return tree;
+}
+
+ShortestPathTree RunDijkstraBounded(const RoadNetwork& graph, NodeId source,
+                                    Weight radius) {
+  ShortestPathTree tree = MakeTree(graph.num_nodes());
+  Run(graph, {source}, radius, kInvalidNode, /*multi_source=*/false, &tree);
+  return tree;
+}
+
+ShortestPathTree RunDijkstraMultiSource(const RoadNetwork& graph,
+                                        const std::vector<NodeId>& sources) {
+  ShortestPathTree tree = MakeTree(graph.num_nodes());
+  Run(graph, sources, kInfiniteWeight, kInvalidNode, /*multi_source=*/true,
+      &tree);
+  return tree;
+}
+
+Weight DijkstraDistance(const RoadNetwork& graph, NodeId source,
+                        NodeId target) {
+  DSIG_CHECK_LT(target, graph.num_nodes());
+  ShortestPathTree tree = MakeTree(graph.num_nodes());
+  Run(graph, {source}, kInfiniteWeight, target, /*multi_source=*/false, &tree);
+  return tree.dist[target];
+}
+
+std::vector<NodeId> ReconstructPath(const ShortestPathTree& tree,
+                                    NodeId source, NodeId target) {
+  std::vector<NodeId> path;
+  if (tree.dist[target] == kInfiniteWeight) return path;
+  for (NodeId v = target; v != kInvalidNode; v = tree.parent[v]) {
+    path.push_back(v);
+    if (v == source) break;
+  }
+  DSIG_CHECK_EQ(path.back(), source);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace dsig

@@ -1,0 +1,62 @@
+// Single-source shortest paths (Dijkstra, 1959) on a RoadNetwork.
+//
+// This is the workhorse substrate: the paper uses Dijkstra both online (the
+// INE baseline and the "network expansion" paradigm of §2) and offline (one
+// run per object to build signatures, §5.2, and the multi-source variant to
+// build the Network Voronoi Diagram baseline).
+#ifndef DSIG_GRAPH_DIJKSTRA_H_
+#define DSIG_GRAPH_DIJKSTRA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace dsig {
+
+// Shortest-path tree from one source (or forest from many).
+struct ShortestPathTree {
+  // dist[n] = network distance from the (nearest) source; kInfiniteWeight if
+  // unreachable.
+  std::vector<Weight> dist;
+  // parent[n] = previous node on the shortest path from the source to n;
+  // kInvalidNode for sources and unreachable nodes.
+  std::vector<NodeId> parent;
+  // parent_edge[n] = edge connecting parent[n] to n; kInvalidEdge when no
+  // parent.
+  std::vector<EdgeId> parent_edge;
+  // For multi-source runs: the source each node was claimed by. Single-source
+  // runs leave it empty.
+  std::vector<NodeId> owner;
+  // Nodes in the order Dijkstra settled them (sources first).
+  std::vector<NodeId> settle_order;
+};
+
+// Full single-source run over all reachable nodes.
+ShortestPathTree RunDijkstra(const RoadNetwork& graph, NodeId source);
+
+// Single-source run that stops settling nodes beyond `radius`: every node n
+// with dist[n] <= radius is settled exactly; more distant nodes report
+// kInfiniteWeight.
+ShortestPathTree RunDijkstraBounded(const RoadNetwork& graph, NodeId source,
+                                    Weight radius);
+
+// Multi-source run: grows all sources simultaneously; each node is owned by
+// its nearest source (ties broken by settle order, i.e., deterministically).
+// This computes the Network Voronoi Diagram's cell assignment in one sweep.
+ShortestPathTree RunDijkstraMultiSource(const RoadNetwork& graph,
+                                        const std::vector<NodeId>& sources);
+
+// Point-to-point distance; kInfiniteWeight when disconnected. Terminates as
+// soon as `target` is settled.
+Weight DijkstraDistance(const RoadNetwork& graph, NodeId source,
+                        NodeId target);
+
+// Reconstructs the node path source -> ... -> target from a single-source
+// tree rooted at `source`. Empty when target is unreachable.
+std::vector<NodeId> ReconstructPath(const ShortestPathTree& tree,
+                                    NodeId source, NodeId target);
+
+}  // namespace dsig
+
+#endif  // DSIG_GRAPH_DIJKSTRA_H_

@@ -1,0 +1,273 @@
+#include "graph/graph_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace dsig {
+namespace {
+
+// Uniform bucket grid over node positions for nearest-neighbour lookups
+// during generation.
+class PointGrid {
+ public:
+  PointGrid(const RoadNetwork& graph, double cell_size)
+      : graph_(graph), cell_size_(cell_size) {
+    min_x_ = min_y_ = 0;
+    double max_x = 0, max_y = 0;
+    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+      const Point& p = graph.position(n);
+      min_x_ = std::min(min_x_, p.x);
+      min_y_ = std::min(min_y_, p.y);
+      max_x = std::max(max_x, p.x);
+      max_y = std::max(max_y, p.y);
+    }
+    cols_ = std::max<int>(1, static_cast<int>((max_x - min_x_) / cell_size_) + 1);
+    rows_ = std::max<int>(1, static_cast<int>((max_y - min_y_) / cell_size_) + 1);
+    cells_.resize(static_cast<size_t>(cols_) * rows_);
+    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+      cells_[CellIndex(graph.position(n))].push_back(n);
+    }
+  }
+
+  // The `count` nearest nodes to `n` (excluding `n` itself), nearest first.
+  std::vector<NodeId> NearestNeighbors(NodeId n, size_t count) const {
+    const Point& p = graph_.position(n);
+    const int cx = ColOf(p.x);
+    const int cy = RowOf(p.y);
+    std::vector<std::pair<double, NodeId>> found;
+    // Expand square rings of cells until we have enough candidates whose
+    // distance is certified smaller than the unexplored ring boundary.
+    for (int radius = 0; radius < std::max(cols_, rows_); ++radius) {
+      for (int y = cy - radius; y <= cy + radius; ++y) {
+        for (int x = cx - radius; x <= cx + radius; ++x) {
+          if (std::max(std::abs(x - cx), std::abs(y - cy)) != radius) continue;
+          if (x < 0 || x >= cols_ || y < 0 || y >= rows_) continue;
+          for (const NodeId m :
+               cells_[static_cast<size_t>(y) * cols_ + x]) {
+            if (m == n) continue;
+            const Point& q = graph_.position(m);
+            found.push_back({std::hypot(p.x - q.x, p.y - q.y), m});
+          }
+        }
+      }
+      if (found.size() >= count) {
+        std::sort(found.begin(), found.end());
+        // Everything within `radius * cell_size_` of p is already scanned.
+        const double certified = radius * cell_size_;
+        if (found[count - 1].first <= certified) break;
+      }
+    }
+    std::sort(found.begin(), found.end());
+    if (found.size() > count) found.resize(count);
+    std::vector<NodeId> result;
+    result.reserve(found.size());
+    for (const auto& [d, m] : found) result.push_back(m);
+    return result;
+  }
+
+ private:
+  size_t CellIndex(const Point& p) const {
+    return static_cast<size_t>(RowOf(p.y)) * cols_ + ColOf(p.x);
+  }
+  int ColOf(double x) const {
+    return std::clamp(static_cast<int>((x - min_x_) / cell_size_), 0,
+                      cols_ - 1);
+  }
+  int RowOf(double y) const {
+    return std::clamp(static_cast<int>((y - min_y_) / cell_size_), 0,
+                      rows_ - 1);
+  }
+
+  const RoadNetwork& graph_;
+  double cell_size_;
+  double min_x_, min_y_;
+  int cols_, rows_;
+  std::vector<std::vector<NodeId>> cells_;
+};
+
+Weight RandomIntegerWeight(Random* rng, int min_weight, int max_weight) {
+  return static_cast<Weight>(rng->NextInt(min_weight, max_weight));
+}
+
+// Connects every component to the component of node 0 by adding one edge
+// between a node of the stray component and its Euclidean-nearest node in
+// the main component.
+void ConnectComponents(RoadNetwork* graph, Random* rng, int min_weight,
+                       int max_weight) {
+  const size_t n = graph->num_nodes();
+  if (n == 0) return;
+  while (true) {
+    std::vector<int32_t> component(n, -1);
+    int32_t next_component = 0;
+    for (NodeId start = 0; start < n; ++start) {
+      if (component[start] >= 0) continue;
+      std::vector<NodeId> stack = {start};
+      component[start] = next_component;
+      while (!stack.empty()) {
+        const NodeId u = stack.back();
+        stack.pop_back();
+        for (const AdjacencyEntry& entry : graph->adjacency(u)) {
+          if (entry.removed || component[entry.to] >= 0) continue;
+          component[entry.to] = next_component;
+          stack.push_back(entry.to);
+        }
+      }
+      ++next_component;
+    }
+    if (next_component == 1) return;
+    // Attach the first stray node we find to the nearest main-component node.
+    NodeId stray = kInvalidNode;
+    for (NodeId v = 0; v < n; ++v) {
+      if (component[v] != component[0]) {
+        stray = v;
+        break;
+      }
+    }
+    double best = kInfiniteWeight;
+    NodeId anchor = kInvalidNode;
+    const Point& p = graph->position(stray);
+    for (NodeId v = 0; v < n; ++v) {
+      if (component[v] != component[0]) continue;
+      const Point& q = graph->position(v);
+      const double d = std::hypot(p.x - q.x, p.y - q.y);
+      if (d < best) {
+        best = d;
+        anchor = v;
+      }
+    }
+    graph->AddEdge(stray, anchor,
+                   RandomIntegerWeight(rng, min_weight, max_weight));
+  }
+}
+
+// Wires each node to a random (exponentially distributed) number of its
+// nearest unconnected neighbours with random integer weights.
+void ConnectLocally(RoadNetwork* graph, Random* rng, double mean_connections,
+                    int min_weight, int max_weight, double cell_size) {
+  PointGrid point_grid(*graph, cell_size);
+  for (NodeId u = 0; u < graph->num_nodes(); ++u) {
+    // Exponential sample rounded up: at least one initiated connection keeps
+    // isolated nodes rare.
+    const double x = -mean_connections * std::log(1.0 - rng->NextDouble());
+    const size_t connections =
+        std::clamp<size_t>(static_cast<size_t>(std::ceil(x)), 1, 8);
+    const std::vector<NodeId> neighbors =
+        point_grid.NearestNeighbors(u, connections + 2);
+    size_t made = 0;
+    for (const NodeId v : neighbors) {
+      if (made >= connections) break;
+      if (graph->FindEdge(u, v) != kInvalidEdge) continue;
+      graph->AddEdge(u, v, RandomIntegerWeight(rng, min_weight, max_weight));
+      ++made;
+    }
+  }
+}
+
+}  // namespace
+
+RoadNetwork MakeGrid(const GridOptions& options) {
+  DSIG_CHECK_GT(options.width, 0);
+  DSIG_CHECK_GT(options.height, 0);
+  RoadNetwork graph;
+  for (int y = 0; y < options.height; ++y) {
+    for (int x = 0; x < options.width; ++x) {
+      graph.AddNode({static_cast<double>(x), static_cast<double>(y)});
+    }
+  }
+  const auto id = [&](int x, int y) {
+    return static_cast<NodeId>(y * options.width + x);
+  };
+  for (int y = 0; y < options.height; ++y) {
+    for (int x = 0; x < options.width; ++x) {
+      if (x + 1 < options.width) {
+        graph.AddEdge(id(x, y), id(x + 1, y), options.edge_weight);
+      }
+      if (y + 1 < options.height) {
+        graph.AddEdge(id(x, y), id(x, y + 1), options.edge_weight);
+      }
+    }
+  }
+  return graph;
+}
+
+RoadNetwork MakeRandomPlanar(const RandomPlanarOptions& options) {
+  DSIG_CHECK_GT(options.num_nodes, 1u);
+  Random rng(options.seed);
+  RoadNetwork graph;
+  // Unit point density: side length sqrt(n).
+  const double side = std::sqrt(static_cast<double>(options.num_nodes));
+  for (size_t i = 0; i < options.num_nodes; ++i) {
+    graph.AddNode({rng.NextDouble(0, side), rng.NextDouble(0, side)});
+  }
+  ConnectLocally(&graph, &rng, options.mean_connections, options.min_weight,
+                 options.max_weight, /*cell_size=*/1.5);
+  ConnectComponents(&graph, &rng, options.min_weight, options.max_weight);
+  return graph;
+}
+
+RoadNetwork MakeClusteredContinental(
+    const ClusteredContinentalOptions& options) {
+  DSIG_CHECK_GT(options.num_clusters, 0u);
+  DSIG_CHECK_GT(options.nodes_per_cluster, 1u);
+  Random rng(options.seed);
+  RoadNetwork graph;
+
+  // Continental extent scales with total settlement count so clusters stay
+  // well separated.
+  const double continent =
+      20.0 * std::sqrt(static_cast<double>(options.num_clusters) *
+                       options.nodes_per_cluster);
+  const double city_radius = std::sqrt(static_cast<double>(
+      options.nodes_per_cluster));  // unit density inside a city
+
+  std::vector<Point> centers;
+  std::vector<NodeId> hubs;  // a representative junction per cluster
+  for (size_t c = 0; c < options.num_clusters; ++c) {
+    centers.push_back(
+        {rng.NextDouble(0, continent), rng.NextDouble(0, continent)});
+  }
+  for (size_t c = 0; c < options.num_clusters; ++c) {
+    const NodeId first = static_cast<NodeId>(graph.num_nodes());
+    for (size_t i = 0; i < options.nodes_per_cluster; ++i) {
+      // Box-Muller radial Gaussian scatter around the centre.
+      const double r =
+          city_radius * std::sqrt(-2.0 * std::log(1.0 - rng.NextDouble()));
+      const double theta = rng.NextDouble(0, 2 * 3.14159265358979323846);
+      graph.AddNode({centers[c].x + r * std::cos(theta),
+                     centers[c].y + r * std::sin(theta)});
+    }
+    hubs.push_back(first);
+  }
+
+  ConnectLocally(&graph, &rng, /*mean_connections=*/2.0, options.min_weight,
+                 options.max_weight, /*cell_size=*/2.0);
+
+  // Highways: each hub connects to its 2 nearest other hubs, weight
+  // proportional to Euclidean length.
+  for (size_t c = 0; c < options.num_clusters; ++c) {
+    std::vector<std::pair<double, size_t>> others;
+    for (size_t d = 0; d < options.num_clusters; ++d) {
+      if (d == c) continue;
+      others.push_back({std::hypot(centers[c].x - centers[d].x,
+                                   centers[c].y - centers[d].y),
+                        d});
+    }
+    std::sort(others.begin(), others.end());
+    const size_t links = std::min<size_t>(2, others.size());
+    for (size_t i = 0; i < links; ++i) {
+      const NodeId a = hubs[c];
+      const NodeId b = hubs[others[i].second];
+      if (graph.FindEdge(a, b) != kInvalidEdge) continue;
+      const Weight w = std::max<Weight>(
+          1, std::round(options.highway_weight_per_unit * others[i].first));
+      graph.AddEdge(a, b, w);
+    }
+  }
+  ConnectComponents(&graph, &rng, options.min_weight, options.max_weight);
+  return graph;
+}
+
+}  // namespace dsig

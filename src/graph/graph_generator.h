@@ -1,0 +1,64 @@
+// Synthetic road-network generators.
+//
+// Three families cover everything the paper evaluates on:
+//  * MakeGrid       — the uniform grid of the analysis in §5.1 (every node
+//                     connects to 4 neighbours, all edge weights 1).
+//  * MakeRandomPlanar — the paper's synthetic network (§6): planar points
+//                     connected to nearby points, random integer weights in
+//                     [1, 10], node degrees following an exponential
+//                     distribution with mean 4.
+//  * MakeClusteredContinental — stand-in for the Digital Chart of the World
+//                     network (see DESIGN.md substitutions): dense urban
+//                     clusters joined by sparse long highways, giving the
+//                     non-uniform density that distinguishes real road data.
+//
+// All generators produce connected graphs with integer-valued edge weights
+// (stored as double), so shortest-path sums are exact in floating point, and
+// deterministic output for a fixed seed.
+#ifndef DSIG_GRAPH_GRAPH_GENERATOR_H_
+#define DSIG_GRAPH_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/road_network.h"
+
+namespace dsig {
+
+struct GridOptions {
+  int width = 10;
+  int height = 10;
+  Weight edge_weight = 1;
+};
+
+// Uniform `width` x `height` grid; node (x, y) has id y * width + x.
+RoadNetwork MakeGrid(const GridOptions& options);
+
+struct RandomPlanarOptions {
+  size_t num_nodes = 10000;
+  uint64_t seed = 42;
+  // Mean of the exponential distribution each node draws its number of
+  // initiated connections from; 2 initiated edges/node yields average degree
+  // about 4 (a two-road intersection), as in the paper.
+  double mean_connections = 2.0;
+  int min_weight = 1;
+  int max_weight = 10;
+};
+
+RoadNetwork MakeRandomPlanar(const RandomPlanarOptions& options);
+
+struct ClusteredContinentalOptions {
+  size_t num_clusters = 16;
+  size_t nodes_per_cluster = 1000;
+  uint64_t seed = 42;
+  // Local street weights.
+  int min_weight = 1;
+  int max_weight = 10;
+  // Highways cost this many weight units per unit of Euclidean length.
+  double highway_weight_per_unit = 2.0;
+};
+
+RoadNetwork MakeClusteredContinental(const ClusteredContinentalOptions& options);
+
+}  // namespace dsig
+
+#endif  // DSIG_GRAPH_GRAPH_GENERATOR_H_

@@ -1,0 +1,100 @@
+#include "graph/road_network.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dsig {
+
+NodeId RoadNetwork::AddNode(Point position) {
+  adjacency_.emplace_back();
+  positions_.push_back(position);
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+EdgeId RoadNetwork::AddEdge(NodeId u, NodeId v, Weight weight) {
+  DSIG_CHECK_LT(u, adjacency_.size());
+  DSIG_CHECK_LT(v, adjacency_.size());
+  DSIG_CHECK_NE(u, v);
+  DSIG_CHECK_GT(weight, 0);
+  const EdgeId id = static_cast<EdgeId>(edge_endpoints_.size());
+  edge_endpoints_.emplace_back(u, v);
+  adjacency_[u].push_back({v, weight, id, false});
+  adjacency_[v].push_back({u, weight, id, false});
+  ++num_live_edges_;
+  return id;
+}
+
+void RoadNetwork::RemoveEdge(EdgeId edge) {
+  DSIG_CHECK_LT(edge, edge_endpoints_.size());
+  DSIG_CHECK(!edge_removed(edge));
+  const auto [u, v] = edge_endpoints_[edge];
+  adjacency_[u][AdjacencyIndexOf(u, edge)].removed = true;
+  adjacency_[v][AdjacencyIndexOf(v, edge)].removed = true;
+  --num_live_edges_;
+}
+
+void RoadNetwork::SetEdgeWeight(EdgeId edge, Weight weight) {
+  DSIG_CHECK_LT(edge, edge_endpoints_.size());
+  DSIG_CHECK(!edge_removed(edge));
+  DSIG_CHECK_GT(weight, 0);
+  const auto [u, v] = edge_endpoints_[edge];
+  adjacency_[u][AdjacencyIndexOf(u, edge)].weight = weight;
+  adjacency_[v][AdjacencyIndexOf(v, edge)].weight = weight;
+}
+
+size_t RoadNetwork::max_degree() const {
+  size_t max_deg = 0;
+  for (const auto& list : adjacency_) max_deg = std::max(max_deg, list.size());
+  return max_deg;
+}
+
+Weight RoadNetwork::edge_weight(EdgeId edge) const {
+  DSIG_CHECK_LT(edge, edge_endpoints_.size());
+  const NodeId u = edge_endpoints_[edge].first;
+  return adjacency_[u][AdjacencyIndexOf(u, edge)].weight;
+}
+
+bool RoadNetwork::edge_removed(EdgeId edge) const {
+  DSIG_CHECK_LT(edge, edge_endpoints_.size());
+  const NodeId u = edge_endpoints_[edge].first;
+  return adjacency_[u][AdjacencyIndexOf(u, edge)].removed;
+}
+
+uint32_t RoadNetwork::AdjacencyIndexOf(NodeId n, EdgeId edge) const {
+  DSIG_CHECK_LT(n, adjacency_.size());
+  const auto& list = adjacency_[n];
+  for (uint32_t i = 0; i < list.size(); ++i) {
+    if (list[i].edge_id == edge) return i;
+  }
+  DSIG_LOG(Fatal) << "node " << n << " is not an endpoint of edge " << edge;
+  return 0;
+}
+
+EdgeId RoadNetwork::FindEdge(NodeId u, NodeId v) const {
+  DSIG_CHECK_LT(u, adjacency_.size());
+  for (const AdjacencyEntry& entry : adjacency_[u]) {
+    if (!entry.removed && entry.to == v) return entry.edge_id;
+  }
+  return kInvalidEdge;
+}
+
+bool RoadNetwork::IsConnected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<NodeId> stack = {0};
+  seen[0] = true;
+  size_t count = 0;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const AdjacencyEntry& entry : adjacency_[n]) {
+      if (entry.removed || seen[entry.to]) continue;
+      seen[entry.to] = true;
+      stack.push_back(entry.to);
+    }
+  }
+  return count == adjacency_.size();
+}
+
+}  // namespace dsig

@@ -1,0 +1,260 @@
+#include "graph/spanning_tree.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <queue>
+#include <tuple>
+#include <utility>
+
+#include "graph/dijkstra.h"
+
+namespace dsig {
+
+SpanningForest::SpanningForest(const RoadNetwork* graph,
+                               std::vector<NodeId> objects)
+    : graph_(graph), objects_(std::move(objects)) {
+  DSIG_CHECK(graph_ != nullptr);
+}
+
+void SpanningForest::Build() {
+  num_nodes_ = graph_->num_nodes();
+  const size_t slots = objects_.size() * num_nodes_;
+  dist_.assign(slots, kInfiniteWeight);
+  parent_.assign(slots, kInvalidNode);
+  parent_edge_.assign(slots, kInvalidEdge);
+  reverse_index_.assign(graph_->num_edge_slots(), {});
+
+  // The per-object Dijkstras are independent and dominate construction time
+  // (§5.2); run them across hardware threads. Each writes a disjoint slice
+  // of the row-major arrays; only the shared reverse index is filled
+  // serially afterwards.
+  const size_t hardware = std::max(1u, std::thread::hardware_concurrency());
+  const size_t num_threads = std::min(hardware, objects_.size());
+  std::atomic<uint32_t> next_object{0};
+  const auto worker = [&]() {
+    while (true) {
+      const uint32_t o = next_object.fetch_add(1);
+      if (o >= objects_.size()) return;
+      const ShortestPathTree tree = RunDijkstra(*graph_, objects_[o]);
+      for (NodeId n = 0; n < num_nodes_; ++n) {
+        const size_t slot = Slot(o, n);
+        dist_[slot] = tree.dist[n];
+        parent_[slot] = tree.parent[n];
+        parent_edge_[slot] = tree.parent_edge[n];
+      }
+    }
+  };
+  if (num_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+  for (uint32_t o = 0; o < objects_.size(); ++o) {
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      const EdgeId edge = parent_edge_[Slot(o, n)];
+      if (edge != kInvalidEdge) BumpEdgeUse(edge, o, +1);
+    }
+  }
+  built_ = true;
+}
+
+std::vector<uint32_t> SpanningForest::ObjectsUsingEdge(EdgeId edge) const {
+  std::vector<uint32_t> users;
+  if (edge >= reverse_index_.size()) return users;
+  users.reserve(reverse_index_[edge].size());
+  for (const auto& [object_index, count] : reverse_index_[edge]) {
+    if (count > 0) users.push_back(object_index);
+  }
+  return users;
+}
+
+void SpanningForest::BumpEdgeUse(EdgeId edge, uint32_t object_index,
+                                 int delta) {
+  auto& users = reverse_index_[edge];
+  for (auto& [obj, count] : users) {
+    if (obj == object_index) {
+      DSIG_CHECK_GE(static_cast<int64_t>(count) + delta, 0);
+      count = static_cast<uint32_t>(static_cast<int64_t>(count) + delta);
+      return;
+    }
+  }
+  DSIG_CHECK_GT(delta, 0);
+  users.push_back({object_index, static_cast<uint32_t>(delta)});
+}
+
+void SpanningForest::SetParentEdge(uint32_t object_index, NodeId n,
+                                   EdgeId edge) {
+  EnsureReverseIndexSize();
+  const size_t slot = Slot(object_index, n);
+  const EdgeId old_edge = parent_edge_[slot];
+  if (old_edge == edge) return;
+  parent_edge_[slot] = edge;
+  if (old_edge != kInvalidEdge) BumpEdgeUse(old_edge, object_index, -1);
+  if (edge != kInvalidEdge) BumpEdgeUse(edge, object_index, +1);
+}
+
+void SpanningForest::EnsureReverseIndexSize() {
+  if (reverse_index_.size() < graph_->num_edge_slots()) {
+    reverse_index_.resize(graph_->num_edge_slots());
+  }
+}
+
+std::vector<NodeId> SpanningForest::CollectSubtree(uint32_t object_index,
+                                                   NodeId root) const {
+  std::vector<NodeId> subtree = {root};
+  for (size_t i = 0; i < subtree.size(); ++i) {
+    const NodeId u = subtree[i];
+    for (const AdjacencyEntry& entry : graph_->adjacency(u)) {
+      // `entry.to` is a child of u in this tree iff u is its parent *via this
+      // very edge* (parallel edges make the edge check necessary). Removed
+      // edges can still be tree edges right after RemoveEdge — that is
+      // exactly the case the caller is repairing.
+      const size_t slot = Slot(object_index, entry.to);
+      if (parent_[slot] == u && parent_edge_[slot] == entry.edge_id) {
+        subtree.push_back(entry.to);
+      }
+    }
+  }
+  return subtree;
+}
+
+std::vector<TreeChange> SpanningForest::OnEdgeAddedOrDecreased(EdgeId edge) {
+  DSIG_CHECK(built_);
+  DSIG_CHECK_EQ(num_nodes_, graph_->num_nodes())
+      << "nodes were added after Build(); rebuild the forest";
+  EnsureReverseIndexSize();
+  const auto [ea, eb] = graph_->edge_endpoints(edge);
+  const Weight w = graph_->edge_weight(edge);
+
+  std::vector<TreeChange> changes;
+  // A shorter edge can only help, so relax it in every object's tree and
+  // propagate improvements (paper §5.4.1). Only decreases flow, so a simple
+  // label-correcting queue terminates.
+  for (uint32_t o = 0; o < objects_.size(); ++o) {
+    std::deque<NodeId> queue;
+    const auto relax = [&](NodeId from, NodeId to, Weight weight,
+                           EdgeId via) {
+      const size_t from_slot = Slot(o, from);
+      const size_t to_slot = Slot(o, to);
+      if (dist_[from_slot] == kInfiniteWeight) return;
+      const Weight nd = dist_[from_slot] + weight;
+      if (nd < dist_[to_slot]) {
+        dist_[to_slot] = nd;
+        parent_[to_slot] = from;
+        SetParentEdge(o, to, via);
+        changes.push_back({o, to});
+        queue.push_back(to);
+      }
+    };
+    relax(ea, eb, w, edge);
+    relax(eb, ea, w, edge);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (const AdjacencyEntry& entry : graph_->adjacency(u)) {
+        if (entry.removed) continue;
+        relax(u, entry.to, entry.weight, entry.edge_id);
+      }
+    }
+  }
+  std::sort(changes.begin(), changes.end(),
+            [](const TreeChange& x, const TreeChange& y) {
+              return std::tie(x.object_index, x.node) <
+                     std::tie(y.object_index, y.node);
+            });
+  changes.erase(std::unique(changes.begin(), changes.end(),
+                            [](const TreeChange& x, const TreeChange& y) {
+                              return x.object_index == y.object_index &&
+                                     x.node == y.node;
+                            }),
+                changes.end());
+  return changes;
+}
+
+std::vector<TreeChange> SpanningForest::OnEdgeIncreasedOrRemoved(EdgeId edge) {
+  DSIG_CHECK(built_);
+  DSIG_CHECK_EQ(num_nodes_, graph_->num_nodes())
+      << "nodes were added after Build(); rebuild the forest";
+  EnsureReverseIndexSize();
+  // Only trees routing through this edge are affected (reverse index, §5.4.2).
+  const std::vector<uint32_t> affected = ObjectsUsingEdge(edge);
+
+  std::vector<TreeChange> changes;
+  for (const uint32_t o : affected) {
+    const auto [ea, eb] = graph_->edge_endpoints(edge);
+    // The child endpoint is the one whose parent edge is this edge.
+    NodeId child = kInvalidNode;
+    if (parent_edge_[Slot(o, ea)] == edge) child = ea;
+    if (parent_edge_[Slot(o, eb)] == edge) child = eb;
+    if (child == kInvalidNode) continue;  // stale membership; nothing to do
+
+    // Invalidate the whole subtree hanging below the weakened edge, then
+    // repair it with a Dijkstra seeded from the frontier of intact nodes.
+    const std::vector<NodeId> subtree = CollectSubtree(o, child);
+    std::vector<bool> in_subtree(num_nodes_, false);
+    std::vector<Weight> old_dist(subtree.size());
+    std::vector<NodeId> old_parent(subtree.size());
+    for (size_t i = 0; i < subtree.size(); ++i) {
+      in_subtree[subtree[i]] = true;
+      old_dist[i] = dist_[Slot(o, subtree[i])];
+      old_parent[i] = parent_[Slot(o, subtree[i])];
+      dist_[Slot(o, subtree[i])] = kInfiniteWeight;
+    }
+
+    using Entry = std::pair<Weight, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (const NodeId s : subtree) {
+      for (const AdjacencyEntry& entry : graph_->adjacency(s)) {
+        if (entry.removed || in_subtree[entry.to]) continue;
+        const Weight base = dist_[Slot(o, entry.to)];
+        if (base == kInfiniteWeight) continue;
+        const Weight nd = base + entry.weight;
+        if (nd < dist_[Slot(o, s)]) {
+          dist_[Slot(o, s)] = nd;
+          parent_[Slot(o, s)] = entry.to;
+          SetParentEdge(o, s, entry.edge_id);
+          heap.push({nd, s});
+        }
+      }
+    }
+    std::vector<bool> settled(num_nodes_, false);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (settled[u] || d > dist_[Slot(o, u)]) continue;
+      settled[u] = true;
+      for (const AdjacencyEntry& entry : graph_->adjacency(u)) {
+        if (entry.removed || !in_subtree[entry.to]) continue;
+        const Weight nd = d + entry.weight;
+        if (nd < dist_[Slot(o, entry.to)]) {
+          dist_[Slot(o, entry.to)] = nd;
+          parent_[Slot(o, entry.to)] = u;
+          SetParentEdge(o, entry.to, entry.edge_id);
+          heap.push({nd, entry.to});
+        }
+      }
+    }
+    for (size_t i = 0; i < subtree.size(); ++i) {
+      const NodeId s = subtree[i];
+      if (dist_[Slot(o, s)] == kInfiniteWeight) {
+        // Disconnected by the removal.
+        parent_[Slot(o, s)] = kInvalidNode;
+        SetParentEdge(o, s, kInvalidEdge);
+        changes.push_back({o, s});
+      } else if (dist_[Slot(o, s)] != old_dist[i] ||
+                 parent_[Slot(o, s)] != old_parent[i]) {
+        // Distance changed, or the route (and hence the backtracking link)
+        // moved even though the distance survived.
+        changes.push_back({o, s});
+      }
+    }
+  }
+  return changes;
+}
+
+}  // namespace dsig

@@ -1,0 +1,104 @@
+// Per-object shortest-path spanning trees with incremental maintenance.
+//
+// Signature construction (§5.2) builds the shortest-path spanning tree of
+// every object; signature maintenance (§5.4) keeps those trees — plus a
+// reverse index from each edge to the objects whose tree uses it — up to
+// date under edge insertions, removals, and weight changes. The forest is
+// the "intermediate result" the paper says to retain.
+//
+// Usage: mutate the RoadNetwork first (AddEdge / RemoveEdge / SetEdgeWeight),
+// then call the matching On* notification; it returns every (object, node)
+// pair whose distance or parent changed, which the signature layer translates
+// into category/link rewrites.
+#ifndef DSIG_GRAPH_SPANNING_TREE_H_
+#define DSIG_GRAPH_SPANNING_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace dsig {
+
+// One tree-entry change produced by an update notification.
+struct TreeChange {
+  uint32_t object_index;  // position in objects(), not the node id
+  NodeId node;
+};
+
+class SpanningForest {
+ public:
+  // `graph` must outlive the forest; `objects` are the dataset nodes.
+  // Call Build() before any query.
+  SpanningForest(const RoadNetwork* graph, std::vector<NodeId> objects);
+
+  SpanningForest(SpanningForest&&) = default;
+  SpanningForest& operator=(SpanningForest&&) = default;
+  SpanningForest(const SpanningForest&) = delete;
+  SpanningForest& operator=(const SpanningForest&) = delete;
+
+  // Runs one Dijkstra per object and fills the reverse edge index. The node
+  // count of the graph is frozen from this point on (edges may still change).
+  void Build();
+
+  size_t num_objects() const { return objects_.size(); }
+  const std::vector<NodeId>& objects() const { return objects_; }
+
+  // Network distance from object #object_index to `n` (kInfiniteWeight when
+  // unreachable).
+  Weight dist(uint32_t object_index, NodeId n) const {
+    return dist_[Slot(object_index, n)];
+  }
+
+  // Previous node on the path object -> n, i.e., n's parent in the object's
+  // tree. In signature terms this is the *next hop from n toward the object*.
+  NodeId parent(uint32_t object_index, NodeId n) const {
+    return parent_[Slot(object_index, n)];
+  }
+
+  EdgeId parent_edge(uint32_t object_index, NodeId n) const {
+    return parent_edge_[Slot(object_index, n)];
+  }
+
+  // Objects whose spanning tree currently traverses `edge` (§5.4's reverse
+  // index); empty for edges added after Build until a tree adopts them.
+  std::vector<uint32_t> ObjectsUsingEdge(EdgeId edge) const;
+
+  // Notifications; the graph mutation must already be applied. Each returns
+  // the deduplicated set of changed tree entries.
+  std::vector<TreeChange> OnEdgeAddedOrDecreased(EdgeId edge);
+  std::vector<TreeChange> OnEdgeIncreasedOrRemoved(EdgeId edge);
+
+ private:
+  size_t Slot(uint32_t object_index, NodeId n) const {
+    DSIG_CHECK_LT(object_index, objects_.size());
+    DSIG_CHECK_LT(n, num_nodes_);
+    return static_cast<size_t>(object_index) * num_nodes_ + n;
+  }
+
+  void SetParentEdge(uint32_t object_index, NodeId n, EdgeId edge);
+  void BumpEdgeUse(EdgeId edge, uint32_t object_index, int delta);
+  void EnsureReverseIndexSize();
+
+  // Collects the subtree of object #object_index rooted at `root` (children
+  // discovered through adjacency + parent pointers).
+  std::vector<NodeId> CollectSubtree(uint32_t object_index, NodeId root) const;
+
+  const RoadNetwork* graph_;
+  std::vector<NodeId> objects_;
+  size_t num_nodes_ = 0;
+  bool built_ = false;
+
+  // Row-major [object][node] arrays.
+  std::vector<Weight> dist_;
+  std::vector<NodeId> parent_;
+  std::vector<EdgeId> parent_edge_;
+
+  // edge id -> (object index, number of nodes whose parent edge it is).
+  // Counts make membership updates O(objects-per-edge) instead of O(nodes).
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> reverse_index_;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_GRAPH_SPANNING_TREE_H_

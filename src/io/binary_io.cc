@@ -1,0 +1,97 @@
+#include "io/binary_io.h"
+
+namespace dsig {
+
+BinaryWriter::BinaryWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t bytes) {
+  DSIG_CHECK(file_ != nullptr);
+  DSIG_CHECK_EQ(std::fwrite(data, 1, bytes, file_), bytes);
+}
+
+void BinaryWriter::WriteU32(uint32_t value) {
+  uint8_t buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<uint8_t>(value >> (8 * i));
+  WriteRaw(buf, 4);
+}
+
+void BinaryWriter::WriteU64(uint64_t value) {
+  uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<uint8_t>(value >> (8 * i));
+  WriteRaw(buf, 8);
+}
+
+void BinaryWriter::WriteDouble(double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  WriteU64(bits);
+}
+
+void BinaryWriter::WriteBytes(const std::vector<uint8_t>& bytes) {
+  WriteU64(bytes.size());
+  if (!bytes.empty()) WriteRaw(bytes.data(), bytes.size());
+}
+
+BinaryReader::BinaryReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryReader::ReadRaw(void* data, size_t bytes) {
+  DSIG_CHECK(file_ != nullptr);
+  DSIG_CHECK_EQ(std::fread(data, 1, bytes, file_), bytes)
+      << "truncated or corrupt file";
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint8_t buf[4];
+  ReadRaw(buf, 4);
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) value |= static_cast<uint32_t>(buf[i]) << (8 * i);
+  return value;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint8_t buf[8];
+  ReadRaw(buf, 8);
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  return value;
+}
+
+double BinaryReader::ReadDouble() {
+  const uint64_t bits = ReadU64();
+  double value;
+  __builtin_memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::vector<uint8_t> BinaryReader::ReadBytes() {
+  std::vector<uint8_t> bytes(ReadU64());
+  if (!bytes.empty()) ReadRaw(bytes.data(), bytes.size());
+  return bytes;
+}
+
+std::vector<uint32_t> BinaryReader::ReadVectorU32() {
+  std::vector<uint32_t> values(ReadU64());
+  for (uint32_t& v : values) v = ReadU32();
+  return values;
+}
+
+std::vector<double> BinaryReader::ReadVectorDouble() {
+  std::vector<double> values(ReadU64());
+  for (double& v : values) v = ReadDouble();
+  return values;
+}
+
+}  // namespace dsig

@@ -1,0 +1,77 @@
+// Minimal little-endian binary (de)serialization primitives shared by the
+// graph and index persistence code. Not a general-purpose format: each
+// persisted structure writes a magic + version header and fixed field order.
+#ifndef DSIG_IO_BINARY_IO_H_
+#define DSIG_IO_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dsig {
+
+// Buffered binary writer over a file. All Write* calls abort on I/O errors
+// (persistence failures are not recoverable mid-stream).
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteDouble(double value);
+  void WriteBytes(const std::vector<uint8_t>& bytes);
+
+  template <typename T>
+  void WriteVectorU32(const std::vector<T>& values) {
+    WriteU64(values.size());
+    for (const T& v : values) WriteU32(static_cast<uint32_t>(v));
+  }
+
+  void WriteVectorDouble(const std::vector<double>& values) {
+    WriteU64(values.size());
+    for (const double v : values) WriteDouble(v);
+  }
+
+ private:
+  void WriteRaw(const void* data, size_t bytes);
+
+  std::FILE* file_ = nullptr;
+};
+
+// Binary reader mirroring BinaryWriter. Read failures (truncated / corrupt
+// files) are fatal after the header has validated; header validation itself
+// is the caller's recoverable check.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+  ~BinaryReader();
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  double ReadDouble();
+  std::vector<uint8_t> ReadBytes();
+
+  std::vector<uint32_t> ReadVectorU32();
+  std::vector<double> ReadVectorDouble();
+
+ private:
+  void ReadRaw(void* data, size_t bytes);
+
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_IO_BINARY_IO_H_

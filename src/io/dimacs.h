@@ -1,0 +1,33 @@
+// DIMACS road-network format support (9th DIMACS Implementation Challenge).
+//
+// Public road datasets — including the USA road networks commonly used by
+// follow-up work to this paper — ship as DIMACS ".gr" (graph: "a u v w"
+// arcs, 1-based ids) and ".co" (coordinates: "v id x y") files. Loading
+// them gives this library real road data without redistribution issues.
+//
+// DIMACS graphs are directed with symmetric arc pairs; we fold them into the
+// paper's undirected model, keeping the smaller weight when a pair's weights
+// disagree and dropping self-loops.
+#ifndef DSIG_IO_DIMACS_H_
+#define DSIG_IO_DIMACS_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/road_network.h"
+
+namespace dsig {
+
+// Parses a .gr file (and optionally a .co coordinates file; pass "" to use
+// all-zero positions). Returns null when a file cannot be opened or the
+// header is malformed; body format violations are fatal (corrupt data).
+std::unique_ptr<RoadNetwork> LoadDimacsGraph(const std::string& gr_path,
+                                             const std::string& co_path);
+
+// Writes the network as a .gr / .co pair (each undirected edge as two arcs).
+bool SaveDimacsGraph(const RoadNetwork& graph, const std::string& gr_path,
+                     const std::string& co_path);
+
+}  // namespace dsig
+
+#endif  // DSIG_IO_DIMACS_H_

@@ -1,0 +1,172 @@
+#include "io/persistence.h"
+
+#include <utility>
+
+#include "io/binary_io.h"
+
+namespace dsig {
+namespace {
+
+constexpr uint32_t kNetworkMagic = 0x4e475344;  // "DSGN"
+constexpr uint32_t kIndexMagic = 0x49475344;    // "DSGI"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+bool SaveRoadNetwork(const RoadNetwork& graph, const std::string& path) {
+  BinaryWriter writer(path);
+  if (!writer.ok()) return false;
+  writer.WriteU32(kNetworkMagic);
+  writer.WriteU32(kVersion);
+  writer.WriteU64(graph.num_nodes());
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    writer.WriteDouble(graph.position(n).x);
+    writer.WriteDouble(graph.position(n).y);
+  }
+  writer.WriteU64(graph.num_edge_slots());
+  for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
+    const auto [u, v] = graph.edge_endpoints(e);
+    writer.WriteU32(u);
+    writer.WriteU32(v);
+    writer.WriteDouble(graph.edge_weight(e));
+    writer.WriteU32(graph.edge_removed(e) ? 1 : 0);
+  }
+  return true;
+}
+
+std::unique_ptr<RoadNetwork> LoadRoadNetwork(const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) return nullptr;
+  if (reader.ReadU32() != kNetworkMagic) return nullptr;
+  if (reader.ReadU32() != kVersion) return nullptr;
+  auto graph = std::make_unique<RoadNetwork>();
+  const uint64_t nodes = reader.ReadU64();
+  for (uint64_t n = 0; n < nodes; ++n) {
+    const double x = reader.ReadDouble();
+    const double y = reader.ReadDouble();
+    graph->AddNode({x, y});
+  }
+  // Replaying AddEdge in edge-id order reproduces adjacency slot order
+  // exactly — backtracking links depend on it.
+  const uint64_t edges = reader.ReadU64();
+  for (uint64_t e = 0; e < edges; ++e) {
+    const NodeId u = reader.ReadU32();
+    const NodeId v = reader.ReadU32();
+    const Weight w = reader.ReadDouble();
+    const bool removed = reader.ReadU32() != 0;
+    const EdgeId id = graph->AddEdge(u, v, w);
+    if (removed) graph->RemoveEdge(id);
+  }
+  return graph;
+}
+
+bool SaveSignatureIndex(const SignatureIndex& index, const std::string& path) {
+  BinaryWriter writer(path);
+  if (!writer.ok()) return false;
+  writer.WriteU32(kIndexMagic);
+  writer.WriteU32(kVersion);
+  // Fingerprint of the graph the index belongs to.
+  writer.WriteU64(index.graph().num_nodes());
+  writer.WriteU64(index.graph().num_edge_slots());
+
+  writer.WriteVectorU32(index.objects());
+
+  const CategoryPartition& partition = index.partition();
+  writer.WriteVectorDouble(partition.boundaries());
+  writer.WriteDouble(partition.t());
+  writer.WriteDouble(partition.c());
+
+  const SignatureCodec& codec = index.codec();
+  writer.WriteU32(static_cast<uint32_t>(codec.link_bits()));
+  writer.WriteU32(codec.has_flags() ? 1 : 0);
+  const HuffmanCode& code = codec.category_code();
+  writer.WriteU32(static_cast<uint32_t>(code.num_symbols()));
+  for (int s = 0; s < code.num_symbols(); ++s) {
+    writer.WriteU32(static_cast<uint32_t>(code.length(s)));
+    writer.WriteU64(code.code(s));
+  }
+
+  for (NodeId n = 0; n < index.graph().num_nodes(); ++n) {
+    const EncodedRow& row = index.encoded_row(n);
+    writer.WriteU32(row.size_bits);
+    writer.WriteBytes(row.bytes);
+    writer.WriteVectorU32(row.checkpoints);
+  }
+
+  // Object-object table: full matrix, infinity = far pair.
+  const ObjectDistanceTable& table = index.object_table();
+  const uint32_t d = static_cast<uint32_t>(index.num_objects());
+  for (uint32_t u = 0; u < d; ++u) {
+    for (uint32_t v = 0; v < d; ++v) {
+      writer.WriteDouble(table.IsFar(u, v) ? -1.0 : table.Get(u, v));
+    }
+  }
+
+  const SignatureSizeStats& stats = index.size_stats();
+  writer.WriteU64(stats.raw_bits);
+  writer.WriteU64(stats.encoded_bits);
+  writer.WriteU64(stats.compressed_bits);
+  writer.WriteU64(stats.entries);
+  writer.WriteU64(stats.compressed_entries);
+  return true;
+}
+
+std::unique_ptr<SignatureIndex> LoadSignatureIndex(const RoadNetwork& graph,
+                                                   const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) return nullptr;
+  if (reader.ReadU32() != kIndexMagic) return nullptr;
+  if (reader.ReadU32() != kVersion) return nullptr;
+  if (reader.ReadU64() != graph.num_nodes()) return nullptr;
+  if (reader.ReadU64() != graph.num_edge_slots()) return nullptr;
+
+  const std::vector<uint32_t> raw_objects = reader.ReadVectorU32();
+  std::vector<NodeId> objects(raw_objects.begin(), raw_objects.end());
+
+  std::vector<Weight> boundaries = reader.ReadVectorDouble();
+  const double t = reader.ReadDouble();
+  const double c = reader.ReadDouble();
+  CategoryPartition partition =
+      CategoryPartition::Restore(std::move(boundaries), t, c);
+
+  const int link_bits = static_cast<int>(reader.ReadU32());
+  const bool has_flags = reader.ReadU32() != 0;
+  const int num_symbols = static_cast<int>(reader.ReadU32());
+  std::vector<int> lengths(static_cast<size_t>(num_symbols));
+  std::vector<uint64_t> codes(static_cast<size_t>(num_symbols));
+  for (int s = 0; s < num_symbols; ++s) {
+    lengths[static_cast<size_t>(s)] = static_cast<int>(reader.ReadU32());
+    codes[static_cast<size_t>(s)] = reader.ReadU64();
+  }
+  SignatureCodec codec(
+      HuffmanCode::FromParts(std::move(lengths), std::move(codes)), link_bits,
+      has_flags);
+
+  std::vector<EncodedRow> rows(graph.num_nodes());
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    rows[n].size_bits = reader.ReadU32();
+    rows[n].bytes = reader.ReadBytes();
+    rows[n].checkpoints = reader.ReadVectorU32();
+  }
+
+  ObjectDistanceTable table(objects.size());
+  for (uint32_t u = 0; u < objects.size(); ++u) {
+    for (uint32_t v = 0; v < objects.size(); ++v) {
+      const double value = reader.ReadDouble();
+      if (value >= 0 && u < v) table.Set(u, v, value);
+    }
+  }
+
+  SignatureSizeStats stats;
+  stats.raw_bits = reader.ReadU64();
+  stats.encoded_bits = reader.ReadU64();
+  stats.compressed_bits = reader.ReadU64();
+  stats.entries = reader.ReadU64();
+  stats.compressed_entries = reader.ReadU64();
+
+  return std::make_unique<SignatureIndex>(
+      &graph, std::move(objects), std::move(partition), std::move(codec),
+      std::move(rows), std::move(table), stats, nullptr);
+}
+
+}  // namespace dsig

@@ -1,0 +1,41 @@
+// Persistence of road networks and signature indexes.
+//
+// A deployment builds the index once (minutes of Dijkstras) and serves
+// queries from a loaded copy. The index file stores everything but the
+// spanning forest (rebuild it with SignatureIndex::RebuildForest() if you
+// need updates) and is validated against the graph it is loaded for.
+#ifndef DSIG_IO_PERSISTENCE_H_
+#define DSIG_IO_PERSISTENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/signature_index.h"
+#include "graph/road_network.h"
+
+namespace dsig {
+
+// --- road networks --------------------------------------------------------
+
+// Writes the network (positions, edges incl. tombstones, weights) to `path`.
+// Returns false when the file cannot be created.
+bool SaveRoadNetwork(const RoadNetwork& graph, const std::string& path);
+
+// Loads a network; null on open/validation failure. Round-trips node ids,
+// edge ids, and adjacency slot order exactly (backtracking links depend on
+// it).
+std::unique_ptr<RoadNetwork> LoadRoadNetwork(const std::string& path);
+
+// --- signature indexes ----------------------------------------------------
+
+bool SaveSignatureIndex(const SignatureIndex& index, const std::string& path);
+
+// Loads an index over `graph` (which must be the very network the index was
+// built on — node/edge counts are checked). Null on failure. The loaded
+// index has no attached storage and no forest.
+std::unique_ptr<SignatureIndex> LoadSignatureIndex(const RoadNetwork& graph,
+                                                   const std::string& path);
+
+}  // namespace dsig
+
+#endif  // DSIG_IO_PERSISTENCE_H_

@@ -1,0 +1,31 @@
+#include "query/aggregate_query.h"
+
+#include <algorithm>
+
+#include "core/distance_ops.h"
+#include "query/range_query.h"
+
+namespace dsig {
+
+CountResult SignatureCountQuery(const SignatureIndex& index, NodeId n,
+                                Weight epsilon) {
+  // COUNT shares the range algorithm; only the result shape differs.
+  const RangeQueryResult range = SignatureRangeQuery(index, n, epsilon);
+  return {range.objects.size(), range.refined};
+}
+
+DistanceAggregateResult SignatureDistanceAggregateQuery(
+    const SignatureIndex& index, NodeId n, Weight epsilon) {
+  DistanceAggregateResult result;
+  const RangeQueryResult range = SignatureRangeQuery(index, n, epsilon);
+  for (const uint32_t o : range.objects) {
+    const Weight d = ExactDistance(index, n, o);
+    ++result.count;
+    result.sum += d;
+    result.min = std::min(result.min, d);
+    result.max = std::max(result.max, d);
+  }
+  return result;
+}
+
+}  // namespace dsig

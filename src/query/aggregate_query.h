@@ -1,0 +1,39 @@
+// Aggregation queries over a distance range (paper §4.3).
+//
+// The paper's generalized processing paradigm: read the signature, confirm
+// or prune candidates from category ranges, and refine only the stragglers.
+// COUNT needs no exact distances at all beyond the stragglers; SUM/MIN/MAX
+// over the result set retrieve exact distances for members only.
+#ifndef DSIG_QUERY_AGGREGATE_QUERY_H_
+#define DSIG_QUERY_AGGREGATE_QUERY_H_
+
+#include <cstdint>
+
+#include "core/signature_index.h"
+
+namespace dsig {
+
+struct CountResult {
+  size_t count = 0;
+  size_t refined = 0;  // candidates that needed backtracking
+};
+
+// COUNT(*) of objects with d(n, o) <= epsilon.
+CountResult SignatureCountQuery(const SignatureIndex& index, NodeId n,
+                                Weight epsilon);
+
+struct DistanceAggregateResult {
+  size_t count = 0;
+  Weight sum = 0;
+  Weight min = kInfiniteWeight;  // kInfiniteWeight when count == 0
+  Weight max = 0;
+};
+
+// SUM/MIN/MAX of d(n, o) over objects with d(n, o) <= epsilon. Exact
+// distances of all members are retrieved, so this is the expensive flavour.
+DistanceAggregateResult SignatureDistanceAggregateQuery(
+    const SignatureIndex& index, NodeId n, Weight epsilon);
+
+}  // namespace dsig
+
+#endif  // DSIG_QUERY_AGGREGATE_QUERY_H_

@@ -1,0 +1,44 @@
+#include "query/closest_pair.h"
+
+#include "core/distance_ops.h"
+
+namespace dsig {
+
+ClosestPairResult SignatureClosestPair(const SignatureIndex& left,
+                                       const SignatureIndex& right) {
+  DSIG_CHECK_EQ(&left.graph(), &right.graph())
+      << "closest pair requires indexes over the same network";
+  DSIG_CHECK_GT(left.num_objects(), 0u);
+  DSIG_CHECK_GT(right.num_objects(), 0u);
+  ClosestPairResult best;
+
+  const CategoryPartition& partition = right.partition();
+  for (uint32_t a = 0; a < left.num_objects(); ++a) {
+    const NodeId node_a = left.object_node(a);
+    // The right index's signature at a's node is the category view of
+    // d(a, b) for every b.
+    const SignatureRow row = right.ReadRow(node_a);
+    for (uint32_t b = 0; b < row.size(); ++b) {
+      if (right.object_node(b) == node_a) {
+        // Co-located: nothing can beat 0.
+        return {a, b, 0, best.refined};
+      }
+      const DistanceRange range = partition.RangeOf(row[b].category);
+      if (range.lb >= best.distance) continue;  // cannot win
+      ++best.refined;
+      RetrievalCursor cursor(&right, node_a, b, &row[b]);
+      // Refine only until the pair provably loses to the incumbent.
+      while (!cursor.exact() && cursor.range().lb < best.distance) {
+        cursor.Step();
+      }
+      if (cursor.exact() && cursor.exact_distance() < best.distance) {
+        best.left = a;
+        best.right = b;
+        best.distance = cursor.exact_distance();
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace dsig

@@ -1,0 +1,33 @@
+// Closest-pair query between two datasets (paper §4.3's generalization
+// claim, exercised).
+//
+// CP(A, B) returns the (a, b) pair with the smallest network distance —
+// "the depot/customer pair that should be matched first". The signature
+// gives it an elegant evaluation: the right-hand index's row AT a's node is
+// exactly the vector of d(a, ·) category ranges, so scanning |A| rows with
+// a best-so-far bound prunes almost all pairs and refines only the
+// contenders by guided backtracking.
+#ifndef DSIG_QUERY_CLOSEST_PAIR_H_
+#define DSIG_QUERY_CLOSEST_PAIR_H_
+
+#include <cstdint>
+
+#include "core/signature_index.h"
+
+namespace dsig {
+
+struct ClosestPairResult {
+  uint32_t left = 0;   // object index in the left index
+  uint32_t right = 0;  // object index in the right index
+  Weight distance = kInfiniteWeight;
+  size_t refined = 0;  // pairs that needed backtracking
+};
+
+// Both indexes must be built over the same RoadNetwork instance; both must
+// be non-empty. Co-located pairs short-circuit at distance 0.
+ClosestPairResult SignatureClosestPair(const SignatureIndex& left,
+                                       const SignatureIndex& right);
+
+}  // namespace dsig
+
+#endif  // DSIG_QUERY_CLOSEST_PAIR_H_

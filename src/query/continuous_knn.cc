@@ -1,0 +1,36 @@
+#include "query/continuous_knn.h"
+
+#include <algorithm>
+
+#include "query/knn_query.h"
+#include "util/logging.h"
+
+namespace dsig {
+
+CnnResult SignatureContinuousKnn(const SignatureIndex& index,
+                                 const std::vector<NodeId>& path, size_t k) {
+  DSIG_CHECK_GE(k, 1u);
+  CnnResult result;
+  if (path.empty()) return result;
+  for (size_t i = 1; i < path.size(); ++i) {
+    DSIG_CHECK(index.graph().FindEdge(path[i - 1], path[i]) != kInvalidEdge)
+        << "query path must be a walk in the network";
+  }
+
+  for (size_t i = 0; i < path.size(); ++i) {
+    // Validity scopes track *membership* changes (UBA's notion), so the
+    // cheapest result type suffices.
+    KnnResult knn = SignatureKnnQuery(index, path[i], k, KnnResultType::kType3);
+    ++result.knn_evaluations;
+    std::sort(knn.objects.begin(), knn.objects.end());
+    if (!result.intervals.empty() &&
+        result.intervals.back().objects == knn.objects) {
+      result.intervals.back().last_index = i;
+      continue;
+    }
+    result.intervals.push_back({i, i, knn.objects});
+  }
+  return result;
+}
+
+}  // namespace dsig

@@ -1,0 +1,46 @@
+// Continuous kNN along a path (paper §2's CNN query, served by the
+// general-purpose signature index).
+//
+// Given a path through the network, a CNN query returns the kNN result for
+// every position along it, as a list of (segment, result) validity
+// intervals: "the kNNs and the valid scopes of the results along a path".
+// Specialized structures (UBA, UNICONS) exist for this; the paper's thesis
+// is that a general distance index serves such queries too. We evaluate a
+// distance-ordered kNN at each path node and merge consecutive nodes whose
+// result sets agree — category pruning makes the per-node evaluations cheap,
+// and the signature rows of consecutive path nodes usually land on the same
+// pages (CCAM layout).
+#ifndef DSIG_QUERY_CONTINUOUS_KNN_H_
+#define DSIG_QUERY_CONTINUOUS_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signature_index.h"
+
+namespace dsig {
+
+struct CnnInterval {
+  // The result is valid for path positions [first_index, last_index]
+  // (indexes into the query path's node sequence).
+  size_t first_index = 0;
+  size_t last_index = 0;
+  // The k nearest objects valid throughout the interval (membership set;
+  // per-position ordering is available from a type-2 kNN at any position).
+  std::vector<uint32_t> objects;
+};
+
+struct CnnResult {
+  std::vector<CnnInterval> intervals;
+  size_t knn_evaluations = 0;  // how many per-node kNN runs were needed
+};
+
+// `path` must be a walk in the graph (consecutive nodes adjacent); k >= 1.
+// Split positions are reported at node granularity, matching the paper's
+// node-resident object model.
+CnnResult SignatureContinuousKnn(const SignatureIndex& index,
+                                 const std::vector<NodeId>& path, size_t k);
+
+}  // namespace dsig
+
+#endif  // DSIG_QUERY_CONTINUOUS_KNN_H_

@@ -1,0 +1,95 @@
+#include "query/join_query.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/distance_ops.h"
+
+namespace dsig {
+namespace {
+
+// Triangle-inequality bounds on d(a, b) from distance ranges at a common
+// node: d >= max(0, lb_a - ub_b, lb_b - ub_a), d <= ub_a + ub_b.
+Weight PairLowerBound(const DistanceRange& a, const DistanceRange& b) {
+  Weight lower = 0;
+  if (a.ub != kInfiniteWeight) lower = std::max(lower, b.lb - a.ub);
+  if (b.ub != kInfiniteWeight) lower = std::max(lower, a.lb - b.ub);
+  return lower;
+}
+
+Weight PairUpperBound(const DistanceRange& a, const DistanceRange& b) {
+  if (a.ub == kInfiniteWeight || b.ub == kInfiniteWeight) {
+    return kInfiniteWeight;
+  }
+  return a.ub + b.ub;
+}
+
+}  // namespace
+
+JoinResult SignatureEpsilonJoin(const SignatureIndex& left,
+                                const SignatureIndex& right, NodeId n,
+                                Weight epsilon) {
+  DSIG_CHECK_EQ(&left.graph(), &right.graph())
+      << "join requires indexes over the same network";
+  JoinResult result;
+  const SignatureRow left_row = left.ReadRow(n);
+  const SignatureRow right_row = right.ReadRow(n);
+  const CategoryPartition& lp = left.partition();
+  const CategoryPartition& rp = right.partition();
+
+  // Lazily-computed exact node distances, shared across pairs.
+  std::vector<Weight> left_exact(left_row.size(), -1);
+  std::vector<Weight> right_exact(right_row.size(), -1);
+  const auto exact_left = [&](uint32_t a) {
+    if (left_exact[a] < 0) {
+      RetrievalCursor cursor(&left, n, a, &left_row[a]);
+      left_exact[a] = cursor.RetrieveExact();
+    }
+    return left_exact[a];
+  };
+  const auto exact_right = [&](uint32_t b) {
+    if (right_exact[b] < 0) {
+      RetrievalCursor cursor(&right, n, b, &right_row[b]);
+      right_exact[b] = cursor.RetrieveExact();
+    }
+    return right_exact[b];
+  };
+
+  for (uint32_t a = 0; a < left_row.size(); ++a) {
+    const DistanceRange ra = lp.RangeOf(left_row[a].category);
+    for (uint32_t b = 0; b < right_row.size(); ++b) {
+      if (left.object_node(a) == right.object_node(b)) {
+        // Co-located objects join at distance 0.
+        result.pairs.push_back({a, b});
+        continue;
+      }
+      const DistanceRange rb = rp.RangeOf(right_row[b].category);
+      if (PairLowerBound(ra, rb) > epsilon) {
+        ++result.pruned_by_categories;
+        continue;
+      }
+      const Weight upper = PairUpperBound(ra, rb);
+      if (upper != kInfiniteWeight && upper <= epsilon) {
+        result.pairs.push_back({a, b});
+        continue;
+      }
+      // Refine the two node distances to exact values; often the tightened
+      // triangle bounds decide the pair without touching d(a, b) itself.
+      const Weight da = exact_left(a);
+      const Weight db = exact_right(b);
+      if (std::abs(da - db) > epsilon) {
+        continue;
+      }
+      if (da + db <= epsilon) {
+        result.pairs.push_back({a, b});
+        continue;
+      }
+      ++result.exact_evaluations;
+      const Weight dab = ExactDistance(right, left.object_node(a), b);
+      if (dab <= epsilon) result.pairs.push_back({a, b});
+    }
+  }
+  return result;
+}
+
+}  // namespace dsig

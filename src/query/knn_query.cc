@@ -1,0 +1,68 @@
+#include "query/knn_query.h"
+
+#include <algorithm>
+
+#include "core/distance_ops.h"
+
+namespace dsig {
+
+KnnResult SignatureKnnQuery(const SignatureIndex& index, NodeId n, size_t k,
+                            KnnResultType type) {
+  KnnResult result;
+  if (k == 0) return result;
+  const SignatureRow row = index.ReadRow(n);
+  k = std::min(k, row.size());
+
+  // Bucket objects by category (the rough ordering s(n) gives for free).
+  const int m_categories = index.partition().num_categories();
+  std::vector<std::vector<uint32_t>> buckets(
+      static_cast<size_t>(m_categories));
+  for (uint32_t o = 0; o < row.size(); ++o) {
+    buckets[row[o].category].push_back(o);
+  }
+
+  // Boundary bucket m: categories before it are wholly confirmed results.
+  size_t confirmed = 0;
+  int m = 0;
+  while (confirmed + buckets[m].size() < k) {
+    confirmed += buckets[m].size();
+    ++m;
+  }
+
+  // The boundary bucket must be sorted when it is partially taken (to pick
+  // its top) and for type 2 (whose whole result is ordered).
+  const size_t take_from_m = k - confirmed;
+  if (take_from_m < buckets[m].size() || type == KnnResultType::kType2) {
+    SortByDistance(index, n, row, &buckets[m]);
+  }
+  buckets[m].resize(take_from_m);
+
+  if (type == KnnResultType::kType2) {
+    // Order must be exact everywhere: sort every contributing bucket.
+    for (int i = 0; i < m; ++i) SortByDistance(index, n, row, &buckets[i]);
+  }
+  for (int i = 0; i <= m; ++i) {
+    result.objects.insert(result.objects.end(), buckets[i].begin(),
+                          buckets[i].end());
+  }
+
+  if (type == KnnResultType::kType1) {
+    // Exact distances via guided backtracking, then a final exact sort.
+    result.distances.reserve(result.objects.size());
+    std::vector<std::pair<Weight, uint32_t>> with_distance;
+    with_distance.reserve(result.objects.size());
+    for (const uint32_t o : result.objects) {
+      RetrievalCursor cursor(&index, n, o, &row[o]);
+      with_distance.push_back({cursor.RetrieveExact(), o});
+    }
+    std::sort(with_distance.begin(), with_distance.end());
+    result.objects.clear();
+    for (const auto& [d, o] : with_distance) {
+      result.objects.push_back(o);
+      result.distances.push_back(d);
+    }
+  }
+  return result;
+}
+
+}  // namespace dsig

@@ -1,0 +1,42 @@
+#include "query/range_query.h"
+
+#include "core/distance_ops.h"
+
+namespace dsig {
+
+RangeQueryResult SignatureRangeQuery(const SignatureIndex& index, NodeId n,
+                                     Weight epsilon) {
+  DSIG_CHECK_GE(epsilon, 0);
+  RangeQueryResult result;
+  const SignatureRow row = index.ReadRow(n);
+  const CategoryPartition& partition = index.partition();
+  for (uint32_t o = 0; o < row.size(); ++o) {
+    const DistanceRange range = partition.RangeOf(row[o].category);
+    if (range.ub != kInfiniteWeight && range.ub <= epsilon) {
+      // Every distance in [lb, ub) is strictly below ub <= epsilon.
+      result.objects.push_back(o);
+      continue;
+    }
+    if (range.lb > epsilon) continue;
+    // Ambiguous: refine by guided backtracking until the range clears the
+    // threshold (or collapses to the exact value).
+    ++result.refined;
+    RetrievalCursor cursor(&index, n, o, &row[o]);
+    while (true) {
+      if (cursor.exact()) {
+        if (cursor.exact_distance() <= epsilon) result.objects.push_back(o);
+        break;
+      }
+      const DistanceRange r = cursor.range();
+      if (r.ub != kInfiniteWeight && r.ub <= epsilon) {
+        result.objects.push_back(o);
+        break;
+      }
+      if (r.lb > epsilon) break;
+      cursor.Step();
+    }
+  }
+  return result;
+}
+
+}  // namespace dsig

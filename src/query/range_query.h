@@ -1,0 +1,30 @@
+// Range query processing on distance signatures (paper §4.1, Algorithm 5).
+//
+// Returns every object within network distance epsilon of the query node.
+// Signature categories confirm or prune most objects outright; only objects
+// whose category range straddles epsilon pay for guided backtracking, and
+// that backtracking stops the moment the range clears the threshold.
+#ifndef DSIG_QUERY_RANGE_QUERY_H_
+#define DSIG_QUERY_RANGE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signature_index.h"
+
+namespace dsig {
+
+struct RangeQueryResult {
+  // Object indexes with d(n, o) <= epsilon, in object order.
+  std::vector<uint32_t> objects;
+  // Objects that needed refinement (the category range straddled epsilon) —
+  // a quality metric for the partition.
+  size_t refined = 0;
+};
+
+RangeQueryResult SignatureRangeQuery(const SignatureIndex& index, NodeId n,
+                                     Weight epsilon);
+
+}  // namespace dsig
+
+#endif  // DSIG_QUERY_RANGE_QUERY_H_

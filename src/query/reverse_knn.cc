@@ -1,0 +1,87 @@
+#include "query/reverse_knn.h"
+
+#include <algorithm>
+
+#include "core/distance_ops.h"
+
+namespace dsig {
+
+ReverseKnnResult SignatureReverseKnn(const SignatureIndex& index, NodeId q,
+                                     size_t k) {
+  DSIG_CHECK_GE(k, 1u);
+  ReverseKnnResult result;
+  const size_t num_objects = index.num_objects();
+  if (num_objects <= 1) {
+    // A lone object has no k-th neighbour; by convention every node is in
+    // its neighbourhood.
+    if (num_objects == 1) result.objects.push_back(0);
+    return result;
+  }
+  k = std::min(k, num_objects - 1);
+
+  const SignatureRow row = index.ReadRow(q);
+  const CategoryPartition& partition = index.partition();
+  const ObjectDistanceTable& table = index.object_table();
+  const Weight last_lb =
+      partition.LowerBound(partition.num_categories() - 1);
+
+  for (uint32_t o = 0; o < num_objects; ++o) {
+    // o's k-th nearest object distance, from the in-memory table. Far pairs
+    // only bound it from below; resolve them exactly (by backtracking from
+    // o's node) only when the decision needs it.
+    std::vector<Weight> neighbor_distances;
+    size_t far_pairs = 0;
+    for (uint32_t x = 0; x < num_objects; ++x) {
+      if (x == o) continue;
+      if (table.IsFar(o, x)) {
+        ++far_pairs;
+      } else {
+        neighbor_distances.push_back(table.Get(o, x));
+      }
+    }
+    std::sort(neighbor_distances.begin(), neighbor_distances.end());
+
+    const bool threshold_exact = neighbor_distances.size() >= k;
+    // When fewer than k near pairs exist, the k-th neighbour is a far pair:
+    // its distance is at least the last category's lower bound.
+    const Weight threshold_lb =
+        threshold_exact ? neighbor_distances[k - 1] : last_lb;
+
+    const DistanceRange range = partition.RangeOf(row[o].category);
+    // Quick accept: every distance in the range is within the threshold.
+    if (range.ub != kInfiniteWeight && range.ub <= threshold_lb) {
+      result.objects.push_back(o);
+      continue;
+    }
+    // Quick reject only against an exact threshold.
+    if (threshold_exact && range.lb > threshold_lb) continue;
+
+    // Refine d(o, q) exactly (d is symmetric on undirected networks, so the
+    // row at q holds it).
+    ++result.refined;
+    RetrievalCursor cursor(&index, q, o, &row[o]);
+    const Weight d_oq = cursor.RetrieveExact();
+    if (threshold_exact) {
+      if (d_oq <= threshold_lb) result.objects.push_back(o);
+      continue;
+    }
+    if (d_oq <= threshold_lb) {
+      result.objects.push_back(o);
+      continue;
+    }
+    // Both d(o, q) and the k-th neighbour live in the last category: the
+    // table dropped the exact values, so retrieve every far pair's distance
+    // through the index and settle the comparison exactly.
+    std::vector<Weight> all = neighbor_distances;
+    for (uint32_t x = 0; x < num_objects; ++x) {
+      if (x == o || !table.IsFar(o, x)) continue;
+      all.push_back(ExactDistance(index, index.object_node(o), x));
+    }
+    std::sort(all.begin(), all.end());
+    DSIG_CHECK_GE(all.size(), k);
+    if (d_oq <= all[k - 1]) result.objects.push_back(o);
+  }
+  return result;
+}
+
+}  // namespace dsig

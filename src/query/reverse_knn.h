@@ -1,0 +1,36 @@
+// Reverse kNN query (paper §4.3's generalization claim, exercised).
+//
+// RkNN(q, k) returns the objects that would count q among their k nearest
+// objects — "which restaurants would consider this junction one of their k
+// closest competitors' sites". The signature machinery answers it without
+// any new structure: object o is a result iff d(o, q) is no larger than
+// o's k-th nearest *object* distance, and the latter comes straight from
+// the in-memory object-object table (with the far-marker giving an upper
+// bound when the k-th neighbour fell in the last category). d(o, q) itself
+// is refined by guided backtracking only when the category bounds cannot
+// decide.
+#ifndef DSIG_QUERY_REVERSE_KNN_H_
+#define DSIG_QUERY_REVERSE_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signature_index.h"
+
+namespace dsig {
+
+struct ReverseKnnResult {
+  // Object indexes with q among their k nearest objects, ascending.
+  std::vector<uint32_t> objects;
+  // Objects whose decision needed exact backtracking.
+  size_t refined = 0;
+};
+
+// k >= 1. An object co-located with q is always a result (distance 0).
+// Ties are inclusive: d(o, q) equal to the k-th neighbour distance counts.
+ReverseKnnResult SignatureReverseKnn(const SignatureIndex& index, NodeId q,
+                                     size_t k);
+
+}  // namespace dsig
+
+#endif  // DSIG_QUERY_REVERSE_KNN_H_

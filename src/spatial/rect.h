@@ -1,0 +1,66 @@
+// Axis-aligned rectangles for the R-tree.
+#ifndef DSIG_SPATIAL_RECT_H_
+#define DSIG_SPATIAL_RECT_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/road_network.h"
+
+namespace dsig {
+
+struct Rect {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  static Rect FromPoint(const Point& p) { return {p.x, p.y, p.x, p.y}; }
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  void ExpandToInclude(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  void ExpandToInclude(const Rect& r) {
+    min_x = std::min(min_x, r.min_x);
+    min_y = std::min(min_y, r.min_y);
+    max_x = std::max(max_x, r.max_x);
+    max_y = std::max(max_y, r.max_y);
+  }
+
+  double Area() const {
+    if (IsEmpty()) return 0;
+    return (max_x - min_x) * (max_y - min_y);
+  }
+
+  bool Intersects(const Rect& r) const {
+    return !(r.min_x > max_x || r.max_x < min_x || r.min_y > max_y ||
+             r.max_y < min_y);
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  // Area growth needed to absorb `r`; the quadratic-split / ChooseLeaf
+  // criterion.
+  double Enlargement(const Rect& r) const {
+    Rect merged = *this;
+    merged.ExpandToInclude(r);
+    return merged.Area() - Area();
+  }
+};
+
+inline bool operator==(const Rect& a, const Rect& b) {
+  return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+         a.max_y == b.max_y;
+}
+
+}  // namespace dsig
+
+#endif  // DSIG_SPATIAL_RECT_H_

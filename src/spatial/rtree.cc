@@ -1,0 +1,231 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dsig {
+
+RTree::RTree(int max_entries) : max_entries_(max_entries) {
+  DSIG_CHECK_GE(max_entries_, 4);
+  nodes_.push_back(Node{});  // empty leaf root
+}
+
+Rect RTree::NodeRect(uint32_t node) const {
+  Rect r;
+  for (const Entry& e : nodes_[node].entries) r.ExpandToInclude(e.rect);
+  return r;
+}
+
+uint32_t RTree::ChooseLeaf(const Rect& rect,
+                           std::vector<uint32_t>* path) const {
+  uint32_t node = root_;
+  while (!nodes_[node].is_leaf) {
+    path->push_back(node);
+    const std::vector<Entry>& entries = nodes_[node].entries;
+    DSIG_CHECK(!entries.empty());
+    uint32_t best = 0;
+    double best_enlargement = entries[0].rect.Enlargement(rect);
+    double best_area = entries[0].rect.Area();
+    for (uint32_t i = 1; i < entries.size(); ++i) {
+      const double enlargement = entries[i].rect.Enlargement(rect);
+      const double area = entries[i].rect.Area();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best = i;
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    node = entries[best].child_or_value;
+  }
+  return node;
+}
+
+uint32_t RTree::SplitNode(uint32_t node) {
+  std::vector<Entry> entries = std::move(nodes_[node].entries);
+  nodes_[node].entries.clear();
+  const uint32_t twin = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(Node{nodes_[node].is_leaf, {}});
+
+  // Quadratic seed pick: the pair wasting the most area together.
+  size_t seed_a = 0, seed_b = 1;
+  double worst_waste = -1;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      Rect merged = entries[i].rect;
+      merged.ExpandToInclude(entries[j].rect);
+      const double waste =
+          merged.Area() - entries[i].rect.Area() - entries[j].rect.Area();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<bool> assigned(entries.size(), false);
+  nodes_[node].entries.push_back(entries[seed_a]);
+  nodes_[twin].entries.push_back(entries[seed_b]);
+  assigned[seed_a] = assigned[seed_b] = true;
+  Rect rect_a = entries[seed_a].rect;
+  Rect rect_b = entries[seed_b].rect;
+
+  const size_t min_fill = static_cast<size_t>(max_entries_) / 2;
+  size_t remaining = entries.size() - 2;
+  while (remaining > 0) {
+    // Force-assign when one group must take everything left to reach fill.
+    if (nodes_[node].entries.size() + remaining <= min_fill) {
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (!assigned[i]) {
+          nodes_[node].entries.push_back(entries[i]);
+          rect_a.ExpandToInclude(entries[i].rect);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    if (nodes_[twin].entries.size() + remaining <= min_fill) {
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (!assigned[i]) {
+          nodes_[twin].entries.push_back(entries[i]);
+          rect_b.ExpandToInclude(entries[i].rect);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    // PickNext: the entry with the strongest preference between the groups.
+    size_t best = entries.size();
+    double best_diff = -1;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (assigned[i]) continue;
+      const double diff = std::abs(rect_a.Enlargement(entries[i].rect) -
+                                   rect_b.Enlargement(entries[i].rect));
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+      }
+    }
+    DSIG_CHECK_LT(best, entries.size());
+    const double grow_a = rect_a.Enlargement(entries[best].rect);
+    const double grow_b = rect_b.Enlargement(entries[best].rect);
+    const bool to_a =
+        grow_a < grow_b ||
+        (grow_a == grow_b &&
+         nodes_[node].entries.size() <= nodes_[twin].entries.size());
+    if (to_a) {
+      nodes_[node].entries.push_back(entries[best]);
+      rect_a.ExpandToInclude(entries[best].rect);
+    } else {
+      nodes_[twin].entries.push_back(entries[best]);
+      rect_b.ExpandToInclude(entries[best].rect);
+    }
+    assigned[best] = true;
+    --remaining;
+  }
+  return twin;
+}
+
+void RTree::AdjustTree(std::vector<uint32_t>& path, uint32_t split_node) {
+  uint32_t new_node = split_node;
+  while (!path.empty()) {
+    const uint32_t parent = path.back();
+    path.pop_back();
+    // Refresh all child rects on the way up (cheap at these fanouts).
+    for (Entry& e : nodes_[parent].entries) {
+      e.rect = NodeRect(e.child_or_value);
+    }
+    if (new_node != 0) {
+      nodes_[parent].entries.push_back({NodeRect(new_node), new_node});
+      new_node = 0;
+      if (nodes_[parent].entries.size() >
+          static_cast<size_t>(max_entries_)) {
+        new_node = SplitNode(parent);
+      }
+    }
+  }
+  if (new_node != 0) {
+    // Root split: grow the tree by one level.
+    const uint32_t new_root = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(Node{false, {}});
+    nodes_[new_root].entries.push_back({NodeRect(root_), root_});
+    nodes_[new_root].entries.push_back({NodeRect(new_node), new_node});
+    root_ = new_root;
+  }
+}
+
+void RTree::Insert(const Rect& rect, uint32_t value) {
+  DSIG_CHECK(!rect.IsEmpty());
+  std::vector<uint32_t> path;
+  const uint32_t leaf = ChooseLeaf(rect, &path);
+  nodes_[leaf].entries.push_back({rect, value});
+  ++size_;
+  uint32_t split = 0;
+  if (nodes_[leaf].entries.size() > static_cast<size_t>(max_entries_)) {
+    split = SplitNode(leaf);
+  }
+  AdjustTree(path, split);
+}
+
+RTreeSearchResult RTree::Search(const Rect& query) const {
+  RTreeSearchResult result;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const uint32_t node = stack.back();
+    stack.pop_back();
+    ++result.nodes_visited;
+    result.visited_nodes.push_back(node);
+    for (const Entry& e : nodes_[node].entries) {
+      if (!e.rect.Intersects(query)) continue;
+      if (nodes_[node].is_leaf) {
+        result.values.push_back(e.child_or_value);
+      } else {
+        stack.push_back(e.child_or_value);
+      }
+    }
+  }
+  return result;
+}
+
+RTreeSearchResult RTree::Locate(const Point& p) const {
+  RTreeSearchResult result;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const uint32_t node = stack.back();
+    stack.pop_back();
+    ++result.nodes_visited;
+    result.visited_nodes.push_back(node);
+    for (const Entry& e : nodes_[node].entries) {
+      if (!e.rect.Contains(p)) continue;
+      if (nodes_[node].is_leaf) {
+        result.values.push_back(e.child_or_value);
+      } else {
+        stack.push_back(e.child_or_value);
+      }
+    }
+  }
+  return result;
+}
+
+int RTree::height() const {
+  int h = 1;
+  uint32_t node = root_;
+  while (!nodes_[node].is_leaf) {
+    DSIG_CHECK(!nodes_[node].entries.empty());
+    node = nodes_[node].entries[0].child_or_value;
+    ++h;
+  }
+  return h;
+}
+
+uint64_t RTree::SizeBytes() const {
+  // 4 doubles + 4-byte pointer/value per slot, full fanout allocation.
+  const uint64_t per_node =
+      static_cast<uint64_t>(max_entries_) * (4 * sizeof(double) + 4);
+  return per_node * nodes_.size();
+}
+
+}  // namespace dsig

@@ -1,0 +1,73 @@
+// R-tree with quadratic split (Guttman, 1984).
+//
+// Substrate for the NVD baseline: the VN³ algorithm (paper §2, Kolahdouzan &
+// Shahabi) indexes Network Voronoi Polygons with an R-tree and reduces
+// first-NN search to point location. Search results report how many tree
+// nodes were visited so benches can charge one page per node, and SizeBytes()
+// feeds the index-size comparison (Fig 6.4a).
+#ifndef DSIG_SPATIAL_RTREE_H_
+#define DSIG_SPATIAL_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/rect.h"
+
+namespace dsig {
+
+struct RTreeSearchResult {
+  std::vector<uint32_t> values;
+  size_t nodes_visited = 0;  // tree nodes touched, charged as pages
+  // Indexes of the tree nodes touched, so callers can charge one page per
+  // node to a buffer pool.
+  std::vector<uint32_t> visited_nodes;
+};
+
+class RTree {
+ public:
+  // `max_entries` = fanout M; minimum fill is M/2.
+  explicit RTree(int max_entries = 16);
+
+  void Insert(const Rect& rect, uint32_t value);
+
+  // All values whose rectangle intersects `query`.
+  RTreeSearchResult Search(const Rect& query) const;
+
+  // All values whose rectangle contains `p` (point location; NVP lookup).
+  RTreeSearchResult Locate(const Point& p) const;
+
+  size_t size() const { return size_; }
+  size_t num_tree_nodes() const { return nodes_.size(); }
+  int height() const;
+
+  // Approximate on-disk size: every tree node costs one entry array
+  // (rect + child pointer per slot).
+  uint64_t SizeBytes() const;
+
+ private:
+  struct Entry {
+    Rect rect;
+    // Child node index for internal nodes; user value for leaves.
+    uint32_t child_or_value = 0;
+  };
+  struct Node {
+    bool is_leaf = true;
+    std::vector<Entry> entries;
+  };
+
+  Rect NodeRect(uint32_t node) const;
+  // Descends to the leaf whose enlargement is minimal, recording the path.
+  uint32_t ChooseLeaf(const Rect& rect, std::vector<uint32_t>* path) const;
+  // Splits `node` (quadratic seeds) and returns the new node's index.
+  uint32_t SplitNode(uint32_t node);
+  void AdjustTree(std::vector<uint32_t>& path, uint32_t split_node);
+
+  int max_entries_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_SPATIAL_RTREE_H_

@@ -1,0 +1,33 @@
+#include "storage/buffer_manager.h"
+
+namespace dsig {
+
+bool BufferManager::Access(FileId file, PageId page) {
+  ++stats_.logical_accesses;
+  if (capacity_ == 0) {
+    ++stats_.physical_accesses;
+    return false;
+  }
+  const uint64_t key = Key(file, page);
+  const auto it = table_.find(key);
+  if (it != table_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++stats_.physical_accesses;
+  lru_.push_front(key);
+  table_[key] = lru_.begin();
+  if (table_.size() > capacity_) {
+    table_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return false;
+}
+
+void BufferManager::Clear() {
+  stats_ = {};
+  lru_.clear();
+  table_.clear();
+}
+
+}  // namespace dsig

@@ -1,0 +1,69 @@
+// LRU buffer pool over logical (file, page) pairs.
+//
+// All index structures share one pool per experiment, mirroring a DBMS
+// buffer. Access() records a logical access always and a physical access on
+// a miss; benches report both (the paper's "page accesses" are physical
+// reads under a modest buffer).
+#ifndef DSIG_STORAGE_BUFFER_MANAGER_H_
+#define DSIG_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/page.h"
+
+namespace dsig {
+
+struct BufferStats {
+  uint64_t logical_accesses = 0;
+  uint64_t physical_accesses = 0;  // misses
+
+  BufferStats operator-(const BufferStats& other) const {
+    return {logical_accesses - other.logical_accesses,
+            physical_accesses - other.physical_accesses};
+  }
+};
+
+class BufferManager {
+ public:
+  // `capacity_pages` = 0 disables caching entirely (every access is a miss).
+  explicit BufferManager(size_t capacity_pages)
+      : capacity_(capacity_pages) {}
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  // Touches one page; returns true on a buffer hit.
+  bool Access(FileId file, PageId page);
+
+  // Allocates a fresh file-id namespace for a new paged structure.
+  FileId RegisterFile() { return next_file_++; }
+
+  const BufferStats& stats() const { return stats_; }
+
+  // Clears counters but keeps buffer contents (for steady-state measurement).
+  void ResetStats() { stats_ = {}; }
+
+  // Drops all cached pages and counters (cold-cache measurement).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  // Key packs (file, page); files are small and pages < 2^40 in practice.
+  static uint64_t Key(FileId file, PageId page) {
+    return (static_cast<uint64_t>(file) << 40) | page;
+  }
+
+  size_t capacity_;
+  BufferStats stats_;
+  std::list<uint64_t> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> table_;
+  FileId next_file_ = 0;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_STORAGE_BUFFER_MANAGER_H_

@@ -1,0 +1,20 @@
+#include "storage/network_store.h"
+
+namespace dsig {
+
+uint64_t AdjacencyRecordBits(const RoadNetwork& graph, NodeId n) {
+  // 16-bit count + 48-bit signature pointer + 96 bits per adjacency slot.
+  return 16 + 48 + 96 * static_cast<uint64_t>(graph.degree(n));
+}
+
+NetworkStore::NetworkStore(const RoadNetwork& graph,
+                           const std::vector<NodeId>& order,
+                           BufferManager* buffer) {
+  std::vector<uint64_t> record_bits(graph.num_nodes());
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    record_bits[n] = AdjacencyRecordBits(graph, n);
+  }
+  store_ = PagedStore(PageLayout(record_bits, order), buffer);
+}
+
+}  // namespace dsig

@@ -1,0 +1,45 @@
+// Paged storage of the road network's adjacency lists.
+//
+// Every index in the evaluation (signature, full, NVD, INE) traverses the
+// same CCAM-ordered adjacency file; this class owns its layout and charges
+// page accesses to the shared buffer pool. An adjacency record holds a
+// 16-bit entry count plus, per edge slot, the neighbour id (32), the weight
+// (32, fixed point), and the edge id (32) — matching a compact on-disk
+// format. Per the paper's storage schema (Fig 3.1) the record also carries a
+// 48-bit pointer to the node's signature so signatures are randomly
+// accessible from the adjacency file.
+#ifndef DSIG_STORAGE_NETWORK_STORE_H_
+#define DSIG_STORAGE_NETWORK_STORE_H_
+
+#include <vector>
+
+#include "graph/road_network.h"
+#include "storage/pager.h"
+
+namespace dsig {
+
+class NetworkStore {
+ public:
+  NetworkStore() = default;
+
+  // `order` is the storage (CCAM) order; `buffer` may be null to disable
+  // charging (pure in-memory runs).
+  NetworkStore(const RoadNetwork& graph, const std::vector<NodeId>& order,
+               BufferManager* buffer);
+
+  // Charges the page(s) holding node `n`'s adjacency record.
+  void TouchNode(NodeId n) const { store_.TouchRecord(n); }
+
+  uint64_t num_pages() const { return store_.layout().num_pages(); }
+  uint64_t total_bytes() const { return store_.layout().total_bytes(); }
+
+ private:
+  PagedStore store_;
+};
+
+// Record size in bits of node `n`'s adjacency list.
+uint64_t AdjacencyRecordBits(const RoadNetwork& graph, NodeId n);
+
+}  // namespace dsig
+
+#endif  // DSIG_STORAGE_NETWORK_STORE_H_

@@ -1,0 +1,22 @@
+// Disk-page cost model constants.
+//
+// The evaluation counts 4 KB disk-page accesses (paper §6: "The page size was
+// set to 4K bytes"). Index structures in this repository live in memory but
+// are laid out into logical pages so every access is charged like a disk
+// access; see BufferManager and PageLayout.
+#ifndef DSIG_STORAGE_PAGE_H_
+#define DSIG_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace dsig {
+
+using PageId = uint64_t;
+using FileId = uint32_t;
+
+inline constexpr uint64_t kPageSizeBytes = 4096;
+inline constexpr uint64_t kPageSizeBits = kPageSizeBytes * 8;
+
+}  // namespace dsig
+
+#endif  // DSIG_STORAGE_PAGE_H_

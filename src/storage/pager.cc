@@ -1,0 +1,67 @@
+#include "storage/pager.h"
+
+namespace dsig {
+
+PageLayout::PageLayout(const std::vector<uint64_t>& record_bits,
+                       const std::vector<uint32_t>& order) {
+  DSIG_CHECK_EQ(record_bits.size(), order.size());
+  const size_t n = record_bits.size();
+  start_bit_.assign(n, 0);
+  record_bits_ = record_bits;
+  uint64_t cursor = 0;
+  for (const uint32_t record : order) {
+    DSIG_CHECK_LT(record, n);
+    const uint64_t bits = record_bits[record];
+    payload_bits_ += bits;
+    const uint64_t used_in_page = cursor % kPageSizeBits;
+    // Start a fresh page when the record would cross a boundary it could
+    // have avoided (records larger than a page inevitably span pages).
+    if (bits <= kPageSizeBits && used_in_page + bits > kPageSizeBits) {
+      cursor += kPageSizeBits - used_in_page;
+    }
+    start_bit_[record] = cursor;
+    cursor += bits;
+  }
+  num_pages_ = (cursor + kPageSizeBits - 1) / kPageSizeBits;
+  if (n > 0 && num_pages_ == 0) num_pages_ = 1;
+}
+
+PageId PageLayout::LastPage(uint32_t record) const {
+  const uint64_t bits = record_bits_[record];
+  const uint64_t end_bit = start_bit_[record] + (bits == 0 ? 0 : bits - 1);
+  return end_bit / kPageSizeBits;
+}
+
+PageId PageLayout::PageAt(uint32_t record, uint64_t bit_offset) const {
+  DSIG_CHECK_LE(bit_offset, record_bits_[record]);
+  // Clamp so "one past the end" still charges the last page.
+  const uint64_t bits = record_bits_[record];
+  if (bits > 0 && bit_offset >= bits) bit_offset = bits - 1;
+  return (start_bit_[record] + bit_offset) / kPageSizeBits;
+}
+
+void PagedStore::TouchRecord(uint32_t record) const {
+  if (buffer_ == nullptr) return;
+  const PageId first = layout_.FirstPage(record);
+  const PageId last = layout_.LastPage(record);
+  for (PageId p = first; p <= last; ++p) buffer_->Access(file_, p);
+}
+
+void PagedStore::TouchRecordAt(uint32_t record, uint64_t bit_offset) const {
+  if (buffer_ == nullptr) return;
+  buffer_->Access(file_, layout_.PageAt(record, bit_offset));
+}
+
+void PagedStore::TouchRecordBits(uint32_t record, uint64_t from_bit,
+                                 uint64_t to_bit) const {
+  if (buffer_ == nullptr) return;
+  if (to_bit <= from_bit) {
+    buffer_->Access(file_, layout_.PageAt(record, from_bit));
+    return;
+  }
+  const PageId first = layout_.PageAt(record, from_bit);
+  const PageId last = layout_.PageAt(record, to_bit - 1);
+  for (PageId p = first; p <= last; ++p) buffer_->Access(file_, p);
+}
+
+}  // namespace dsig

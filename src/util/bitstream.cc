@@ -1,0 +1,57 @@
+#include "util/bitstream.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dsig {
+
+void BitWriter::WriteBits(uint64_t value, int width) {
+  DSIG_CHECK_GE(width, 0);
+  DSIG_CHECK_LE(width, 64);
+  for (int i = 0; i < width; ++i) {
+    const size_t byte = size_bits_ >> 3;
+    const int bit = static_cast<int>(size_bits_ & 7);
+    if (byte >= bytes_.size()) bytes_.push_back(0);
+    if ((value >> i) & 1) bytes_[byte] |= static_cast<uint8_t>(1u << bit);
+    ++size_bits_;
+  }
+}
+
+void BitWriter::WriteUnary(int count) {
+  DSIG_CHECK_GE(count, 0);
+  for (int i = 0; i < count; ++i) WriteBit(false);
+  WriteBit(true);
+}
+
+std::vector<uint8_t> BitWriter::TakeBytes() {
+  size_bits_ = 0;
+  return std::move(bytes_);
+}
+
+uint64_t BitReader::ReadBits(int width) {
+  DSIG_CHECK_GE(width, 0);
+  DSIG_CHECK_LE(width, 64);
+  DSIG_CHECK_LE(position_ + static_cast<size_t>(width), size_bits_);
+  uint64_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    const size_t byte = position_ >> 3;
+    const int bit = static_cast<int>(position_ & 7);
+    if ((data_[byte] >> bit) & 1) value |= (uint64_t{1} << i);
+    ++position_;
+  }
+  return value;
+}
+
+int BitReader::ReadUnary() {
+  int zeros = 0;
+  while (!ReadBit()) ++zeros;
+  return zeros;
+}
+
+void BitReader::Seek(size_t position) {
+  DSIG_CHECK_LE(position, size_bits_);
+  position_ = position;
+}
+
+}  // namespace dsig

@@ -1,0 +1,89 @@
+// Bit-granular writer/reader used by the signature encoders.
+//
+// Signatures store variable-length category codes (often a single bit per
+// object after compression), so all encoded index pages are addressed at bit
+// granularity. BitWriter appends into a growable byte buffer; BitReader walks
+// a finished buffer and supports random repositioning, which the signature
+// store uses to jump to per-row checkpoints.
+#ifndef DSIG_UTIL_BITSTREAM_H_
+#define DSIG_UTIL_BITSTREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsig {
+
+// Append-only bit sink. Bits are packed LSB-first within each byte so that
+// writing then reading with the same widths round-trips.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  // Appends the low `width` bits of `value` (width in [0, 64]).
+  void WriteBits(uint64_t value, int width);
+
+  // Appends a single bit.
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+
+  // Appends a unary code: `count` zeros followed by a one.
+  void WriteUnary(int count);
+
+  // Number of bits written so far.
+  size_t size_bits() const { return size_bits_; }
+
+  // Finished buffer; trailing bits of the last byte are zero.
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  // Moves the underlying buffer out; the writer is empty afterwards.
+  std::vector<uint8_t> TakeBytes();
+
+  void Clear() {
+    bytes_.clear();
+    size_bits_ = 0;
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t size_bits_ = 0;
+};
+
+// Sequential bit source over a byte buffer produced by BitWriter.
+class BitReader {
+ public:
+  // `data` must outlive the reader. `size_bits` bounds reads.
+  BitReader(const uint8_t* data, size_t size_bits)
+      : data_(data), size_bits_(size_bits) {}
+
+  explicit BitReader(const std::vector<uint8_t>& bytes)
+      : BitReader(bytes.data(), bytes.size() * 8) {}
+
+  // Reads `width` bits (width in [0, 64]). It is a checked error to read past
+  // the end of the stream.
+  uint64_t ReadBits(int width);
+
+  bool ReadBit() { return ReadBits(1) != 0; }
+
+  // Reads a unary code written by BitWriter::WriteUnary; returns the number
+  // of zeros before the terminating one.
+  int ReadUnary();
+
+  // Absolute bit position of the next read.
+  size_t position() const { return position_; }
+
+  // Repositions the next read to absolute bit offset `position`.
+  void Seek(size_t position);
+
+  size_t size_bits() const { return size_bits_; }
+
+  bool AtEnd() const { return position_ >= size_bits_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_bits_;
+  size_t position_ = 0;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_UTIL_BITSTREAM_H_

@@ -1,0 +1,60 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace dsig {
+
+void Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) continue;
+    arg.remove_prefix(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // "--name value" form, unless the next token is itself a flag.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      values_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      values_[std::string(arg)] = "";  // bare boolean flag
+    }
+  }
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  return false;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second;
+}
+
+}  // namespace dsig

@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for benches and examples.
+//
+// Accepts "--name=value" and "--name value" forms. Unknown flags are kept so
+// binaries can forward them (e.g., to google-benchmark). Typical use:
+//
+//   dsig::Flags flags(argc, argv);
+//   const int nodes = static_cast<int>(flags.GetInt("nodes", 20000));
+#ifndef DSIG_UTIL_FLAGS_H_
+#define DSIG_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dsig {
+
+class Flags {
+ public:
+  Flags() = default;
+  Flags(int argc, char** argv) { Parse(argc, argv); }
+
+  // Parses argv; later occurrences of a flag override earlier ones.
+  void Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  // "--flag" with no value, "true"/"1" => true; "false"/"0" => false.
+  bool GetBool(const std::string& name, bool default_value) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_UTIL_FLAGS_H_

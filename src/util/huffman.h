@@ -1,0 +1,73 @@
+// Generic Huffman coding.
+//
+// The paper's "reverse zero padding" category code (§5.2) is a special case
+// of a Huffman code; this module provides the general construction so tests
+// and benches can verify the optimality claim of Theorem 5.1 (reverse zero
+// padding matches the Huffman average code length whenever c > 3/2) and so
+// the index can fall back to a true Huffman code for category distributions
+// that violate the theorem's premise.
+#ifndef DSIG_UTIL_HUFFMAN_H_
+#define DSIG_UTIL_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitstream.h"
+
+namespace dsig {
+
+// A fully built prefix code over symbols 0..num_symbols-1.
+class HuffmanCode {
+ public:
+  // Builds an optimal prefix code for the given symbol frequencies.
+  // Zero-frequency symbols still receive a (long) code so that every symbol
+  // remains encodable. `frequencies` must be non-empty.
+  static HuffmanCode FromFrequencies(const std::vector<uint64_t>& frequencies);
+
+  // Builds the trivial fixed-length binary code of ceil(log2(num_symbols))
+  // bits per symbol (at least 1) — the "raw" signature encoding the paper
+  // compares against.
+  static HuffmanCode FixedLength(int num_symbols);
+
+  // Builds the paper's reverse-zero-padding code over `num_symbols`
+  // categories: the last category is "1", each earlier category prepends a
+  // "0" (so category i has length num_symbols - i, category 0 shares length
+  // num_symbols - 1 with category 1 by dropping the redundant final bit —
+  // exactly the code produced by Huffman's algorithm on a distribution where
+  // each category outweighs the sum of all earlier ones).
+  static HuffmanCode ReverseZeroPadding(int num_symbols);
+
+  // Reconstructs a code from its parts (e.g. deserialization). The parts
+  // must form a prefix code; violations are fatal.
+  static HuffmanCode FromParts(std::vector<int> lengths,
+                               std::vector<uint64_t> codes);
+
+  int num_symbols() const { return static_cast<int>(lengths_.size()); }
+
+  // Code length, in bits, of `symbol`.
+  int length(int symbol) const { return lengths_[symbol]; }
+
+  // Code bits of `symbol`, emitted LSB-first.
+  uint64_t code(int symbol) const { return codes_[symbol]; }
+
+  // Expected code length under the given frequency distribution.
+  double AverageLength(const std::vector<uint64_t>& frequencies) const;
+
+  void Encode(int symbol, BitWriter* writer) const;
+  int Decode(BitReader* reader) const;
+
+ private:
+  HuffmanCode(std::vector<int> lengths, std::vector<uint64_t> codes);
+
+  // Decoding walks a flat binary trie; nodes_[i] = {child0, child1} or a
+  // leaf marker encoding (-1 - symbol).
+  void BuildDecodeTrie();
+
+  std::vector<int> lengths_;
+  std::vector<uint64_t> codes_;  // bits emitted LSB-first
+  std::vector<std::pair<int32_t, int32_t>> trie_;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_UTIL_HUFFMAN_H_

@@ -1,0 +1,98 @@
+// Lightweight logging and runtime-check macros.
+//
+// The library does not use exceptions (see DESIGN.md); invariant violations
+// terminate the process with a diagnostic instead. Typical use:
+//
+//   DSIG_CHECK(node < graph.num_nodes()) << "node id out of range: " << node;
+//   DSIG_LOG(Info) << "built index with " << n << " rows";
+#ifndef DSIG_UTIL_LOGGING_H_
+#define DSIG_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace dsig {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Minimum severity that is actually emitted to stderr. Defaults to kInfo.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal_logging {
+
+// Accumulates one log line and emits it (and possibly aborts) on destruction.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  LogSeverity severity_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Turns a streamed LogMessage chain into a void expression so it can sit in
+// the false branch of the check macros' ternary. operator& binds looser than
+// operator<<, so the whole stream chain is evaluated first.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace dsig
+
+#define DSIG_LOG(severity)                                \
+  ::dsig::internal_logging::LogMessage(__FILE__, __LINE__, \
+                                       ::dsig::LogSeverity::k##severity)
+
+// Fatal unless `condition` holds. Always enabled (including release builds):
+// the cost model of this library depends on structural invariants whose
+// violation would silently corrupt results.
+#define DSIG_CHECK(condition)                                             \
+  (condition) ? (void)0                                                   \
+              : ::dsig::internal_logging::Voidify() &                     \
+                    ::dsig::internal_logging::LogMessage(                 \
+                        __FILE__, __LINE__, ::dsig::LogSeverity::kFatal)  \
+                        << "Check failed: " #condition " "
+
+#define DSIG_CHECK_OP(op, a, b)                                           \
+  ((a)op(b)) ? (void)0                                                    \
+             : ::dsig::internal_logging::Voidify() &                      \
+                   ::dsig::internal_logging::LogMessage(                  \
+                       __FILE__, __LINE__, ::dsig::LogSeverity::kFatal)   \
+                       << "Check failed: " #a " " #op " " #b " (" << (a)  \
+                       << " vs " << (b) << ") "
+
+#define DSIG_CHECK_EQ(a, b) DSIG_CHECK_OP(==, a, b)
+#define DSIG_CHECK_NE(a, b) DSIG_CHECK_OP(!=, a, b)
+#define DSIG_CHECK_LT(a, b) DSIG_CHECK_OP(<, a, b)
+#define DSIG_CHECK_LE(a, b) DSIG_CHECK_OP(<=, a, b)
+#define DSIG_CHECK_GT(a, b) DSIG_CHECK_OP(>, a, b)
+#define DSIG_CHECK_GE(a, b) DSIG_CHECK_OP(>=, a, b)
+
+#endif  // DSIG_UTIL_LOGGING_H_

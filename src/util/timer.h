@@ -1,0 +1,29 @@
+// Wall-clock timer used by the benchmark harnesses.
+#ifndef DSIG_UTIL_TIMER_H_
+#define DSIG_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace dsig {
+
+// Measures elapsed wall time since construction or the last Reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_UTIL_TIMER_H_

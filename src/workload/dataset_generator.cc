@@ -1,0 +1,75 @@
+#include "workload/dataset_generator.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/random.h"
+
+namespace dsig {
+namespace {
+
+size_t DatasetCardinality(const RoadNetwork& graph, double density) {
+  DSIG_CHECK_GT(density, 0);
+  DSIG_CHECK_LE(density, 1);
+  const auto count = static_cast<size_t>(
+      density * static_cast<double>(graph.num_nodes()) + 0.5);
+  return std::max<size_t>(1, std::min(count, graph.num_nodes()));
+}
+
+}  // namespace
+
+std::vector<NodeId> UniformDataset(const RoadNetwork& graph, double density,
+                                   uint64_t seed) {
+  const size_t count = DatasetCardinality(graph, density);
+  Random rng(seed);
+  std::vector<bool> chosen(graph.num_nodes(), false);
+  std::vector<NodeId> objects;
+  objects.reserve(count);
+  while (objects.size() < count) {
+    const NodeId n = static_cast<NodeId>(rng.NextUint64(graph.num_nodes()));
+    if (chosen[n]) continue;
+    chosen[n] = true;
+    objects.push_back(n);
+  }
+  std::sort(objects.begin(), objects.end());
+  return objects;
+}
+
+std::vector<NodeId> ClusteredDataset(const RoadNetwork& graph, double density,
+                                     size_t num_clusters, uint64_t seed) {
+  const size_t count = DatasetCardinality(graph, density);
+  DSIG_CHECK_GE(num_clusters, 1u);
+  Random rng(seed);
+  std::vector<bool> chosen(graph.num_nodes(), false);
+  std::vector<NodeId> objects;
+  objects.reserve(count);
+  const size_t per_cluster = (count + num_clusters - 1) / num_clusters;
+  while (objects.size() < count) {
+    // Grow one cluster by BFS from a random unchosen seed.
+    NodeId seed_node =
+        static_cast<NodeId>(rng.NextUint64(graph.num_nodes()));
+    if (chosen[seed_node]) continue;
+    std::deque<NodeId> queue = {seed_node};
+    std::vector<bool> visited(graph.num_nodes(), false);
+    visited[seed_node] = true;
+    size_t placed = 0;
+    while (!queue.empty() && placed < per_cluster && objects.size() < count) {
+      const NodeId n = queue.front();
+      queue.pop_front();
+      if (!chosen[n]) {
+        chosen[n] = true;
+        objects.push_back(n);
+        ++placed;
+      }
+      for (const AdjacencyEntry& entry : graph.adjacency(n)) {
+        if (entry.removed || visited[entry.to]) continue;
+        visited[entry.to] = true;
+        queue.push_back(entry.to);
+      }
+    }
+  }
+  std::sort(objects.begin(), objects.end());
+  return objects;
+}
+
+}  // namespace dsig

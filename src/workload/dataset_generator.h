@@ -1,0 +1,28 @@
+// Dataset (object placement) generators for the evaluation (paper §6.1).
+//
+// The paper evaluates uniformly distributed datasets with density
+// p ∈ {0.0005, 0.001, 0.01, 0.05} (p = objects / nodes) plus one non-uniform
+// dataset of 100 clusters at p = 0.01, denoted 0.01(nu).
+#ifndef DSIG_WORKLOAD_DATASET_GENERATOR_H_
+#define DSIG_WORKLOAD_DATASET_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace dsig {
+
+// `density` * num_nodes distinct nodes, uniformly sampled (at least 1).
+std::vector<NodeId> UniformDataset(const RoadNetwork& graph, double density,
+                                   uint64_t seed);
+
+// Same cardinality as UniformDataset but concentrated around `num_clusters`
+// randomly chosen seed nodes: each cluster is filled by BFS from its seed,
+// mimicking real POI clumping (shops along main streets).
+std::vector<NodeId> ClusteredDataset(const RoadNetwork& graph, double density,
+                                     size_t num_clusters, uint64_t seed);
+
+}  // namespace dsig
+
+#endif  // DSIG_WORKLOAD_DATASET_GENERATOR_H_

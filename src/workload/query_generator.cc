@@ -1,0 +1,19 @@
+#include "workload/query_generator.h"
+
+#include "util/random.h"
+
+namespace dsig {
+
+std::vector<NodeId> RandomQueryNodes(const RoadNetwork& graph, size_t count,
+                                     uint64_t seed) {
+  DSIG_CHECK_GT(graph.num_nodes(), 0u);
+  Random rng(seed);
+  std::vector<NodeId> nodes;
+  nodes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    nodes.push_back(static_cast<NodeId>(rng.NextUint64(graph.num_nodes())));
+  }
+  return nodes;
+}
+
+}  // namespace dsig

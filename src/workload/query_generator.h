@@ -1,0 +1,19 @@
+// Query workload generators (paper §6.2: 500-1000 random queries per
+// workload).
+#ifndef DSIG_WORKLOAD_QUERY_GENERATOR_H_
+#define DSIG_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace dsig {
+
+// `count` query nodes, uniformly sampled with replacement.
+std::vector<NodeId> RandomQueryNodes(const RoadNetwork& graph, size_t count,
+                                     uint64_t seed);
+
+}  // namespace dsig
+
+#endif  // DSIG_WORKLOAD_QUERY_GENERATOR_H_

@@ -1,0 +1,123 @@
+// Reverse kNN and closest-pair: the §4.3 generalization queries, validated
+// against brute force.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/signature_builder.h"
+#include "graph/graph_generator.h"
+#include "query/closest_pair.h"
+#include "query/reverse_knn.h"
+#include "tests/test_util.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+std::vector<uint32_t> BruteForceReverseKnn(
+    const std::vector<std::vector<Weight>>& truth,
+    const std::vector<NodeId>& objects, NodeId q, size_t k) {
+  std::vector<uint32_t> result;
+  k = std::min(k, objects.size() - 1);
+  for (uint32_t o = 0; o < objects.size(); ++o) {
+    std::vector<Weight> to_others;
+    for (uint32_t x = 0; x < objects.size(); ++x) {
+      if (x != o) to_others.push_back(truth[o][objects[x]]);
+    }
+    std::sort(to_others.begin(), to_others.end());
+    if (truth[o][q] <= to_others[k - 1]) result.push_back(o);
+  }
+  return result;
+}
+
+TEST(ReverseKnnTest, SmallNetworkHandChecked) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  // Objects at 1, 5, 6. Pairwise: d(1,5)=12? 1-2-5=8; 1-4-5=13 -> 8.
+  // d(1,6)=5+7=12; d(5,6)=8+7=15.
+  const auto index = BuildSignatureIndex(g, {1, 5, 6}, {.t = 4, .c = 2});
+  // q = node 0: d(0,1)=4, d(0,5)=12, d(0,6)=11.
+  // k=1 thresholds: obj0(1): nearest other is 5 at 8 -> 4 <= 8 in.
+  //                 obj1(5): nearest is 1 at 8 -> 12 > 8 out.
+  //                 obj2(6): nearest is 1 at 12 -> 11 <= 12 in.
+  const ReverseKnnResult r = SignatureReverseKnn(*index, 0, 1);
+  EXPECT_EQ(r.objects, (std::vector<uint32_t>{0, 2}));
+}
+
+class ReverseKnnPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReverseKnnPropertyTest, MatchesBruteForce) {
+  const RoadNetwork g =
+      MakeRandomPlanar({.num_nodes = 350, .seed = GetParam()});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.05, GetParam());
+  const auto index = BuildSignatureIndex(g, objects, {.t = 5, .c = 2});
+  const auto truth = testing_util::BruteForceDistances(g, objects);
+  for (const NodeId q : testing_util::SampleNodes(g, 12, GetParam() + 1)) {
+    for (const size_t k : {1u, 3u, 7u}) {
+      EXPECT_EQ(SignatureReverseKnn(*index, q, k).objects,
+                BruteForceReverseKnn(truth, objects, q, k))
+          << "q=" << q << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReverseKnnPropertyTest,
+                         ::testing::Values(3, 13, 33));
+
+TEST(ReverseKnnTest, QueryAtObjectNode) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const auto index = BuildSignatureIndex(g, {1, 5}, {.t = 4, .c = 2});
+  // The object at the query node is always a result (distance 0).
+  const ReverseKnnResult r = SignatureReverseKnn(*index, 1, 1);
+  EXPECT_TRUE(std::find(r.objects.begin(), r.objects.end(), 0u) !=
+              r.objects.end());
+}
+
+TEST(ClosestPairTest, SmallNetworkHandChecked) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const auto depots = BuildSignatureIndex(g, {0, 2}, {.t = 4, .c = 2});
+  const auto shops = BuildSignatureIndex(g, {3, 5}, {.t = 4, .c = 2});
+  // Pair distances: d(0,3)=3, d(0,5)=12, d(2,3)=11, d(2,5)=2.
+  const ClosestPairResult r = SignatureClosestPair(*depots, *shops);
+  EXPECT_EQ(r.distance, 2);
+  EXPECT_EQ(r.left, 1u);   // object at node 2
+  EXPECT_EQ(r.right, 1u);  // object at node 5
+}
+
+TEST(ClosestPairTest, CoLocatedPairShortCircuits) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const auto a = BuildSignatureIndex(g, {0, 4}, {.t = 4, .c = 2});
+  const auto b = BuildSignatureIndex(g, {4, 6}, {.t = 4, .c = 2});
+  const ClosestPairResult r = SignatureClosestPair(*a, *b);
+  EXPECT_EQ(r.distance, 0);
+}
+
+class ClosestPairPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClosestPairPropertyTest, MatchesBruteForce) {
+  const RoadNetwork g =
+      MakeRandomPlanar({.num_nodes = 300, .seed = GetParam()});
+  const std::vector<NodeId> left_objects =
+      UniformDataset(g, 0.04, GetParam());
+  const std::vector<NodeId> right_objects =
+      UniformDataset(g, 0.04, GetParam() + 70);
+  const auto left = BuildSignatureIndex(g, left_objects, {.t = 5, .c = 2});
+  const auto right = BuildSignatureIndex(g, right_objects, {.t = 5, .c = 2});
+  const auto truth = testing_util::BruteForceDistances(g, left_objects);
+  Weight expected = kInfiniteWeight;
+  for (uint32_t a = 0; a < left_objects.size(); ++a) {
+    for (uint32_t b = 0; b < right_objects.size(); ++b) {
+      expected = std::min(expected, truth[a][right_objects[b]]);
+    }
+  }
+  const ClosestPairResult r = SignatureClosestPair(*left, *right);
+  EXPECT_EQ(r.distance, expected);
+  EXPECT_EQ(truth[r.left][right_objects[r.right]], expected);
+  // Pruning must leave most pairs untouched.
+  EXPECT_LT(r.refined, left_objects.size() * right_objects.size() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosestPairPropertyTest,
+                         ::testing::Values(5, 15, 35));
+
+}  // namespace
+}  // namespace dsig

@@ -1,0 +1,84 @@
+#include "query/aggregate_query.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/signature_builder.h"
+#include "graph/graph_generator.h"
+#include "tests/test_util.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+TEST(AggregateQueryTest, CountOnSmallNetwork) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const auto index = BuildSignatureIndex(g, {1, 5, 6}, {.t = 4, .c = 2});
+  EXPECT_EQ(SignatureCountQuery(*index, 0, 4).count, 1u);
+  EXPECT_EQ(SignatureCountQuery(*index, 0, 11).count, 2u);
+  EXPECT_EQ(SignatureCountQuery(*index, 0, 100).count, 3u);
+  EXPECT_EQ(SignatureCountQuery(*index, 0, 1).count, 0u);
+}
+
+TEST(AggregateQueryTest, DistanceAggregatesOnSmallNetwork) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const auto index = BuildSignatureIndex(g, {1, 5, 6}, {.t = 4, .c = 2});
+  // From node 0: distances 4, 12, 11.
+  const DistanceAggregateResult r =
+      SignatureDistanceAggregateQuery(*index, 0, 100);
+  EXPECT_EQ(r.count, 3u);
+  EXPECT_EQ(r.sum, 27);
+  EXPECT_EQ(r.min, 4);
+  EXPECT_EQ(r.max, 12);
+}
+
+TEST(AggregateQueryTest, EmptyResult) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const auto index = BuildSignatureIndex(g, {5}, {.t = 4, .c = 2});
+  const DistanceAggregateResult r =
+      SignatureDistanceAggregateQuery(*index, 0, 1);
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(r.sum, 0);
+  EXPECT_EQ(r.min, kInfiniteWeight);
+}
+
+class AggregatePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregatePropertyTest, MatchesBruteForce) {
+  const RoadNetwork g =
+      MakeRandomPlanar({.num_nodes = 350, .seed = GetParam()});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.06, GetParam());
+  const auto index = BuildSignatureIndex(g, objects, {.t = 5, .c = 2});
+  const auto truth = testing_util::BruteForceDistances(g, objects);
+  for (const NodeId n : testing_util::SampleNodes(g, 10, GetParam())) {
+    for (const Weight eps : {5.0, 20.0, 50.0}) {
+      size_t count = 0;
+      Weight sum = 0, mn = kInfiniteWeight, mx = 0;
+      for (uint32_t o = 0; o < objects.size(); ++o) {
+        const Weight d = truth[o][n];
+        if (d <= eps) {
+          ++count;
+          sum += d;
+          mn = std::min(mn, d);
+          mx = std::max(mx, d);
+        }
+      }
+      EXPECT_EQ(SignatureCountQuery(*index, n, eps).count, count);
+      const DistanceAggregateResult r =
+          SignatureDistanceAggregateQuery(*index, n, eps);
+      EXPECT_EQ(r.count, count);
+      EXPECT_EQ(r.sum, sum);
+      if (count > 0) {
+        EXPECT_EQ(r.min, mn);
+        EXPECT_EQ(r.max, mx);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatePropertyTest,
+                         ::testing::Values(4, 14, 44));
+
+}  // namespace
+}  // namespace dsig

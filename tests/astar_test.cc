@@ -1,0 +1,94 @@
+#include "graph/astar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/dijkstra.h"
+#include "graph/graph_generator.h"
+#include "tests/test_util.h"
+
+namespace dsig {
+namespace {
+
+TEST(AStarTest, ZeroHeuristicMatchesDijkstra) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      const AStarResult r = RunAStar(g, s, t, ZeroHeuristic());
+      EXPECT_EQ(r.distance, DijkstraDistance(g, s, t));
+    }
+  }
+}
+
+TEST(AStarTest, PathEndpointsAndLength) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const AStarResult r = RunAStar(g, 0, 6, ZeroHeuristic());
+  ASSERT_FALSE(r.path.empty());
+  EXPECT_EQ(r.path.front(), 0u);
+  EXPECT_EQ(r.path.back(), 6u);
+  Weight total = 0;
+  for (size_t i = 1; i < r.path.size(); ++i) {
+    const EdgeId e = g.FindEdge(r.path[i - 1], r.path[i]);
+    ASSERT_NE(e, kInvalidEdge);
+    total += g.edge_weight(e);
+  }
+  EXPECT_EQ(total, r.distance);
+}
+
+TEST(AStarTest, AdmissibleEuclideanHeuristicStaysExact) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 800, .seed = 21});
+  const double scale = MaxAdmissibleEuclideanScale(g);
+  ASSERT_GT(scale, 0);
+  for (const NodeId t : testing_util::SampleNodes(g, 5, 99)) {
+    const AStarHeuristic h = EuclideanHeuristic(g, t, scale);
+    for (const NodeId s : testing_util::SampleNodes(g, 5, 7)) {
+      const AStarResult astar = RunAStar(g, s, t, h);
+      EXPECT_EQ(astar.distance, DijkstraDistance(g, s, t));
+    }
+  }
+}
+
+TEST(AStarTest, GuidedSearchExpandsNoMoreThanDijkstra) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 2000, .seed = 5});
+  const double scale = MaxAdmissibleEuclideanScale(g);
+  size_t guided = 0, unguided = 0;
+  for (const NodeId s : testing_util::SampleNodes(g, 8, 1)) {
+    const NodeId t = (s + 1000) % static_cast<NodeId>(g.num_nodes());
+    guided += RunAStar(g, s, t, EuclideanHeuristic(g, t, scale))
+                  .nodes_expanded;
+    unguided += RunAStar(g, s, t, ZeroHeuristic()).nodes_expanded;
+  }
+  EXPECT_LE(guided, unguided);
+}
+
+TEST(AStarTest, UnreachableTarget) {
+  RoadNetwork g;
+  g.AddNode({0, 0});
+  g.AddNode({1, 0});
+  const AStarResult r = RunAStar(g, 0, 1, ZeroHeuristic());
+  EXPECT_EQ(r.distance, kInfiniteWeight);
+  EXPECT_TRUE(r.path.empty());
+}
+
+TEST(AStarTest, SourceEqualsTarget) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const AStarResult r = RunAStar(g, 3, 3, ZeroHeuristic());
+  EXPECT_EQ(r.distance, 0);
+  EXPECT_EQ(r.path, std::vector<NodeId>({3}));
+}
+
+TEST(AStarTest, MaxAdmissibleScaleIsAdmissible) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 300, .seed = 2});
+  const double scale = MaxAdmissibleEuclideanScale(g);
+  for (EdgeId e = 0; e < g.num_edge_slots(); ++e) {
+    const auto [u, v] = g.edge_endpoints(e);
+    const auto& pu = g.position(u);
+    const auto& pv = g.position(v);
+    const double euclid = std::hypot(pu.x - pv.x, pu.y - pv.y);
+    EXPECT_LE(scale * euclid, g.edge_weight(e) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dsig

@@ -1,0 +1,109 @@
+#include "util/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace dsig {
+namespace {
+
+TEST(BitstreamTest, EmptyWriter) {
+  BitWriter writer;
+  EXPECT_EQ(writer.size_bits(), 0u);
+  EXPECT_TRUE(writer.bytes().empty());
+}
+
+TEST(BitstreamTest, SingleBitRoundTrip) {
+  BitWriter writer;
+  writer.WriteBit(true);
+  writer.WriteBit(false);
+  writer.WriteBit(true);
+  EXPECT_EQ(writer.size_bits(), 3u);
+  BitReader reader(writer.bytes().data(), writer.size_bits());
+  EXPECT_TRUE(reader.ReadBit());
+  EXPECT_FALSE(reader.ReadBit());
+  EXPECT_TRUE(reader.ReadBit());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BitstreamTest, MultiBitRoundTrip) {
+  BitWriter writer;
+  writer.WriteBits(0b1011, 4);
+  writer.WriteBits(0xDEADBEEF, 32);
+  writer.WriteBits(0, 0);  // zero-width write is a no-op
+  writer.WriteBits(0x1FFFFFFFFFFFFFFFULL, 61);
+  BitReader reader(writer.bytes().data(), writer.size_bits());
+  EXPECT_EQ(reader.ReadBits(4), 0b1011u);
+  EXPECT_EQ(reader.ReadBits(32), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadBits(0), 0u);
+  EXPECT_EQ(reader.ReadBits(61), 0x1FFFFFFFFFFFFFFFULL);
+}
+
+TEST(BitstreamTest, WidthMasksHighBits) {
+  BitWriter writer;
+  writer.WriteBits(0xFF, 3);  // only the low 3 bits should land
+  BitReader reader(writer.bytes().data(), writer.size_bits());
+  EXPECT_EQ(reader.ReadBits(3), 0b111u);
+  EXPECT_EQ(writer.size_bits(), 3u);
+}
+
+TEST(BitstreamTest, UnaryRoundTrip) {
+  BitWriter writer;
+  for (int count : {0, 1, 5, 17}) writer.WriteUnary(count);
+  BitReader reader(writer.bytes().data(), writer.size_bits());
+  EXPECT_EQ(reader.ReadUnary(), 0);
+  EXPECT_EQ(reader.ReadUnary(), 1);
+  EXPECT_EQ(reader.ReadUnary(), 5);
+  EXPECT_EQ(reader.ReadUnary(), 17);
+}
+
+TEST(BitstreamTest, SeekRepositionsReads) {
+  BitWriter writer;
+  writer.WriteBits(0xAB, 8);
+  writer.WriteBits(0xCD, 8);
+  BitReader reader(writer.bytes().data(), writer.size_bits());
+  reader.Seek(8);
+  EXPECT_EQ(reader.ReadBits(8), 0xCDu);
+  reader.Seek(0);
+  EXPECT_EQ(reader.ReadBits(8), 0xABu);
+  EXPECT_EQ(reader.position(), 8u);
+}
+
+TEST(BitstreamTest, TakeBytesResetsWriter) {
+  BitWriter writer;
+  writer.WriteBits(0x7, 3);
+  const std::vector<uint8_t> bytes = writer.TakeBytes();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(writer.size_bits(), 0u);
+  writer.WriteBit(true);
+  EXPECT_EQ(writer.size_bits(), 1u);
+}
+
+// Property: any random sequence of (value, width) writes reads back intact.
+class BitstreamRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitstreamRoundTripTest, RandomSequencesRoundTrip) {
+  Random rng(GetParam());
+  std::vector<std::pair<uint64_t, int>> writes;
+  BitWriter writer;
+  for (int i = 0; i < 500; ++i) {
+    const int width = static_cast<int>(rng.NextUint64(65));
+    uint64_t value = rng.NextUint64();
+    if (width < 64) value &= (uint64_t{1} << width) - 1;
+    writes.push_back({value, width});
+    writer.WriteBits(value, width);
+  }
+  BitReader reader(writer.bytes().data(), writer.size_bits());
+  for (const auto& [value, width] : writes) {
+    EXPECT_EQ(reader.ReadBits(width), value);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitstreamRoundTripTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace dsig

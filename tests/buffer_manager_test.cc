@@ -1,0 +1,91 @@
+#include "storage/buffer_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace dsig {
+namespace {
+
+TEST(BufferManagerTest, ColdAccessesMiss) {
+  BufferManager buffer(4);
+  const FileId f = buffer.RegisterFile();
+  EXPECT_FALSE(buffer.Access(f, 0));
+  EXPECT_FALSE(buffer.Access(f, 1));
+  EXPECT_EQ(buffer.stats().logical_accesses, 2u);
+  EXPECT_EQ(buffer.stats().physical_accesses, 2u);
+}
+
+TEST(BufferManagerTest, RepeatAccessHits) {
+  BufferManager buffer(4);
+  const FileId f = buffer.RegisterFile();
+  buffer.Access(f, 7);
+  EXPECT_TRUE(buffer.Access(f, 7));
+  EXPECT_EQ(buffer.stats().logical_accesses, 2u);
+  EXPECT_EQ(buffer.stats().physical_accesses, 1u);
+}
+
+TEST(BufferManagerTest, LruEviction) {
+  BufferManager buffer(2);
+  const FileId f = buffer.RegisterFile();
+  buffer.Access(f, 1);
+  buffer.Access(f, 2);
+  buffer.Access(f, 3);  // evicts 1, cache = {2, 3}
+  EXPECT_TRUE(buffer.Access(f, 2));
+  EXPECT_TRUE(buffer.Access(f, 3));
+  EXPECT_FALSE(buffer.Access(f, 1));  // was evicted; re-admitting evicts 2
+  EXPECT_FALSE(buffer.Access(f, 2));
+}
+
+TEST(BufferManagerTest, TouchRefreshesRecency) {
+  BufferManager buffer(2);
+  const FileId f = buffer.RegisterFile();
+  buffer.Access(f, 1);
+  buffer.Access(f, 2);
+  buffer.Access(f, 1);  // 1 becomes most recent
+  buffer.Access(f, 3);  // evicts 2, not 1
+  EXPECT_TRUE(buffer.Access(f, 1));
+}
+
+TEST(BufferManagerTest, FilesAreIndependentNamespaces) {
+  BufferManager buffer(10);
+  const FileId a = buffer.RegisterFile();
+  const FileId b = buffer.RegisterFile();
+  buffer.Access(a, 5);
+  EXPECT_FALSE(buffer.Access(b, 5));  // same page id, different file
+  EXPECT_TRUE(buffer.Access(a, 5));
+}
+
+TEST(BufferManagerTest, ZeroCapacityDisablesCaching) {
+  BufferManager buffer(0);
+  const FileId f = buffer.RegisterFile();
+  buffer.Access(f, 1);
+  EXPECT_FALSE(buffer.Access(f, 1));
+  EXPECT_EQ(buffer.stats().physical_accesses, 2u);
+}
+
+TEST(BufferManagerTest, ResetStatsKeepsContents) {
+  BufferManager buffer(4);
+  const FileId f = buffer.RegisterFile();
+  buffer.Access(f, 1);
+  buffer.ResetStats();
+  EXPECT_EQ(buffer.stats().logical_accesses, 0u);
+  EXPECT_TRUE(buffer.Access(f, 1));  // still cached
+}
+
+TEST(BufferManagerTest, ClearDropsContents) {
+  BufferManager buffer(4);
+  const FileId f = buffer.RegisterFile();
+  buffer.Access(f, 1);
+  buffer.Clear();
+  EXPECT_FALSE(buffer.Access(f, 1));
+}
+
+TEST(BufferManagerTest, StatsSubtraction) {
+  BufferStats a{10, 6};
+  BufferStats b{4, 2};
+  const BufferStats d = a - b;
+  EXPECT_EQ(d.logical_accesses, 6u);
+  EXPECT_EQ(d.physical_accesses, 4u);
+}
+
+}  // namespace
+}  // namespace dsig

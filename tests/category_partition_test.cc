@@ -1,0 +1,103 @@
+#include "core/category_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dsig {
+namespace {
+
+TEST(CategoryPartitionTest, PaperExampleFourCategories) {
+  // The paper's §3.1 example: 0-100, 100-400, 400-900, beyond 900.
+  const CategoryPartition p =
+      CategoryPartition::FromBoundaries({100, 400, 900});
+  EXPECT_EQ(p.num_categories(), 4);
+  EXPECT_EQ(p.CategoryOf(75), 0);   // object a
+  EXPECT_EQ(p.CategoryOf(475), 2);  // object b
+  EXPECT_EQ(p.CategoryOf(100), 1);  // boundary goes up
+  EXPECT_EQ(p.CategoryOf(10000), 3);
+  EXPECT_EQ(p.LowerBound(0), 0);
+  EXPECT_EQ(p.UpperBound(0), 100);
+  EXPECT_EQ(p.LowerBound(3), 900);
+  EXPECT_EQ(p.UpperBound(3), kInfiniteWeight);
+}
+
+TEST(CategoryPartitionTest, ExponentialBoundaries) {
+  const CategoryPartition p = CategoryPartition::Exponential(10, 2, 100);
+  // Boundaries: 10, 20, 40, 80 -> 5 categories ending with [80, inf).
+  EXPECT_EQ(p.num_categories(), 5);
+  EXPECT_EQ(p.UpperBound(0), 10);
+  EXPECT_EQ(p.UpperBound(1), 20);
+  EXPECT_EQ(p.UpperBound(2), 40);
+  EXPECT_EQ(p.UpperBound(3), 80);
+  EXPECT_EQ(p.UpperBound(4), kInfiniteWeight);
+  EXPECT_EQ(p.CategoryOf(0), 0);
+  EXPECT_EQ(p.CategoryOf(9.99), 0);
+  EXPECT_EQ(p.CategoryOf(10), 1);
+  EXPECT_EQ(p.CategoryOf(79.5), 3);
+  EXPECT_EQ(p.CategoryOf(95), 4);
+}
+
+TEST(CategoryPartitionTest, CategoriesPartitionTheSpectrum) {
+  const CategoryPartition p = CategoryPartition::Exponential(5, 3, 1000);
+  for (double d = 0; d < 1200; d += 0.37) {
+    const int cat = p.CategoryOf(d);
+    EXPECT_GE(d, p.LowerBound(cat));
+    EXPECT_LT(d, p.UpperBound(cat));
+    if (cat > 0) {
+      EXPECT_EQ(p.UpperBound(cat - 1), p.LowerBound(cat));
+    }
+  }
+}
+
+TEST(CategoryPartitionTest, OptimalUsesEulerNumber) {
+  const CategoryPartition p = CategoryPartition::Optimal(1000, 5000);
+  EXPECT_NEAR(p.c(), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(p.t(), std::sqrt(1000 / std::exp(1.0)), 1e-9);
+}
+
+TEST(CategoryPartitionTest, DegenerateSingleBoundary) {
+  const CategoryPartition p = CategoryPartition::Exponential(10, 2, 10);
+  EXPECT_EQ(p.num_categories(), 2);
+  EXPECT_EQ(p.CategoryOf(3), 0);
+  EXPECT_EQ(p.CategoryOf(10), 1);
+}
+
+TEST(CategoryPartitionTest, FixedCodeBits) {
+  EXPECT_EQ(CategoryPartition::FromBoundaries({1}).fixed_code_bits(), 1);
+  EXPECT_EQ(CategoryPartition::FromBoundaries({1, 2, 3}).fixed_code_bits(),
+            2);
+  EXPECT_EQ(
+      CategoryPartition::FromBoundaries({1, 2, 3, 4, 5, 6, 7}).fixed_code_bits(),
+      3);
+}
+
+TEST(DistanceRangeTest, PartialIntersection) {
+  const DistanceRange a{10, 20};
+  EXPECT_TRUE(a.PartiallyIntersects({15, 30}));   // overlap, not contained
+  EXPECT_TRUE(a.PartiallyIntersects({0, 15}));    // overlap from below
+  EXPECT_FALSE(a.PartiallyIntersects({20, 30}));  // disjoint (half-open)
+  EXPECT_FALSE(a.PartiallyIntersects({0, 10}));   // disjoint
+  EXPECT_FALSE(a.PartiallyIntersects({5, 25}));   // a contained in other
+  EXPECT_TRUE(a.PartiallyIntersects({12, 18}));   // other contained in a
+}
+
+TEST(DistanceRangeTest, PointDelta) {
+  // Range straddling a point threshold partially intersects it; a range
+  // ending or starting at the point does not.
+  const DistanceRange point{15, 15};
+  EXPECT_TRUE(DistanceRange({10, 20}).PartiallyIntersects(point));
+  EXPECT_FALSE(DistanceRange({15, 20}).PartiallyIntersects(point));
+  EXPECT_FALSE(DistanceRange({10, 15}).PartiallyIntersects(point));
+}
+
+TEST(DistanceRangeTest, ContainsIsHalfOpen) {
+  const DistanceRange r{10, 20};
+  EXPECT_TRUE(r.Contains(10));
+  EXPECT_TRUE(r.Contains(19.999));
+  EXPECT_FALSE(r.Contains(20));
+  EXPECT_FALSE(r.Contains(9.999));
+}
+
+}  // namespace
+}  // namespace dsig

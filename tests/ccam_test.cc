@@ -1,0 +1,68 @@
+#include "graph/ccam.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_generator.h"
+#include "tests/test_util.h"
+
+namespace dsig {
+namespace {
+
+TEST(CcamTest, OrderIsPermutation) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 1000, .seed = 4});
+  const std::vector<NodeId> order = ComputeCcamOrder(g, 16);
+  ASSERT_EQ(order.size(), g.num_nodes());
+  std::vector<NodeId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) EXPECT_EQ(sorted[n], n);
+}
+
+TEST(CcamTest, SingleNodeClusters) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const std::vector<NodeId> order = ComputeCcamOrder(g, 1);
+  EXPECT_EQ(order.size(), 7u);
+}
+
+TEST(CcamTest, BeatsRandomOrderOnLocality) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 4000, .seed = 9});
+  const size_t per_page = 32;
+  const std::vector<NodeId> ccam = ComputeCcamOrder(g, per_page);
+
+  // Shuffled order as the strawman.
+  std::vector<NodeId> shuffled(g.num_nodes());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) shuffled[n] = n;
+  Random rng(1);
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.NextUint64(i)]);
+  }
+
+  const double ccam_quality = IntraClusterEdgeFraction(g, ccam, per_page);
+  const double random_quality =
+      IntraClusterEdgeFraction(g, shuffled, per_page);
+  EXPECT_GT(ccam_quality, 2 * random_quality);
+  EXPECT_GT(ccam_quality, 0.3);
+}
+
+TEST(CcamTest, HandlesDisconnectedGraphs) {
+  RoadNetwork g;
+  for (int i = 0; i < 6; ++i) g.AddNode({static_cast<double>(i), 0});
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(2, 3, 1);  // second component
+  // nodes 4, 5 isolated
+  const std::vector<NodeId> order = ComputeCcamOrder(g, 2);
+  EXPECT_EQ(order.size(), 6u);
+}
+
+TEST(CcamTest, GridClustersAreCompact) {
+  const RoadNetwork g = MakeGrid({.width = 20, .height = 20});
+  const double quality = IntraClusterEdgeFraction(g, ComputeCcamOrder(g, 25),
+                                                  25);
+  // A 5x5 block keeps 40 of its 2*5*4 = 40... at least half the edges
+  // internal under any sane clustering.
+  EXPECT_GT(quality, 0.5);
+}
+
+}  // namespace
+}  // namespace dsig

@@ -1,0 +1,103 @@
+#include "query/continuous_knn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/signature_builder.h"
+#include "graph/dijkstra.h"
+#include "graph/graph_generator.h"
+#include "tests/test_util.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+std::vector<NodeId> RandomWalkPath(const RoadNetwork& g, NodeId start,
+                                   size_t length, uint64_t seed) {
+  Random rng(seed);
+  std::vector<NodeId> path = {start};
+  NodeId at = start;
+  while (path.size() < length) {
+    const auto& adjacency = g.adjacency(at);
+    std::vector<NodeId> live;
+    for (const AdjacencyEntry& e : adjacency) {
+      if (!e.removed) live.push_back(e.to);
+    }
+    if (live.empty()) break;
+    at = live[rng.NextUint64(live.size())];
+    path.push_back(at);
+  }
+  return path;
+}
+
+TEST(ContinuousKnnTest, SingleNodePath) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const auto index = BuildSignatureIndex(g, {1, 5, 6}, {.t = 4, .c = 2});
+  const CnnResult r = SignatureContinuousKnn(*index, {0}, 2);
+  ASSERT_EQ(r.intervals.size(), 1u);
+  EXPECT_EQ(r.intervals[0].first_index, 0u);
+  EXPECT_EQ(r.intervals[0].last_index, 0u);
+  EXPECT_EQ(r.intervals[0].objects.size(), 2u);
+}
+
+TEST(ContinuousKnnTest, IntervalsCoverPathExactly) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 400, .seed = 3});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.05, 3);
+  const auto index = BuildSignatureIndex(g, objects, {.t = 5, .c = 2});
+  const std::vector<NodeId> path = RandomWalkPath(g, 7, 30, 1);
+  const CnnResult r = SignatureContinuousKnn(*index, path, 3);
+  ASSERT_FALSE(r.intervals.empty());
+  EXPECT_EQ(r.intervals.front().first_index, 0u);
+  EXPECT_EQ(r.intervals.back().last_index, path.size() - 1);
+  for (size_t i = 1; i < r.intervals.size(); ++i) {
+    EXPECT_EQ(r.intervals[i].first_index,
+              r.intervals[i - 1].last_index + 1);
+  }
+}
+
+TEST(ContinuousKnnTest, ResultsMatchPerNodeBruteForce) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 300, .seed = 8});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.06, 8);
+  const auto index = BuildSignatureIndex(g, objects, {.t = 5, .c = 2});
+  const auto truth = testing_util::BruteForceDistances(g, objects);
+  const std::vector<NodeId> path = RandomWalkPath(g, 11, 20, 2);
+  const size_t k = 4;
+  const CnnResult r = SignatureContinuousKnn(*index, path, k);
+  for (const CnnInterval& interval : r.intervals) {
+    for (size_t i = interval.first_index; i <= interval.last_index; ++i) {
+      // The interval's result must be a correct kNN set (by distance
+      // multiset) at EVERY position it claims validity for.
+      std::vector<Weight> expected;
+      for (const auto& row : truth) expected.push_back(row[path[i]]);
+      std::sort(expected.begin(), expected.end());
+      expected.resize(k);
+      std::vector<Weight> got;
+      for (const uint32_t o : interval.objects) {
+        got.push_back(truth[o][path[i]]);
+      }
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected) << "position " << i;
+    }
+  }
+}
+
+TEST(ContinuousKnnTest, StableNeighborhoodsMergeIntervals) {
+  // A path that stays inside one neighbourhood should produce far fewer
+  // intervals than path nodes.
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 2000, .seed = 5});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.005, 5);
+  const auto index = BuildSignatureIndex(g, objects, {.t = 10, .c = 2.7});
+  const std::vector<NodeId> path = RandomWalkPath(g, 42, 60, 3);
+  const CnnResult r = SignatureContinuousKnn(*index, path, 2);
+  EXPECT_LT(r.intervals.size(), path.size() / 2);
+}
+
+TEST(ContinuousKnnTest, RejectsNonWalkPaths) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const auto index = BuildSignatureIndex(g, {1}, {.t = 4, .c = 2});
+  EXPECT_DEATH(SignatureContinuousKnn(*index, {0, 6}, 1), "walk");
+}
+
+}  // namespace
+}  // namespace dsig

@@ -1,0 +1,77 @@
+#include "core/cross_node.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/signature_builder.h"
+#include "graph/ccam.h"
+#include "graph/graph_generator.h"
+#include "tests/test_util.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+TEST(CrossNodeTest, StatsAreInternallyConsistent) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 800, .seed = 3});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.04, 3);
+  const auto index = BuildSignatureIndex(g, objects, {.t = 5, .c = 2});
+  const std::vector<NodeId> order = ComputeCcamOrder(g, 64);
+  const CrossNodeStats stats = AnalyzeCrossNodeCompression(*index, order, 8);
+  EXPECT_EQ(stats.within_row_bits, index->size_stats().compressed_bits);
+  // Every row pays at most 1 extra header bit; the total can never exceed
+  // the within-row form by more than V bits.
+  EXPECT_LE(stats.cross_node_bits,
+            stats.within_row_bits + g.num_nodes());
+  EXPECT_LE(stats.delta_rows, g.num_nodes());
+  EXPECT_LE(stats.same_category_entries, stats.delta_entries);
+}
+
+TEST(CrossNodeTest, NeighboringRowsShareCategories) {
+  // The premise of the paper's future-work idea: in CCAM order, consecutive
+  // rows agree on most categories.
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 1500, .seed = 7});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.02, 7);
+  const auto index = BuildSignatureIndex(g, objects, {.t = 10, .c = 2.7});
+  const std::vector<NodeId> order = ComputeCcamOrder(g, 64);
+  const CrossNodeStats stats = AnalyzeCrossNodeCompression(*index, order, 8);
+  if (stats.delta_entries > 0) {
+    EXPECT_GT(stats.SameCategoryFraction(), 0.5);
+  }
+}
+
+TEST(CrossNodeTest, ChainDepthOneLimitsDeltaRows) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 600, .seed = 4});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.03, 4);
+  const auto index = BuildSignatureIndex(g, objects, {.t = 5, .c = 2});
+  const std::vector<NodeId> order = ComputeCcamOrder(g, 64);
+  const CrossNodeStats shallow = AnalyzeCrossNodeCompression(*index, order, 1);
+  const CrossNodeStats deep = AnalyzeCrossNodeCompression(*index, order, 16);
+  // With chains of depth 1, at most every other row can be a delta.
+  EXPECT_LE(shallow.delta_rows, (g.num_nodes() + 1) / 2);
+  EXPECT_GE(deep.delta_rows, shallow.delta_rows);
+  EXPECT_LE(deep.cross_node_bits, shallow.cross_node_bits);
+}
+
+TEST(CrossNodeTest, RandomOrderDefeatsDeltas) {
+  // Shuffled storage order destroys row similarity; cross-node deltas should
+  // then win rarely, and never beat the CCAM order's total.
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 800, .seed = 9});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.03, 9);
+  const auto index = BuildSignatureIndex(g, objects, {.t = 5, .c = 2});
+  const std::vector<NodeId> ccam = ComputeCcamOrder(g, 64);
+  std::vector<NodeId> shuffled(g.num_nodes());
+  std::iota(shuffled.begin(), shuffled.end(), 0);
+  Random rng(1);
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.NextUint64(i)]);
+  }
+  const CrossNodeStats with_ccam = AnalyzeCrossNodeCompression(*index, ccam, 8);
+  const CrossNodeStats with_random =
+      AnalyzeCrossNodeCompression(*index, shuffled, 8);
+  EXPECT_LE(with_ccam.cross_node_bits, with_random.cross_node_bits);
+}
+
+}  // namespace
+}  // namespace dsig

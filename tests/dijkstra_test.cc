@@ -1,0 +1,143 @@
+#include "graph/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_generator.h"
+#include "tests/test_util.h"
+
+namespace dsig {
+namespace {
+
+TEST(DijkstraTest, SevenNodeNetworkDistances) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const ShortestPathTree tree = RunDijkstra(g, 0);
+  EXPECT_EQ(tree.dist[0], 0);
+  EXPECT_EQ(tree.dist[1], 4);
+  EXPECT_EQ(tree.dist[3], 3);
+  EXPECT_EQ(tree.dist[4], 4);   // 0-3-4
+  EXPECT_EQ(tree.dist[2], 10);  // 0-1-2
+  EXPECT_EQ(tree.dist[5], 12);  // 0-1-2-5 = 4+6+2 beats 0-3-4-5 = 12: tie
+  EXPECT_EQ(tree.dist[6], 11);  // 0-3-4-6
+}
+
+TEST(DijkstraTest, ParentsFormShortestPaths) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const ShortestPathTree tree = RunDijkstra(g, 0);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    Weight along_parents = 0;
+    NodeId v = n;
+    while (tree.parent[v] != kInvalidNode) {
+      const EdgeId e = tree.parent_edge[v];
+      along_parents += g.edge_weight(e);
+      v = tree.parent[v];
+    }
+    EXPECT_EQ(v, 0u);
+    EXPECT_EQ(along_parents, tree.dist[n]) << "node " << n;
+  }
+}
+
+TEST(DijkstraTest, SettleOrderIsNondecreasing) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 500, .seed = 3});
+  const ShortestPathTree tree = RunDijkstra(g, 0);
+  for (size_t i = 1; i < tree.settle_order.size(); ++i) {
+    EXPECT_LE(tree.dist[tree.settle_order[i - 1]],
+              tree.dist[tree.settle_order[i]]);
+  }
+  EXPECT_EQ(tree.settle_order.size(), g.num_nodes());
+}
+
+TEST(DijkstraTest, BoundedRunStopsAtRadius) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const ShortestPathTree tree = RunDijkstraBounded(g, 0, 4);
+  EXPECT_EQ(tree.dist[0], 0);
+  EXPECT_EQ(tree.dist[1], 4);
+  EXPECT_EQ(tree.dist[3], 3);
+  EXPECT_EQ(tree.dist[4], 4);
+  EXPECT_EQ(tree.dist[2], kInfiniteWeight);
+  EXPECT_EQ(tree.dist[6], kInfiniteWeight);
+}
+
+TEST(DijkstraTest, BoundedMatchesFullWithinRadius) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 400, .seed = 11});
+  const ShortestPathTree full = RunDijkstra(g, 7);
+  const Weight radius = 25;
+  const ShortestPathTree bounded = RunDijkstraBounded(g, 7, radius);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (full.dist[n] <= radius) {
+      EXPECT_EQ(bounded.dist[n], full.dist[n]) << "node " << n;
+    } else {
+      EXPECT_EQ(bounded.dist[n], kInfiniteWeight) << "node " << n;
+    }
+  }
+}
+
+TEST(DijkstraTest, MultiSourceOwnership) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const ShortestPathTree tree = RunDijkstraMultiSource(g, {0, 5});
+  // Every node owned by its nearest source.
+  const ShortestPathTree from0 = RunDijkstra(g, 0);
+  const ShortestPathTree from5 = RunDijkstra(g, 5);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(tree.dist[n], std::min(from0.dist[n], from5.dist[n]));
+    if (from0.dist[n] < from5.dist[n]) {
+      EXPECT_EQ(tree.owner[n], 0u);
+    } else if (from5.dist[n] < from0.dist[n]) {
+      EXPECT_EQ(tree.owner[n], 5u);
+    }
+  }
+}
+
+TEST(DijkstraTest, PointToPointDistance) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  EXPECT_EQ(DijkstraDistance(g, 0, 6), 11);
+  EXPECT_EQ(DijkstraDistance(g, 2, 3), 11);  // 2-5-4-3 = 2+8+1
+}
+
+TEST(DijkstraTest, DisconnectedNodesReportInfinity) {
+  RoadNetwork g;
+  g.AddNode({0, 0});
+  g.AddNode({1, 0});
+  g.AddNode({2, 0});
+  g.AddEdge(0, 1, 1);
+  const ShortestPathTree tree = RunDijkstra(g, 0);
+  EXPECT_EQ(tree.dist[2], kInfiniteWeight);
+  EXPECT_EQ(DijkstraDistance(g, 0, 2), kInfiniteWeight);
+}
+
+TEST(DijkstraTest, RemovedEdgesAreIgnored) {
+  RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  EXPECT_EQ(DijkstraDistance(g, 0, 4), 4);
+  g.RemoveEdge(g.FindEdge(3, 4));
+  EXPECT_EQ(DijkstraDistance(g, 0, 4), 9);  // forced through node 1
+}
+
+TEST(DijkstraTest, ReconstructPath) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const ShortestPathTree tree = RunDijkstra(g, 0);
+  const std::vector<NodeId> path = ReconstructPath(tree, 0, 6);
+  EXPECT_EQ(path, std::vector<NodeId>({0, 3, 4, 6}));
+}
+
+// Property: Dijkstra distances satisfy the triangle inequality over edges
+// (local optimality certificate) on random networks.
+class DijkstraPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DijkstraPropertyTest, EdgeRelaxationCertificate) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 600,
+                                          .seed = GetParam()});
+  const ShortestPathTree tree = RunDijkstra(g, GetParam() % 600);
+  for (EdgeId e = 0; e < g.num_edge_slots(); ++e) {
+    const auto [u, v] = g.edge_endpoints(e);
+    const Weight w = g.edge_weight(e);
+    EXPECT_LE(tree.dist[v], tree.dist[u] + w);
+    EXPECT_LE(tree.dist[u], tree.dist[v] + w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraPropertyTest,
+                         ::testing::Values(1, 5, 23, 77));
+
+}  // namespace
+}  // namespace dsig

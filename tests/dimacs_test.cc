@@ -1,0 +1,123 @@
+#include "io/dimacs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "graph/dijkstra.h"
+#include "graph/graph_generator.h"
+#include "tests/test_util.h"
+
+namespace dsig {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void WriteFile(const std::string& path, const char* contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(contents, f);
+  std::fclose(f);
+}
+
+TEST(DimacsTest, ParsesHandWrittenGraph) {
+  const std::string gr = TempPath("tiny.gr");
+  const std::string co = TempPath("tiny.co");
+  WriteFile(gr,
+            "c tiny test graph\n"
+            "p sp 3 4\n"
+            "a 1 2 5\n"
+            "a 2 1 5\n"
+            "a 2 3 7\n"
+            "a 3 2 7\n");
+  WriteFile(co,
+            "c coordinates\n"
+            "p aux sp co 3\n"
+            "v 1 100 200\n"
+            "v 2 300 400\n"
+            "v 3 500 600\n");
+  const auto graph = LoadDimacsGraph(gr, co);
+  ASSERT_NE(graph, nullptr);
+  EXPECT_EQ(graph->num_nodes(), 3u);
+  EXPECT_EQ(graph->num_edges(), 2u);  // arc pairs folded
+  EXPECT_EQ(DijkstraDistance(*graph, 0, 2), 12);
+  EXPECT_EQ(graph->position(1).x, 300);
+  EXPECT_EQ(graph->position(2).y, 600);
+}
+
+TEST(DimacsTest, AsymmetricArcPairKeepsSmallerWeight) {
+  const std::string gr = TempPath("asym.gr");
+  WriteFile(gr,
+            "p sp 2 2\n"
+            "a 1 2 9\n"
+            "a 2 1 4\n");
+  const auto graph = LoadDimacsGraph(gr, "");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_EQ(graph->num_edges(), 1u);
+  EXPECT_EQ(graph->edge_weight(0), 4);
+}
+
+TEST(DimacsTest, SelfLoopsDropped) {
+  const std::string gr = TempPath("loop.gr");
+  WriteFile(gr,
+            "p sp 2 3\n"
+            "a 1 1 2\n"
+            "a 1 2 3\n"
+            "a 2 1 3\n");
+  const auto graph = LoadDimacsGraph(gr, "");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_EQ(graph->num_edges(), 1u);
+}
+
+TEST(DimacsTest, MissingFileAndBadHeader) {
+  EXPECT_EQ(LoadDimacsGraph("/nonexistent.gr", ""), nullptr);
+  const std::string gr = TempPath("bad.gr");
+  WriteFile(gr, "p nonsense here\n");
+  EXPECT_EQ(LoadDimacsGraph(gr, ""), nullptr);
+}
+
+TEST(DimacsTest, RoundTripPreservesDistances) {
+  const RoadNetwork original =
+      MakeRandomPlanar({.num_nodes = 200, .seed = 6});
+  const std::string gr = TempPath("round.gr");
+  const std::string co = TempPath("round.co");
+  ASSERT_TRUE(SaveDimacsGraph(original, gr, co));
+  const auto loaded = LoadDimacsGraph(gr, co);
+  ASSERT_NE(loaded, nullptr);
+  ASSERT_EQ(loaded->num_nodes(), original.num_nodes());
+  ASSERT_EQ(loaded->num_edges(), original.num_edges());
+  // Distances survive the round trip (spot check).
+  for (const NodeId s : testing_util::SampleNodes(original, 5, 1)) {
+    const ShortestPathTree a = RunDijkstra(original, s);
+    const ShortestPathTree b = RunDijkstra(*loaded, s);
+    for (NodeId n = 0; n < original.num_nodes(); ++n) {
+      ASSERT_EQ(a.dist[n], b.dist[n]);
+    }
+  }
+  // Positions too.
+  for (NodeId n = 0; n < original.num_nodes(); ++n) {
+    EXPECT_EQ(loaded->position(n).x, original.position(n).x);
+    EXPECT_EQ(loaded->position(n).y, original.position(n).y);
+  }
+}
+
+TEST(DimacsTest, CommentsAndBlankLinesIgnored) {
+  const std::string gr = TempPath("comments.gr");
+  WriteFile(gr,
+            "c leading comment\n"
+            "\n"
+            "p sp 2 2\n"
+            "c interior comment\n"
+            "a 1 2 1\n"
+            "a 2 1 1\n"
+            "c trailing comment\n");
+  const auto graph = LoadDimacsGraph(gr, "");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_EQ(graph->num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace dsig

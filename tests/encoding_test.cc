@@ -1,0 +1,47 @@
+#include "core/encoding.h"
+
+#include <gtest/gtest.h>
+
+namespace dsig {
+namespace {
+
+TEST(EncodingTest, KindNames) {
+  EXPECT_STREQ(CategoryCodeKindName(CategoryCodeKind::kFixed), "fixed");
+  EXPECT_STREQ(CategoryCodeKindName(CategoryCodeKind::kReverseZeroPadding),
+               "reverse-zero-padding");
+  EXPECT_STREQ(CategoryCodeKindName(CategoryCodeKind::kHuffman), "huffman");
+}
+
+TEST(EncodingTest, BuildFixed) {
+  const HuffmanCode code =
+      BuildCategoryCode(CategoryCodeKind::kFixed, 6, {});
+  for (int s = 0; s < 6; ++s) EXPECT_EQ(code.length(s), 3);
+}
+
+TEST(EncodingTest, BuildRzp) {
+  const HuffmanCode code =
+      BuildCategoryCode(CategoryCodeKind::kReverseZeroPadding, 6, {});
+  EXPECT_EQ(code.length(5), 1);
+  EXPECT_EQ(code.length(0), 5);
+}
+
+TEST(EncodingTest, BuildHuffmanUsesFrequencies) {
+  const HuffmanCode code = BuildCategoryCode(CategoryCodeKind::kHuffman, 3,
+                                             {1, 1, 1000});
+  EXPECT_EQ(code.length(2), 1);
+}
+
+TEST(EncodingTest, AccumulateSkipsCompressedEntries) {
+  SignatureRow row(4);
+  row[0].category = 1;
+  row[1].category = 1;
+  row[2].category = 2;
+  row[3].category = 2;
+  row[3].compressed = true;
+  std::vector<uint64_t> freqs(3, 0);
+  AccumulateCategoryFrequencies(row, &freqs);
+  EXPECT_EQ(freqs, (std::vector<uint64_t>{0, 2, 1}));
+}
+
+}  // namespace
+}  // namespace dsig

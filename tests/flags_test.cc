@@ -1,0 +1,57 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dsig {
+namespace {
+
+Flags ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "binary");
+  Flags flags;
+  flags.Parse(static_cast<int>(args.size()),
+              const_cast<char**>(args.data()));
+  return flags;
+}
+
+TEST(FlagsTest, EqualsForm) {
+  const Flags flags = ParseArgs({"--nodes=2000", "--density=0.01"});
+  EXPECT_EQ(flags.GetInt("nodes", 0), 2000);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("density", 0), 0.01);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  const Flags flags = ParseArgs({"--nodes", "300", "--name", "grid"});
+  EXPECT_EQ(flags.GetInt("nodes", 0), 300);
+  EXPECT_EQ(flags.GetString("name", ""), "grid");
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  const Flags flags = ParseArgs({"--verbose", "--quick=false"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.GetBool("quick", true));
+  EXPECT_TRUE(flags.GetBool("absent", true));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const Flags flags = ParseArgs({});
+  EXPECT_EQ(flags.GetInt("nodes", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 1.5), 1.5);
+  EXPECT_EQ(flags.GetString("s", "d"), "d");
+  EXPECT_FALSE(flags.Has("nodes"));
+}
+
+TEST(FlagsTest, LaterOccurrenceWins) {
+  const Flags flags = ParseArgs({"--n=1", "--n=2"});
+  EXPECT_EQ(flags.GetInt("n", 0), 2);
+}
+
+TEST(FlagsTest, BareFlagFollowedByFlag) {
+  const Flags flags = ParseArgs({"--a", "--b=3"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_EQ(flags.GetInt("b", 0), 3);
+}
+
+}  // namespace
+}  // namespace dsig

@@ -1,0 +1,71 @@
+#include "baselines/full_index.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/graph_generator.h"
+#include "tests/test_util.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+TEST(FullIndexTest, DistancesMatchDijkstra) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const std::vector<NodeId> objects = {1, 5, 6};
+  const auto index = FullIndex::Build(g, objects);
+  const auto truth = testing_util::BruteForceDistances(g, objects);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (uint32_t o = 0; o < objects.size(); ++o) {
+      EXPECT_EQ(index->Distance(n, o), truth[o][n]);
+    }
+  }
+}
+
+TEST(FullIndexTest, RangeAndKnn) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 300, .seed = 3});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.05, 3);
+  const auto index = FullIndex::Build(g, objects);
+  const auto truth = testing_util::BruteForceDistances(g, objects);
+  for (const NodeId n : testing_util::SampleNodes(g, 10, 1)) {
+    // Range.
+    std::vector<uint32_t> expected;
+    for (uint32_t o = 0; o < objects.size(); ++o) {
+      if (truth[o][n] <= 20) expected.push_back(o);
+    }
+    EXPECT_EQ(index->RangeQuery(n, 20), expected);
+    // kNN distances.
+    const auto knn = index->KnnQuery(n, 5);
+    std::vector<Weight> expected_d;
+    for (const auto& row : truth) expected_d.push_back(row[n]);
+    std::sort(expected_d.begin(), expected_d.end());
+    expected_d.resize(5);
+    ASSERT_EQ(knn.size(), 5u);
+    for (size_t i = 0; i < 5; ++i) EXPECT_EQ(knn[i].first, expected_d[i]);
+  }
+}
+
+TEST(FullIndexTest, IndexBytesIsFourBytesPerEntry) {
+  const RoadNetwork g = MakeGrid({.width = 10, .height = 10});
+  const auto index = FullIndex::Build(g, {0, 55});
+  EXPECT_EQ(index->IndexBytes(), 100u * 2 * 4);
+}
+
+TEST(FullIndexTest, StorageChargesPages) {
+  const RoadNetwork g = MakeGrid({.width = 20, .height = 20});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.1, 1);
+  const auto index = FullIndex::Build(g, objects);
+  BufferManager buffer(0);  // every access physical
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  index->AttachStorage(&buffer, order);
+  index->RangeQuery(5, 10);
+  EXPECT_GT(buffer.stats().physical_accesses, 0u);
+  const uint64_t after_range = buffer.stats().physical_accesses;
+  index->Distance(5, 0);  // single component: exactly one page
+  EXPECT_EQ(buffer.stats().physical_accesses, after_range + 1);
+}
+
+}  // namespace
+}  // namespace dsig

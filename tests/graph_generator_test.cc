@@ -1,0 +1,103 @@
+#include "graph/graph_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/dijkstra.h"
+
+namespace dsig {
+namespace {
+
+TEST(GridGeneratorTest, DimensionsAndDegrees) {
+  const RoadNetwork g = MakeGrid({.width = 5, .height = 4, .edge_weight = 1});
+  EXPECT_EQ(g.num_nodes(), 20u);
+  // Edges: horizontal 4*4 + vertical 5*3 = 31.
+  EXPECT_EQ(g.num_edges(), 31u);
+  // Interior node degree 4, corner degree 2.
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(6), 4u);
+}
+
+TEST(GridGeneratorTest, ManhattanDistancesOnUnitGrid) {
+  const RoadNetwork g = MakeGrid({.width = 6, .height = 6, .edge_weight = 1});
+  const ShortestPathTree tree = RunDijkstra(g, 0);
+  for (int y = 0; y < 6; ++y) {
+    for (int x = 0; x < 6; ++x) {
+      EXPECT_EQ(tree.dist[static_cast<NodeId>(y * 6 + x)], x + y);
+    }
+  }
+}
+
+TEST(RandomPlanarTest, ConnectedAndSized) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 3000, .seed = 5});
+  EXPECT_EQ(g.num_nodes(), 3000u);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(RandomPlanarTest, DeterministicForSeed) {
+  const RoadNetwork a = MakeRandomPlanar({.num_nodes = 500, .seed = 7});
+  const RoadNetwork b = MakeRandomPlanar({.num_nodes = 500, .seed = 7});
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edge_slots(); ++e) {
+    EXPECT_EQ(a.edge_endpoints(e), b.edge_endpoints(e));
+    EXPECT_EQ(a.edge_weight(e), b.edge_weight(e));
+  }
+}
+
+TEST(RandomPlanarTest, AverageDegreeNearFour) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 5000, .seed = 1});
+  const double avg_degree =
+      2.0 * static_cast<double>(g.num_edges()) /
+      static_cast<double>(g.num_nodes());
+  EXPECT_GT(avg_degree, 2.5);
+  EXPECT_LT(avg_degree, 6.5);
+}
+
+TEST(RandomPlanarTest, IntegerWeightsInRange) {
+  const RoadNetwork g = MakeRandomPlanar(
+      {.num_nodes = 500, .seed = 9, .min_weight = 1, .max_weight = 10});
+  for (EdgeId e = 0; e < g.num_edge_slots(); ++e) {
+    const Weight w = g.edge_weight(e);
+    EXPECT_GE(w, 1);
+    EXPECT_LE(w, 10);
+    EXPECT_EQ(w, std::floor(w)) << "weights must be integer-valued";
+  }
+}
+
+TEST(ClusteredContinentalTest, ConnectedWithClusters) {
+  const RoadNetwork g = MakeClusteredContinental(
+      {.num_clusters = 6, .nodes_per_cluster = 300, .seed = 3});
+  EXPECT_EQ(g.num_nodes(), 1800u);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(ClusteredContinentalTest, HighwaysAreLong) {
+  const RoadNetwork g = MakeClusteredContinental(
+      {.num_clusters = 5, .nodes_per_cluster = 200, .seed = 8});
+  // Some edge should be much heavier than local streets (a highway).
+  Weight max_weight = 0;
+  for (EdgeId e = 0; e < g.num_edge_slots(); ++e) {
+    max_weight = std::max(max_weight, g.edge_weight(e));
+  }
+  EXPECT_GT(max_weight, 50);
+}
+
+TEST(ClusteredContinentalTest, NonUniformDensity) {
+  // Nodes concentrate around cluster centres: the bounding box is far
+  // larger than what uniform density would need for this node count.
+  const RoadNetwork g = MakeClusteredContinental(
+      {.num_clusters = 4, .nodes_per_cluster = 250, .seed = 2});
+  double min_x = 1e18, max_x = -1e18, min_y = 1e18, max_y = -1e18;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    min_x = std::min(min_x, g.position(n).x);
+    max_x = std::max(max_x, g.position(n).x);
+    min_y = std::min(min_y, g.position(n).y);
+    max_y = std::max(max_y, g.position(n).y);
+  }
+  const double area = (max_x - min_x) * (max_y - min_y);
+  EXPECT_GT(area, 4.0 * static_cast<double>(g.num_nodes()));
+}
+
+}  // namespace
+}  // namespace dsig

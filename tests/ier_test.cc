@@ -1,0 +1,90 @@
+#include "baselines/ier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/ine.h"
+#include "graph/graph_generator.h"
+#include "tests/test_util.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+TEST(IerTest, ScaleIsPositiveOnPlanarNetworks) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 300, .seed = 2});
+  const IerSearch ier(&g, UniformDataset(g, 0.05, 2), nullptr);
+  EXPECT_GT(ier.euclidean_scale(), 0);
+}
+
+class IerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IerPropertyTest, KnnMatchesIne) {
+  const RoadNetwork g =
+      MakeRandomPlanar({.num_nodes = 500, .seed = GetParam()});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.04, GetParam());
+  const IerSearch ier(&g, objects, nullptr);
+  const IneSearch ine(&g, objects, nullptr);
+  for (const NodeId q : testing_util::SampleNodes(g, 10, GetParam() + 1)) {
+    for (const size_t k : {1u, 4u, 8u}) {
+      const IerResult got = ier.Knn(q, k);
+      const IneResult expected = ine.Knn(q, k);
+      ASSERT_EQ(got.objects.size(), expected.objects.size());
+      for (size_t i = 0; i < got.objects.size(); ++i) {
+        EXPECT_EQ(got.objects[i].first, expected.objects[i].first)
+            << "q=" << q << " k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(IerPropertyTest, RangeMatchesIne) {
+  const RoadNetwork g =
+      MakeRandomPlanar({.num_nodes = 500, .seed = GetParam() + 31});
+  const std::vector<NodeId> objects =
+      UniformDataset(g, 0.04, GetParam() + 31);
+  const IerSearch ier(&g, objects, nullptr);
+  const IneSearch ine(&g, objects, nullptr);
+  for (const NodeId q : testing_util::SampleNodes(g, 8, GetParam())) {
+    for (const Weight eps : {10.0, 40.0, 90.0}) {
+      const IerResult got = ier.Range(q, eps);
+      const IneResult expected = ine.Range(q, eps);
+      ASSERT_EQ(got.objects.size(), expected.objects.size())
+          << "q=" << q << " eps=" << eps;
+      for (size_t i = 0; i < got.objects.size(); ++i) {
+        EXPECT_EQ(got.objects[i].first, expected.objects[i].first);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IerPropertyTest,
+                         ::testing::Values(5, 15, 25));
+
+TEST(IerTest, LooseBoundForcesManyEvaluations) {
+  // The paper's criticism: when the Euclidean bound is loose (weights are
+  // random 1..10, so the admissible scale is tiny), IER refines many more
+  // candidates than k.
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 1000, .seed = 6});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.05, 6);
+  const IerSearch ier(&g, objects, nullptr);
+  size_t evaluations = 0, queries = 0;
+  for (const NodeId q : testing_util::SampleNodes(g, 10, 1)) {
+    evaluations += ier.Knn(q, 1).network_evaluations;
+    ++queries;
+  }
+  EXPECT_GT(evaluations, queries * 2);  // far more than 1 refinement per 1NN
+}
+
+TEST(IerTest, KnnEvaluationsBoundedByCandidates) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 400, .seed = 8});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.05, 8);
+  const IerSearch ier(&g, objects, nullptr);
+  const IerResult r = ier.Knn(3, 5);
+  EXPECT_LE(r.network_evaluations, objects.size());
+  EXPECT_EQ(r.objects.size(), 5u);
+}
+
+}  // namespace
+}  // namespace dsig

@@ -1,0 +1,83 @@
+#include "baselines/ine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_generator.h"
+#include "tests/test_util.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+TEST(IneTest, RangeOnSmallNetwork) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const IneSearch ine(&g, {1, 5, 6}, nullptr);
+  const IneResult r = ine.Range(0, 11);
+  ASSERT_EQ(r.objects.size(), 2u);
+  EXPECT_EQ(r.objects[0].first, 4);   // object at node 1
+  EXPECT_EQ(r.objects[1].first, 11);  // object at node 6
+}
+
+TEST(IneTest, KnnOnSmallNetwork) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const IneSearch ine(&g, {1, 5, 6}, nullptr);
+  const IneResult r = ine.Knn(0, 2);
+  ASSERT_EQ(r.objects.size(), 2u);
+  EXPECT_EQ(r.objects[0].first, 4);
+  EXPECT_EQ(r.objects[1].first, 11);
+}
+
+TEST(IneTest, ExpansionStopsEarlyForSmallRanges) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 2000, .seed = 1});
+  const IneSearch ine(&g, UniformDataset(g, 0.01, 1), nullptr);
+  const size_t small = ine.Range(9, 5).nodes_expanded;
+  const size_t large = ine.Range(9, 100).nodes_expanded;
+  EXPECT_LT(small, large);
+  EXPECT_LT(small, g.num_nodes() / 10);
+}
+
+class InePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InePropertyTest, MatchesBruteForce) {
+  const RoadNetwork g =
+      MakeRandomPlanar({.num_nodes = 400, .seed = GetParam()});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.05, GetParam());
+  const IneSearch ine(&g, objects, nullptr);
+  const auto truth = testing_util::BruteForceDistances(g, objects);
+  for (const NodeId n : testing_util::SampleNodes(g, 10, GetParam())) {
+    // Range.
+    for (const Weight eps : {5.0, 25.0, 80.0}) {
+      std::vector<Weight> expected;
+      for (uint32_t o = 0; o < objects.size(); ++o) {
+        if (truth[o][n] <= eps) expected.push_back(truth[o][n]);
+      }
+      std::sort(expected.begin(), expected.end());
+      const IneResult r = ine.Range(n, eps);
+      std::vector<Weight> got;
+      for (const auto& [d, o] : r.objects) {
+        got.push_back(d);
+        EXPECT_EQ(truth[o][n], d);
+      }
+      EXPECT_EQ(got, expected) << "eps " << eps;
+    }
+    // kNN.
+    for (const size_t k : {1u, 4u, 9u}) {
+      std::vector<Weight> expected;
+      for (const auto& row : truth) expected.push_back(row[n]);
+      std::sort(expected.begin(), expected.end());
+      expected.resize(std::min(k, expected.size()));
+      const IneResult r = ine.Knn(n, k);
+      std::vector<Weight> got;
+      for (const auto& [d, o] : r.objects) got.push_back(d);
+      EXPECT_EQ(got, expected) << "k " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InePropertyTest,
+                         ::testing::Values(3, 13, 23));
+
+}  // namespace
+}  // namespace dsig

@@ -1,0 +1,131 @@
+// End-to-end integration: every index (signature, full, NVD/VN3, INE) built
+// over one shared storage stack must return identical query answers, and the
+// cost model must order them the way the paper's evaluation does.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/full_index.h"
+#include "baselines/ine.h"
+#include "baselines/nvd/vn3.h"
+#include "core/signature_builder.h"
+#include "graph/ccam.h"
+#include "graph/graph_generator.h"
+#include "query/knn_query.h"
+#include "query/range_query.h"
+#include "tests/test_util.h"
+#include "workload/dataset_generator.h"
+#include "workload/query_generator.h"
+
+namespace dsig {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = std::make_unique<RoadNetwork>(
+        MakeRandomPlanar({.num_nodes = 1500, .seed = 42}));
+    objects_ = UniformDataset(*graph_, 0.02, 42);
+    order_ = ComputeCcamOrder(*graph_, 64);
+    buffer_ = std::make_unique<BufferManager>(256);
+    network_ = std::make_unique<NetworkStore>(*graph_, order_, buffer_.get());
+
+    signature_ = BuildSignatureIndex(*graph_, objects_, {.t = 10, .c = 2.7});
+    signature_->AttachStorage(buffer_.get(), network_.get(), order_);
+    full_ = FullIndex::Build(*graph_, objects_);
+    full_->AttachStorage(buffer_.get(), order_);
+    vn3_ = std::make_unique<Vn3Index>(*graph_, objects_);
+    vn3_->AttachStorage(buffer_.get());
+    ine_ = std::make_unique<IneSearch>(graph_.get(), objects_,
+                                       network_.get());
+  }
+
+  std::unique_ptr<RoadNetwork> graph_;
+  std::vector<NodeId> objects_;
+  std::vector<NodeId> order_;
+  std::unique_ptr<BufferManager> buffer_;
+  std::unique_ptr<NetworkStore> network_;
+  std::unique_ptr<SignatureIndex> signature_;
+  std::unique_ptr<FullIndex> full_;
+  std::unique_ptr<Vn3Index> vn3_;
+  std::unique_ptr<IneSearch> ine_;
+};
+
+TEST_F(IntegrationTest, AllIndexesAgreeOnRangeQueries) {
+  for (const NodeId q : RandomQueryNodes(*graph_, 30, 7)) {
+    for (const Weight eps : {10.0, 50.0, 200.0}) {
+      const std::vector<uint32_t> sig =
+          SignatureRangeQuery(*signature_, q, eps).objects;
+      const std::vector<uint32_t> full = full_->RangeQuery(q, eps);
+      EXPECT_EQ(sig, full) << "q=" << q << " eps=" << eps;
+
+      std::vector<uint32_t> vn3;
+      for (const auto& [d, o] : vn3_->Range(q, eps)) vn3.push_back(o);
+      std::sort(vn3.begin(), vn3.end());
+      EXPECT_EQ(vn3, full) << "q=" << q << " eps=" << eps;
+
+      std::vector<uint32_t> ine;
+      for (const auto& [d, o] : ine_->Range(q, eps).objects) {
+        ine.push_back(o);
+      }
+      std::sort(ine.begin(), ine.end());
+      EXPECT_EQ(ine, full) << "q=" << q << " eps=" << eps;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, AllIndexesAgreeOnKnnDistances) {
+  for (const NodeId q : RandomQueryNodes(*graph_, 20, 8)) {
+    for (const size_t k : {1u, 5u, 10u}) {
+      const auto full = full_->KnnQuery(q, k);
+      std::vector<Weight> full_d;
+      for (const auto& [d, o] : full) full_d.push_back(d);
+
+      const KnnResult sig =
+          SignatureKnnQuery(*signature_, q, k, KnnResultType::kType1);
+      EXPECT_EQ(sig.distances, full_d) << "q=" << q << " k=" << k;
+
+      std::vector<Weight> vn3_d;
+      for (const auto& [d, o] : vn3_->Knn(q, k)) vn3_d.push_back(d);
+      EXPECT_EQ(vn3_d, full_d) << "q=" << q << " k=" << k;
+
+      std::vector<Weight> ine_d;
+      for (const auto& [d, o] : ine_->Knn(q, k).objects) ine_d.push_back(d);
+      EXPECT_EQ(ine_d, full_d) << "q=" << q << " k=" << k;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, SignatureIndexIsSmallerThanFullIndex) {
+  // Fig 6.4(a): signature ~ 1/6 the size of the full index.
+  EXPECT_LT(signature_->IndexBytes(), full_->IndexBytes() / 3);
+}
+
+TEST_F(IntegrationTest, SignatureBeatsIneOnLongRangePageAccesses) {
+  // Fig 6.5: INE expands the network (many adjacency pages) while the
+  // signature reads mostly one row + guided backtracking.
+  buffer_->Clear();
+  uint64_t sig_pages = 0, ine_pages = 0;
+  for (const NodeId q : RandomQueryNodes(*graph_, 20, 9)) {
+    BufferStats before = buffer_->stats();
+    SignatureRangeQuery(*signature_, q, 300);
+    sig_pages += (buffer_->stats() - before).logical_accesses;
+    before = buffer_->stats();
+    ine_->Range(q, 300);
+    ine_pages += (buffer_->stats() - before).logical_accesses;
+  }
+  EXPECT_LT(sig_pages, ine_pages);
+}
+
+TEST_F(IntegrationTest, BufferCachingReducesPhysicalReads) {
+  buffer_->Clear();
+  for (int round = 0; round < 3; ++round) {
+    SignatureRangeQuery(*signature_, 77, 100);
+  }
+  const BufferStats stats = buffer_->stats();
+  EXPECT_LT(stats.physical_accesses, stats.logical_accesses);
+}
+
+}  // namespace
+}  // namespace dsig

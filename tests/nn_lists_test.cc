@@ -1,0 +1,121 @@
+#include "baselines/nn_lists.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/ine.h"
+#include "graph/dijkstra.h"
+#include "graph/graph_generator.h"
+#include "tests/test_util.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+TEST(NnListIndexTest, CondensedNodesAreHighDegree) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 400, .seed = 3});
+  const NnListIndex index(&g, UniformDataset(g, 0.05, 3), 8, 5);
+  EXPECT_GT(index.num_condensed(), 0u);
+  EXPECT_LT(index.num_condensed(), g.num_nodes());
+  EXPECT_GT(index.IndexBytes(), 0u);
+}
+
+class NnListPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NnListPropertyTest, KnnMatchesIne) {
+  const RoadNetwork g =
+      MakeRandomPlanar({.num_nodes = 500, .seed = GetParam()});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.04, GetParam());
+  const NnListIndex index(&g, objects, 10, 5);
+  const IneSearch ine(&g, objects, nullptr);
+  for (const NodeId q : testing_util::SampleNodes(g, 12, GetParam() + 1)) {
+    for (const size_t k : {1u, 4u, 10u}) {
+      const auto got = index.Knn(q, k);
+      const IneResult expected = ine.Knn(q, k);
+      ASSERT_EQ(got.size(), expected.objects.size()) << "q=" << q
+                                                     << " k=" << k;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].distance, expected.objects[i].first)
+            << "q=" << q << " k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnListPropertyTest,
+                         ::testing::Values(4, 14, 24));
+
+TEST(NnListIndexTest, KnnAtCondensedNodeServedFromList) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 300, .seed = 7});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.05, 7);
+  const NnListIndex index(&g, objects, 6, 4);
+  const IneSearch ine(&g, objects, nullptr);
+  // Find a condensed node: degree >= 4.
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    size_t degree = 0;
+    for (const auto& e : g.adjacency(n)) degree += e.removed ? 0 : 1;
+    if (degree < 4) continue;
+    const auto got = index.Knn(n, 3);
+    const IneResult expected = ine.Knn(n, 3);
+    ASSERT_EQ(got.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(got[i].distance, expected.objects[i].first);
+    }
+    break;
+  }
+}
+
+TEST(NnListIndexTest, RejectsKBeyondListDepth) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const NnListIndex index(&g, {1, 5, 6}, 2, 4);
+  EXPECT_DEATH(index.Knn(0, 3), "list depth");
+}
+
+std::vector<NodeId> ShortestPathBetween(const RoadNetwork& g, NodeId a,
+                                        NodeId b) {
+  const ShortestPathTree tree = RunDijkstra(g, a);
+  return ReconstructPath(tree, a, b);
+}
+
+class NnListCnnPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NnListCnnPropertyTest, CnnMatchesPerNodeBruteForce) {
+  const RoadNetwork g =
+      MakeRandomPlanar({.num_nodes = 400, .seed = GetParam()});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.05, GetParam());
+  const NnListIndex index(&g, objects, 10, 4);
+  const auto truth = testing_util::BruteForceDistances(g, objects);
+  Random rng(GetParam() + 5);
+  for (int trial = 0; trial < 4; ++trial) {
+    const NodeId a = static_cast<NodeId>(rng.NextUint64(g.num_nodes()));
+    const NodeId b = static_cast<NodeId>(rng.NextUint64(g.num_nodes()));
+    const std::vector<NodeId> path = ShortestPathBetween(g, a, b);
+    if (path.size() < 2) continue;
+    const size_t k = 3;
+    const auto intervals = index.ContinuousKnn(path, k);
+    ASSERT_FALSE(intervals.empty());
+    EXPECT_EQ(intervals.front().first_index, 0u);
+    EXPECT_EQ(intervals.back().last_index, path.size() - 1);
+    for (const auto& interval : intervals) {
+      for (size_t i = interval.first_index; i <= interval.last_index; ++i) {
+        std::vector<Weight> expected;
+        for (const auto& row : truth) expected.push_back(row[path[i]]);
+        std::sort(expected.begin(), expected.end());
+        expected.resize(k);
+        std::vector<Weight> got;
+        for (const uint32_t o : interval.objects) {
+          got.push_back(truth[o][path[i]]);
+        }
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, expected) << "position " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnListCnnPropertyTest,
+                         ::testing::Values(6, 16, 26));
+
+}  // namespace
+}  // namespace dsig

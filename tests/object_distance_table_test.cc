@@ -1,0 +1,53 @@
+#include "core/object_distance_table.h"
+
+#include <gtest/gtest.h>
+
+namespace dsig {
+namespace {
+
+TEST(ObjectDistanceTableTest, DiagonalIsZero) {
+  const ObjectDistanceTable table(4);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(table.IsFar(i, i));
+    EXPECT_EQ(table.Get(i, i), 0);
+  }
+}
+
+TEST(ObjectDistanceTableTest, UnsetPairsAreFar) {
+  const ObjectDistanceTable table(3);
+  EXPECT_TRUE(table.IsFar(0, 1));
+  EXPECT_TRUE(table.IsFar(2, 1));
+}
+
+TEST(ObjectDistanceTableTest, SetIsSymmetric) {
+  ObjectDistanceTable table(3);
+  table.Set(0, 2, 7.5);
+  EXPECT_FALSE(table.IsFar(0, 2));
+  EXPECT_FALSE(table.IsFar(2, 0));
+  EXPECT_EQ(table.Get(0, 2), 7.5);
+  EXPECT_EQ(table.Get(2, 0), 7.5);
+}
+
+TEST(ObjectDistanceTableTest, MarkFarDropsPair) {
+  ObjectDistanceTable table(3);
+  table.Set(0, 1, 3);
+  table.MarkFar(0, 1);
+  EXPECT_TRUE(table.IsFar(0, 1));
+  EXPECT_TRUE(table.IsFar(1, 0));
+}
+
+TEST(ObjectDistanceTableTest, MemoryCountsStoredPairsOnly) {
+  ObjectDistanceTable table(5);
+  EXPECT_EQ(table.MemoryBytes(), 0u);
+  table.Set(0, 1, 2);
+  table.Set(0, 2, 3);
+  EXPECT_EQ(table.MemoryBytes(), 2 * sizeof(Weight));
+  table.MarkFar(0, 1);
+  EXPECT_EQ(table.MemoryBytes(), sizeof(Weight));
+  // Overwriting does not double count.
+  table.Set(0, 2, 4);
+  EXPECT_EQ(table.MemoryBytes(), sizeof(Weight));
+}
+
+}  // namespace
+}  // namespace dsig

@@ -1,0 +1,77 @@
+#include "core/op_counters.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance_ops.h"
+#include "core/signature_builder.h"
+#include "graph/graph_generator.h"
+#include "query/knn_query.h"
+#include "query/range_query.h"
+#include "tests/test_util.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+TEST(OpCountersTest, ResetZeroes) {
+  GlobalOpCounters().backtrack_steps += 5;
+  ResetOpCounters();
+  EXPECT_EQ(GlobalOpCounters().backtrack_steps, 0u);
+  EXPECT_EQ(GlobalOpCounters().row_reads, 0u);
+}
+
+TEST(OpCountersTest, ExactDistanceCountsSteps) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const auto index = BuildSignatureIndex(g, {6}, {.t = 4, .c = 2});
+  ResetOpCounters();
+  ExactDistance(*index, 0, 0);  // path 0-3-4-6: three hops
+  EXPECT_EQ(GlobalOpCounters().backtrack_steps, 3u);
+}
+
+TEST(OpCountersTest, RangeQueryDecomposition) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 500, .seed = 3});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.04, 3);
+  const auto index = BuildSignatureIndex(g, objects, {.t = 5, .c = 2});
+  ResetOpCounters();
+  const OpCounters before = GlobalOpCounters();
+  SignatureRangeQuery(*index, 7, 30);
+  const OpCounters delta = GlobalOpCounters() - before;
+  EXPECT_EQ(delta.row_reads, 1u);  // one signature row per range query
+  // Backtracking only happens for straddling candidates.
+  EXPECT_GE(delta.backtrack_steps, 0u);
+  EXPECT_EQ(delta.exact_compares, 0u);  // range queries never compare
+}
+
+TEST(OpCountersTest, KnnTypesUseIncreasingWork) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 800, .seed = 5});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.05, 5);
+  const auto index = BuildSignatureIndex(g, objects, {.t = 5, .c = 2});
+  const NodeId q = 11;
+
+  ResetOpCounters();
+  SignatureKnnQuery(*index, q, 10, KnnResultType::kType3);
+  const uint64_t type3_steps = GlobalOpCounters().backtrack_steps;
+
+  ResetOpCounters();
+  SignatureKnnQuery(*index, q, 10, KnnResultType::kType2);
+  const uint64_t type2_steps = GlobalOpCounters().backtrack_steps;
+  const uint64_t type2_compares = GlobalOpCounters().exact_compares;
+
+  EXPECT_GE(type2_steps, type3_steps);  // type 2 sorts every bucket
+  EXPECT_GT(type2_compares, 0u);
+}
+
+TEST(OpCountersTest, SubtractionGivesDeltas) {
+  OpCounters a{10, 9, 8, 7, 6, 5};
+  OpCounters b{1, 2, 3, 4, 5, 5};
+  const OpCounters d = a - b;
+  EXPECT_EQ(d.row_reads, 9u);
+  EXPECT_EQ(d.entry_reads, 7u);
+  EXPECT_EQ(d.backtrack_steps, 5u);
+  EXPECT_EQ(d.exact_compares, 3u);
+  EXPECT_EQ(d.approx_compares, 1u);
+  EXPECT_EQ(d.resolves, 0u);
+}
+
+}  // namespace
+}  // namespace dsig

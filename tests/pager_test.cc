@@ -1,0 +1,106 @@
+#include "storage/pager.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/graph_generator.h"
+#include "storage/network_store.h"
+
+namespace dsig {
+namespace {
+
+std::vector<uint32_t> IdentityOrder(size_t n) {
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+TEST(PageLayoutTest, SmallRecordsShareAPage) {
+  // Four records of 1100 bytes: three fit a 4096-byte page, the fourth
+  // starts a new page.
+  const std::vector<uint64_t> bits(4, 1100 * 8);
+  const PageLayout layout(bits, IdentityOrder(4));
+  EXPECT_EQ(layout.FirstPage(0), 0u);
+  EXPECT_EQ(layout.FirstPage(1), 0u);
+  EXPECT_EQ(layout.FirstPage(2), 0u);
+  EXPECT_EQ(layout.FirstPage(3), 1u);
+  EXPECT_EQ(layout.num_pages(), 2u);
+}
+
+TEST(PageLayoutTest, LargeRecordSpansPages) {
+  const std::vector<uint64_t> bits = {10000 * 8};
+  const PageLayout layout(bits, IdentityOrder(1));
+  EXPECT_EQ(layout.FirstPage(0), 0u);
+  EXPECT_EQ(layout.LastPage(0), 2u);  // 10000 bytes -> 3 pages
+  EXPECT_EQ(layout.num_pages(), 3u);
+}
+
+TEST(PageLayoutTest, PageAtBitOffset) {
+  const std::vector<uint64_t> bits = {10000 * 8};
+  const PageLayout layout(bits, IdentityOrder(1));
+  EXPECT_EQ(layout.PageAt(0, 0), 0u);
+  EXPECT_EQ(layout.PageAt(0, kPageSizeBits - 1), 0u);
+  EXPECT_EQ(layout.PageAt(0, kPageSizeBits), 1u);
+  EXPECT_EQ(layout.PageAt(0, 10000 * 8 - 1), 2u);
+}
+
+TEST(PageLayoutTest, OrderControlsPlacement) {
+  // Two records; reversed order puts record 1 first.
+  const std::vector<uint64_t> bits = {kPageSizeBits, kPageSizeBits};
+  const PageLayout layout(bits, {1, 0});
+  EXPECT_EQ(layout.FirstPage(1), 0u);
+  EXPECT_EQ(layout.FirstPage(0), 1u);
+}
+
+TEST(PageLayoutTest, ZeroSizeRecords) {
+  const std::vector<uint64_t> bits = {0, 100, 0};
+  const PageLayout layout(bits, IdentityOrder(3));
+  EXPECT_EQ(layout.num_pages(), 1u);
+  EXPECT_EQ(layout.record_bits(0), 0u);
+  EXPECT_EQ(layout.PageAt(0, 0), 0u);
+}
+
+TEST(PageLayoutTest, PayloadVsTotalBytes) {
+  // Two records that each waste most of a page.
+  const std::vector<uint64_t> bits = {3000 * 8, 3000 * 8};
+  const PageLayout layout(bits, IdentityOrder(2));
+  EXPECT_EQ(layout.payload_bytes(), 6000u);
+  EXPECT_EQ(layout.total_bytes(), 2 * kPageSizeBytes);
+}
+
+TEST(PagedStoreTest, TouchChargesBuffer) {
+  BufferManager buffer(100);
+  const std::vector<uint64_t> bits = {10000 * 8, 100 * 8};
+  PagedStore store(PageLayout(bits, IdentityOrder(2)), &buffer);
+  store.TouchRecord(0);  // spans 3 pages
+  EXPECT_EQ(buffer.stats().logical_accesses, 3u);
+  store.TouchRecordAt(1, 0);  // single page
+  EXPECT_EQ(buffer.stats().logical_accesses, 4u);
+}
+
+TEST(PagedStoreTest, NullBufferIsNoOp) {
+  const std::vector<uint64_t> bits = {100};
+  PagedStore store(PageLayout(bits, IdentityOrder(1)), nullptr);
+  store.TouchRecord(0);  // must not crash
+}
+
+TEST(NetworkStoreTest, AdjacencyPagingChargesBuffer) {
+  const RoadNetwork g = MakeGrid({.width = 10, .height = 10});
+  BufferManager buffer(1000);
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  const NetworkStore store(g, order, &buffer);
+  EXPECT_GT(store.num_pages(), 0u);
+  store.TouchNode(0);
+  EXPECT_GE(buffer.stats().logical_accesses, 1u);
+}
+
+TEST(NetworkStoreTest, RecordBitsGrowWithDegree) {
+  const RoadNetwork g = MakeGrid({.width = 5, .height = 5});
+  // Corner (degree 2) vs center (degree 4).
+  EXPECT_LT(AdjacencyRecordBits(g, 0), AdjacencyRecordBits(g, 12));
+}
+
+}  // namespace
+}  // namespace dsig

@@ -1,0 +1,138 @@
+#include "io/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/distance_ops.h"
+#include "core/signature_builder.h"
+#include "core/update.h"
+#include "graph/graph_generator.h"
+#include "query/knn_query.h"
+#include "tests/test_util.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(RoadNetworkPersistenceTest, RoundTripsExactly) {
+  RoadNetwork original = MakeRandomPlanar({.num_nodes = 300, .seed = 5});
+  original.RemoveEdge(original.FindEdge(
+      original.edge_endpoints(0).first, original.edge_endpoints(0).second));
+  const std::string path = TempPath("network.bin");
+  ASSERT_TRUE(SaveRoadNetwork(original, path));
+  const auto loaded = LoadRoadNetwork(path);
+  ASSERT_NE(loaded, nullptr);
+  ASSERT_EQ(loaded->num_nodes(), original.num_nodes());
+  ASSERT_EQ(loaded->num_edge_slots(), original.num_edge_slots());
+  ASSERT_EQ(loaded->num_edges(), original.num_edges());
+  for (NodeId n = 0; n < original.num_nodes(); ++n) {
+    EXPECT_EQ(loaded->position(n).x, original.position(n).x);
+    EXPECT_EQ(loaded->position(n).y, original.position(n).y);
+    // Adjacency slot order must be identical (links depend on it).
+    ASSERT_EQ(loaded->degree(n), original.degree(n));
+    for (size_t i = 0; i < original.degree(n); ++i) {
+      EXPECT_EQ(loaded->adjacency(n)[i].to, original.adjacency(n)[i].to);
+      EXPECT_EQ(loaded->adjacency(n)[i].weight,
+                original.adjacency(n)[i].weight);
+      EXPECT_EQ(loaded->adjacency(n)[i].removed,
+                original.adjacency(n)[i].removed);
+    }
+  }
+}
+
+TEST(RoadNetworkPersistenceTest, RejectsMissingAndGarbageFiles) {
+  EXPECT_EQ(LoadRoadNetwork("/nonexistent/nowhere.bin"), nullptr);
+  const std::string path = TempPath("garbage.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a network", f);
+  std::fclose(f);
+  EXPECT_EQ(LoadRoadNetwork(path), nullptr);
+}
+
+TEST(SignatureIndexPersistenceTest, RoundTripPreservesEverything) {
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = 400, .seed = 9});
+  const std::vector<NodeId> objects = UniformDataset(graph, 0.05, 9);
+  const auto original = BuildSignatureIndex(graph, objects, {.t = 5, .c = 2});
+  const std::string path = TempPath("index.bin");
+  ASSERT_TRUE(SaveSignatureIndex(*original, path));
+  const auto loaded = LoadSignatureIndex(graph, path);
+  ASSERT_NE(loaded, nullptr);
+
+  EXPECT_EQ(loaded->objects(), original->objects());
+  EXPECT_EQ(loaded->partition().num_categories(),
+            original->partition().num_categories());
+  EXPECT_EQ(loaded->size_stats().compressed_bits,
+            original->size_stats().compressed_bits);
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    EXPECT_EQ(loaded->ReadRow(n), original->ReadRow(n)) << "node " << n;
+  }
+  // Object table intact (far markers and values).
+  for (uint32_t u = 0; u < objects.size(); ++u) {
+    for (uint32_t v = 0; v < objects.size(); ++v) {
+      ASSERT_EQ(loaded->object_table().IsFar(u, v),
+                original->object_table().IsFar(u, v));
+      if (!loaded->object_table().IsFar(u, v)) {
+        EXPECT_EQ(loaded->object_table().Get(u, v),
+                  original->object_table().Get(u, v));
+      }
+    }
+  }
+}
+
+TEST(SignatureIndexPersistenceTest, LoadedIndexAnswersQueries) {
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = 350, .seed = 2});
+  const std::vector<NodeId> objects = UniformDataset(graph, 0.04, 2);
+  const auto original = BuildSignatureIndex(graph, objects, {.t = 5, .c = 2});
+  const std::string path = TempPath("index_q.bin");
+  ASSERT_TRUE(SaveSignatureIndex(*original, path));
+  const auto loaded = LoadSignatureIndex(graph, path);
+  ASSERT_NE(loaded, nullptr);
+  const auto truth = testing_util::BruteForceDistances(graph, objects);
+  for (const NodeId n : testing_util::SampleNodes(graph, 10, 3)) {
+    for (uint32_t o = 0; o < objects.size(); ++o) {
+      EXPECT_EQ(ExactDistance(*loaded, n, o), truth[o][n]);
+    }
+  }
+}
+
+TEST(SignatureIndexPersistenceTest, RebuildForestEnablesUpdates) {
+  RoadNetwork graph = MakeRandomPlanar({.num_nodes = 200, .seed = 4});
+  const std::vector<NodeId> objects = UniformDataset(graph, 0.05, 4);
+  const auto original = BuildSignatureIndex(graph, objects, {.t = 5, .c = 2});
+  const std::string path = TempPath("index_u.bin");
+  ASSERT_TRUE(SaveSignatureIndex(*original, path));
+  auto loaded = LoadSignatureIndex(graph, path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->forest(), nullptr);
+  loaded->RebuildForest();
+  ASSERT_NE(loaded->forest(), nullptr);
+  SignatureUpdater updater(&graph, loaded.get());
+  const UpdateStats stats = updater.SetEdgeWeight(0, graph.edge_weight(0) + 3);
+  // The update machinery works on the rebuilt forest.
+  const auto truth = testing_util::BruteForceDistances(graph, objects);
+  for (uint32_t o = 0; o < objects.size(); ++o) {
+    EXPECT_EQ(ExactDistance(*loaded, 7, o), truth[o][7]);
+  }
+  (void)stats;
+}
+
+TEST(SignatureIndexPersistenceTest, RejectsWrongGraph) {
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = 300, .seed = 6});
+  const RoadNetwork other = MakeRandomPlanar({.num_nodes = 301, .seed = 6});
+  const auto index =
+      BuildSignatureIndex(graph, UniformDataset(graph, 0.05, 6),
+                          {.t = 5, .c = 2});
+  const std::string path = TempPath("index_w.bin");
+  ASSERT_TRUE(SaveSignatureIndex(*index, path));
+  EXPECT_EQ(LoadSignatureIndex(other, path), nullptr);
+  EXPECT_NE(LoadSignatureIndex(graph, path), nullptr);
+}
+
+}  // namespace
+}  // namespace dsig

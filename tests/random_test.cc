@@ -1,0 +1,67 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dsig {
+namespace {
+
+TEST(RandomTest, DeterministicForFixedSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomTest, BoundedValuesStayInRange) {
+  Random rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, NextIntCoversWholeRange) {
+  Random rng(4);
+  std::vector<bool> seen(11, false);
+  for (int i = 0; i < 1000; ++i) {
+    seen[static_cast<size_t>(rng.NextInt(0, 10))] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RandomTest, UniformityOfBoundedDraws) {
+  Random rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextUint64(kBuckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(RandomTest, BernoulliRatio) {
+  Random rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits, 3000, 300);
+}
+
+}  // namespace
+}  // namespace dsig

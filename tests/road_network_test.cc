@@ -1,0 +1,98 @@
+#include "graph/road_network.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace dsig {
+namespace {
+
+TEST(RoadNetworkTest, AddNodesAndEdges) {
+  RoadNetwork g;
+  const NodeId a = g.AddNode({0, 0});
+  const NodeId b = g.AddNode({1, 0});
+  const NodeId c = g.AddNode({0, 1});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  const EdgeId ab = g.AddEdge(a, b, 2.0);
+  const EdgeId bc = g.AddEdge(b, c, 3.0);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge_weight(ab), 2.0);
+  EXPECT_EQ(g.edge_weight(bc), 3.0);
+  EXPECT_EQ(g.degree(b), 2u);
+  EXPECT_EQ(g.degree(a), 1u);
+}
+
+TEST(RoadNetworkTest, EdgesAreUndirected) {
+  RoadNetwork g;
+  const NodeId a = g.AddNode({0, 0});
+  const NodeId b = g.AddNode({1, 0});
+  g.AddEdge(a, b, 5);
+  ASSERT_EQ(g.adjacency(a).size(), 1u);
+  ASSERT_EQ(g.adjacency(b).size(), 1u);
+  EXPECT_EQ(g.adjacency(a)[0].to, b);
+  EXPECT_EQ(g.adjacency(b)[0].to, a);
+  EXPECT_EQ(g.adjacency(a)[0].edge_id, g.adjacency(b)[0].edge_id);
+}
+
+TEST(RoadNetworkTest, RemoveEdgeTombstonesButKeepsSlots) {
+  RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const size_t degree_before = g.degree(4);
+  const EdgeId e = g.FindEdge(4, 5);
+  ASSERT_NE(e, kInvalidEdge);
+  g.RemoveEdge(e);
+  // Slots stay (backtracking links must not shift), but the edge is dead.
+  EXPECT_EQ(g.degree(4), degree_before);
+  EXPECT_TRUE(g.edge_removed(e));
+  EXPECT_EQ(g.FindEdge(4, 5), kInvalidEdge);
+  EXPECT_EQ(g.num_edges(), 7u);
+}
+
+TEST(RoadNetworkTest, SetEdgeWeightUpdatesBothDirections) {
+  RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const EdgeId e = g.FindEdge(0, 1);
+  g.SetEdgeWeight(e, 9);
+  EXPECT_EQ(g.edge_weight(e), 9);
+  EXPECT_EQ(g.adjacency(0)[g.AdjacencyIndexOf(0, e)].weight, 9);
+  EXPECT_EQ(g.adjacency(1)[g.AdjacencyIndexOf(1, e)].weight, 9);
+}
+
+TEST(RoadNetworkTest, AdjacencyIndexOfFindsSlot) {
+  RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const EdgeId e = g.FindEdge(4, 6);
+  const uint32_t slot = g.AdjacencyIndexOf(4, e);
+  EXPECT_EQ(g.adjacency(4)[slot].to, 6u);
+}
+
+TEST(RoadNetworkTest, ParallelEdgesAllowed) {
+  RoadNetwork g;
+  const NodeId a = g.AddNode({0, 0});
+  const NodeId b = g.AddNode({1, 0});
+  const EdgeId e1 = g.AddEdge(a, b, 5);
+  const EdgeId e2 = g.AddEdge(a, b, 7);
+  EXPECT_NE(e1, e2);
+  EXPECT_EQ(g.degree(a), 2u);
+  EXPECT_EQ(g.AdjacencyIndexOf(a, e1), 0u);
+  EXPECT_EQ(g.AdjacencyIndexOf(a, e2), 1u);
+}
+
+TEST(RoadNetworkTest, ConnectivityDetection) {
+  RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  EXPECT_TRUE(g.IsConnected());
+  const EdgeId e = g.FindEdge(4, 6);
+  g.RemoveEdge(e);  // node 6 becomes isolated
+  EXPECT_FALSE(g.IsConnected());
+}
+
+TEST(RoadNetworkTest, MaxDegree) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  EXPECT_EQ(g.max_degree(), 4u);  // node 4: edges to 1, 3, 5, 6
+}
+
+TEST(RoadNetworkTest, EmptyGraphIsConnected) {
+  RoadNetwork g;
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+}  // namespace
+}  // namespace dsig

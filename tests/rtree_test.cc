@@ -1,0 +1,133 @@
+#include "spatial/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.h"
+
+namespace dsig {
+namespace {
+
+TEST(RectTest, ExpandAndArea) {
+  Rect r;
+  EXPECT_TRUE(r.IsEmpty());
+  r.ExpandToInclude(Point{1, 2});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_EQ(r.Area(), 0);
+  r.ExpandToInclude(Point{3, 5});
+  EXPECT_EQ(r.Area(), 6);
+}
+
+TEST(RectTest, IntersectsAndContains) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{1, 1, 3, 3};
+  const Rect c{5, 5, 6, 6};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Contains(Point{1, 1}));
+  EXPECT_TRUE(a.Contains(Point{2, 2}));  // boundary closed
+  EXPECT_FALSE(a.Contains(Point{2.1, 1}));
+}
+
+TEST(RectTest, Enlargement) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_EQ(a.Enlargement({1, 1, 2, 2}), 0);
+  EXPECT_EQ(a.Enlargement({0, 0, 4, 2}), 4);
+}
+
+TEST(RTreeTest, EmptyTreeSearch) {
+  const RTree tree;
+  EXPECT_TRUE(tree.Search({0, 0, 10, 10}).values.empty());
+}
+
+TEST(RTreeTest, InsertAndFind) {
+  RTree tree(4);
+  tree.Insert({0, 0, 1, 1}, 100);
+  tree.Insert({5, 5, 6, 6}, 200);
+  const auto hits = tree.Search({0.5, 0.5, 5.5, 5.5}).values;
+  EXPECT_EQ(hits.size(), 2u);
+  const auto miss = tree.Search({2, 2, 3, 3}).values;
+  EXPECT_TRUE(miss.empty());
+}
+
+TEST(RTreeTest, LocatePoint) {
+  RTree tree(4);
+  tree.Insert({0, 0, 2, 2}, 1);
+  tree.Insert({1, 1, 3, 3}, 2);
+  auto result = tree.Locate(Point{1.5, 1.5});
+  std::sort(result.values.begin(), result.values.end());
+  EXPECT_EQ(result.values, std::vector<uint32_t>({1, 2}));
+  EXPECT_GT(result.nodes_visited, 0u);
+  EXPECT_EQ(result.nodes_visited, result.visited_nodes.size());
+}
+
+TEST(RTreeTest, GrowsInHeightUnderLoad) {
+  RTree tree(4);
+  for (int i = 0; i < 100; ++i) {
+    const double x = i % 10, y = i / 10;
+    tree.Insert({x, y, x + 0.5, y + 0.5}, static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_GT(tree.height(), 1);
+  EXPECT_GT(tree.SizeBytes(), 0u);
+}
+
+// Property: search results always match a brute-force scan.
+class RTreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RTreePropertyTest, SearchMatchesBruteForce) {
+  Random rng(GetParam());
+  RTree tree(8);
+  std::vector<Rect> rects;
+  for (uint32_t i = 0; i < 400; ++i) {
+    const double x = rng.NextDouble(0, 100);
+    const double y = rng.NextDouble(0, 100);
+    const Rect r{x, y, x + rng.NextDouble(0, 5), y + rng.NextDouble(0, 5)};
+    rects.push_back(r);
+    tree.Insert(r, i);
+  }
+  for (int q = 0; q < 50; ++q) {
+    const double x = rng.NextDouble(0, 100);
+    const double y = rng.NextDouble(0, 100);
+    const Rect query{x, y, x + rng.NextDouble(0, 10),
+                     y + rng.NextDouble(0, 10)};
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].Intersects(query)) expected.push_back(i);
+    }
+    std::vector<uint32_t> actual = tree.Search(query).values;
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST_P(RTreePropertyTest, LocateMatchesBruteForce) {
+  Random rng(GetParam() + 1000);
+  RTree tree(6);
+  std::vector<Rect> rects;
+  for (uint32_t i = 0; i < 300; ++i) {
+    const double x = rng.NextDouble(0, 50);
+    const double y = rng.NextDouble(0, 50);
+    const Rect r{x, y, x + rng.NextDouble(0, 8), y + rng.NextDouble(0, 8)};
+    rects.push_back(r);
+    tree.Insert(r, i);
+  }
+  for (int q = 0; q < 100; ++q) {
+    const Point p{rng.NextDouble(0, 50), rng.NextDouble(0, 50)};
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].Contains(p)) expected.push_back(i);
+    }
+    std::vector<uint32_t> actual = tree.Locate(p).values;
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 42));
+
+}  // namespace
+}  // namespace dsig

@@ -1,0 +1,151 @@
+// Reproduction-shape tests: the paper's qualitative claims, pinned as
+// assertions on deterministic metrics (sizes and logical page counts — no
+// wall-clock flakiness). These are miniature versions of the benches; if a
+// refactor silently destroys a headline result, this file fails.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/full_index.h"
+#include "baselines/nvd/vn3.h"
+#include "core/signature_builder.h"
+#include "graph/ccam.h"
+#include "graph/graph_generator.h"
+#include "query/knn_query.h"
+#include "query/range_query.h"
+#include "workload/dataset_generator.h"
+#include "workload/query_generator.h"
+
+namespace dsig {
+namespace {
+
+class ShapeFixture : public ::testing::Test {
+ protected:
+  static constexpr size_t kNodes = 4000;
+  void SetUp() override {
+    graph_ = std::make_unique<RoadNetwork>(
+        MakeRandomPlanar({.num_nodes = kNodes, .seed = 42}));
+    order_ = ComputeCcamOrder(*graph_, 64);
+  }
+  std::unique_ptr<RoadNetwork> graph_;
+  std::vector<NodeId> order_;
+};
+
+TEST_F(ShapeFixture, SignatureIsFractionOfFullIndex) {
+  // Paper §6.1: "the signature index is about 1/6 ~ 1/7 the size of the
+  // full index". Allow a generous band around that at reduced scale.
+  for (const double p : {0.01, 0.05}) {
+    const std::vector<NodeId> objects = UniformDataset(*graph_, p, 1);
+    const auto signature = BuildSignatureIndex(
+        *graph_, objects, {.t = 10, .c = 2.7, .keep_forest = false});
+    const auto full = FullIndex::Build(*graph_, objects);
+    const double ratio = static_cast<double>(signature->IndexBytes()) /
+                         static_cast<double>(full->IndexBytes());
+    EXPECT_GT(ratio, 0.05) << "p=" << p;
+    EXPECT_LT(ratio, 0.35) << "p=" << p;
+  }
+}
+
+TEST_F(ShapeFixture, FullAndSignatureScaleWithDensityNvdDoesNot) {
+  // Paper Fig 6.4(a): full/signature sizes proportional to p; NVD size
+  // grows as p *decreases*.
+  const std::vector<NodeId> sparse = UniformDataset(*graph_, 0.005, 2);
+  const std::vector<NodeId> dense = UniformDataset(*graph_, 0.05, 2);
+  const auto sig_sparse = BuildSignatureIndex(
+      *graph_, sparse, {.t = 10, .c = 2.7, .keep_forest = false});
+  const auto sig_dense = BuildSignatureIndex(
+      *graph_, dense, {.t = 10, .c = 2.7, .keep_forest = false});
+  // 10x the objects => roughly 10x the bytes (within 2x slack: codes adapt).
+  const double growth = static_cast<double>(sig_dense->IndexBytes()) /
+                        static_cast<double>(sig_sparse->IndexBytes());
+  EXPECT_GT(growth, 5.0);
+  EXPECT_LT(growth, 20.0);
+
+  const Vn3Index nvd_sparse(*graph_, sparse);
+  const Vn3Index nvd_dense(*graph_, dense);
+  // Total NVD bytes need not grow with density; per-object bytes must be
+  // far larger for the sparse dataset.
+  const double sparse_per_cell =
+      static_cast<double>(nvd_sparse.IndexBytes()) / sparse.size();
+  const double dense_per_cell =
+      static_cast<double>(nvd_dense.IndexBytes()) / dense.size();
+  EXPECT_GT(sparse_per_cell, 3 * dense_per_cell);
+}
+
+TEST_F(ShapeFixture, EncodingRatioStableCompressionImprovesWithDensity) {
+  // Paper Table 1: encoding ratio ~constant across datasets; compression
+  // ratio (compressed/encoded) smaller for denser datasets.
+  std::vector<double> encoded_ratios;
+  double ratio_sparse = 0, ratio_dense = 0;
+  for (const double p : {0.005, 0.02, 0.05}) {
+    const std::vector<NodeId> objects = UniformDataset(*graph_, p, 3);
+    const auto index = BuildSignatureIndex(
+        *graph_, objects, {.t = 10, .c = 2.7, .keep_forest = false});
+    encoded_ratios.push_back(index->size_stats().EncodedRatio());
+    if (p == 0.005) ratio_sparse = index->size_stats().CompressedRatio();
+    if (p == 0.05) ratio_dense = index->size_stats().CompressedRatio();
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(encoded_ratios.begin(), encoded_ratios.end());
+  EXPECT_LT(*max_it - *min_it, 0.2) << "encoding ratio should be stable";
+  EXPECT_LT(ratio_dense, ratio_sparse)
+      << "compression should improve with density";
+}
+
+TEST_F(ShapeFixture, SignatureRangePagesSublinearInRadius) {
+  // Paper Fig 6.5: signature page accesses grow sublinearly in R. Logical
+  // accesses are deterministic, so assert on them: growing R by 100x must
+  // grow pages by far less than 100x.
+  const std::vector<NodeId> objects = UniformDataset(*graph_, 0.01, 4);
+  const auto index = BuildSignatureIndex(
+      *graph_, objects, {.t = 10, .c = 2.7, .keep_forest = false});
+  BufferManager buffer(0);
+  const NetworkStore network(*graph_, order_, &buffer);
+  index->AttachStorage(&buffer, &network, order_);
+  const std::vector<NodeId> queries = RandomQueryNodes(*graph_, 20, 5);
+  const auto pages_at = [&](Weight r) {
+    buffer.Clear();
+    for (const NodeId q : queries) SignatureRangeQuery(*index, q, r);
+    return buffer.stats().logical_accesses;
+  };
+  const uint64_t small = pages_at(10);
+  const uint64_t mid = pages_at(1000);
+  const uint64_t large = pages_at(10000);
+  // Sublinearity shows at the top of the range: growing R another 10x past
+  // the network diameter costs almost nothing (categories confirm
+  // everything), unlike an expansion whose cost tracks the covered area.
+  EXPECT_LT(large, mid + mid / 2) << mid << " -> " << large;
+  // And the middle of the range stays far below the 10,000x area growth
+  // R = 10 -> 1000 implies for area-proportional methods.
+  EXPECT_LT(mid, small * 1000) << small << " -> " << mid;
+  EXPECT_GE(mid, small);
+}
+
+TEST_F(ShapeFixture, ParameterSurfaceIsFlat) {
+  // Paper Fig 6.7: all (c, T) combinations within ~2x of each other in
+  // clock time. Logical page counts are a harsher metric (the paper's
+  // 512 MB buffer absorbed refinement I/O — see bench_buffer), so the band
+  // here is wider; the point pinned is that even corner-case parameters
+  // degrade boundedly rather than catastrophically.
+  const std::vector<NodeId> objects = UniformDataset(*graph_, 0.01, 6);
+  const std::vector<NodeId> queries = RandomQueryNodes(*graph_, 15, 7);
+  uint64_t best = ~0ull, worst = 0;
+  for (const double t : {5.0, 25.0}) {
+    for (const double c : {2.0, 6.0}) {
+      const auto index = BuildSignatureIndex(
+          *graph_, objects, {.t = t, .c = c, .keep_forest = false});
+      BufferManager buffer(0);
+      const NetworkStore network(*graph_, order_, &buffer);
+      index->AttachStorage(&buffer, &network, order_);
+      for (const NodeId q : queries) {
+        SignatureKnnQuery(*index, q, 5, KnnResultType::kType3);
+      }
+      best = std::min(best, buffer.stats().logical_accesses);
+      worst = std::max(worst, buffer.stats().logical_accesses);
+    }
+  }
+  EXPECT_LT(worst, best * 15) << best << " vs " << worst;
+}
+
+}  // namespace
+}  // namespace dsig

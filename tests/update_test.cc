@@ -1,0 +1,179 @@
+#include "core/update.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance_ops.h"
+#include "core/signature_builder.h"
+#include "graph/graph_generator.h"
+#include "query/knn_query.h"
+#include "query/range_query.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+// The maintained index must be semantically fresh: every row category equals
+// the category of the TRUE current distance under the index's own partition,
+// and guided backtracking still retrieves exact distances (i.e., all links
+// are valid next hops).
+void ExpectIndexMatchesRebuild(const RoadNetwork& g,
+                               const std::vector<NodeId>& objects,
+                               const SignatureIndex& maintained) {
+  const auto truth = testing_util::BruteForceDistances(g, objects);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    const SignatureRow row = maintained.ReadRow(n);
+    ASSERT_EQ(row.size(), objects.size());
+    for (uint32_t o = 0; o < row.size(); ++o) {
+      EXPECT_EQ(row[o].category,
+                maintained.partition().CategoryOf(truth[o][n]))
+          << "node " << n << " object " << o;
+      EXPECT_EQ(ExactDistance(maintained, n, o), truth[o][n])
+          << "node " << n << " object " << o;
+    }
+  }
+}
+
+TEST(SignatureUpdaterTest, RequiresForest) {
+  RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  auto index =
+      BuildSignatureIndex(g, {1}, {.t = 4, .c = 2, .keep_forest = true});
+  SignatureUpdater updater(&g, index.get());  // must not die
+  SUCCEED();
+}
+
+TEST(SignatureUpdaterTest, WeightDecreaseUpdatesCategories) {
+  RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const std::vector<NodeId> objects = {5};
+  auto index = BuildSignatureIndex(g, objects, {.t = 4, .c = 2});
+  SignatureUpdater updater(&g, index.get());
+  EXPECT_EQ(ExactDistance(*index, 0, 0), 12);
+  // Shorten 4-5: d(0, 5) via 0-3-4-5 becomes 3+1+1 = 5.
+  const UpdateStats stats = updater.SetEdgeWeight(g.FindEdge(4, 5), 1);
+  EXPECT_GT(stats.tree_entries_changed, 0u);
+  EXPECT_GT(stats.rows_rewritten, 0u);
+  EXPECT_EQ(ExactDistance(*index, 0, 0), 5);
+  ExpectIndexMatchesRebuild(g, objects, *index);
+}
+
+TEST(SignatureUpdaterTest, EdgeAdditionCreatesShortcut) {
+  RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const std::vector<NodeId> objects = {6};
+  auto index = BuildSignatureIndex(g, objects, {.t = 4, .c = 2});
+  SignatureUpdater updater(&g, index.get());
+  EXPECT_EQ(ExactDistance(*index, 2, 0), 17);  // 2-5-4-6 = 2+8+7
+  EdgeId new_edge = kInvalidEdge;
+  updater.AddEdge(2, 6, 1, &new_edge);
+  ASSERT_NE(new_edge, kInvalidEdge);
+  EXPECT_EQ(ExactDistance(*index, 2, 0), 1);
+  ExpectIndexMatchesRebuild(g, objects, *index);
+}
+
+TEST(SignatureUpdaterTest, WeightIncreaseReroutes) {
+  RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const std::vector<NodeId> objects = {0, 6};
+  auto index = BuildSignatureIndex(g, objects, {.t = 4, .c = 2});
+  SignatureUpdater updater(&g, index.get());
+  updater.SetEdgeWeight(g.FindEdge(0, 3), 50);
+  ExpectIndexMatchesRebuild(g, objects, *index);
+}
+
+TEST(SignatureUpdaterTest, RemovalReroutes) {
+  RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const std::vector<NodeId> objects = {0, 5};
+  auto index = BuildSignatureIndex(g, objects, {.t = 4, .c = 2});
+  SignatureUpdater updater(&g, index.get());
+  updater.RemoveEdge(g.FindEdge(3, 4));
+  ExpectIndexMatchesRebuild(g, objects, *index);
+}
+
+TEST(SignatureUpdaterTest, NoOpWeightChange) {
+  RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  auto index = BuildSignatureIndex(g, {1}, {.t = 4, .c = 2});
+  SignatureUpdater updater(&g, index.get());
+  const EdgeId e = g.FindEdge(0, 1);
+  const UpdateStats stats = updater.SetEdgeWeight(e, g.edge_weight(e));
+  EXPECT_EQ(stats.tree_entries_changed, 0u);
+  EXPECT_EQ(stats.rows_rewritten, 0u);
+}
+
+TEST(SignatureUpdaterTest, UpdatesRefreshObjectTable) {
+  RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const std::vector<NodeId> objects = {0, 5};
+  auto index = BuildSignatureIndex(g, objects, {.t = 4, .c = 2});
+  SignatureUpdater updater(&g, index.get());
+  // d(0, 5) = 12 initially; a direct shortcut drops it to 1.
+  updater.AddEdge(0, 5, 1);
+  EXPECT_FALSE(index->object_table().IsFar(0, 1));
+  EXPECT_EQ(index->object_table().Get(0, 1), 1);
+}
+
+// Property: a long random mixed update sequence keeps the index exactly
+// equivalent to a rebuild, and queries stay correct throughout.
+class UpdaterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UpdaterPropertyTest, RandomUpdateSequence) {
+  RoadNetwork g = MakeRandomPlanar({.num_nodes = 250, .seed = GetParam()});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.05, GetParam());
+  auto index = BuildSignatureIndex(g, objects, {.t = 5, .c = 2});
+  SignatureUpdater updater(&g, index.get());
+  Random rng(GetParam() + 7);
+  for (int step = 0; step < 25; ++step) {
+    const int action = static_cast<int>(rng.NextUint64(3));
+    if (action == 0) {
+      const NodeId u = static_cast<NodeId>(rng.NextUint64(g.num_nodes()));
+      NodeId v = static_cast<NodeId>(rng.NextUint64(g.num_nodes()));
+      if (u == v) v = (v + 1) % static_cast<NodeId>(g.num_nodes());
+      updater.AddEdge(u, v, rng.NextInt(1, 10));
+    } else {
+      const EdgeId e =
+          static_cast<EdgeId>(rng.NextUint64(g.num_edge_slots()));
+      if (g.edge_removed(e)) continue;
+      updater.SetEdgeWeight(e, rng.NextInt(1, 10));
+    }
+  }
+  ExpectIndexMatchesRebuild(g, objects, *index);
+
+  // And queries still agree with brute force.
+  const auto truth = testing_util::BruteForceDistances(g, objects);
+  for (const NodeId n : testing_util::SampleNodes(g, 5, GetParam())) {
+    const KnnResult r = SignatureKnnQuery(*index, n, 5,
+                                          KnnResultType::kType1);
+    std::vector<Weight> expected;
+    for (const auto& row : truth) expected.push_back(row[n]);
+    std::sort(expected.begin(), expected.end());
+    expected.resize(5);
+    EXPECT_EQ(r.distances, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpdaterPropertyTest,
+                         ::testing::Values(1, 6, 16));
+
+TEST(SignatureUpdaterTest, UpdateLocalityIsBounded) {
+  // Paper §5.4: a local change should touch few signatures relative to a
+  // rebuild, thanks to exponential categories and the reverse index.
+  RoadNetwork g = MakeRandomPlanar({.num_nodes = 2000, .seed = 5});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.01, 5);
+  auto index = BuildSignatureIndex(g, objects, {.t = 10, .c = 2.7});
+  SignatureUpdater updater(&g, index.get());
+  Random rng(5);
+  size_t total_rows = 0;
+  int updates = 0;
+  for (int i = 0; i < 20; ++i) {
+    const EdgeId e = static_cast<EdgeId>(rng.NextUint64(g.num_edge_slots()));
+    if (g.edge_removed(e)) continue;
+    const Weight w = g.edge_weight(e);
+    const UpdateStats stats =
+        updater.SetEdgeWeight(e, std::max<Weight>(1, w - 1));
+    total_rows += stats.rows_rewritten;
+    ++updates;
+  }
+  ASSERT_GT(updates, 0);
+  // On average far fewer than all rows are rewritten per update.
+  EXPECT_LT(total_rows / static_cast<size_t>(updates), g.num_nodes() / 4);
+}
+
+}  // namespace
+}  // namespace dsig

@@ -1,0 +1,139 @@
+#include "baselines/nvd/vn3.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/ine.h"
+#include "graph/dijkstra.h"
+#include "graph/graph_generator.h"
+#include "tests/test_util.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+TEST(BorderGraphTest, RestrictedDistancesComposeExactly) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 300, .seed = 3});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.03, 3);
+  const VoronoiDiagram nvd = BuildVoronoiDiagram(g, objects);
+  const BorderGraph bg(g, &nvd);
+  // Within-cell distances must never undercut true network distances.
+  for (uint32_t c = 0; c < nvd.num_cells(); ++c) {
+    for (const NodeId b1 : nvd.borders[c]) {
+      const ShortestPathTree tree = RunDijkstra(g, b1);
+      for (const NodeId b2 : nvd.borders[c]) {
+        const Weight restricted = bg.BorderToBorder(c, b1, b2);
+        if (restricted != kInfiniteWeight) {
+          EXPECT_GE(restricted, tree.dist[b2] - 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(BorderGraphTest, InnerToBorderSelfIsZero) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 300, .seed = 6});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.03, 6);
+  const VoronoiDiagram nvd = BuildVoronoiDiagram(g, objects);
+  const BorderGraph bg(g, &nvd);
+  for (uint32_t c = 0; c < nvd.num_cells(); ++c) {
+    for (const NodeId b : nvd.borders[c]) {
+      EXPECT_EQ(bg.InnerToBorder(b, b), 0);
+    }
+  }
+}
+
+TEST(Vn3Test, FirstNnIsCellGenerator) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 400, .seed = 2});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.03, 2);
+  const Vn3Index vn3(g, objects);
+  for (const NodeId q : testing_util::SampleNodes(g, 20, 1)) {
+    const auto result = vn3.Knn(q, 1);
+    ASSERT_EQ(result.size(), 1u);
+    // Ties between equally-near generators may pick either; the distance is
+    // always the NVD-stored distance to the cell generator.
+    EXPECT_EQ(result[0].first, vn3.nvd().dist_to_generator[q]);
+    if (result[0].second != vn3.nvd().cell_of_node[q]) {
+      // must be a genuine tie
+      const NodeId other = vn3.nvd().generators[result[0].second];
+      EXPECT_EQ(DijkstraDistance(g, q, other), result[0].first);
+    }
+  }
+}
+
+class Vn3PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Vn3PropertyTest, KnnMatchesIne) {
+  const RoadNetwork g =
+      MakeRandomPlanar({.num_nodes = 500, .seed = GetParam()});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.03, GetParam());
+  const Vn3Index vn3(g, objects);
+  const IneSearch ine(&g, objects, nullptr);
+  for (const NodeId q : testing_util::SampleNodes(g, 15, GetParam() + 1)) {
+    for (const size_t k : {1u, 3u, 7u}) {
+      const auto got = vn3.Knn(q, k);
+      const IneResult expected = ine.Knn(q, k);
+      ASSERT_EQ(got.size(), expected.objects.size()) << "q=" << q
+                                                     << " k=" << k;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].first, expected.objects[i].first)
+            << "q=" << q << " k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(Vn3PropertyTest, RangeMatchesIne) {
+  const RoadNetwork g =
+      MakeRandomPlanar({.num_nodes = 500, .seed = GetParam() + 50});
+  const std::vector<NodeId> objects =
+      UniformDataset(g, 0.03, GetParam() + 50);
+  const Vn3Index vn3(g, objects);
+  const IneSearch ine(&g, objects, nullptr);
+  for (const NodeId q : testing_util::SampleNodes(g, 10, GetParam())) {
+    for (const Weight eps : {5.0, 20.0, 60.0}) {
+      const auto got = vn3.Range(q, eps);
+      const IneResult expected = ine.Range(q, eps);
+      ASSERT_EQ(got.size(), expected.objects.size())
+          << "q=" << q << " eps=" << eps;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].first, expected.objects[i].first);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Vn3PropertyTest,
+                         ::testing::Values(2, 12, 22));
+
+TEST(Vn3Test, ChargesPagesWhenAttached) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 400, .seed = 8});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.03, 8);
+  Vn3Index vn3(g, objects);
+  BufferManager buffer(0);
+  vn3.AttachStorage(&buffer);
+  vn3.Knn(11, 3);
+  EXPECT_GT(buffer.stats().physical_accesses, 0u);
+  // Larger k touches at least as many pages.
+  const uint64_t k3 = buffer.stats().physical_accesses;
+  buffer.Clear();
+  vn3.Knn(11, 10);
+  EXPECT_GE(buffer.stats().physical_accesses, k3);
+}
+
+TEST(Vn3Test, IndexBytesGrowsForSparserData) {
+  // Paper Fig 6.4: NVD storage explodes as density drops (bigger cells,
+  // more borders per cell).
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 1500, .seed = 4});
+  const Vn3Index dense(g, UniformDataset(g, 0.05, 4));
+  const Vn3Index sparse(g, UniformDataset(g, 0.005, 4));
+  const double dense_per_object =
+      static_cast<double>(dense.IndexBytes()) / dense.nvd().num_cells();
+  const double sparse_per_object =
+      static_cast<double>(sparse.IndexBytes()) / sparse.nvd().num_cells();
+  EXPECT_GT(sparse_per_object, dense_per_object);
+}
+
+}  // namespace
+}  // namespace dsig

@@ -1,0 +1,99 @@
+#include "baselines/nvd/voronoi.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/dijkstra.h"
+#include "graph/graph_generator.h"
+#include "tests/test_util.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+TEST(VoronoiTest, CellsCoverAllNodes) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 500, .seed = 2});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.02, 2);
+  const VoronoiDiagram nvd = BuildVoronoiDiagram(g, objects);
+  ASSERT_EQ(nvd.cell_of_node.size(), g.num_nodes());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_LT(nvd.cell_of_node[n], nvd.num_cells());
+  }
+}
+
+TEST(VoronoiTest, EachNodeAssignedToNearestGenerator) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 400, .seed = 5});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.03, 5);
+  const VoronoiDiagram nvd = BuildVoronoiDiagram(g, objects);
+  const auto truth = testing_util::BruteForceDistances(g, objects);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    Weight best = kInfiniteWeight;
+    for (uint32_t o = 0; o < objects.size(); ++o) {
+      best = std::min(best, truth[o][n]);
+    }
+    EXPECT_EQ(nvd.dist_to_generator[n], best) << "node " << n;
+    EXPECT_EQ(truth[nvd.cell_of_node[n]][n], best) << "node " << n;
+  }
+}
+
+TEST(VoronoiTest, GeneratorsOwnTheirNodes) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const VoronoiDiagram nvd = BuildVoronoiDiagram(g, {0, 5});
+  EXPECT_EQ(nvd.cell_of_node[0], 0u);
+  EXPECT_EQ(nvd.cell_of_node[5], 1u);
+  EXPECT_EQ(nvd.dist_to_generator[0], 0);
+  EXPECT_EQ(nvd.dist_to_generator[5], 0);
+}
+
+TEST(VoronoiTest, BordersAreOnCellBoundaries) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 600, .seed = 7});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.02, 7);
+  const VoronoiDiagram nvd = BuildVoronoiDiagram(g, objects);
+  for (uint32_t c = 0; c < nvd.num_cells(); ++c) {
+    for (const NodeId b : nvd.borders[c]) {
+      EXPECT_EQ(nvd.cell_of_node[b], c);
+      bool touches_other_cell = false;
+      for (const AdjacencyEntry& entry : g.adjacency(b)) {
+        if (!entry.removed && nvd.cell_of_node[entry.to] != c) {
+          touches_other_cell = true;
+        }
+      }
+      EXPECT_TRUE(touches_other_cell) << "border " << b;
+    }
+  }
+}
+
+TEST(VoronoiTest, AdjacencyIsSymmetric) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 500, .seed = 9});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.02, 9);
+  const VoronoiDiagram nvd = BuildVoronoiDiagram(g, objects);
+  for (uint32_t c = 0; c < nvd.num_cells(); ++c) {
+    for (const uint32_t d : nvd.adjacent_cells[c]) {
+      EXPECT_TRUE(std::binary_search(nvd.adjacent_cells[d].begin(),
+                                     nvd.adjacent_cells[d].end(), c));
+    }
+  }
+}
+
+TEST(VoronoiTest, CellBoundsContainCellNodes) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 300, .seed = 4});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.03, 4);
+  const VoronoiDiagram nvd = BuildVoronoiDiagram(g, objects);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_TRUE(nvd.cell_bounds[nvd.cell_of_node[n]].Contains(g.position(n)));
+  }
+}
+
+TEST(VoronoiTest, SingleObjectOwnsEverything) {
+  const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
+  const VoronoiDiagram nvd = BuildVoronoiDiagram(g, {3});
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(nvd.cell_of_node[n], 0u);
+  }
+  EXPECT_TRUE(nvd.borders[0].empty());
+  EXPECT_TRUE(nvd.adjacent_cells[0].empty());
+}
+
+}  // namespace
+}  // namespace dsig

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "graph/graph_generator.h"
+#include "workload/dataset_generator.h"
+#include "workload/query_generator.h"
+
+namespace dsig {
+namespace {
+
+TEST(UniformDatasetTest, CardinalityMatchesDensity) {
+  const RoadNetwork g = MakeGrid({.width = 50, .height = 40});  // 2000 nodes
+  EXPECT_EQ(UniformDataset(g, 0.01, 1).size(), 20u);
+  EXPECT_EQ(UniformDataset(g, 0.05, 1).size(), 100u);
+  EXPECT_EQ(UniformDataset(g, 0.0001, 1).size(), 1u);  // at least one
+}
+
+TEST(UniformDatasetTest, ObjectsAreDistinctAndValid) {
+  const RoadNetwork g = MakeGrid({.width = 40, .height = 40});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.1, 7);
+  std::set<NodeId> unique(objects.begin(), objects.end());
+  EXPECT_EQ(unique.size(), objects.size());
+  for (const NodeId n : objects) EXPECT_LT(n, g.num_nodes());
+  EXPECT_TRUE(std::is_sorted(objects.begin(), objects.end()));
+}
+
+TEST(UniformDatasetTest, DeterministicBySeed) {
+  const RoadNetwork g = MakeGrid({.width = 30, .height = 30});
+  EXPECT_EQ(UniformDataset(g, 0.05, 3), UniformDataset(g, 0.05, 3));
+  EXPECT_NE(UniformDataset(g, 0.05, 3), UniformDataset(g, 0.05, 4));
+}
+
+TEST(ClusteredDatasetTest, SameCardinalityAsUniform) {
+  const RoadNetwork g = MakeGrid({.width = 50, .height = 50});
+  EXPECT_EQ(ClusteredDataset(g, 0.02, 5, 1).size(),
+            UniformDataset(g, 0.02, 1).size());
+}
+
+TEST(ClusteredDatasetTest, ObjectsAreClumped) {
+  const RoadNetwork g = MakeGrid({.width = 60, .height = 60});
+  const std::vector<NodeId> clustered = ClusteredDataset(g, 0.02, 4, 9);
+  const std::vector<NodeId> uniform = UniformDataset(g, 0.02, 9);
+  // Clumping metric: mean Euclidean nearest-neighbour distance within the
+  // dataset — clustered placements sit much closer together.
+  const auto mean_nn = [&](const std::vector<NodeId>& objs) {
+    double total = 0;
+    for (const NodeId a : objs) {
+      double best = 1e18;
+      for (const NodeId b : objs) {
+        if (a == b) continue;
+        const auto& pa = g.position(a);
+        const auto& pb = g.position(b);
+        best = std::min(best, std::hypot(pa.x - pb.x, pa.y - pb.y));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(objs.size());
+  };
+  EXPECT_LT(mean_nn(clustered), mean_nn(uniform) * 0.7);
+}
+
+TEST(QueryGeneratorTest, CountAndValidity) {
+  const RoadNetwork g = MakeGrid({.width = 20, .height = 20});
+  const std::vector<NodeId> queries = RandomQueryNodes(g, 500, 5);
+  EXPECT_EQ(queries.size(), 500u);
+  for (const NodeId q : queries) EXPECT_LT(q, g.num_nodes());
+  EXPECT_EQ(queries, RandomQueryNodes(g, 500, 5));
+}
+
+}  // namespace
+}  // namespace dsig
