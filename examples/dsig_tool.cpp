@@ -1,17 +1,29 @@
-// dsig_tool — command-line front end for building, persisting, and querying
-// signature indexes. Demonstrates the persistence API end to end.
+// dsig_tool — command-line front end for building, persisting, verifying,
+// and querying signature indexes. Demonstrates the persistence API end to
+// end, including its corruption handling.
 //
 // Commands:
 //   generate  --network=<file> [--nodes=N] [--kind=planar|continental] [--seed=S]
 //   build     --network=<file> --index=<file> [--density=p] [--t=T] [--c=C]
 //   info      --network=<file> --index=<file>
+//   verify    --network=<file> --index=<file>
+//   corrupt   --file=<file> --offset=<byte> [--xor=mask] [--truncate]
 //   knn       --network=<file> --index=<file> --node=<id> [--k=K]
 //   range     --network=<file> --index=<file> --node=<id> [--radius=R]
+//
+// `verify` loads the index and runs the deep integrity check
+// (SignatureIndex::Verify): exit 0 = clean, nonzero = corrupt, with the
+// violation printed. `corrupt` deliberately damages a file in place — XOR a
+// mask into one byte (negative offsets count from the end) or truncate — so
+// the corruption handling can be exercised from the shell.
 //
 // Example session:
 //   dsig_tool generate --network=/tmp/city.net --nodes=5000
 //   dsig_tool build    --network=/tmp/city.net --index=/tmp/city.idx
-//   dsig_tool knn      --network=/tmp/city.net --index=/tmp/city.idx --node=42
+//   dsig_tool verify   --network=/tmp/city.net --index=/tmp/city.idx
+//   dsig_tool corrupt  --file=/tmp/city.idx --offset=-100 --xor=0x40
+//   dsig_tool verify   --network=/tmp/city.net --index=/tmp/city.idx  # fails
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -29,9 +41,11 @@ namespace {
 using namespace dsig;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: dsig_tool <generate|build|info|knn|range> [flags]\n"
-               "see the header of examples/dsig_tool.cpp for details\n");
+  std::fprintf(
+      stderr,
+      "usage: dsig_tool <generate|build|info|verify|corrupt|knn|range> "
+      "[flags]\n"
+      "see the header of examples/dsig_tool.cpp for details\n");
   return 1;
 }
 
@@ -50,8 +64,10 @@ int Generate(const Flags& flags) {
   } else {
     graph = MakeRandomPlanar({.num_nodes = nodes, .seed = seed});
   }
-  if (!SaveRoadNetwork(graph, path)) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  const Status status = SaveRoadNetwork(graph, path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
     return 1;
   }
   std::printf("wrote %s: %zu junctions, %zu segments\n", path.c_str(),
@@ -63,25 +79,28 @@ int Build(const Flags& flags) {
   const std::string network_path = flags.GetString("network", "");
   const std::string index_path = flags.GetString("index", "");
   if (network_path.empty() || index_path.empty()) return Usage();
-  const auto graph = LoadRoadNetwork(network_path);
-  if (graph == nullptr) {
-    std::fprintf(stderr, "cannot load %s\n", network_path.c_str());
+  auto graph = LoadRoadNetwork(network_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", network_path.c_str(),
+                 graph.status().ToString().c_str());
     return 1;
   }
   const double density = flags.GetDouble("density", 0.01);
   const std::vector<NodeId> objects = UniformDataset(
-      *graph, density, static_cast<uint64_t>(flags.GetInt("seed", 43)));
+      **graph, density, static_cast<uint64_t>(flags.GetInt("seed", 43)));
   Timer timer;
   const auto index = BuildSignatureIndex(
-      *graph, objects,
+      **graph, objects,
       {.t = flags.GetDouble("t", 10.0),
        .c = flags.GetDouble("c", 2.718281828),
        .keep_forest = false});
   std::printf("built index over %zu objects in %.2fs (%.1f KB)\n",
               objects.size(), timer.ElapsedSeconds(),
               static_cast<double>(index->IndexBytes()) / 1024.0);
-  if (!SaveSignatureIndex(*index, index_path)) {
-    std::fprintf(stderr, "cannot write %s\n", index_path.c_str());
+  const Status status = SaveSignatureIndex(*index, index_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", index_path.c_str(),
+                 status.ToString().c_str());
     return 1;
   }
   std::printf("wrote %s\n", index_path.c_str());
@@ -93,18 +112,23 @@ struct Loaded {
   std::unique_ptr<SignatureIndex> index;
 };
 
-Loaded LoadBoth(const Flags& flags) {
+Loaded LoadBoth(const Flags& flags, bool verify = false) {
   Loaded loaded;
-  loaded.graph = LoadRoadNetwork(flags.GetString("network", ""));
-  if (loaded.graph == nullptr) {
-    std::fprintf(stderr, "cannot load network\n");
+  auto graph = LoadRoadNetwork(flags.GetString("network", ""));
+  if (!graph.ok()) {
+    std::fprintf(stderr, "cannot load network: %s\n",
+                 graph.status().ToString().c_str());
     return loaded;
   }
-  loaded.index =
-      LoadSignatureIndex(*loaded.graph, flags.GetString("index", ""));
-  if (loaded.index == nullptr) {
-    std::fprintf(stderr, "cannot load index (wrong network?)\n");
+  loaded.graph = std::move(*graph);
+  auto index = LoadSignatureIndex(*loaded.graph, flags.GetString("index", ""),
+                                  {.verify = verify, .faults = {}});
+  if (!index.ok()) {
+    std::fprintf(stderr, "cannot load index: %s\n",
+                 index.status().ToString().c_str());
+    return loaded;
   }
+  loaded.index = std::move(*index);
   return loaded;
 }
 
@@ -125,6 +149,69 @@ int Info(const Flags& flags) {
   std::printf("compressed entries: %.0f%%\n",
               100.0 * static_cast<double>(s.compressed_entries) /
                   static_cast<double>(s.entries));
+  return 0;
+}
+
+// Loads with LoadOptions::verify, so the checksums AND the deep structural
+// invariants (decodability, link chains, categories) are all proven.
+int Verify(const Flags& flags) {
+  const Loaded loaded = LoadBoth(flags, /*verify=*/true);
+  if (loaded.index == nullptr) return 1;
+  std::printf("index is clean: %zu rows over %zu objects verified\n",
+              loaded.graph->num_nodes(), loaded.index->num_objects());
+  return 0;
+}
+
+// Damages a file in place: XORs --xor (default 0x01) into the byte at
+// --offset (negative = from the end), or cuts the file off there when
+// --truncate is given.
+int Corrupt(const Flags& flags) {
+  const std::string path = flags.GetString("file", "");
+  if (path.empty() || !flags.Has("offset")) return Usage();
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  int64_t offset = flags.GetInt("offset", 0);
+  if (offset < 0) offset += size;
+  if (offset < 0 || offset >= size) {
+    std::fprintf(stderr, "offset out of range (file has %ld bytes)\n", size);
+    std::fclose(file);
+    return 1;
+  }
+  if (flags.GetBool("truncate", false)) {
+    std::fclose(file);
+    // Rewrite the prefix: portable truncation without ftruncate.
+    std::FILE* in = std::fopen(path.c_str(), "rb");
+    std::string prefix(static_cast<size_t>(offset), '\0');
+    const size_t got = std::fread(prefix.data(), 1, prefix.size(), in);
+    std::fclose(in);
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    std::fwrite(prefix.data(), 1, got, out);
+    std::fclose(out);
+    std::printf("truncated %s to %lld bytes\n", path.c_str(),
+                static_cast<long long>(offset));
+    return 0;
+  }
+  const uint8_t mask =
+      static_cast<uint8_t>(flags.GetInt("xor", 0x01) & 0xFF);
+  std::fseek(file, static_cast<long>(offset), SEEK_SET);
+  uint8_t byte = 0;
+  if (std::fread(&byte, 1, 1, file) != 1) {
+    std::fclose(file);
+    std::fprintf(stderr, "cannot read byte %lld\n",
+                 static_cast<long long>(offset));
+    return 1;
+  }
+  byte ^= mask;
+  std::fseek(file, static_cast<long>(offset), SEEK_SET);
+  std::fwrite(&byte, 1, 1, file);
+  std::fclose(file);
+  std::printf("flipped byte %lld of %s with mask 0x%02x\n",
+              static_cast<long long>(offset), path.c_str(), mask);
   return 0;
 }
 
@@ -177,6 +264,8 @@ int main(int argc, char** argv) {
   if (command == "generate") return Generate(flags);
   if (command == "build") return Build(flags);
   if (command == "info") return Info(flags);
+  if (command == "verify") return Verify(flags);
+  if (command == "corrupt") return Corrupt(flags);
   if (command == "knn") return Knn(flags);
   if (command == "range") return Range(flags);
   return Usage();

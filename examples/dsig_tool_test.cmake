@@ -1,11 +1,16 @@
 # End-to-end pipeline smoke test for dsig_tool: generate -> build -> info ->
-# knn -> range, failing on any non-zero exit.
+# verify -> knn -> range, failing on any non-zero exit; then the corruption
+# drill: a copy of the index is damaged with `corrupt` and both `verify` and
+# `info` must refuse it (clean non-zero exit), while the pristine file keeps
+# verifying.
 set(NET ${WORKDIR}/tool_test.net)
 set(IDX ${WORKDIR}/tool_test.idx)
+set(BAD ${WORKDIR}/tool_test_corrupt.idx)
 foreach(args
     "generate;--network=${NET};--nodes=2000"
     "build;--network=${NET};--index=${IDX};--density=0.02"
     "info;--network=${NET};--index=${IDX}"
+    "verify;--network=${NET};--index=${IDX}"
     "knn;--network=${NET};--index=${IDX};--node=10;--k=3"
     "range;--network=${NET};--index=${IDX};--node=10;--radius=40")
   execute_process(COMMAND ${TOOL} ${args} RESULT_VARIABLE rc)
@@ -13,3 +18,47 @@ foreach(args
     message(FATAL_ERROR "dsig_tool ${args} failed with ${rc}")
   endif()
 endforeach()
+
+# Flip one byte near the end of a copy (row data / object table region).
+execute_process(COMMAND ${CMAKE_COMMAND} -E copy ${IDX} ${BAD} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "copying the index for the corruption drill failed")
+endif()
+execute_process(COMMAND ${TOOL} corrupt --file=${BAD} --offset=-200 --xor=0x40
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dsig_tool corrupt failed with ${rc}")
+endif()
+
+# The damaged copy must be rejected by verify AND by plain loading (info),
+# with a proper exit code rather than a crash signal (ctest reports signals
+# as large/negative codes; we require exactly 1).
+foreach(cmd verify info)
+  execute_process(COMMAND ${TOOL} ${cmd} --network=${NET} --index=${BAD}
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+            "dsig_tool ${cmd} on a corrupt index exited ${rc}, expected 1")
+  endif()
+endforeach()
+
+# Truncation must also be caught.
+execute_process(COMMAND ${CMAKE_COMMAND} -E copy ${IDX} ${BAD} RESULT_VARIABLE rc)
+execute_process(COMMAND ${TOOL} corrupt --file=${BAD} --offset=100 --truncate
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dsig_tool corrupt --truncate failed with ${rc}")
+endif()
+execute_process(COMMAND ${TOOL} verify --network=${NET} --index=${BAD}
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+          "dsig_tool verify on a truncated index exited ${rc}, expected 1")
+endif()
+
+# The pristine index is untouched by all of the above.
+execute_process(COMMAND ${TOOL} verify --network=${NET} --index=${IDX}
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pristine index stopped verifying (${rc})")
+endif()

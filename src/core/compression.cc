@@ -113,6 +113,23 @@ SignatureEntry RowCompressor::Resolve(const SignatureRow& row,
   return resolved;
 }
 
+bool RowCompressor::TryResolveRow(SignatureRow* row) const {
+  if (row->size() != table_->num_objects()) return false;
+  const int m = partition_->num_categories();
+  for (const SignatureEntry& entry : *row) {
+    // Out-of-partition categories would abort inside AddUpCategories.
+    if (!entry.compressed && entry.category >= m) return false;
+  }
+  const std::vector<Rep> reps = ComputeReps(*row);
+  for (uint32_t v = 0; v < row->size(); ++v) {
+    SignatureEntry& entry = (*row)[v];
+    if (!entry.compressed) continue;
+    if (!BestRep(reps, v, &entry.category, &entry.link)) return false;
+    entry.compressed = false;
+  }
+  return true;
+}
+
 void RowCompressor::ResolveRow(SignatureRow* row) const {
   const std::vector<Rep> reps = ComputeReps(*row);
   for (uint32_t v = 0; v < row->size(); ++v) {

@@ -56,6 +56,12 @@ class RowCompressor {
   // Resolves every compressed entry in place.
   void ResolveRow(SignatureRow* row) const;
 
+  // Non-aborting variant for untrusted rows: false (row left partially
+  // resolved) when the row's size does not match the object table, an
+  // uncompressed category is outside the partition, or a compressed entry
+  // has no representative — all states only a corrupt index can reach.
+  bool TryResolveRow(SignatureRow* row) const;
+
  private:
   struct Rep {
     uint32_t object = 0;  // object index of the representative

@@ -20,6 +20,11 @@ struct OpCounters {
   uint64_t exact_compares = 0;    // Algorithm 2 invocations
   uint64_t approx_compares = 0;   // Algorithm 3 invocations
   uint64_t resolves = 0;          // compressed components decompressed
+  // Graceful degradation: rows that failed to decode (in-memory corruption
+  // slipping past load-time checks) and were recomputed by bounded Dijkstra.
+  // Nonzero means queries stayed correct but paid shortest-path CPU for the
+  // affected rows — benches report this as the degradation cost.
+  uint64_t decode_fallbacks = 0;
 
   OpCounters operator-(const OpCounters& other) const {
     return {row_reads - other.row_reads,
@@ -27,7 +32,8 @@ struct OpCounters {
             backtrack_steps - other.backtrack_steps,
             exact_compares - other.exact_compares,
             approx_compares - other.approx_compares,
-            resolves - other.resolves};
+            resolves - other.resolves,
+            decode_fallbacks - other.decode_fallbacks};
   }
 };
 

@@ -57,6 +57,81 @@ SignatureRow SignatureCodec::DecodeRow(const EncodedRow& encoded) const {
   return row;
 }
 
+namespace {
+
+// Reads one component without aborting; false on truncation / bad prefix /
+// oversized link. Factored so row and entry decoding share the rules.
+bool TryReadComponent(const HuffmanCode& category_code, int link_bits,
+                      bool has_flags, BitReader* reader,
+                      SignatureEntry* entry) {
+  if (has_flags) {
+    if (reader->AtEnd()) return false;
+    if (reader->ReadBit()) {
+      entry->category = kUnresolvedCategory;
+      entry->link = kUnresolvedLink;
+      entry->compressed = true;
+      return true;
+    }
+  }
+  int symbol = 0;
+  if (!category_code.TryDecode(reader, &symbol)) return false;
+  if (symbol > 0xFF) return false;
+  if (reader->size_bits() - reader->position() <
+      static_cast<size_t>(link_bits)) {
+    return false;
+  }
+  const uint64_t link = reader->ReadBits(link_bits);
+  if (link > 0xFF) return false;  // adjacency slots are uint8
+  entry->category = static_cast<uint8_t>(symbol);
+  entry->link = static_cast<uint8_t>(link);
+  entry->compressed = false;
+  return true;
+}
+
+}  // namespace
+
+bool SignatureCodec::TryDecodeRow(const EncodedRow& encoded,
+                                  size_t expected_entries,
+                                  SignatureRow* row) const {
+  row->clear();
+  if (encoded.size_bits > encoded.bytes.size() * 8) return false;
+  BitReader reader(encoded.bytes.data(), encoded.size_bits);
+  while (!reader.AtEnd()) {
+    SignatureEntry entry;
+    if (!TryReadComponent(category_code_, link_bits_, has_flags_, &reader,
+                          &entry)) {
+      return false;
+    }
+    row->push_back(entry);
+    if (row->size() > expected_entries) return false;  // trailing garbage
+  }
+  return row->size() == expected_entries;
+}
+
+bool SignatureCodec::TryDecodeEntry(const EncodedRow& encoded, uint32_t index,
+                                    SignatureEntry* entry,
+                                    uint64_t* bit_offset) const {
+  if (encoded.size_bits > encoded.bytes.size() * 8) return false;
+  const uint32_t checkpoint = index / kCheckpointInterval;
+  if (checkpoint >= encoded.checkpoints.size()) return false;
+  const uint32_t start_bit = encoded.checkpoints[checkpoint];
+  if (start_bit > encoded.size_bits) return false;
+  BitReader reader(encoded.bytes.data(), encoded.size_bits);
+  reader.Seek(start_bit);
+  for (uint32_t i = checkpoint * kCheckpointInterval; i <= index; ++i) {
+    const uint64_t start = reader.position();
+    if (!TryReadComponent(category_code_, link_bits_, has_flags_, &reader,
+                          entry)) {
+      return false;
+    }
+    if (i == index) {
+      if (bit_offset != nullptr) *bit_offset = start;
+      return true;
+    }
+  }
+  return false;
+}
+
 SignatureEntry SignatureCodec::DecodeEntry(const EncodedRow& encoded,
                                            uint32_t index,
                                            uint64_t* bit_offset) const {

@@ -77,6 +77,18 @@ class SignatureCodec {
   SignatureEntry DecodeEntry(const EncodedRow& encoded, uint32_t index,
                              uint64_t* bit_offset) const;
 
+  // Non-aborting decode for untrusted rows (corrupt files, bit rot): false
+  // when the bits end mid-component, follow no category prefix, decode a
+  // link that cannot be an adjacency slot (> 255), or leave trailing
+  // garbage. `expected_entries` is the object count the row must decode to.
+  bool TryDecodeRow(const EncodedRow& encoded, size_t expected_entries,
+                    SignatureRow* row) const;
+
+  // Non-aborting single-component decode; same failure conditions plus a
+  // missing or out-of-range checkpoint.
+  bool TryDecodeEntry(const EncodedRow& encoded, uint32_t index,
+                      SignatureEntry* entry, uint64_t* bit_offset) const;
+
  private:
   HuffmanCode category_code_;
   int link_bits_;

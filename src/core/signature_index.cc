@@ -1,5 +1,10 @@
 #include "core/signature_index.h"
 
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
+#include <string>
 #include <utility>
 
 #include "core/op_counters.h"
@@ -39,7 +44,11 @@ SignatureIndex::SignatureIndex(const RoadNetwork* graph,
 
 SignatureRow SignatureIndex::ReadRow(NodeId n) const {
   SignatureRow row = ReadRowUnresolved(n);
-  compressor_.ResolveRow(&row);
+  if (!compressor_.TryResolveRow(&row)) {
+    // An entry decoded but cannot be resolved/validated — same degradation
+    // path as an undecodable row.
+    row = FallbackRow(n);
+  }
   return row;
 }
 
@@ -53,7 +62,12 @@ SignatureRow SignatureIndex::ReadRowUnresolved(NodeId n) const {
   } else {
     store_.TouchRecord(n);
   }
-  return codec_.DecodeRow(rows_[n]);
+  SignatureRow row;
+  if (!codec_.TryDecodeRow(rows_[n], objects_.size(), &row)) {
+    return FallbackRow(n);  // fully resolved, which is also a valid
+                            // "unresolved" row (nothing left compressed)
+  }
+  return row;
 }
 
 SignatureEntry SignatureIndex::ReadEntry(NodeId n,
@@ -62,8 +76,13 @@ SignatureEntry SignatureIndex::ReadEntry(NodeId n,
   DSIG_CHECK_LT(object_index, objects_.size());
   ++GlobalOpCounters().entry_reads;
   uint64_t bit_offset = 0;
-  SignatureEntry entry = codec_.DecodeEntry(rows_[n], object_index,
-                                            &bit_offset);
+  SignatureEntry entry;
+  if (!codec_.TryDecodeEntry(rows_[n], object_index, &entry, &bit_offset)) {
+    // Charge the page at the row's start — the read was attempted — then
+    // degrade to the recomputed row.
+    store_.TouchRecordAt(n, merged_ ? adjacency_bits_[n] : 0);
+    return FallbackRow(n)[object_index];
+  }
   if (merged_) bit_offset += adjacency_bits_[n];
   store_.TouchRecordAt(n, bit_offset);
   if (entry.compressed) {
@@ -76,13 +95,89 @@ SignatureEntry SignatureIndex::ReadEntry(NodeId n,
       if (resolved_cache_.size() >= kResolvedCacheRows) {
         resolved_cache_.clear();
       }
-      SignatureRow row = codec_.DecodeRow(rows_[n]);
-      compressor_.ResolveRow(&row);
+      SignatureRow row;
+      if (!codec_.TryDecodeRow(rows_[n], objects_.size(), &row) ||
+          !compressor_.TryResolveRow(&row)) {
+        row = FallbackRow(n);
+      }
       it = resolved_cache_.emplace(n, std::move(row)).first;
     }
     entry = it->second[object_index];
   }
   return entry;
+}
+
+const SignatureRow& SignatureIndex::FallbackRow(NodeId n) const {
+  auto it = fallback_rows_.find(n);
+  if (it == fallback_rows_.end()) {
+    it = fallback_rows_.emplace(n, ComputeFallbackRow(n)).first;
+  }
+  return it->second;
+}
+
+SignatureRow SignatureIndex::ComputeFallbackRow(NodeId n) const {
+  ++GlobalOpCounters().decode_fallbacks;
+  // Dijkstra from n, bounded to stop once every object is settled; along the
+  // way remember which adjacency slot of n each shortest path leaves through
+  // — that slot is the backtracking link.
+  const size_t num_nodes = graph_->num_nodes();
+  std::vector<Weight> dist(num_nodes, kInfiniteWeight);
+  std::vector<char> settled(num_nodes, 0);
+  std::vector<uint8_t> first_slot(num_nodes, 0);
+  using Item = std::pair<Weight, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+  dist[n] = 0;
+  frontier.push({0, n});
+  size_t objects_left = objects_.size();
+  while (!frontier.empty() && objects_left > 0) {
+    const auto [d, u] = frontier.top();
+    frontier.pop();
+    if (settled[u]) continue;
+    settled[u] = 1;
+    if (object_of_node_[u] != kInvalidObject) --objects_left;
+    const auto& adjacency = graph_->adjacency(u);
+    for (size_t slot = 0; slot < adjacency.size(); ++slot) {
+      const AdjacencyEntry& hop = adjacency[slot];
+      if (hop.removed) continue;
+      const Weight candidate = d + hop.weight;
+      if (candidate < dist[hop.to]) {
+        dist[hop.to] = candidate;
+        first_slot[hop.to] =
+            u == n ? static_cast<uint8_t>(slot) : first_slot[u];
+        frontier.push({candidate, hop.to});
+      }
+    }
+  }
+  const int last_category = partition_.num_categories() - 1;
+  SignatureRow row(objects_.size());
+  for (uint32_t o = 0; o < objects_.size(); ++o) {
+    const NodeId object_node = objects_[o];
+    SignatureEntry& entry = row[o];
+    entry.compressed = false;
+    if (object_node == n) {
+      entry.category = 0;
+      entry.link = 0;
+      continue;
+    }
+    if (dist[object_node] == kInfiniteWeight) {
+      // Signatures require a connected network; an unreachable object means
+      // the graph itself degraded. Park it in the open-ended last category.
+      entry.category = static_cast<uint8_t>(last_category);
+      entry.link = 0;
+      continue;
+    }
+    entry.category =
+        static_cast<uint8_t>(partition_.CategoryOf(dist[object_node]));
+    entry.link = first_slot[object_node];
+  }
+  return row;
+}
+
+EncodedRow& SignatureIndex::mutable_encoded_row(NodeId n) {
+  DSIG_CHECK_LT(n, rows_.size());
+  resolved_cache_.erase(n);
+  fallback_rows_.erase(n);
+  return rows_[n];
 }
 
 void SignatureIndex::AttachStorage(BufferManager* buffer,
@@ -127,6 +222,156 @@ void SignatureIndex::RebuildForest() {
 
 uint64_t SignatureIndex::IndexBytes() const {
   return (size_stats_.compressed_bits + 7) / 8;
+}
+
+namespace {
+
+std::string NodeObjectContext(NodeId n, uint32_t object) {
+  return "node " + std::to_string(n) + ", object " + std::to_string(object);
+}
+
+}  // namespace
+
+Status SignatureIndex::Verify() const {
+  const size_t num_nodes = graph_->num_nodes();
+  const size_t num_objects = objects_.size();
+  if (rows_.size() != num_nodes) {
+    return Status::Corruption("index has " + std::to_string(rows_.size()) +
+                              " rows but the graph has " +
+                              std::to_string(num_nodes) + " nodes");
+  }
+
+  // Partition: finite, strictly ascending boundaries; category ids must fit
+  // the uint8 every signature entry stores.
+  const int num_categories = partition_.num_categories();
+  if (num_categories > 256) {
+    return Status::Corruption(
+        "partition has " + std::to_string(num_categories) +
+        " categories; category ids are 8-bit");
+  }
+  const std::vector<Weight>& boundaries = partition_.boundaries();
+  for (size_t i = 0; i < boundaries.size(); ++i) {
+    if (!std::isfinite(boundaries[i]) || boundaries[i] <= 0 ||
+        (i > 0 && boundaries[i] <= boundaries[i - 1])) {
+      return Status::Corruption(
+          "category boundaries are not finite, positive, and strictly "
+          "ascending");
+    }
+  }
+
+  // Objects: in range, one per node at most.
+  std::vector<char> object_here(num_nodes, 0);
+  for (uint32_t o = 0; o < num_objects; ++o) {
+    if (objects_[o] >= num_nodes) {
+      return Status::Corruption("object " + std::to_string(o) +
+                                " lives on out-of-range node " +
+                                std::to_string(objects_[o]));
+    }
+    if (object_here[objects_[o]]++ != 0) {
+      return Status::Corruption("two objects share node " +
+                                std::to_string(objects_[o]));
+    }
+  }
+
+  // Pass 1 — decode and resolve every row; validate categories and links;
+  // collect the link matrix for the chain walk below.
+  std::vector<uint8_t> links(num_nodes * num_objects, 0);
+  std::vector<uint8_t> categories(num_nodes * num_objects, 0);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    SignatureRow row;
+    if (!codec_.TryDecodeRow(rows_[n], num_objects, &row)) {
+      return Status::Corruption("row of node " + std::to_string(n) +
+                                " does not decode");
+    }
+    if (!compressor_.TryResolveRow(&row)) {
+      return Status::Corruption(
+          "row of node " + std::to_string(n) +
+          " has a compressed entry the shared rule cannot resolve");
+    }
+    for (uint32_t o = 0; o < num_objects; ++o) {
+      const SignatureEntry& entry = row[o];
+      if (entry.category >= num_categories) {
+        return Status::Corruption("category " +
+                                  std::to_string(entry.category) +
+                                  " out of partition range at " +
+                                  NodeObjectContext(n, o));
+      }
+      if (objects_[o] == n) {
+        if (entry.category != 0) {
+          return Status::Corruption(
+              "object's own node is not in category 0 at " +
+              NodeObjectContext(n, o));
+        }
+      } else {
+        if (entry.link >= graph_->degree(n)) {
+          return Status::Corruption("link " + std::to_string(entry.link) +
+                                    " beyond the adjacency list at " +
+                                    NodeObjectContext(n, o));
+        }
+        if (graph_->adjacency(n)[entry.link].removed) {
+          return Status::Corruption("link points at a removed edge at " +
+                                    NodeObjectContext(n, o));
+        }
+      }
+      links[static_cast<size_t>(n) * num_objects + o] = entry.link;
+      categories[static_cast<size_t>(n) * num_objects + o] = entry.category;
+    }
+  }
+
+  // Pass 2 — per object: follow every node's link chain. Chains must reach
+  // the object without revisiting a node (tree-shaped, so within |V| steps),
+  // and the distance accumulated along the chain must fall in the stored
+  // category (small tolerance: chain summation order can differ from the
+  // builder's Dijkstra by an ulp on non-integer weights).
+  std::vector<uint8_t> state(num_nodes);  // 0 unvisited, 1 on path, 2 done
+  std::vector<Weight> chain_dist(num_nodes);
+  std::vector<NodeId> path;
+  for (uint32_t o = 0; o < num_objects; ++o) {
+    const NodeId object_node = objects_[o];
+    std::fill(state.begin(), state.end(), 0);
+    state[object_node] = 2;
+    chain_dist[object_node] = 0;
+    for (NodeId start = 0; start < num_nodes; ++start) {
+      if (state[start] != 0) continue;
+      path.clear();
+      NodeId cur = start;
+      while (state[cur] == 0) {
+        state[cur] = 1;
+        path.push_back(cur);
+        cur = graph_->adjacency(
+            cur)[links[static_cast<size_t>(cur) * num_objects + o]].to;
+      }
+      if (state[cur] == 1) {
+        return Status::Corruption(
+            "backtracking links cycle instead of reaching object " +
+            std::to_string(o) + " (entered the cycle from node " +
+            std::to_string(start) + ")");
+      }
+      for (size_t i = path.size(); i-- > 0;) {
+        const NodeId u = path[i];
+        const AdjacencyEntry& hop = graph_->adjacency(
+            u)[links[static_cast<size_t>(u) * num_objects + o]];
+        chain_dist[u] = hop.weight + chain_dist[hop.to];
+        state[u] = 2;
+        const int stored =
+            categories[static_cast<size_t>(u) * num_objects + o];
+        if (partition_.CategoryOf(chain_dist[u]) != stored) {
+          const DistanceRange range = partition_.RangeOf(stored);
+          const Weight eps =
+              1e-9 * std::max<Weight>(1.0, std::fabs(chain_dist[u]));
+          if (chain_dist[u] < range.lb - eps || chain_dist[u] >= range.ub + eps) {
+            return Status::Corruption(
+                "stored category " + std::to_string(stored) +
+                " disagrees with the distance " +
+                std::to_string(chain_dist[u]) +
+                " accumulated along the link chain at " +
+                NodeObjectContext(u, o));
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 size_t SignatureIndex::ReplaceRow(NodeId n, const SignatureRow& row) {

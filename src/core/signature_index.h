@@ -26,6 +26,7 @@
 #include "graph/spanning_tree.h"
 #include "storage/network_store.h"
 #include "storage/pager.h"
+#include "util/status.h"
 
 namespace dsig {
 
@@ -112,6 +113,30 @@ class SignatureIndex {
   uint64_t IndexBytes() const;
   const SignatureSizeStats& size_stats() const { return size_stats_; }
 
+  // --- Integrity -----------------------------------------------------------
+
+  // Deep verification of the index's structural invariants, for indexes from
+  // untrusted sources (a loaded file, a long-running mutated instance):
+  //   * every row decodes and every compressed entry resolves via the shared
+  //     decoder rule;
+  //   * categories lie inside the CategoryPartition, links name live
+  //     adjacency slots;
+  //   * every backtracking link chain terminates at its object without
+  //     cycling (so within |V| steps), and the distance accumulated along
+  //     the chain falls in the stored category.
+  // Returns the first violation found. O(|V|·|objects|) time and memory;
+  // charges no pages and no op counters. LoadSignatureIndex runs this when
+  // asked (LoadOptions::verify), and `dsig_tool verify` exposes it on the
+  // command line.
+  Status Verify() const;
+
+  // --- Maintenance / test hooks -------------------------------------------
+
+  // Direct mutable access to the stored encoded row — the corruption-test
+  // seam (fault-injection harnesses flip bits in rows_[n].bytes). Drops the
+  // node's cached resolved/fallback state so the next read re-decodes.
+  EncodedRow& mutable_encoded_row(NodeId n);
+
   // --- Maintenance hooks (used by SignatureUpdater) ------------------------
 
   // Forest retained for updates; null when built with keep_forest = false.
@@ -131,6 +156,14 @@ class SignatureIndex {
   const EncodedRow& encoded_row(NodeId n) const { return rows_[n]; }
 
  private:
+  // Decode-failure degradation: a row whose bits no longer decode (in-memory
+  // corruption that slipped past load-time checks) is recomputed from the
+  // graph by a Dijkstra bounded to the farthest object, memoized, and
+  // counted in OpCounters::decode_fallbacks. Queries stay oracle-correct —
+  // any shortest-path first hop is a valid backtracking link.
+  const SignatureRow& FallbackRow(NodeId n) const;
+  SignatureRow ComputeFallbackRow(NodeId n) const;
+
   const RoadNetwork* graph_;
   std::vector<NodeId> objects_;
   std::vector<ObjectId> object_of_node_;
@@ -149,6 +182,9 @@ class SignatureIndex {
   // wholesale when full. Not thread-safe — the index is single-threaded by
   // design (one query stream), like the paper's testbed.
   mutable std::unordered_map<NodeId, SignatureRow> resolved_cache_;
+  // Rows recomputed after a decode failure (see FallbackRow). Bounded by the
+  // number of corrupt rows.
+  mutable std::unordered_map<NodeId, SignatureRow> fallback_rows_;
   // Merged schema: row bits start after the adjacency record inside each
   // node's combined record.
   bool merged_ = false;

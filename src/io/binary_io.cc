@@ -1,9 +1,16 @@
 #include "io/binary_io.h"
 
+#include <cstring>
+
+#include "util/crc32c.h"
+
 namespace dsig {
 
 BinaryWriter::BinaryWriter(const std::string& path) {
   file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot create " + path);
+  }
 }
 
 BinaryWriter::~BinaryWriter() {
@@ -11,8 +18,21 @@ BinaryWriter::~BinaryWriter() {
 }
 
 void BinaryWriter::WriteRaw(const void* data, size_t bytes) {
-  DSIG_CHECK(file_ != nullptr);
-  DSIG_CHECK_EQ(std::fwrite(data, 1, bytes, file_), bytes);
+  if (!status_.ok()) return;
+  if (fault_plan_.fail_at != kNoFault &&
+      bytes_written_ + bytes > fault_plan_.fail_at) {
+    status_ = Status::IoError("injected write failure at byte " +
+                              std::to_string(fault_plan_.fail_at));
+    return;
+  }
+  if (std::fwrite(data, 1, bytes, file_) != bytes) {
+    status_ = Status::IoError("short write at byte " +
+                              std::to_string(bytes_written_) +
+                              " (disk full?)");
+    return;
+  }
+  section_crc_ = Crc32cExtend(section_crc_, data, bytes);
+  bytes_written_ += bytes;
 }
 
 void BinaryWriter::WriteU32(uint32_t value) {
@@ -39,18 +59,86 @@ void BinaryWriter::WriteBytes(const std::vector<uint8_t>& bytes) {
   if (!bytes.empty()) WriteRaw(bytes.data(), bytes.size());
 }
 
+void BinaryWriter::EndSection() {
+  // Snapshot first: writing the checksum itself advances the running CRC,
+  // but the next BeginSection() resets it anyway.
+  const uint32_t crc = section_crc_;
+  WriteU32(crc);
+}
+
+Status BinaryWriter::Close() {
+  if (file_ == nullptr) return status_;
+  if (std::fflush(file_) != 0 && status_.ok()) {
+    status_ = Status::IoError("fflush failed (disk full?)");
+  }
+  if (std::fclose(file_) != 0 && status_.ok()) {
+    status_ = Status::IoError("fclose failed");
+  }
+  file_ = nullptr;
+  return status_;
+}
+
 BinaryReader::BinaryReader(const std::string& path) {
   file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    status_ = Status::NotFound("cannot open " + path);
+    return;
+  }
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    status_ = Status::IoError("cannot seek " + path);
+    return;
+  }
+  const long size = std::ftell(file_);
+  if (size < 0 || std::fseek(file_, 0, SEEK_SET) != 0) {
+    status_ = Status::IoError("cannot size " + path);
+    return;
+  }
+  file_size_ = static_cast<uint64_t>(size);
+  effective_size_ = file_size_;
 }
 
 BinaryReader::~BinaryReader() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
+void BinaryReader::InjectFaults(const ReadFaultPlan& plan) {
+  fault_plan_ = plan;
+  if (plan.truncate_at != kNoFault && plan.truncate_at < effective_size_) {
+    effective_size_ = plan.truncate_at;
+  }
+}
+
+void BinaryReader::Fail(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+}
+
 void BinaryReader::ReadRaw(void* data, size_t bytes) {
-  DSIG_CHECK(file_ != nullptr);
-  DSIG_CHECK_EQ(std::fread(data, 1, bytes, file_), bytes)
-      << "truncated or corrupt file";
+  std::memset(data, 0, bytes);
+  if (!status_.ok()) return;
+  if (bytes > remaining()) {
+    Fail(Status::Corruption("unexpected end of file at byte " +
+                            std::to_string(position_) + " (file has " +
+                            std::to_string(effective_size_) + " bytes)"));
+    return;
+  }
+  if (fault_plan_.fail_at != kNoFault && fault_plan_.fail_at < position_ + bytes) {
+    Fail(Status::IoError("injected read failure at byte " +
+                         std::to_string(fault_plan_.fail_at)));
+    return;
+  }
+  if (std::fread(data, 1, bytes, file_) != bytes) {
+    Fail(Status::IoError("read failed at byte " + std::to_string(position_)));
+    return;
+  }
+  // Bit flips are applied after the physical read and before the CRC update:
+  // the checksum layer sees exactly what a corrupted medium would hand it.
+  if (fault_plan_.flip_byte != kNoFault && fault_plan_.flip_byte >= position_ &&
+      fault_plan_.flip_byte < position_ + bytes) {
+    static_cast<uint8_t*>(data)[fault_plan_.flip_byte - position_] ^=
+        fault_plan_.flip_mask;
+  }
+  section_crc_ = Crc32cExtend(section_crc_, data, bytes);
+  position_ += bytes;
 }
 
 uint32_t BinaryReader::ReadU32() {
@@ -77,21 +165,58 @@ double BinaryReader::ReadDouble() {
 }
 
 std::vector<uint8_t> BinaryReader::ReadBytes() {
-  std::vector<uint8_t> bytes(ReadU64());
+  const uint64_t count = ReadU64();
+  if (!status_.ok()) return {};
+  if (count > remaining()) {
+    Fail(Status::Corruption("byte-array length " + std::to_string(count) +
+                            " exceeds the " + std::to_string(remaining()) +
+                            " bytes remaining"));
+    return {};
+  }
+  std::vector<uint8_t> bytes(count);
   if (!bytes.empty()) ReadRaw(bytes.data(), bytes.size());
   return bytes;
 }
 
 std::vector<uint32_t> BinaryReader::ReadVectorU32() {
-  std::vector<uint32_t> values(ReadU64());
+  const uint64_t count = ReadU64();
+  if (!status_.ok()) return {};
+  if (count > remaining() / 4) {
+    Fail(Status::Corruption("u32-vector length " + std::to_string(count) +
+                            " exceeds the " + std::to_string(remaining()) +
+                            " bytes remaining"));
+    return {};
+  }
+  std::vector<uint32_t> values(count);
   for (uint32_t& v : values) v = ReadU32();
   return values;
 }
 
 std::vector<double> BinaryReader::ReadVectorDouble() {
-  std::vector<double> values(ReadU64());
+  const uint64_t count = ReadU64();
+  if (!status_.ok()) return {};
+  if (count > remaining() / 8) {
+    Fail(Status::Corruption("double-vector length " + std::to_string(count) +
+                            " exceeds the " + std::to_string(remaining()) +
+                            " bytes remaining"));
+    return {};
+  }
+  std::vector<double> values(count);
   for (double& v : values) v = ReadDouble();
   return values;
+}
+
+Status BinaryReader::VerifySection(const char* section_name) {
+  // Snapshot before consuming the stored checksum — reading it would fold
+  // the checksum bytes into the running CRC.
+  const uint32_t computed = section_crc_;
+  const uint32_t stored = ReadU32();
+  if (!status_.ok()) return status_;
+  if (computed != stored) {
+    Fail(Status::Corruption(std::string(section_name) +
+                            " section checksum mismatch (file is corrupt)"));
+  }
+  return status_;
 }
 
 }  // namespace dsig

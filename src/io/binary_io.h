@@ -1,6 +1,19 @@
 // Minimal little-endian binary (de)serialization primitives shared by the
 // graph and index persistence code. Not a general-purpose format: each
 // persisted structure writes a magic + version header and fixed field order.
+//
+// Robustness contract: neither side ever aborts on bad input or failed I/O.
+// Errors are sticky — the first failure latches into status(), every later
+// call becomes a no-op (reads return zeros / empty vectors), and the caller
+// checks status() at section boundaries. Length prefixes are validated
+// against the bytes actually remaining in the file before any allocation, so
+// a corrupt 8-byte length can never trigger a multi-GB allocation.
+//
+// Integrity: both sides maintain a running CRC-32C. BeginSection() resets it;
+// the writer's EndSection() appends the checksum of everything written since,
+// and the reader's VerifySection() recomputes and compares. A deterministic
+// fault-injection plan (truncate / bit-flip / hard read error at a byte
+// offset) can be attached to a reader to exercise corruption handling.
 #ifndef DSIG_IO_BINARY_IO_H_
 #define DSIG_IO_BINARY_IO_H_
 
@@ -9,12 +22,30 @@
 #include <string>
 #include <vector>
 
-#include "util/logging.h"
+#include "util/status.h"
 
 namespace dsig {
 
-// Buffered binary writer over a file. All Write* calls abort on I/O errors
-// (persistence failures are not recoverable mid-stream).
+// No fault at this offset; see BinaryReader::InjectFaults.
+inline constexpr uint64_t kNoFault = ~uint64_t{0};
+
+// Deterministic corruption applied beneath the reader's checksum layer, as a
+// failing disk or torn write would. Offsets are absolute file positions.
+struct ReadFaultPlan {
+  uint64_t truncate_at = kNoFault;  // simulated EOF at this byte offset
+  uint64_t flip_byte = kNoFault;    // XOR flip_mask into the byte here
+  uint8_t flip_mask = 0x01;
+  uint64_t fail_at = kNoFault;      // hard I/O error when reading this byte
+};
+
+// Deterministic write failure (e.g. a full disk after N bytes).
+struct WriteFaultPlan {
+  uint64_t fail_at = kNoFault;  // writes reaching this byte offset fail
+};
+
+// Buffered binary writer over a file. Errors are sticky; call Close() (or
+// check status()) to learn whether everything — including the final flush —
+// actually reached the file.
 class BinaryWriter {
  public:
   explicit BinaryWriter(const std::string& path);
@@ -22,7 +53,8 @@ class BinaryWriter {
   BinaryWriter(const BinaryWriter&) = delete;
   BinaryWriter& operator=(const BinaryWriter&) = delete;
 
-  bool ok() const { return file_ != nullptr; }
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
 
   void WriteU32(uint32_t value);
   void WriteU64(uint64_t value);
@@ -40,15 +72,33 @@ class BinaryWriter {
     for (const double v : values) WriteDouble(v);
   }
 
+  // Section checksums: BeginSection() resets the running CRC-32C,
+  // EndSection() appends it as a U32.
+  void BeginSection() { section_crc_ = 0; }
+  void EndSection();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  // Flushes and closes, surfacing fflush/fclose failures (a buffered write
+  // to a full disk often only fails here). Idempotent; returns the sticky
+  // status. The destructor closes best-effort without reporting.
+  Status Close();
+
+  // Makes writes reaching plan.fail_at fail with an I/O error (tests).
+  void InjectFaults(const WriteFaultPlan& plan) { fault_plan_ = plan; }
+
  private:
   void WriteRaw(const void* data, size_t bytes);
 
   std::FILE* file_ = nullptr;
+  Status status_;
+  uint32_t section_crc_ = 0;
+  uint64_t bytes_written_ = 0;
+  WriteFaultPlan fault_plan_;
 };
 
-// Binary reader mirroring BinaryWriter. Read failures (truncated / corrupt
-// files) are fatal after the header has validated; header validation itself
-// is the caller's recoverable check.
+// Binary reader mirroring BinaryWriter. Corrupt or truncated input latches a
+// kCorruption status; reads past the first error return zeros.
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
@@ -56,7 +106,8 @@ class BinaryReader {
   BinaryReader(const BinaryReader&) = delete;
   BinaryReader& operator=(const BinaryReader&) = delete;
 
-  bool ok() const { return file_ != nullptr; }
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
 
   uint32_t ReadU32();
   uint64_t ReadU64();
@@ -66,10 +117,34 @@ class BinaryReader {
   std::vector<uint32_t> ReadVectorU32();
   std::vector<double> ReadVectorDouble();
 
+  // Bytes between the read position and the (possibly fault-truncated) end.
+  uint64_t remaining() const {
+    return position_ >= effective_size_ ? 0 : effective_size_ - position_;
+  }
+  uint64_t position() const { return position_; }
+  uint64_t file_size() const { return file_size_; }
+  bool AtEnd() const { return remaining() == 0; }
+
+  // Mirrors the writer's section checksums. VerifySection() consumes the
+  // stored U32 and compares it with the CRC-32C of the bytes read since
+  // BeginSection(); mismatch latches and returns kCorruption.
+  void BeginSection() { section_crc_ = 0; }
+  Status VerifySection(const char* section_name);
+
+  // Applies deterministic faults beneath the checksum layer (tests).
+  void InjectFaults(const ReadFaultPlan& plan);
+
  private:
   void ReadRaw(void* data, size_t bytes);
+  void Fail(Status status);
 
   std::FILE* file_ = nullptr;
+  Status status_;
+  uint32_t section_crc_ = 0;
+  uint64_t position_ = 0;
+  uint64_t file_size_ = 0;
+  uint64_t effective_size_ = 0;  // min(file_size_, fault truncation)
+  ReadFaultPlan fault_plan_;
 };
 
 }  // namespace dsig

@@ -6,6 +6,9 @@ bool BufferManager::Access(FileId file, PageId page) {
   ++stats_.logical_accesses;
   if (capacity_ == 0) {
     ++stats_.physical_accesses;
+    if (read_fault_injector_ && read_fault_injector_(file, page)) {
+      ++stats_.failed_reads;
+    }
     return false;
   }
   const uint64_t key = Key(file, page);
@@ -15,6 +18,11 @@ bool BufferManager::Access(FileId file, PageId page) {
     return true;
   }
   ++stats_.physical_accesses;
+  if (read_fault_injector_ && read_fault_injector_(file, page)) {
+    // The read never produced a page, so nothing enters the pool.
+    ++stats_.failed_reads;
+    return false;
+  }
   lru_.push_front(key);
   table_[key] = lru_.begin();
   if (table_.size() > capacity_) {

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <unordered_map>
 
@@ -19,10 +20,14 @@ namespace dsig {
 struct BufferStats {
   uint64_t logical_accesses = 0;
   uint64_t physical_accesses = 0;  // misses
+  // Physical reads the fault injector failed (see SetReadFaultInjector).
+  // Failed pages are not cached, so a retry re-reads them.
+  uint64_t failed_reads = 0;
 
   BufferStats operator-(const BufferStats& other) const {
     return {logical_accesses - other.logical_accesses,
-            physical_accesses - other.physical_accesses};
+            physical_accesses - other.physical_accesses,
+            failed_reads - other.failed_reads};
   }
 };
 
@@ -51,6 +56,17 @@ class BufferManager {
 
   size_t capacity() const { return capacity_; }
 
+  // Fault injection for resilience tests: `injector(file, page)` is consulted
+  // on every physical read (i.e. buffer miss); returning true makes that read
+  // fail — the access is counted in `failed_reads` and the page is NOT
+  // cached, exactly as a pool would behave when the disk read errors out.
+  // Pass nullptr to disarm. Hits are unaffected (the page is already in
+  // memory).
+  using ReadFaultInjector = std::function<bool(FileId, PageId)>;
+  void SetReadFaultInjector(ReadFaultInjector injector) {
+    read_fault_injector_ = std::move(injector);
+  }
+
  private:
   // Key packs (file, page); files are small and pages < 2^40 in practice.
   static uint64_t Key(FileId file, PageId page) {
@@ -62,6 +78,7 @@ class BufferManager {
   std::list<uint64_t> lru_;  // front = most recent
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> table_;
   FileId next_file_ = 0;
+  ReadFaultInjector read_fault_injector_;
 };
 
 }  // namespace dsig

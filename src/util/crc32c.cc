@@ -1,0 +1,38 @@
+#include "util/crc32c.h"
+
+namespace dsig {
+namespace {
+
+// Table for the reflected polynomial 0x82F63B78, built once at first use.
+struct Crc32cTable {
+  uint32_t entries[256];
+
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  const Crc32cTable& table = Table();
+  uint32_t state = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    state = table.entries[(state ^ bytes[i]) & 0xFF] ^ (state >> 8);
+  }
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dsig

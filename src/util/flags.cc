@@ -32,7 +32,8 @@ bool Flags::Has(const std::string& name) const {
 int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
   const auto it = values_.find(name);
   if (it == values_.end() || it->second.empty()) return default_value;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  // Base 0: decimal by default, 0x… hex accepted (e.g. corrupt --xor=0x40).
+  return std::strtoll(it->second.c_str(), nullptr, 0);
 }
 
 double Flags::GetDouble(const std::string& name, double default_value) const {

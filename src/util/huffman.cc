@@ -87,6 +87,41 @@ HuffmanCode HuffmanCode::FromParts(std::vector<int> lengths,
   return HuffmanCode(std::move(lengths), std::move(codes));
 }
 
+bool HuffmanCode::PartsAreValid(const std::vector<int>& lengths,
+                                const std::vector<uint64_t>& codes) {
+  if (lengths.empty() || lengths.size() != codes.size()) return false;
+  // Re-run the trie construction with failure returns in place of the
+  // CHECKs: a leaf landing on an interior node (or vice versa) means two
+  // codes where one prefixes the other.
+  std::vector<std::pair<int32_t, int32_t>> trie(1, {0, 0});
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    const int len = lengths[s];
+    if (len < 1 || len > 64) return false;
+    const uint64_t code = codes[s];
+    if (len < 64 && (code >> len) != 0) return false;
+    int32_t node = 0;
+    for (int i = 0; i < len; ++i) {
+      const bool bit = (code >> i) & 1;
+      // Take the slot by value: push_back below may reallocate.
+      int32_t slot = bit ? trie[static_cast<size_t>(node)].second
+                         : trie[static_cast<size_t>(node)].first;
+      if (i + 1 == len) {
+        if (slot != 0) return false;
+        slot = -1 - static_cast<int32_t>(s);
+      } else if (slot == 0) {
+        trie.push_back({0, 0});
+        slot = static_cast<int32_t>(trie.size()) - 1;
+      } else if (slot < 0) {
+        return false;  // walking through another symbol's leaf
+      }
+      (bit ? trie[static_cast<size_t>(node)].second
+           : trie[static_cast<size_t>(node)].first) = slot;
+      if (i + 1 < len) node = slot;
+    }
+  }
+  return true;
+}
+
 HuffmanCode HuffmanCode::FixedLength(int num_symbols) {
   DSIG_CHECK_GT(num_symbols, 0);
   int bits = 1;
@@ -152,6 +187,21 @@ int HuffmanCode::Decode(BitReader* reader) const {
     const int32_t next = reader->ReadBit() ? child1 : child0;
     DSIG_CHECK_NE(next, 0);  // 0 is the root; no code revisits it
     if (next < 0) return -1 - next;
+    node = next;
+  }
+}
+
+bool HuffmanCode::TryDecode(BitReader* reader, int* symbol) const {
+  int32_t node = 0;
+  while (true) {
+    if (reader->AtEnd()) return false;
+    const auto& [child0, child1] = trie_[static_cast<size_t>(node)];
+    const int32_t next = reader->ReadBit() ? child1 : child0;
+    if (next == 0) return false;  // bits follow no symbol's prefix
+    if (next < 0) {
+      *symbol = -1 - next;
+      return true;
+    }
     node = next;
   }
 }

@@ -42,6 +42,12 @@ class HuffmanCode {
   static HuffmanCode FromParts(std::vector<int> lengths,
                                std::vector<uint64_t> codes);
 
+  // Validation gate for untrusted parts (e.g. a possibly-corrupt index
+  // file): true iff FromParts would accept them — non-empty, matching sizes,
+  // every length in [1, 64], no code bits beyond its length, and prefix-free.
+  static bool PartsAreValid(const std::vector<int>& lengths,
+                            const std::vector<uint64_t>& codes);
+
   int num_symbols() const { return static_cast<int>(lengths_.size()); }
 
   // Code length, in bits, of `symbol`.
@@ -55,6 +61,11 @@ class HuffmanCode {
 
   void Encode(int symbol, BitWriter* writer) const;
   int Decode(BitReader* reader) const;
+
+  // Non-aborting decode for untrusted bitstreams: false when the stream ends
+  // mid-code or the bits follow no symbol's prefix; the reader position is
+  // unspecified afterwards.
+  bool TryDecode(BitReader* reader, int* symbol) const;
 
  private:
   HuffmanCode(std::vector<int> lengths, std::vector<uint64_t> codes);

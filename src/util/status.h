@@ -1,0 +1,132 @@
+// Recoverable error propagation for untrusted inputs (persistence, tools).
+//
+// The library's internal invariants stay fatal (DSIG_CHECK, logging.h): a
+// violated invariant means the program is wrong. Errors caused by the outside
+// world — a truncated index file, a full disk, a bit-flipped page — are not
+// program bugs and must never abort a serving process, so the I/O layer
+// reports them as values: `Status` for operations without a result,
+// `StatusOr<T>` for operations that produce one. No exceptions (DESIGN.md).
+//
+// Typical use:
+//
+//   StatusOr<std::unique_ptr<RoadNetwork>> g = LoadRoadNetwork(path);
+//   if (!g.ok()) { DSIG_LOG(Error) << g.status(); return; }
+//   Use(*g.value());
+#ifndef DSIG_UTIL_STATUS_H_
+#define DSIG_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dsig {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,          // the named resource does not exist
+  kInvalidArgument = 2,   // the caller passed something unusable
+  kIoError = 3,           // the operating system failed us (disk full, EIO)
+  kCorruption = 4,        // the data exists but fails validation
+  kFailedPrecondition = 5,  // the operation does not apply to this state
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Default is success, so `Status s; ... return s;` composes naturally.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CORRUPTION: node section checksum mismatch".
+  std::string ToString() const;
+
+  explicit operator bool() const { return ok(); }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+// A Status or a value. Accessing the value of a failed StatusOr is a checked
+// error (programmer bug), matching the library's fail-fast invariant style.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit construction from both arms keeps call sites terse:
+  //   if (...) return Status::Corruption("...");
+  //   return value;
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    DSIG_CHECK(!status_.ok()) << "StatusOr built from OK status needs a value";
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DSIG_CHECK(ok()) << "value() on failed StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    DSIG_CHECK(ok()) << "value() on failed StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    DSIG_CHECK(ok()) << "value() on failed StatusOr: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  explicit operator bool() const { return ok(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Early-return plumbing for Status-returning functions.
+#define DSIG_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::dsig::Status dsig_status_tmp_ = (expr);        \
+    if (!dsig_status_tmp_.ok()) return dsig_status_tmp_; \
+  } while (0)
+
+}  // namespace dsig
+
+#endif  // DSIG_UTIL_STATUS_H_

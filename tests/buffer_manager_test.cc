@@ -80,11 +80,45 @@ TEST(BufferManagerTest, ClearDropsContents) {
 }
 
 TEST(BufferManagerTest, StatsSubtraction) {
-  BufferStats a{10, 6};
-  BufferStats b{4, 2};
+  BufferStats a{10, 6, 3};
+  BufferStats b{4, 2, 1};
   const BufferStats d = a - b;
   EXPECT_EQ(d.logical_accesses, 6u);
   EXPECT_EQ(d.physical_accesses, 4u);
+  EXPECT_EQ(d.failed_reads, 2u);
+}
+
+TEST(BufferManagerTest, InjectedReadFaultsAreCountedAndNotCached) {
+  BufferManager buffer(4);
+  const FileId f = buffer.RegisterFile();
+  // Fail every physical read of page 3; other pages behave normally.
+  buffer.SetReadFaultInjector(
+      [](FileId, PageId page) { return page == 3; });
+
+  EXPECT_FALSE(buffer.Access(f, 3));
+  EXPECT_FALSE(buffer.Access(f, 3));  // still not cached: each retry re-reads
+  EXPECT_EQ(buffer.stats().failed_reads, 2u);
+  EXPECT_EQ(buffer.stats().physical_accesses, 2u);
+
+  EXPECT_FALSE(buffer.Access(f, 1));  // healthy page: normal miss…
+  EXPECT_TRUE(buffer.Access(f, 1));   // …then hit
+  EXPECT_EQ(buffer.stats().failed_reads, 2u);
+
+  // Disarmed: page 3 reads recover and cache again.
+  buffer.SetReadFaultInjector(nullptr);
+  EXPECT_FALSE(buffer.Access(f, 3));
+  EXPECT_TRUE(buffer.Access(f, 3));
+  EXPECT_EQ(buffer.stats().failed_reads, 2u);
+}
+
+TEST(BufferManagerTest, InjectedFaultsWithZeroCapacityStillCount) {
+  BufferManager buffer(0);
+  const FileId f = buffer.RegisterFile();
+  buffer.SetReadFaultInjector([](FileId, PageId) { return true; });
+  EXPECT_FALSE(buffer.Access(f, 0));
+  EXPECT_FALSE(buffer.Access(f, 1));
+  EXPECT_EQ(buffer.stats().failed_reads, 2u);
+  EXPECT_EQ(buffer.stats().physical_accesses, 2u);
 }
 
 }  // namespace

@@ -68,19 +68,21 @@ TEST(HuffmanContractTest, NonPrefixPartsDie) {
   EXPECT_DEATH(HuffmanCode::FromParts({1, 2}, {0, 0b10}), "Check failed");
 }
 
-TEST(PersistenceContractTest, TruncatedIndexFileDies) {
+TEST(PersistenceContractTest, TruncatedIndexFileIsARecoverableError) {
   const RoadNetwork g = testing_util::MakeSevenNodeNetwork();
   const auto index = BuildSignatureIndex(g, {1, 5}, {.t = 4, .c = 2});
   const std::string path = TempPath("trunc.idx");
-  ASSERT_TRUE(SaveSignatureIndex(*index, path));
-  // Truncate to half: the header validates, the payload read then dies
-  // loudly instead of returning a silently-corrupt index.
+  ASSERT_TRUE(SaveSignatureIndex(*index, path).ok());
+  // Truncate to half: the header validates, but the damage must surface as a
+  // kCorruption status — never an abort, never a silently-corrupt index.
   std::FILE* f = std::fopen(path.c_str(), "rb");
   std::fseek(f, 0, SEEK_END);
   const long size = std::ftell(f);
   std::fclose(f);
   ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
-  EXPECT_DEATH(LoadSignatureIndex(g, path), "truncated or corrupt");
+  const auto loaded = LoadSignatureIndex(g, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
 }
 
 TEST(Vn3ContractTest, SingleObjectDataset) {

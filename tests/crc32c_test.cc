@@ -1,0 +1,54 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dsig {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 appendix B.4 test vectors for CRC-32C (Castagnoli).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+
+  const std::vector<uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+
+  const std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) { EXPECT_EQ(Crc32c("", 0), 0u); }
+
+TEST(Crc32cTest, ExtendComposes) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsEverySingleBitFlip) {
+  std::vector<uint8_t> data(64);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  const uint32_t clean = Crc32c(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_NE(Crc32c(data.data(), data.size()), clean)
+          << "byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<uint8_t>(1u << bit);
+    }
+  }
+  EXPECT_EQ(Crc32c(data.data(), data.size()), clean);
+}
+
+}  // namespace
+}  // namespace dsig

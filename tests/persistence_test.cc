@@ -4,11 +4,13 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "core/distance_ops.h"
 #include "core/signature_builder.h"
 #include "core/update.h"
 #include "graph/graph_generator.h"
+#include "io/binary_io.h"
 #include "query/knn_query.h"
 #include "tests/test_util.h"
 #include "workload/dataset_generator.h"
@@ -20,14 +22,35 @@ std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
 }
 
+// XORs `mask` into the byte at `offset` of `path` (corruption helper).
+void FlipByte(const std::string& path, long offset, uint8_t mask) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  uint8_t byte = 0;
+  ASSERT_EQ(std::fread(&byte, 1, 1, f), 1u);
+  byte ^= mask;
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(&byte, 1, 1, f), 1u);
+  std::fclose(f);
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
 TEST(RoadNetworkPersistenceTest, RoundTripsExactly) {
   RoadNetwork original = MakeRandomPlanar({.num_nodes = 300, .seed = 5});
   original.RemoveEdge(original.FindEdge(
       original.edge_endpoints(0).first, original.edge_endpoints(0).second));
   const std::string path = TempPath("network.bin");
-  ASSERT_TRUE(SaveRoadNetwork(original, path));
-  const auto loaded = LoadRoadNetwork(path);
-  ASSERT_NE(loaded, nullptr);
+  ASSERT_TRUE(SaveRoadNetwork(original, path).ok());
+  auto loaded_or = LoadRoadNetwork(path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status();
+  const auto& loaded = *loaded_or;
   ASSERT_EQ(loaded->num_nodes(), original.num_nodes());
   ASSERT_EQ(loaded->num_edge_slots(), original.num_edge_slots());
   ASSERT_EQ(loaded->num_edges(), original.num_edges());
@@ -47,12 +70,83 @@ TEST(RoadNetworkPersistenceTest, RoundTripsExactly) {
 }
 
 TEST(RoadNetworkPersistenceTest, RejectsMissingAndGarbageFiles) {
-  EXPECT_EQ(LoadRoadNetwork("/nonexistent/nowhere.bin"), nullptr);
+  const auto missing = LoadRoadNetwork("/nonexistent/nowhere.bin");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
   const std::string path = TempPath("garbage.bin");
   std::FILE* f = std::fopen(path.c_str(), "wb");
   std::fputs("not a network", f);
   std::fclose(f);
-  EXPECT_EQ(LoadRoadNetwork(path), nullptr);
+  const auto garbage = LoadRoadNetwork(path);
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(garbage.status().message().find("bad magic"), std::string::npos);
+}
+
+TEST(RoadNetworkPersistenceTest, RejectsWrongMagicAndVersionSkew) {
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = 60, .seed = 7});
+  const std::string path = TempPath("header.net");
+  ASSERT_TRUE(SaveRoadNetwork(graph, path).ok());
+
+  // Byte 0 is the magic.
+  FlipByte(path, 0, 0xFF);
+  const auto bad_magic = LoadRoadNetwork(path);
+  ASSERT_FALSE(bad_magic.ok());
+  EXPECT_NE(bad_magic.status().message().find("bad magic"),
+            std::string::npos);
+  FlipByte(path, 0, 0xFF);
+
+  // Byte 4 is the version.
+  FlipByte(path, 4, 0xFF);
+  const auto skewed = LoadRoadNetwork(path);
+  ASSERT_FALSE(skewed.ok());
+  EXPECT_NE(skewed.status().message().find("version"), std::string::npos);
+  FlipByte(path, 4, 0xFF);
+
+  EXPECT_TRUE(LoadRoadNetwork(path).ok());
+}
+
+TEST(RoadNetworkPersistenceTest, RejectsAnIndexFileAsANetwork) {
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = 80, .seed = 8});
+  const auto index = BuildSignatureIndex(graph, UniformDataset(graph, 0.1, 8),
+                                         {.t = 5, .c = 2});
+  const std::string path = TempPath("mistaken.idx");
+  ASSERT_TRUE(SaveSignatureIndex(*index, path).ok());
+  const auto as_network = LoadRoadNetwork(path);
+  ASSERT_FALSE(as_network.ok());
+  EXPECT_NE(as_network.status().message().find("bad magic"),
+            std::string::npos);
+  // And the other way around.
+  const std::string net_path = TempPath("mistaken.net");
+  ASSERT_TRUE(SaveRoadNetwork(graph, net_path).ok());
+  EXPECT_FALSE(LoadSignatureIndex(graph, net_path).ok());
+}
+
+TEST(RoadNetworkPersistenceTest, FailedSaveLeavesNoFileBehind) {
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = 100, .seed = 9});
+  const std::string path = TempPath("failed.net");
+  // Simulated full disk after 64 bytes: the save reports the I/O error and
+  // neither the final file nor the temp file exists afterwards.
+  const Status status =
+      SaveRoadNetwork(graph, path, {.faults = {.fail_at = 64}});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST(RoadNetworkPersistenceTest, FailedResaveKeepsTheOldFileLoadable) {
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = 100, .seed = 10});
+  const std::string path = TempPath("atomic.net");
+  ASSERT_TRUE(SaveRoadNetwork(graph, path).ok());
+  // A later save that dies half-way must not clobber the good file.
+  ASSERT_FALSE(
+      SaveRoadNetwork(graph, path, {.faults = {.fail_at = 64}}).ok());
+  const auto loaded = LoadRoadNetwork(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->num_nodes(), graph.num_nodes());
+  EXPECT_FALSE(FileExists(path + ".tmp"));
 }
 
 TEST(SignatureIndexPersistenceTest, RoundTripPreservesEverything) {
@@ -60,9 +154,10 @@ TEST(SignatureIndexPersistenceTest, RoundTripPreservesEverything) {
   const std::vector<NodeId> objects = UniformDataset(graph, 0.05, 9);
   const auto original = BuildSignatureIndex(graph, objects, {.t = 5, .c = 2});
   const std::string path = TempPath("index.bin");
-  ASSERT_TRUE(SaveSignatureIndex(*original, path));
-  const auto loaded = LoadSignatureIndex(graph, path);
-  ASSERT_NE(loaded, nullptr);
+  ASSERT_TRUE(SaveSignatureIndex(*original, path).ok());
+  auto loaded_or = LoadSignatureIndex(graph, path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status();
+  const auto& loaded = *loaded_or;
 
   EXPECT_EQ(loaded->objects(), original->objects());
   EXPECT_EQ(loaded->partition().num_categories(),
@@ -90,9 +185,10 @@ TEST(SignatureIndexPersistenceTest, LoadedIndexAnswersQueries) {
   const std::vector<NodeId> objects = UniformDataset(graph, 0.04, 2);
   const auto original = BuildSignatureIndex(graph, objects, {.t = 5, .c = 2});
   const std::string path = TempPath("index_q.bin");
-  ASSERT_TRUE(SaveSignatureIndex(*original, path));
-  const auto loaded = LoadSignatureIndex(graph, path);
-  ASSERT_NE(loaded, nullptr);
+  ASSERT_TRUE(SaveSignatureIndex(*original, path).ok());
+  auto loaded_or = LoadSignatureIndex(graph, path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status();
+  const auto& loaded = *loaded_or;
   const auto truth = testing_util::BruteForceDistances(graph, objects);
   for (const NodeId n : testing_util::SampleNodes(graph, 10, 3)) {
     for (uint32_t o = 0; o < objects.size(); ++o) {
@@ -101,14 +197,26 @@ TEST(SignatureIndexPersistenceTest, LoadedIndexAnswersQueries) {
   }
 }
 
+TEST(SignatureIndexPersistenceTest, VerifyOnLoadAcceptsACleanIndex) {
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = 250, .seed = 11});
+  const std::vector<NodeId> objects = UniformDataset(graph, 0.05, 11);
+  const auto original = BuildSignatureIndex(graph, objects, {.t = 5, .c = 2});
+  const std::string path = TempPath("index_v.bin");
+  ASSERT_TRUE(SaveSignatureIndex(*original, path).ok());
+  const auto loaded =
+      LoadSignatureIndex(graph, path, {.verify = true, .faults = {}});
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+}
+
 TEST(SignatureIndexPersistenceTest, RebuildForestEnablesUpdates) {
   RoadNetwork graph = MakeRandomPlanar({.num_nodes = 200, .seed = 4});
   const std::vector<NodeId> objects = UniformDataset(graph, 0.05, 4);
   const auto original = BuildSignatureIndex(graph, objects, {.t = 5, .c = 2});
   const std::string path = TempPath("index_u.bin");
-  ASSERT_TRUE(SaveSignatureIndex(*original, path));
-  auto loaded = LoadSignatureIndex(graph, path);
-  ASSERT_NE(loaded, nullptr);
+  ASSERT_TRUE(SaveSignatureIndex(*original, path).ok());
+  auto loaded_or = LoadSignatureIndex(graph, path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status();
+  auto& loaded = *loaded_or;
   EXPECT_EQ(loaded->forest(), nullptr);
   loaded->RebuildForest();
   ASSERT_NE(loaded->forest(), nullptr);
@@ -129,9 +237,42 @@ TEST(SignatureIndexPersistenceTest, RejectsWrongGraph) {
       BuildSignatureIndex(graph, UniformDataset(graph, 0.05, 6),
                           {.t = 5, .c = 2});
   const std::string path = TempPath("index_w.bin");
-  ASSERT_TRUE(SaveSignatureIndex(*index, path));
-  EXPECT_EQ(LoadSignatureIndex(other, path), nullptr);
-  EXPECT_NE(LoadSignatureIndex(graph, path), nullptr);
+  ASSERT_TRUE(SaveSignatureIndex(*index, path).ok());
+  const auto mismatched = LoadSignatureIndex(other, path);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(mismatched.status().message().find("different network"),
+            std::string::npos);
+  EXPECT_TRUE(LoadSignatureIndex(graph, path).ok());
+}
+
+TEST(SignatureIndexPersistenceTest, InjectedReadFaultsSurfaceAsErrors) {
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = 150, .seed = 12});
+  const auto index = BuildSignatureIndex(graph, UniformDataset(graph, 0.05, 12),
+                                         {.t = 5, .c = 2});
+  const std::string path = TempPath("index_f.bin");
+  ASSERT_TRUE(SaveSignatureIndex(*index, path).ok());
+
+  // Hard I/O error in the middle of the file.
+  const auto io_failed =
+      LoadSignatureIndex(graph, path, {.faults = {.fail_at = 500}});
+  ASSERT_FALSE(io_failed.ok());
+  EXPECT_EQ(io_failed.status().code(), StatusCode::kIoError);
+
+  // Short read (file cut off beneath us).
+  const auto truncated =
+      LoadSignatureIndex(graph, path, {.faults = {.truncate_at = 700}});
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kCorruption);
+
+  // Single flipped bit: some section checksum must catch it.
+  const auto flipped = LoadSignatureIndex(
+      graph, path, {.faults = {.flip_byte = 900, .flip_mask = 0x20}});
+  ASSERT_FALSE(flipped.ok());
+  EXPECT_EQ(flipped.status().code(), StatusCode::kCorruption);
+
+  // kNoFault plans are inert.
+  EXPECT_TRUE(LoadSignatureIndex(graph, path, {.faults = {}}).ok());
 }
 
 }  // namespace

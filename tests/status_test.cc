@@ -1,0 +1,81 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace dsig {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::Corruption("node section checksum mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.message(), "node section checksum mismatch");
+  EXPECT_EQ(s.ToString(), "CORRUPTION: node section checksum mismatch");
+
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusTest, StreamsViaToString) {
+  std::ostringstream os;
+  os << Status::IoError("disk full");
+  EXPECT_EQ(os.str(), "IO_ERROR: disk full");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagatesOnlyFailures) {
+  const auto pipeline = [](Status first, Status second) -> Status {
+    DSIG_RETURN_IF_ERROR(first);
+    DSIG_RETURN_IF_ERROR(second);
+    return Status::Ok();
+  };
+  EXPECT_TRUE(pipeline(Status::Ok(), Status::Ok()).ok());
+  EXPECT_EQ(pipeline(Status::Corruption("a"), Status::IoError("b")).code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(pipeline(Status::Ok(), Status::IoError("b")).code(),
+            StatusCode::kIoError);
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> good = 41;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 41);
+  *good += 1;
+  EXPECT_EQ(*good, 42);
+
+  const StatusOr<int> bad = Status::NotFound("missing");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValuesWork) {
+  StatusOr<std::unique_ptr<int>> holder = std::make_unique<int>(7);
+  ASSERT_TRUE(holder.ok());
+  EXPECT_EQ(**holder, 7);
+  std::unique_ptr<int> taken = std::move(holder).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOrDeathTest, ValueOnFailureIsFatal) {
+  const StatusOr<int> bad = Status::Corruption("nope");
+  EXPECT_DEATH(bad.value(), "failed StatusOr");
+}
+
+}  // namespace
+}  // namespace dsig

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
+#include <utility>
 
 #include "core/distance_ops.h"
 #include "core/signature_builder.h"
@@ -21,6 +23,15 @@
 
 namespace dsig {
 namespace {
+
+uint64_t FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size < 0 ? 0 : static_cast<uint64_t>(size);
+}
 
 class Oracle {
  public:
@@ -133,9 +144,27 @@ TEST_P(TortureTest, RandomOperationSoak) {
         break;
       }
       case 7: {  // persistence round trip mid-life
-        ASSERT_TRUE(SaveSignatureIndex(*index, snapshot));
-        auto loaded = LoadSignatureIndex(graph, snapshot);
-        ASSERT_NE(loaded, nullptr) << "step " << step;
+        ASSERT_TRUE(SaveSignatureIndex(*index, snapshot).ok());
+        // Corruption drill first: flipping any single byte of the snapshot
+        // must turn the load into a clean error, never an abort or a
+        // silently-wrong index. (The original file on disk is untouched —
+        // the flip rides in as a deterministic read fault.)
+        const uint64_t file_bytes = FileSize(snapshot);
+        ASSERT_GT(file_bytes, 0u);
+        const auto corrupt = LoadSignatureIndex(
+            graph, snapshot,
+            {.faults = {.flip_byte = rng.NextUint64(file_bytes),
+                        .flip_mask = static_cast<uint8_t>(
+                            1u << rng.NextUint64(8))}});
+        ASSERT_FALSE(corrupt.ok()) << "step " << step;
+        const auto truncated = LoadSignatureIndex(
+            graph, snapshot,
+            {.faults = {.truncate_at = rng.NextUint64(file_bytes)}});
+        ASSERT_FALSE(truncated.ok()) << "step " << step;
+        auto loaded_or = LoadSignatureIndex(graph, snapshot);
+        ASSERT_TRUE(loaded_or.ok())
+            << "step " << step << ": " << loaded_or.status();
+        auto loaded = std::move(loaded_or).value();
         loaded->RebuildForest();
         // The reloaded index answers identically; keep using it so the soak
         // also exercises the rebuilt forest.
