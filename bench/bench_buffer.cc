@@ -17,9 +17,16 @@ int main(int argc, char** argv) {
   using namespace dsig::bench;
 
   const Flags flags(argc, argv);
+  if (!ApplyObsFlags(flags)) return 1;
   const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 20000));
   const size_t num_queries = static_cast<size_t>(flags.GetInt("queries", 60));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  BenchJson json(flags, "buffer");
+  json.SetParam("nodes", static_cast<double>(nodes));
+  json.SetParam("queries", static_cast<double>(num_queries));
+  json.SetParam("seed", static_cast<double>(seed));
+  json.SetParam("k", 20.0);
 
   std::printf("=== Ablation: buffer size vs page accesses (kNN, k=20) ===\n");
   std::printf("%zu nodes, p = 0.01, %zu type-3 queries per point\n\n", nodes,
@@ -39,25 +46,33 @@ int main(int argc, char** argv) {
     BufferManager buffer(buffer_pages);
     const NetworkStore network(graph, order, &buffer);
     index->AttachStorage(&buffer, &network, order);
-    // Warm-up pass (the paper's queries also ran against a warm testbed).
+    // Warm-up pass (the paper's queries also ran against a warm testbed),
+    // then a steady-state measurement against the warm pool.
     for (const NodeId q : queries) {
       SignatureKnnQuery(*index, q, 20, KnnResultType::kType3);
     }
-    buffer.ResetStats();
-    for (const NodeId q : queries) {
-      SignatureKnnQuery(*index, q, 20, KnnResultType::kType3);
-    }
-    const BufferStats stats = buffer.stats();
+    const Measurement m = MeasureItems(
+        &buffer, queries,
+        [&](NodeId q) { SignatureKnnQuery(*index, q, 20, KnnResultType::kType3); },
+        /*clear_buffer=*/false);
+    const BufferStats stats = m.buffer;
     const double n = static_cast<double>(queries.size());
     const double hit_rate =
         stats.logical_accesses == 0
             ? 0
             : 1.0 - static_cast<double>(stats.physical_accesses) /
                         static_cast<double>(stats.logical_accesses);
+    const std::string label = buffer_pages >= 1048576ul
+                                  ? "unbounded"
+                                  : std::to_string(buffer_pages);
+    auto* point = json.Add("pages_vs_buffer", "Signature", label, m);
+    if (point != nullptr) {
+      point->metrics["hit_rate"] = hit_rate;
+      point->metrics["logical_per_query"] =
+          static_cast<double>(stats.logical_accesses) / n;
+    }
     table.AddRow(
-        {buffer_pages >= 1048576ul ? "unbounded"
-                                   : std::to_string(buffer_pages),
-         Fmt("%.1f", ToMb(buffer_pages * kPageSizeBytes)),
+        {label, Fmt("%.1f", ToMb(buffer_pages * kPageSizeBytes)),
          Fmt("%.1f", static_cast<double>(stats.physical_accesses) / n),
          Fmt("%.1f", static_cast<double>(stats.logical_accesses) / n),
          Fmt("%.0f%%", 100 * hit_rate)});
@@ -67,5 +82,6 @@ int main(int argc, char** argv) {
       "\nExpected shape: physical accesses collapse once the pool holds the\n"
       "index working set — the regime the paper's 512 MB testbed ran in;\n"
       "logical accesses are buffer-independent.\n");
+  json.Write();
   return 0;
 }

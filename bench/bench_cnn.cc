@@ -39,9 +39,15 @@ int main(int argc, char** argv) {
   using namespace dsig::bench;
 
   const Flags flags(argc, argv);
+  if (!ApplyObsFlags(flags)) return 1;
   const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 10000));
   const size_t num_routes = static_cast<size_t>(flags.GetInt("paths", 25));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  BenchJson json(flags, "cnn");
+  json.SetParam("nodes", static_cast<double>(nodes));
+  json.SetParam("paths", static_cast<double>(num_routes));
+  json.SetParam("seed", static_cast<double>(seed));
 
   std::printf("=== Continuous kNN along routes (CNN, paper §2) ===\n");
   std::printf("%zu nodes, p = 0.01, %zu shortest-path routes\n\n", nodes,
@@ -76,25 +82,31 @@ int main(int argc, char** argv) {
                       "unicons ms/route"});
   for (const size_t k : {1u, 3u, 8u}) {
     size_t sig_intervals = 0, nn_intervals = 0;
-    w.buffer->Clear();
-    Timer sig_timer;
-    for (const auto& route : routes) {
-      sig_intervals += SignatureContinuousKnn(*index, route, k).intervals.size();
-    }
-    const double sig_ms = sig_timer.ElapsedMillis();
-    const double sig_pages =
-        static_cast<double>(w.buffer->stats().physical_accesses);
-    Timer nn_timer;
-    for (const auto& route : routes) {
-      nn_intervals += nn_lists.ContinuousKnn(route, k).size();
-    }
-    const double nn_ms = nn_timer.ElapsedMillis();
+    const Measurement ms = MeasureItems(
+        w.buffer.get(), routes, [&](const std::vector<NodeId>& route) {
+          sig_intervals +=
+              SignatureContinuousKnn(*index, route, k).intervals.size();
+        });
+    const Measurement mn = MeasureItems(
+        w.buffer.get(), routes, [&](const std::vector<NodeId>& route) {
+          nn_intervals += nn_lists.ContinuousKnn(route, k).size();
+        });
     const double n = static_cast<double>(routes.size());
-    table.AddRow({std::to_string(k),
-                  Fmt("%.1f", static_cast<double>(sig_intervals) / n),
-                  Fmt("%.2f", sig_ms / n), Fmt("%.1f", sig_pages / n),
+    const std::string label = std::to_string(k);
+    auto* sig_point = json.Add("cnn_vs_k", "Signature", label, ms);
+    if (sig_point != nullptr) {
+      sig_point->metrics["intervals_per_route"] =
+          static_cast<double>(sig_intervals) / n;
+    }
+    auto* nn_point = json.Add("cnn_vs_k", "UNICONS", label, mn);
+    if (nn_point != nullptr) {
+      nn_point->metrics["intervals_per_route"] =
+          static_cast<double>(nn_intervals) / n;
+    }
+    table.AddRow({label, Fmt("%.1f", static_cast<double>(sig_intervals) / n),
+                  Fmt("%.2f", ms.mean_ms), Fmt("%.1f", ms.pages_per_item),
                   Fmt("%.1f", static_cast<double>(nn_intervals) / n),
-                  Fmt("%.2f", nn_ms / n)});
+                  Fmt("%.2f", mn.mean_ms)});
   }
   table.Print();
   std::printf(
@@ -102,5 +114,6 @@ int main(int argc, char** argv) {
       "specialized baseline is faster per route but needs its own\n"
       "precomputation and answers nothing else — the paper's generality\n"
       "argument in one table.\n");
+  json.Write();
   return 0;
 }

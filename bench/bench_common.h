@@ -8,6 +8,11 @@
 //   --queries=Q    queries per workload point
 //   --seed=S       master seed
 //   --buffer=B     buffer pool pages (default 256)
+//
+// Observability flags, shared by every bench (see ApplyObsFlags):
+//   --json=FILE    mirror the printed exhibits into a BENCH_*.json report
+//   --trace        emit one JSON trace line per query to stderr
+//   --log-level=L  minimum DSIG_LOG severity (debug|info|warning|error)
 #ifndef DSIG_BENCH_BENCH_COMMON_H_
 #define DSIG_BENCH_BENCH_COMMON_H_
 
@@ -22,8 +27,13 @@
 #include "core/signature_builder.h"
 #include "graph/ccam.h"
 #include "graph/graph_generator.h"
+#include "obs/bench_report.h"
+#include "obs/metrics.h"
+#include "obs/op_counters.h"
+#include "obs/trace.h"
 #include "storage/network_store.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/timer.h"
 #include "workload/dataset_generator.h"
 #include "workload/query_generator.h"
@@ -132,6 +142,137 @@ inline std::string Fmt(const char* format, double value) {
   std::snprintf(buf, sizeof(buf), format, value);
   return buf;
 }
+
+// ---- Observability glue ---------------------------------------------------
+
+// Applies the shared observability flags (--log-level, --trace). Returns
+// false, with a message, on an unknown --log-level value.
+inline bool ApplyObsFlags(const Flags& flags) {
+  const std::string level = flags.GetString("log-level", "");
+  if (!level.empty()) {
+    LogSeverity severity = LogSeverity::kInfo;
+    if (!ParseLogSeverity(level, &severity)) {
+      std::fprintf(stderr, "unknown --log-level value: %s\n", level.c_str());
+      return false;
+    }
+    SetMinLogSeverity(severity);
+  }
+  if (flags.GetBool("trace", false)) obs::SetTracingEnabled(true);
+  return true;
+}
+
+// One measured workload point: the per-item latency distribution plus the
+// OpCounters / BufferStats activity of the whole run.
+struct Measurement {
+  size_t items = 0;
+  double mean_ms = 0;         // wall time / items
+  double pages_per_item = 0;  // physical accesses / items (0 without buffer)
+  obs::HistogramSnapshot latency_ms;
+  OpCounters ops;             // run totals
+  BufferStats buffer;         // run totals
+};
+
+// Runs `fn(item)` over `items`, timing each item into a histogram and
+// capturing the op-counter and buffer-stat deltas. `clear_buffer` selects
+// cold-cache (Clear) vs steady-state (ResetStats only) measurement.
+template <typename Item, typename Fn>
+Measurement MeasureItems(BufferManager* buffer, const std::vector<Item>& items,
+                         const Fn& fn, bool clear_buffer = true) {
+  if (buffer != nullptr) {
+    if (clear_buffer) {
+      buffer->Clear();
+    } else {
+      buffer->ResetStats();
+    }
+  }
+  const OpCounters ops_before = GlobalOpCounters();
+  obs::Histogram latency;
+  Timer total;
+  for (const auto& item : items) {
+    Timer timer;
+    fn(item);
+    latency.Record(timer.ElapsedMillis());
+  }
+  Measurement m;
+  m.items = items.size();
+  const double n = items.empty() ? 1.0 : static_cast<double>(items.size());
+  m.mean_ms = total.ElapsedMillis() / n;
+  m.ops = GlobalOpCounters() - ops_before;
+  if (buffer != nullptr) {
+    m.buffer = buffer->stats();
+    m.pages_per_item = static_cast<double>(m.buffer.physical_accesses) / n;
+  }
+  m.latency_ms = latency.Snapshot();
+  return m;
+}
+
+// Times a single action as a one-item Measurement (used by construction-style
+// benches so even scalar exhibits carry a latency entry and op breakdown).
+template <typename Fn>
+Measurement MeasureOnce(BufferManager* buffer, const Fn& fn,
+                        bool clear_buffer = true) {
+  return MeasureItems(buffer, std::vector<int>{0},
+                      [&fn](int) { fn(); }, clear_buffer);
+}
+
+// Mirrors a bench's printed exhibits into a BENCH_*.json report when run
+// with --json=FILE; a cheap no-op otherwise.
+class BenchJson {
+ public:
+  BenchJson(const Flags& flags, const std::string& bench_name)
+      : path_(flags.GetString("json", "")), report_(bench_name) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void SetParam(const std::string& key, const std::string& value) {
+    report_.SetParam(key, value);
+  }
+  void SetParam(const std::string& key, double value) {
+    report_.SetParam(key, value);
+  }
+
+  // Adds one measured point. Extra scalar metrics can be attached through
+  // the returned pointer (nullptr when reporting is disabled).
+  obs::BenchReport::Point* Add(const std::string& exhibit,
+                               const std::string& series, const std::string& x,
+                               const Measurement& m) {
+    if (!enabled()) return nullptr;
+    obs::BenchReport::Point* point = report_.AddPoint(exhibit, series, x);
+    point->queries = m.items;
+    point->metrics["mean_ms"] = m.mean_ms;
+    point->metrics["pages_per_query"] = m.pages_per_item;
+    point->has_latency = true;
+    point->latency = m.latency_ms;
+    m.ops.ForEach(
+        [point](const char* name, uint64_t v) { point->ops[name] = v; });
+    m.buffer.ForEach(
+        [point](const char* name, uint64_t v) { point->buffer[name] = v; });
+    return point;
+  }
+
+  // Adds a scalar-only point (no latency distribution), e.g. index sizes.
+  obs::BenchReport::Point* AddScalar(const std::string& exhibit,
+                                     const std::string& series,
+                                     const std::string& x,
+                                     const std::string& metric, double value) {
+    if (!enabled()) return nullptr;
+    obs::BenchReport::Point* point = report_.AddPoint(exhibit, series, x);
+    point->metrics[metric] = value;
+    return point;
+  }
+
+  // Writes the report; call once at the end of main().
+  void Write() {
+    if (!enabled()) return;
+    if (report_.WriteFile(path_)) {
+      std::printf("wrote %s\n", path_.c_str());
+    }
+  }
+
+ private:
+  std::string path_;
+  obs::BenchReport report_;
+};
 
 }  // namespace bench
 }  // namespace dsig

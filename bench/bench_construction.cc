@@ -12,8 +12,13 @@ int main(int argc, char** argv) {
   using namespace dsig::bench;
 
   const Flags flags(argc, argv);
+  if (!ApplyObsFlags(flags)) return 1;
   const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 8000));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  BenchJson json(flags, "construction");
+  json.SetParam("nodes", static_cast<double>(nodes));
+  json.SetParam("seed", static_cast<double>(seed));
 
   std::printf("=== Figure 6.4: index construction cost ===\n");
   std::printf("synthetic random-planar network, %zu nodes (paper: 183,231)\n\n",
@@ -29,18 +34,35 @@ int main(int argc, char** argv) {
   for (const DatasetSpec& spec : PaperDatasets()) {
     const std::vector<NodeId> objects = MakeDataset(graph, spec, seed + 1);
 
-    Timer full_timer;
-    const auto full = FullIndex::Build(graph, objects);
-    const double full_seconds = full_timer.ElapsedSeconds();
+    std::unique_ptr<FullIndex> full;
+    const Measurement mf = MeasureOnce(
+        nullptr, [&] { full = FullIndex::Build(graph, objects); });
+    const double full_seconds = mf.mean_ms / 1000.0;
 
-    Timer nvd_timer;
-    const Vn3Index vn3(graph, objects);
-    const double nvd_seconds = nvd_timer.ElapsedSeconds();
+    std::unique_ptr<Vn3Index> vn3_ptr;
+    const Measurement mn = MeasureOnce(
+        nullptr, [&] { vn3_ptr = std::make_unique<Vn3Index>(graph, objects); });
+    const Vn3Index& vn3 = *vn3_ptr;
+    const double nvd_seconds = mn.mean_ms / 1000.0;
 
-    Timer sig_timer;
-    const auto signature = BuildSignatureIndex(
-        graph, objects, {.t = 10, .c = 2.718281828, .keep_forest = false});
-    const double sig_seconds = sig_timer.ElapsedSeconds();
+    std::unique_ptr<SignatureIndex> signature;
+    const Measurement ms = MeasureOnce(nullptr, [&] {
+      signature = BuildSignatureIndex(
+          graph, objects, {.t = 10, .c = 2.718281828, .keep_forest = false});
+    });
+    const double sig_seconds = ms.mean_ms / 1000.0;
+
+    auto add_point = [&](const char* series, const Measurement& m,
+                         double seconds, size_t bytes) {
+      auto* point = json.Add("construction", series, spec.label, m);
+      if (point != nullptr) {
+        point->metrics["build_seconds"] = seconds;
+        point->metrics["index_mb"] = ToMb(bytes);
+      }
+    };
+    add_point("Full", mf, full_seconds, full->IndexBytes());
+    add_point("NVD", mn, nvd_seconds, vn3.IndexBytes());
+    add_point("Signature", ms, sig_seconds, signature->IndexBytes());
 
     size_table.AddRow(
         {spec.label, std::to_string(objects.size()),
@@ -60,5 +82,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape: Sig/Full ~ 1/6; NVD explodes for sparse datasets\n"
       "and is sensitive to the clustered 0.01(nu) dataset.\n");
+  json.Write();
   return 0;
 }

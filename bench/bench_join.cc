@@ -16,9 +16,15 @@ int main(int argc, char** argv) {
   using namespace dsig::bench;
 
   const Flags flags(argc, argv);
+  if (!ApplyObsFlags(flags)) return 1;
   const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 10000));
   const size_t num_queries = static_cast<size_t>(flags.GetInt("queries", 20));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  BenchJson json(flags, "join");
+  json.SetParam("nodes", static_cast<double>(nodes));
+  json.SetParam("queries", static_cast<double>(num_queries));
+  json.SetParam("seed", static_cast<double>(seed));
 
   std::printf("=== Generalized queries: epsilon-join and aggregation ===\n");
   std::printf("%zu nodes, two p = 0.01 datasets, %zu query nodes\n\n", nodes,
@@ -46,20 +52,28 @@ int main(int argc, char** argv) {
                            "ms/join"});
   for (const Weight eps : {10.0, 50.0, 200.0}) {
     size_t pairs = 0, pruned = 0, exact = 0;
-    Timer timer;
-    for (const NodeId q : queries) {
-      const JoinResult r = SignatureEpsilonJoin(*left, *right, q, eps);
-      pairs += r.pairs.size();
-      pruned += r.pruned_by_categories;
-      exact += r.exact_evaluations;
-    }
+    const Measurement m =
+        MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
+          const JoinResult r = SignatureEpsilonJoin(*left, *right, q, eps);
+          pairs += r.pairs.size();
+          pruned += r.pruned_by_categories;
+          exact += r.exact_evaluations;
+        });
     const double n = static_cast<double>(queries.size());
+    auto* point = json.Add("join_vs_eps", "Signature", Fmt("%.0f", eps), m);
+    if (point != nullptr) {
+      point->metrics["pairs_per_query"] = static_cast<double>(pairs) / n;
+      point->metrics["pruned_rate"] =
+          static_cast<double>(pruned) / (n * static_cast<double>(total_pairs));
+      point->metrics["exact_evals_per_query"] =
+          static_cast<double>(exact) / n;
+    }
     join_table.AddRow(
         {Fmt("%.0f", eps), Fmt("%.1f", static_cast<double>(pairs) / n),
          Fmt("%.0f%%", 100.0 * static_cast<double>(pruned) /
                            (n * static_cast<double>(total_pairs))),
          Fmt("%.1f", static_cast<double>(exact) / n),
-         Fmt("%.2f", timer.ElapsedMillis() / n)});
+         Fmt("%.2f", m.mean_ms)});
   }
   std::printf("--- epsilon-join (|A| = %zu, |B| = %zu, %zu pairs) ---\n",
               left_objects.size(), right_objects.size(), total_pairs);
@@ -70,23 +84,22 @@ int main(int argc, char** argv) {
   for (const Weight radius : {50.0, 200.0, 1000.0}) {
     size_t count = 0;
     Weight sum = 0;
-    Timer count_timer;
-    for (const NodeId q : queries) {
-      count += SignatureCountQuery(*left, q, radius).count;
-    }
-    const double count_ms = count_timer.ElapsedMillis();
-    Timer agg_timer;
-    for (const NodeId q : queries) {
-      const DistanceAggregateResult r =
-          SignatureDistanceAggregateQuery(*left, q, radius);
-      sum += r.sum;
-    }
-    const double agg_ms = agg_timer.ElapsedMillis();
+    const Measurement mc =
+        MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
+          count += SignatureCountQuery(*left, q, radius).count;
+        });
+    const Measurement ma =
+        MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
+          sum += SignatureDistanceAggregateQuery(*left, q, radius).sum;
+        });
     const double n = static_cast<double>(queries.size());
+    const std::string label = Fmt("%.0f", radius);
+    json.Add("aggregate_vs_radius", "Count", label, mc);
+    json.Add("aggregate_vs_radius", "Aggregate", label, ma);
     agg_table.AddRow(
-        {Fmt("%.0f", radius), Fmt("%.1f", static_cast<double>(count) / n),
+        {label, Fmt("%.1f", static_cast<double>(count) / n),
          count == 0 ? "-" : Fmt("%.1f", sum / static_cast<double>(count)),
-         Fmt("%.3f", count_ms / n), Fmt("%.3f", agg_ms / n)});
+         Fmt("%.3f", mc.mean_ms), Fmt("%.3f", ma.mean_ms)});
   }
   std::printf("\n--- aggregation over radius ---\n");
   agg_table.Print();
@@ -104,22 +117,30 @@ int main(int argc, char** argv) {
   TablePrinter rknn_table({"k", "results/query", "refined/query", "ms/query"});
   for (const size_t k : {1u, 4u, 8u}) {
     size_t results = 0, refined = 0;
-    Timer timer;
-    for (const NodeId q : queries) {
-      const ReverseKnnResult r = SignatureReverseKnn(*left, q, k);
-      results += r.objects.size();
-      refined += r.refined;
-    }
+    const Measurement m =
+        MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
+          const ReverseKnnResult r = SignatureReverseKnn(*left, q, k);
+          results += r.objects.size();
+          refined += r.refined;
+        });
     const double n = static_cast<double>(queries.size());
+    auto* point = json.Add("rknn_vs_k", "Signature", std::to_string(k), m);
+    if (point != nullptr) {
+      point->metrics["results_per_query"] =
+          static_cast<double>(results) / n;
+      point->metrics["refined_per_query"] =
+          static_cast<double>(refined) / n;
+    }
     rknn_table.AddRow({std::to_string(k),
                        Fmt("%.1f", static_cast<double>(results) / n),
                        Fmt("%.1f", static_cast<double>(refined) / n),
-                       Fmt("%.2f", timer.ElapsedMillis() / n)});
+                       Fmt("%.2f", m.mean_ms)});
   }
   std::printf("\n--- reverse kNN ---\n");
   rknn_table.Print();
   std::printf(
       "\nExpected shape: category bounds prune the vast majority of join\n"
       "pairs; COUNT costs far less than SUM/MIN/MAX (no exact retrievals).\n");
+  json.Write();
   return 0;
 }

@@ -14,32 +14,23 @@ namespace {
 using namespace dsig;
 using namespace dsig::bench;
 
-struct Measurement {
-  double pages = 0;
-  double millis = 0;
-};
-
-template <typename QueryFn>
-Measurement Measure(BufferManager* buffer, const std::vector<NodeId>& queries,
-                    const QueryFn& run_query) {
-  buffer->Clear();
-  Timer timer;
-  for (const NodeId q : queries) run_query(q);
-  const double total_ms = timer.ElapsedMillis();
-  const double n = static_cast<double>(queries.size());
-  return {static_cast<double>(buffer->stats().physical_accesses) / n,
-          total_ms / n};
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  if (!ApplyObsFlags(flags)) return 1;
   const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 20000));
   const size_t num_queries = static_cast<size_t>(flags.GetInt("queries", 100));
   const size_t buffer_pages =
       static_cast<size_t>(flags.GetInt("buffer", 256));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  BenchJson json(flags, "knn");
+  json.SetParam("nodes", static_cast<double>(nodes));
+  json.SetParam("queries", static_cast<double>(num_queries));
+  json.SetParam("buffer_pages", static_cast<double>(buffer_pages));
+  json.SetParam("seed", static_cast<double>(seed));
+  json.SetParam("density", "0.01");
 
   std::printf("=== Figure 6.6: kNN search, k = 1..50, p = 0.01 ===\n");
   std::printf("%zu nodes (paper: 183,231), %zu type-3 queries/point\n\n",
@@ -64,24 +55,28 @@ int main(int argc, char** argv) {
   TablePrinter times(
       {"k", "Full (ms)", "NVD (ms)", "Signature (ms)", "INE (ms)"});
   for (const size_t k : {1u, 5u, 10u, 20u, 50u}) {
-    const Measurement mf = Measure(w.buffer.get(), queries, [&](NodeId q) {
+    const std::string x = std::to_string(k);
+    const Measurement mf = MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
       full->KnnQuery(q, k);
     });
-    const Measurement mv = Measure(w.buffer.get(), queries, [&](NodeId q) {
+    const Measurement mv = MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
       vn3.Knn(q, k);
     });
-    const Measurement ms = Measure(w.buffer.get(), queries, [&](NodeId q) {
+    const Measurement ms = MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
       SignatureKnnQuery(*signature, q, k, KnnResultType::kType3);
     });
-    const Measurement mi = Measure(w.buffer.get(), queries, [&](NodeId q) {
+    const Measurement mi = MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
       ine.Knn(q, k);
     });
-    pages.AddRow({std::to_string(k), Fmt("%.1f", mf.pages),
-                  Fmt("%.1f", mv.pages), Fmt("%.1f", ms.pages),
-                  Fmt("%.1f", mi.pages)});
-    times.AddRow({std::to_string(k), Fmt("%.3f", mf.millis),
-                  Fmt("%.3f", mv.millis), Fmt("%.3f", ms.millis),
-                  Fmt("%.3f", mi.millis)});
+    json.Add("knn_vs_k", "Full", x, mf);
+    json.Add("knn_vs_k", "NVD", x, mv);
+    json.Add("knn_vs_k", "Signature", x, ms);
+    json.Add("knn_vs_k", "INE", x, mi);
+    pages.AddRow({x, Fmt("%.1f", mf.pages_per_item),
+                  Fmt("%.1f", mv.pages_per_item), Fmt("%.1f", ms.pages_per_item),
+                  Fmt("%.1f", mi.pages_per_item)});
+    times.AddRow({x, Fmt("%.3f", mf.mean_ms), Fmt("%.3f", mv.mean_ms),
+                  Fmt("%.3f", ms.mean_ms), Fmt("%.3f", mi.mean_ms)});
   }
   std::printf("--- (a) page accesses/query ---\n");
   pages.Print();
@@ -90,5 +85,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape: Full flat; NVD best at k=1 then degrades sharply;\n"
       "Signature grows ~8x from k=1 to k=50 (paper) vs NVD's 50-170x.\n");
+  json.Write();
   return 0;
 }

@@ -7,7 +7,7 @@
 // each type across k.
 #include "bench/bench_common.h"
 
-#include "core/op_counters.h"
+#include "obs/op_counters.h"
 #include "query/knn_query.h"
 
 int main(int argc, char** argv) {
@@ -15,9 +15,15 @@ int main(int argc, char** argv) {
   using namespace dsig::bench;
 
   const Flags flags(argc, argv);
+  if (!ApplyObsFlags(flags)) return 1;
   const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 10000));
   const size_t num_queries = static_cast<size_t>(flags.GetInt("queries", 100));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  BenchJson json(flags, "knn_types");
+  json.SetParam("nodes", static_cast<double>(nodes));
+  json.SetParam("queries", static_cast<double>(num_queries));
+  json.SetParam("seed", static_cast<double>(seed));
 
   std::printf("=== Ablation: kNN result types (paper §4.2) ===\n");
   std::printf("%zu nodes, p = 0.01, %zu queries/point\n\n", nodes,
@@ -41,22 +47,18 @@ int main(int argc, char** argv) {
     for (const KnnResultType type :
          {KnnResultType::kType3, KnnResultType::kType2,
           KnnResultType::kType1}) {
-      w.buffer->Clear();
-      ResetOpCounters();
-      Timer timer;
-      for (const NodeId q : queries) {
+      const Measurement m = MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
         SignatureKnnQuery(*index, q, k, type);
-      }
+      });
       const double n = static_cast<double>(queries.size());
-      row.push_back(
-          Fmt("%.1f", static_cast<double>(
-                          w.buffer->stats().physical_accesses) /
-                          n));
-      row.push_back(Fmt("%.3f", timer.ElapsedMillis() / n));
-      const OpCounters& c = GlobalOpCounters();
+      row.push_back(Fmt("%.1f", m.pages_per_item));
+      row.push_back(Fmt("%.3f", m.mean_ms));
+      const OpCounters& c = m.ops;
       const char* type_name = type == KnnResultType::kType3   ? "3"
                               : type == KnnResultType::kType2 ? "2"
                                                               : "1";
+      json.Add("knn_types", std::string("type") + type_name,
+               std::to_string(k), m);
       ops.AddRow({std::to_string(k), type_name,
                   Fmt("%.1f", static_cast<double>(c.backtrack_steps) / n),
                   Fmt("%.1f", static_cast<double>(c.exact_compares) / n),
@@ -72,5 +74,6 @@ int main(int argc, char** argv) {
       "\nExpected shape: type3 <= type2 <= type1 in both metrics; the gap\n"
       "widens with k (type 2 sorts every contributing bucket, type 1 walks\n"
       "every result to its exact distance).\n");
+  json.Write();
   return 0;
 }

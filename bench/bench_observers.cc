@@ -17,9 +17,15 @@ int main(int argc, char** argv) {
   using namespace dsig::bench;
 
   const Flags flags(argc, argv);
+  if (!ApplyObsFlags(flags)) return 1;
   const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 6000));
   const size_t num_queries = static_cast<size_t>(flags.GetInt("queries", 40));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  BenchJson json(flags, "observers");
+  json.SetParam("nodes", static_cast<double>(nodes));
+  json.SetParam("queries", static_cast<double>(num_queries));
+  json.SetParam("seed", static_cast<double>(seed));
 
   std::printf("=== Ablation: observer-voting comparison accuracy ===\n");
   std::printf("%zu nodes, same-category object pairs at %zu query nodes\n\n",
@@ -39,7 +45,7 @@ int main(int argc, char** argv) {
     size_t pairs = 0, decided = 0, correct = 0;
     const std::vector<NodeId> queries =
         RandomQueryNodes(graph, num_queries, seed + 2);
-    for (const NodeId q : queries) {
+    const Measurement m = MeasureItems(nullptr, queries, [&](NodeId q) {
       const SignatureRow row = index->ReadRow(q);
       for (uint32_t a = 0; a < objects.size() && pairs < 20000; ++a) {
         for (uint32_t b = a + 1; b < objects.size(); ++b) {
@@ -54,6 +60,14 @@ int main(int argc, char** argv) {
           }
         }
       }
+    });
+    auto* point = json.Add("observer_accuracy", "Signature", spec.label, m);
+    if (point != nullptr) {
+      point->metrics["pairs"] = static_cast<double>(pairs);
+      point->metrics["decided_rate"] =
+          pairs == 0 ? 0.0 : static_cast<double>(decided) / pairs;
+      point->metrics["accuracy"] =
+          decided == 0 ? 0.0 : static_cast<double>(correct) / decided;
     }
     table.AddRow(
         {spec.label, std::to_string(pairs),
@@ -67,5 +81,6 @@ int main(int argc, char** argv) {
       "decision rate and accuracy rise with p; decided votes are much\n"
       "better than coin flips, which is what lets the initial sort cut\n"
       "exact comparisons (§6.2's third reason).\n");
+  json.Write();
   return 0;
 }

@@ -14,9 +14,16 @@ int main(int argc, char** argv) {
   using namespace dsig::bench;
 
   const Flags flags(argc, argv);
+  if (!ApplyObsFlags(flags)) return 1;
   const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 10000));
   const size_t num_queries = static_cast<size_t>(flags.GetInt("queries", 100));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  BenchJson json(flags, "params");
+  json.SetParam("nodes", static_cast<double>(nodes));
+  json.SetParam("queries", static_cast<double>(num_queries));
+  json.SetParam("seed", static_cast<double>(seed));
+  json.SetParam("k", 5.0);
 
   std::printf("=== Figure 6.7: impact of c, T on 5NN clock time (ms) ===\n");
   std::printf("%zu nodes, p = 0.01, %zu queries per cell\n\n", nodes,
@@ -40,13 +47,11 @@ int main(int argc, char** argv) {
       const auto index = BuildSignatureIndex(
           *w.graph, objects, {.t = t, .c = c, .keep_forest = false});
       index->AttachStorage(w.buffer.get(), w.network.get(), w.order);
-      w.buffer->Clear();
-      Timer timer;
-      for (const NodeId q : queries) {
+      const Measurement m = MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
         SignatureKnnQuery(*index, q, 5, KnnResultType::kType3);
-      }
-      const double ms =
-          timer.ElapsedMillis() / static_cast<double>(queries.size());
+      });
+      const double ms = m.mean_ms;
+      json.Add("knn5_vs_params", Fmt("c=%.0f", c), Fmt("T=%.0f", t), m);
       row.push_back(Fmt("%.3f", ms));
       if (ms < best_ms) {
         best_ms = ms;
@@ -74,5 +79,6 @@ int main(int argc, char** argv) {
       "paper closed form T=%.1f c=e — relative cost %.2fx of numeric "
       "optimum.\n",
       numeric.t, numeric.c, paper.t, paper.cost / numeric.cost);
+  json.Write();
   return 0;
 }

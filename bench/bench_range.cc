@@ -17,25 +17,8 @@ namespace {
 using namespace dsig;
 using namespace dsig::bench;
 
-struct Measurement {
-  double pages = 0;
-  double millis = 0;
-};
-
-template <typename QueryFn>
-Measurement Measure(BufferManager* buffer, const std::vector<NodeId>& queries,
-                    const QueryFn& run_query) {
-  buffer->Clear();
-  Timer timer;
-  for (const NodeId q : queries) run_query(q);
-  const double total_ms = timer.ElapsedMillis();
-  const double n = static_cast<double>(queries.size());
-  return {static_cast<double>(buffer->stats().physical_accesses) / n,
-          total_ms / n};
-}
-
 void RunDataset(const DatasetSpec& spec, size_t nodes, size_t num_queries,
-                size_t buffer_pages, uint64_t seed) {
+                size_t buffer_pages, uint64_t seed, BenchJson* json) {
   Workbench w = Workbench::Create(nodes, seed, buffer_pages);
   const std::vector<NodeId> objects = MakeDataset(*w.graph, spec, seed + 1);
   const std::vector<NodeId> queries =
@@ -50,27 +33,34 @@ void RunDataset(const DatasetSpec& spec, size_t nodes, size_t num_queries,
   vn3.AttachStorage(w.buffer.get());
   const IneSearch ine(w.graph.get(), objects, w.network.get());
 
+  const std::string exhibit = "range_vs_radius_p" + spec.label;
   TablePrinter pages({"R", "Full", "NVD", "Signature", "INE"});
   TablePrinter times({"R", "Full (ms)", "NVD (ms)", "Signature (ms)",
                       "INE (ms)"});
   for (const Weight r : {10.0, 100.0, 1000.0, 10000.0}) {
-    const Measurement mf = Measure(w.buffer.get(), queries, [&](NodeId q) {
+    const std::string label = Fmt("%.0f", r);
+    const Measurement mf = MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
       full->RangeQuery(q, r);
     });
-    const Measurement mv = Measure(w.buffer.get(), queries, [&](NodeId q) {
+    const Measurement mv = MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
       vn3.Range(q, r);
     });
-    const Measurement ms = Measure(w.buffer.get(), queries, [&](NodeId q) {
+    const Measurement ms = MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
       SignatureRangeQuery(*signature, q, r);
     });
-    const Measurement mi = Measure(w.buffer.get(), queries, [&](NodeId q) {
+    const Measurement mi = MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
       ine.Range(q, r);
     });
-    const std::string label = Fmt("%.0f", r);
-    pages.AddRow({label, Fmt("%.1f", mf.pages), Fmt("%.1f", mv.pages),
-                  Fmt("%.1f", ms.pages), Fmt("%.1f", mi.pages)});
-    times.AddRow({label, Fmt("%.3f", mf.millis), Fmt("%.3f", mv.millis),
-                  Fmt("%.3f", ms.millis), Fmt("%.3f", mi.millis)});
+    json->Add(exhibit, "Full", label, mf);
+    json->Add(exhibit, "NVD", label, mv);
+    json->Add(exhibit, "Signature", label, ms);
+    json->Add(exhibit, "INE", label, mi);
+    pages.AddRow({label, Fmt("%.1f", mf.pages_per_item),
+                  Fmt("%.1f", mv.pages_per_item),
+                  Fmt("%.1f", ms.pages_per_item),
+                  Fmt("%.1f", mi.pages_per_item)});
+    times.AddRow({label, Fmt("%.3f", mf.mean_ms), Fmt("%.3f", mv.mean_ms),
+                  Fmt("%.3f", ms.mean_ms), Fmt("%.3f", mi.mean_ms)});
   }
   std::printf("--- dataset p = %s: (a) page accesses/query ---\n",
               spec.label.c_str());
@@ -85,20 +75,29 @@ void RunDataset(const DatasetSpec& spec, size_t nodes, size_t num_queries,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  if (!ApplyObsFlags(flags)) return 1;
   const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 20000));
   const size_t queries = static_cast<size_t>(flags.GetInt("queries", 100));
   const size_t buffer_pages =
       static_cast<size_t>(flags.GetInt("buffer", 256));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 
+  BenchJson json(flags, "range");
+  json.SetParam("nodes", static_cast<double>(nodes));
+  json.SetParam("queries", static_cast<double>(queries));
+  json.SetParam("buffer_pages", static_cast<double>(buffer_pages));
+  json.SetParam("seed", static_cast<double>(seed));
+
   std::printf("=== Figure 6.5: range search, R = 10..10000 ===\n");
   std::printf("%zu nodes (paper: 183,231), %zu queries/point\n\n", nodes,
               queries);
-  RunDataset({"0.01", 0.01, false}, nodes, queries, buffer_pages, seed);
-  RunDataset({"0.01(nu)", 0.01, true}, nodes, queries, buffer_pages, seed);
+  RunDataset({"0.01", 0.01, false}, nodes, queries, buffer_pages, seed, &json);
+  RunDataset({"0.01(nu)", 0.01, true}, nodes, queries, buffer_pages, seed,
+             &json);
   std::printf(
       "Expected shape: Full ~flat; NVD jumps sharply R=100 -> 1000 (more on\n"
       "the clustered dataset); Signature sublinear in R; INE worst at large "
       "R.\n");
+  json.Write();
   return 0;
 }

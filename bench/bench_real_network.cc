@@ -16,11 +16,18 @@ int main(int argc, char** argv) {
   using namespace dsig::bench;
 
   const Flags flags(argc, argv);
+  if (!ApplyObsFlags(flags)) return 1;
   const size_t clusters = static_cast<size_t>(flags.GetInt("clusters", 12));
   const size_t per_cluster =
       static_cast<size_t>(flags.GetInt("cluster_nodes", 1200));
   const size_t num_queries = static_cast<size_t>(flags.GetInt("queries", 80));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  BenchJson json(flags, "real_network");
+  json.SetParam("clusters", static_cast<double>(clusters));
+  json.SetParam("cluster_nodes", static_cast<double>(per_cluster));
+  json.SetParam("queries", static_cast<double>(num_queries));
+  json.SetParam("seed", static_cast<double>(seed));
 
   std::printf(
       "=== Real-network trends (paper §6 fn.2; DCW stand-in) ===\n"
@@ -46,27 +53,26 @@ int main(int argc, char** argv) {
   vn3.AttachStorage(&buffer);
 
   const auto measure = [&](auto&& run) {
-    buffer.Clear();
-    Timer timer;
-    for (const NodeId q : queries) run(q);
-    const double n = static_cast<double>(queries.size());
-    return std::pair<double, double>(
-        static_cast<double>(buffer.stats().physical_accesses) / n,
-        timer.ElapsedMillis() / n);
+    return MeasureItems(&buffer, queries, run);
   };
 
   TablePrinter range_table({"R", "Full pg", "NVD pg", "Sig pg", "Full ms",
                             "NVD ms", "Sig ms"});
   for (const Weight r : {10.0, 100.0, 1000.0, 10000.0}) {
-    const auto mf = measure([&](NodeId q) { full->RangeQuery(q, r); });
-    const auto mv = measure([&](NodeId q) { vn3.Range(q, r); });
-    const auto ms = measure([&](NodeId q) {
+    const Measurement mf = measure([&](NodeId q) { full->RangeQuery(q, r); });
+    const Measurement mv = measure([&](NodeId q) { vn3.Range(q, r); });
+    const Measurement ms = measure([&](NodeId q) {
       SignatureRangeQuery(*signature, q, r);
     });
-    range_table.AddRow({Fmt("%.0f", r), Fmt("%.1f", mf.first),
-                        Fmt("%.1f", mv.first), Fmt("%.1f", ms.first),
-                        Fmt("%.3f", mf.second), Fmt("%.3f", mv.second),
-                        Fmt("%.3f", ms.second)});
+    const std::string label = Fmt("%.0f", r);
+    json.Add("range_vs_radius", "Full", label, mf);
+    json.Add("range_vs_radius", "NVD", label, mv);
+    json.Add("range_vs_radius", "Signature", label, ms);
+    range_table.AddRow({label, Fmt("%.1f", mf.pages_per_item),
+                        Fmt("%.1f", mv.pages_per_item),
+                        Fmt("%.1f", ms.pages_per_item),
+                        Fmt("%.3f", mf.mean_ms), Fmt("%.3f", mv.mean_ms),
+                        Fmt("%.3f", ms.mean_ms)});
   }
   std::printf("--- range search ---\n");
   range_table.Print();
@@ -74,20 +80,26 @@ int main(int argc, char** argv) {
   TablePrinter knn_table({"k", "Full pg", "NVD pg", "Sig pg", "Full ms",
                           "NVD ms", "Sig ms"});
   for (const size_t k : {1u, 10u, 50u}) {
-    const auto mf = measure([&](NodeId q) { full->KnnQuery(q, k); });
-    const auto mv = measure([&](NodeId q) { vn3.Knn(q, k); });
-    const auto ms = measure([&](NodeId q) {
+    const Measurement mf = measure([&](NodeId q) { full->KnnQuery(q, k); });
+    const Measurement mv = measure([&](NodeId q) { vn3.Knn(q, k); });
+    const Measurement ms = measure([&](NodeId q) {
       SignatureKnnQuery(*signature, q, k, KnnResultType::kType3);
     });
-    knn_table.AddRow({std::to_string(k), Fmt("%.1f", mf.first),
-                      Fmt("%.1f", mv.first), Fmt("%.1f", ms.first),
-                      Fmt("%.3f", mf.second), Fmt("%.3f", mv.second),
-                      Fmt("%.3f", ms.second)});
+    const std::string label = std::to_string(k);
+    json.Add("knn_vs_k", "Full", label, mf);
+    json.Add("knn_vs_k", "NVD", label, mv);
+    json.Add("knn_vs_k", "Signature", label, ms);
+    knn_table.AddRow({label, Fmt("%.1f", mf.pages_per_item),
+                      Fmt("%.1f", mv.pages_per_item),
+                      Fmt("%.1f", ms.pages_per_item),
+                      Fmt("%.3f", mf.mean_ms), Fmt("%.3f", mv.mean_ms),
+                      Fmt("%.3f", ms.mean_ms)});
   }
   std::printf("\n--- kNN search (type 3) ---\n");
   knn_table.Print();
   std::printf(
       "\nExpected shape: same ordering as the synthetic network (Fig 6.5 /\n"
       "6.6): full flat, NVD degrades with R and k, signature in between.\n");
+  json.Write();
   return 0;
 }

@@ -53,9 +53,15 @@ void TraversalWorkload(const RoadNetwork& graph, const SignatureIndex& index,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  if (!ApplyObsFlags(flags)) return 1;
   const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 10000));
   const size_t num_queries = static_cast<size_t>(flags.GetInt("queries", 100));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  BenchJson json(flags, "storage_schema");
+  json.SetParam("nodes", static_cast<double>(nodes));
+  json.SetParam("queries", static_cast<double>(num_queries));
+  json.SetParam("seed", static_cast<double>(seed));
 
   std::printf("=== Ablation: merged vs separate storage schema (§3.1) ===\n");
   std::printf("%zu nodes, p = 0.01, %zu queries per workload\n\n", nodes,
@@ -78,24 +84,20 @@ int main(int argc, char** argv) {
     }
     const char* schema = merged ? "merged" : "separate";
 
-    w.buffer->Clear();
-    for (const NodeId q : queries) {
-      SignatureKnnQuery(*index, q, 10, KnnResultType::kType3);
-      SignatureRangeQuery(*index, q, 100);
-    }
-    table.AddRow({"query-heavy", schema,
-                  Fmt("%.1f", static_cast<double>(
-                                  w.buffer->stats().physical_accesses) /
-                                  static_cast<double>(queries.size()))});
+    const Measurement mq =
+        MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
+          SignatureKnnQuery(*index, q, 10, KnnResultType::kType3);
+          SignatureRangeQuery(*index, q, 100);
+        });
+    json.Add("pages_vs_schema", schema, "query-heavy", mq);
+    table.AddRow({"query-heavy", schema, Fmt("%.1f", mq.pages_per_item)});
 
-    w.buffer->Clear();
-    for (const NodeId q : queries) {
-      TraversalWorkload(*w.graph, *index, q, 30);
-    }
-    table.AddRow({"traversal-heavy", schema,
-                  Fmt("%.1f", static_cast<double>(
-                                  w.buffer->stats().physical_accesses) /
-                                  static_cast<double>(queries.size()))});
+    const Measurement mt =
+        MeasureItems(w.buffer.get(), queries, [&](NodeId q) {
+          TraversalWorkload(*w.graph, *index, q, 30);
+        });
+    json.Add("pages_vs_schema", schema, "traversal-heavy", mt);
+    table.AddRow({"traversal-heavy", schema, Fmt("%.1f", mt.pages_per_item)});
   }
   table.Print();
   std::printf(
@@ -103,5 +105,6 @@ int main(int argc, char** argv) {
       "(backtracking reads adjacency + signature from one record); separate\n"
       "wins traversal-heavy (adjacency pages are not diluted by signature\n"
       "bytes).\n");
+  json.Write();
   return 0;
 }

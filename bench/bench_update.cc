@@ -16,9 +16,15 @@ int main(int argc, char** argv) {
   using namespace dsig::bench;
 
   const Flags flags(argc, argv);
+  if (!ApplyObsFlags(flags)) return 1;
   const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 10000));
   const size_t num_updates = static_cast<size_t>(flags.GetInt("updates", 60));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  BenchJson json(flags, "update");
+  json.SetParam("nodes", static_cast<double>(nodes));
+  json.SetParam("updates", static_cast<double>(num_updates));
+  json.SetParam("seed", static_cast<double>(seed));
 
   std::printf("=== Update cost: incremental maintenance vs rebuild ===\n");
   std::printf("%zu nodes, %zu random updates per dataset\n\n", nodes,
@@ -42,8 +48,9 @@ int main(int argc, char** argv) {
 
       Random rng(seed + static_cast<uint64_t>(kind));
       size_t rows = 0, tree_entries = 0, applied = 0;
-      Timer update_timer;
-      for (size_t i = 0; i < num_updates; ++i) {
+      std::vector<size_t> update_ids(num_updates);
+      for (size_t i = 0; i < num_updates; ++i) update_ids[i] = i;
+      const Measurement m = MeasureItems(nullptr, update_ids, [&](size_t) {
         UpdateStats stats;
         if (kind == 2) {
           // A realistic new road is local: connect a node to a
@@ -62,27 +69,37 @@ int main(int argc, char** argv) {
             }
             if (v != kInvalidNode) break;
           }
-          if (v == kInvalidNode) continue;
+          if (v == kInvalidNode) return;
           stats = updater.AddEdge(u, v, rng.NextInt(1, 10));
         } else {
           const EdgeId e =
               static_cast<EdgeId>(rng.NextUint64(graph.num_edge_slots()));
-          if (graph.edge_removed(e)) continue;
+          if (graph.edge_removed(e)) return;
           const Weight w = graph.edge_weight(e);
           const Weight nw = kind == 0 ? std::max<Weight>(1, w - 2) : w + 2;
-          if (nw == w) continue;
+          if (nw == w) return;
           stats = updater.SetEdgeWeight(e, nw);
         }
         rows += stats.rows_rewritten;
         tree_entries += stats.tree_entries_changed;
         ++applied;
-      }
+      });
       const double ms_per_update =
-          update_timer.ElapsedMillis() / static_cast<double>(applied);
+          m.mean_ms * static_cast<double>(num_updates) /
+          static_cast<double>(applied);
       const double rows_per_update =
           static_cast<double>(rows) / static_cast<double>(applied);
       const char* kind_name =
           kind == 0 ? "decrease" : (kind == 1 ? "increase" : "insert");
+      auto* point =
+          json.Add("update_cost", kind_name, Fmt("%.3f", density), m);
+      if (point != nullptr) {
+        point->metrics["rows_per_update"] = rows_per_update;
+        point->metrics["tree_entries_per_update"] =
+            static_cast<double>(tree_entries) / static_cast<double>(applied);
+        point->metrics["ms_per_update"] = ms_per_update;
+        point->metrics["rebuild_ms"] = rebuild_ms;
+      }
       table.AddRow({Fmt("%.3f", density), kind_name,
                     Fmt("%.1f", rows_per_update),
                     Fmt("%.2f%%", 100.0 * rows_per_update /
@@ -96,5 +113,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape: a few %% of rows touched per update; ms/update "
       "orders\nof magnitude below the rebuild time.\n");
+  json.Write();
   return 0;
 }

@@ -10,6 +10,12 @@
 //   corrupt   --file=<file> --offset=<byte> [--xor=mask] [--truncate]
 //   knn       --network=<file> --index=<file> --node=<id> [--k=K]
 //   range     --network=<file> --index=<file> --node=<id> [--radius=R]
+//   stats     --network=<file> --index=<file> [--queries=N] [--k=K]
+//             [--radius=R] [--format=json|prometheus]
+//
+// Global flags (any command):
+//   --trace            emit one JSON trace line per query to stderr
+//   --log-level=LEVEL  minimum DSIG_LOG severity (debug|info|warning|error)
 //
 // `verify` loads the index and runs the deep integrity check
 // (SignatureIndex::Verify): exit 0 = clean, nonzero = corrupt, with the
@@ -23,6 +29,7 @@
 //   dsig_tool verify   --network=/tmp/city.net --index=/tmp/city.idx
 //   dsig_tool corrupt  --file=/tmp/city.idx --offset=-100 --xor=0x40
 //   dsig_tool verify   --network=/tmp/city.net --index=/tmp/city.idx  # fails
+//   dsig_tool stats    --network=/tmp/city.net --index=/tmp/city.idx --trace
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -30,11 +37,16 @@
 #include "core/signature_builder.h"
 #include "graph/graph_generator.h"
 #include "io/persistence.h"
+#include "obs/metrics.h"
+#include "obs/op_counters.h"
+#include "obs/trace.h"
 #include "query/knn_query.h"
 #include "query/range_query.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/timer.h"
 #include "workload/dataset_generator.h"
+#include "workload/query_generator.h"
 
 namespace {
 
@@ -43,8 +55,9 @@ using namespace dsig;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: dsig_tool <generate|build|info|verify|corrupt|knn|range> "
+      "usage: dsig_tool <generate|build|info|verify|corrupt|knn|range|stats> "
       "[flags]\n"
+      "global flags: --trace --log-level=<debug|info|warning|error>\n"
       "see the header of examples/dsig_tool.cpp for details\n");
   return 1;
 }
@@ -255,12 +268,57 @@ int Range(const Flags& flags) {
   return 0;
 }
 
+// Runs a small in-process query workload against the loaded index, then
+// dumps the process-wide metrics registry — counters, gauges, and latency
+// histograms — as JSON (default) or Prometheus text.
+int Stats(const Flags& flags) {
+  const Loaded loaded = LoadBoth(flags);
+  if (loaded.index == nullptr) return 1;
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetInt("queries", 10));
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 5));
+  const Weight radius = flags.GetDouble("radius", 100.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 44));
+
+  const std::vector<NodeId> queries =
+      RandomQueryNodes(*loaded.graph, num_queries, seed);
+  for (const NodeId q : queries) {
+    SignatureKnnQuery(*loaded.index, q, k, KnnResultType::kType1);
+    SignatureRangeQuery(*loaded.index, q, radius);
+  }
+  PublishOpCounters();
+  obs::PublishBufferPoolMetrics();
+
+  const std::string format = flags.GetString("format", "json");
+  if (format == "prometheus") {
+    std::fputs(obs::MetricsRegistry::Global().ToPrometheusText().c_str(),
+               stdout);
+  } else if (format == "json") {
+    std::printf("%s\n", obs::MetricsRegistry::Global().ToJson().c_str());
+  } else {
+    std::fprintf(stderr, "unknown --format=%s (json|prometheus)\n",
+                 format.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Flags flags(argc, argv);
+  if (flags.Has("log-level")) {
+    LogSeverity severity;
+    if (!ParseLogSeverity(flags.GetString("log-level", ""), &severity)) {
+      std::fprintf(stderr, "unknown --log-level=%s\n",
+                   flags.GetString("log-level", "").c_str());
+      return 1;
+    }
+    SetMinLogSeverity(severity);
+  }
+  if (flags.GetBool("trace", false)) obs::SetTracingEnabled(true);
   if (command == "generate") return Generate(flags);
   if (command == "build") return Build(flags);
   if (command == "info") return Info(flags);
@@ -268,5 +326,6 @@ int main(int argc, char** argv) {
   if (command == "corrupt") return Corrupt(flags);
   if (command == "knn") return Knn(flags);
   if (command == "range") return Range(flags);
+  if (command == "stats") return Stats(flags);
   return Usage();
 }

@@ -62,3 +62,33 @@ execute_process(COMMAND ${TOOL} verify --network=${NET} --index=${IDX}
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "pristine index stopped verifying (${rc})")
 endif()
+
+# Observability smoke: `stats` runs a small query workload in-process and
+# dumps the metrics registry. The dump must show real work (nonzero
+# ops.row_reads) and a populated query-latency histogram.
+execute_process(COMMAND ${TOOL} stats --network=${NET} --index=${IDX}
+                        --queries=5
+                OUTPUT_VARIABLE stats_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dsig_tool stats failed with ${rc}")
+endif()
+if(NOT stats_out MATCHES "\"ops\\.row_reads\": [1-9]")
+  message(FATAL_ERROR "stats output missing nonzero ops.row_reads:\n${stats_out}")
+endif()
+if(NOT stats_out MATCHES "\"query\\.knn\\.latency_ms\"")
+  message(FATAL_ERROR "stats output missing kNN latency histogram:\n${stats_out}")
+endif()
+if(NOT stats_out MATCHES "\"p50\"")
+  message(FATAL_ERROR "stats output missing latency percentiles:\n${stats_out}")
+endif()
+
+# Prometheus exposition of the same registry.
+execute_process(COMMAND ${TOOL} stats --network=${NET} --index=${IDX}
+                        --queries=2 --format=prometheus
+                OUTPUT_VARIABLE prom_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dsig_tool stats --format=prometheus failed with ${rc}")
+endif()
+if(NOT prom_out MATCHES "# TYPE dsig_ops_row_reads counter")
+  message(FATAL_ERROR "prometheus output missing row_reads counter:\n${prom_out}")
+endif()

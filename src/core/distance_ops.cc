@@ -4,7 +4,8 @@
 #include <cmath>
 #include <memory>
 
-#include "core/op_counters.h"
+#include "obs/op_counters.h"
+#include "obs/trace.h"
 
 namespace dsig {
 namespace {
@@ -73,6 +74,7 @@ void RetrievalCursor::LoadEntry(const SignatureEntry* initial) {
 
 bool RetrievalCursor::Step() {
   if (exact_) return false;
+  const obs::Span span(obs::Phase::kBacktrack);
   ++GlobalOpCounters().backtrack_steps;
   // A healthy index reaches the object within one simple path; anything
   // longer means the backtracking links cycle (index corruption) — fail fast
@@ -291,6 +293,7 @@ CompareResult CompareWithCursors(RetrievalCursor* ca, RetrievalCursor* cb) {
 
 void SortByDistance(const SignatureIndex& index, NodeId n,
                     const SignatureRow& row, std::vector<uint32_t>* objects) {
+  const obs::Span span(obs::Phase::kSort);
   std::vector<uint32_t>& objs = *objects;
   // Initial ordering: insertion sort driven by the approximate comparison.
   // (The observer heuristic is not a strict weak ordering, so std::sort is

@@ -7,7 +7,9 @@
 #include <string>
 #include <utility>
 
-#include "core/op_counters.h"
+#include "obs/metrics.h"
+#include "obs/op_counters.h"
+#include "obs/trace.h"
 
 namespace dsig {
 namespace {
@@ -44,6 +46,7 @@ SignatureIndex::SignatureIndex(const RoadNetwork* graph,
 
 SignatureRow SignatureIndex::ReadRow(NodeId n) const {
   SignatureRow row = ReadRowUnresolved(n);
+  const obs::Span span(obs::Phase::kResolve);
   if (!compressor_.TryResolveRow(&row)) {
     // An entry decoded but cannot be resolved/validated — same degradation
     // path as an undecodable row.
@@ -53,6 +56,7 @@ SignatureRow SignatureIndex::ReadRow(NodeId n) const {
 }
 
 SignatureRow SignatureIndex::ReadRowUnresolved(NodeId n) const {
+  const obs::Span span(obs::Phase::kRowDecode);
   DSIG_CHECK_LT(n, rows_.size());
   ++GlobalOpCounters().row_reads;
   if (merged_) {
@@ -72,6 +76,7 @@ SignatureRow SignatureIndex::ReadRowUnresolved(NodeId n) const {
 
 SignatureEntry SignatureIndex::ReadEntry(NodeId n,
                                          uint32_t object_index) const {
+  const obs::Span span(obs::Phase::kRowDecode);
   DSIG_CHECK_LT(n, rows_.size());
   DSIG_CHECK_LT(object_index, objects_.size());
   ++GlobalOpCounters().entry_reads;
@@ -86,6 +91,7 @@ SignatureEntry SignatureIndex::ReadEntry(NodeId n,
   if (merged_) bit_offset += adjacency_bits_[n];
   store_.TouchRecordAt(n, bit_offset);
   if (entry.compressed) {
+    const obs::Span resolve_span(obs::Phase::kResolve);
     ++GlobalOpCounters().resolves;
     // Decompression is CPU work against the in-memory object table plus the
     // already-fetched row (paper §5.3); no extra page charge. Resolved rows
@@ -116,6 +122,7 @@ const SignatureRow& SignatureIndex::FallbackRow(NodeId n) const {
 }
 
 SignatureRow SignatureIndex::ComputeFallbackRow(NodeId n) const {
+  const obs::Span span(obs::Phase::kDijkstraFallback);
   ++GlobalOpCounters().decode_fallbacks;
   // Dijkstra from n, bounded to stop once every object is settled; along the
   // way remember which adjacency slot of n each shortest path leaves through
@@ -233,6 +240,9 @@ std::string NodeObjectContext(NodeId n, uint32_t object) {
 }  // namespace
 
 Status SignatureIndex::Verify() const {
+  static obs::Histogram* const verify_ms =
+      obs::MetricsRegistry::Global().GetHistogram("index.verify_ms");
+  const obs::ScopedTimer timer(verify_ms);
   const size_t num_nodes = graph_->num_nodes();
   const size_t num_objects = objects_.size();
   if (rows_.size() != num_nodes) {

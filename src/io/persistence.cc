@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/huffman.h"
 
 namespace dsig {
@@ -99,6 +100,9 @@ Status CheckHeader(BinaryReader& reader, const std::string& path,
 
 Status SaveRoadNetwork(const RoadNetwork& graph, const std::string& path,
                        const SaveOptions& options) {
+  static obs::Histogram* const save_ms =
+      obs::MetricsRegistry::Global().GetHistogram("persist.save_network_ms");
+  const obs::ScopedTimer timer(save_ms);
   return AtomicSave(path, options, [&graph](BinaryWriter& writer) {
     writer.WriteU32(kNetworkMagic);
     writer.WriteU32(kVersion);
@@ -128,6 +132,9 @@ Status SaveRoadNetwork(const RoadNetwork& graph, const std::string& path,
 
 StatusOr<std::unique_ptr<RoadNetwork>> LoadRoadNetwork(
     const std::string& path, const LoadOptions& options) {
+  static obs::Histogram* const load_ms =
+      obs::MetricsRegistry::Global().GetHistogram("persist.load_network_ms");
+  const obs::ScopedTimer timer(load_ms);
   BinaryReader reader(path);
   reader.InjectFaults(options.faults);
   DSIG_RETURN_IF_ERROR(reader.status());
@@ -192,6 +199,9 @@ StatusOr<std::unique_ptr<RoadNetwork>> LoadRoadNetwork(
 
 Status SaveSignatureIndex(const SignatureIndex& index, const std::string& path,
                           const SaveOptions& options) {
+  static obs::Histogram* const save_ms =
+      obs::MetricsRegistry::Global().GetHistogram("persist.save_index_ms");
+  const obs::ScopedTimer timer(save_ms);
   return AtomicSave(path, options, [&index](BinaryWriter& writer) {
     writer.WriteU32(kIndexMagic);
     writer.WriteU32(kVersion);
@@ -261,6 +271,9 @@ Status SaveSignatureIndex(const SignatureIndex& index, const std::string& path,
 StatusOr<std::unique_ptr<SignatureIndex>> LoadSignatureIndex(
     const RoadNetwork& graph, const std::string& path,
     const LoadOptions& options) {
+  static obs::Histogram* const load_ms =
+      obs::MetricsRegistry::Global().GetHistogram("persist.load_index_ms");
+  const obs::ScopedTimer timer(load_ms);
   BinaryReader reader(path);
   reader.InjectFaults(options.faults);
   DSIG_RETURN_IF_ERROR(reader.status());

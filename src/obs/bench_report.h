@@ -1,0 +1,76 @@
+// Machine-readable benchmark reports (the BENCH_*.json trajectory).
+//
+// Every table bench can mirror its printed exhibits into one JSON document:
+// bench -> exhibits -> series -> points, where each point carries the mean,
+// a latency histogram snapshot (p50/p90/p99/max), and generic op-counter /
+// buffer-stat breakdowns. The schema is deliberately dumb — string x values,
+// flat metric maps — so CI and notebooks can diff runs without bespoke
+// parsers, and so the same writer serves benches that sweep k, radius,
+// density, node count, or nothing at all.
+//
+// This layer knows nothing about OpCounters or BufferStats concretely; the
+// bench harness folds them in through the generic `ops` / `buffer` maps
+// (via their ForEach visitors), keeping obs below core and storage.
+#ifndef DSIG_OBS_BENCH_REPORT_H_
+#define DSIG_OBS_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dsig {
+namespace obs {
+
+inline constexpr int kBenchReportSchemaVersion = 1;
+
+class BenchReport {
+ public:
+  struct Point {
+    std::string x;           // sweep coordinate, rendered ("10000", "k=16")
+    uint64_t queries = 0;    // items measured at this point
+    std::map<std::string, double> metrics;    // mean_ms, pages_per_query, ...
+    bool has_latency = false;
+    HistogramSnapshot latency;                // per-item milliseconds
+    std::map<std::string, uint64_t> ops;      // OpCounters delta, totals
+    std::map<std::string, uint64_t> buffer;   // BufferStats delta, totals
+  };
+
+  explicit BenchReport(std::string bench_name);
+
+  // Bench-level parameters recorded once ("nodes" -> 10000, "seed" -> 42).
+  void SetParam(const std::string& key, const std::string& value);
+  void SetParam(const std::string& key, double value);
+
+  // Appends a point to (exhibit, series), creating both on first use.
+  // Insertion order is preserved in the output. The pointer stays valid
+  // until the next AddPoint on the same series.
+  Point* AddPoint(const std::string& exhibit, const std::string& series,
+                  const std::string& x);
+
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path`; false (with a logged error) on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<Point> points;
+  };
+  struct Exhibit {
+    std::string name;
+    std::vector<Series> series;
+  };
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> params_;  // value as JSON
+  std::vector<Exhibit> exhibits_;
+};
+
+}  // namespace obs
+}  // namespace dsig
+
+#endif  // DSIG_OBS_BENCH_REPORT_H_

@@ -1,0 +1,152 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dsig {
+namespace obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(value)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+  }
+  return buf;
+}
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;  // value completes a "key": pair, no comma
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  has_element_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  has_element_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  MaybeComma();
+  out_ += '"';
+  out_ += JsonEscape(name);
+  out_ += "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  MaybeComma();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  MaybeComma();
+  out_ += JsonNumber(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  MaybeComma();
+  out_ += json;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(std::string_view name, std::string_view value) {
+  return Key(name).String(value);
+}
+
+JsonWriter& JsonWriter::Field(std::string_view name, double value) {
+  return Key(name).Number(value);
+}
+
+JsonWriter& JsonWriter::Field(std::string_view name, uint64_t value) {
+  return Key(name).Uint(value);
+}
+
+}  // namespace obs
+}  // namespace dsig

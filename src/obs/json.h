@@ -1,0 +1,61 @@
+// Minimal JSON emission for the observability layer.
+//
+// Everything the repo emits as JSON (registry dumps, trace lines, bench
+// reports) goes through this writer so escaping and number formatting are
+// uniform and the output is always syntactically valid. It is append-only:
+// callers drive Begin/End/Key in document order and the writer inserts the
+// commas. No parsing — consumers are external (CI scripts, notebooks).
+#ifndef DSIG_OBS_JSON_H_
+#define DSIG_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsig {
+namespace obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+// Formats a double as a JSON number. Non-finite values become null (JSON has
+// no NaN/Inf). Integral values print without a fraction part.
+std::string JsonNumber(double value);
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view name);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Bool(bool value);
+  // Appends pre-rendered JSON verbatim (caller guarantees validity).
+  JsonWriter& Raw(std::string_view json);
+
+  // Shorthand: Key(name) + the value.
+  JsonWriter& Field(std::string_view name, std::string_view value);
+  JsonWriter& Field(std::string_view name, double value);
+  JsonWriter& Field(std::string_view name, uint64_t value);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // One entry per open object/array: true once the first element is written.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace dsig
+
+#endif  // DSIG_OBS_JSON_H_

@@ -1,0 +1,25 @@
+#include "obs/op_counters.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dsig {
+namespace {
+
+OpCounters g_counters;
+
+}  // namespace
+
+OpCounters& GlobalOpCounters() { return g_counters; }
+
+void ResetOpCounters() { g_counters = OpCounters{}; }
+
+void PublishOpCounters() {
+  auto& registry = obs::MetricsRegistry::Global();
+  g_counters.ForEach([&registry](const char* name, uint64_t value) {
+    registry.GetCounter(std::string("ops.") + name)->Set(value);
+  });
+}
+
+}  // namespace dsig

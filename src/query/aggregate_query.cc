@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "core/distance_ops.h"
+#include "obs/trace.h"
 #include "query/range_query.h"
 
 namespace dsig {
 
 CountResult SignatureCountQuery(const SignatureIndex& index, NodeId n,
                                 Weight epsilon) {
+  DSIG_QUERY_TRACE("count");
   // COUNT shares the range algorithm; only the result shape differs.
   const RangeQueryResult range = SignatureRangeQuery(index, n, epsilon);
   return {range.objects.size(), range.refined};
@@ -16,6 +18,7 @@ CountResult SignatureCountQuery(const SignatureIndex& index, NodeId n,
 
 DistanceAggregateResult SignatureDistanceAggregateQuery(
     const SignatureIndex& index, NodeId n, Weight epsilon) {
+  DSIG_QUERY_TRACE("aggregate");
   DistanceAggregateResult result;
   const RangeQueryResult range = SignatureRangeQuery(index, n, epsilon);
   for (const uint32_t o : range.objects) {

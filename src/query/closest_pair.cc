@@ -1,11 +1,13 @@
 #include "query/closest_pair.h"
 
 #include "core/distance_ops.h"
+#include "obs/trace.h"
 
 namespace dsig {
 
 ClosestPairResult SignatureClosestPair(const SignatureIndex& left,
                                        const SignatureIndex& right) {
+  DSIG_QUERY_TRACE("closest_pair");
   DSIG_CHECK_EQ(&left.graph(), &right.graph())
       << "closest pair requires indexes over the same network";
   DSIG_CHECK_GT(left.num_objects(), 0u);

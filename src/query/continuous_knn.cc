@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "query/knn_query.h"
 #include "util/logging.h"
 
@@ -9,6 +10,7 @@ namespace dsig {
 
 CnnResult SignatureContinuousKnn(const SignatureIndex& index,
                                  const std::vector<NodeId>& path, size_t k) {
+  DSIG_QUERY_TRACE("cnn");
   DSIG_CHECK_GE(k, 1u);
   CnnResult result;
   if (path.empty()) return result;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/distance_ops.h"
+#include "obs/trace.h"
 
 namespace dsig {
 namespace {
@@ -29,6 +30,7 @@ Weight PairUpperBound(const DistanceRange& a, const DistanceRange& b) {
 JoinResult SignatureEpsilonJoin(const SignatureIndex& left,
                                 const SignatureIndex& right, NodeId n,
                                 Weight epsilon) {
+  DSIG_QUERY_TRACE("join");
   DSIG_CHECK_EQ(&left.graph(), &right.graph())
       << "join requires indexes over the same network";
   JoinResult result;

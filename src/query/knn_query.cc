@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "core/distance_ops.h"
+#include "obs/trace.h"
 
 namespace dsig {
 
 KnnResult SignatureKnnQuery(const SignatureIndex& index, NodeId n, size_t k,
                             KnnResultType type) {
+  DSIG_QUERY_TRACE("knn");
   KnnResult result;
   if (k == 0) return result;
   const SignatureRow row = index.ReadRow(n);
@@ -55,7 +57,10 @@ KnnResult SignatureKnnQuery(const SignatureIndex& index, NodeId n, size_t k,
       RetrievalCursor cursor(&index, n, o, &row[o]);
       with_distance.push_back({cursor.RetrieveExact(), o});
     }
-    std::sort(with_distance.begin(), with_distance.end());
+    {
+      const obs::Span sort_span(obs::Phase::kSort);
+      std::sort(with_distance.begin(), with_distance.end());
+    }
     result.objects.clear();
     for (const auto& [d, o] : with_distance) {
       result.objects.push_back(o);

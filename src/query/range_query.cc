@@ -1,11 +1,13 @@
 #include "query/range_query.h"
 
 #include "core/distance_ops.h"
+#include "obs/trace.h"
 
 namespace dsig {
 
 RangeQueryResult SignatureRangeQuery(const SignatureIndex& index, NodeId n,
                                      Weight epsilon) {
+  DSIG_QUERY_TRACE("range");
   DSIG_CHECK_GE(epsilon, 0);
   RangeQueryResult result;
   const SignatureRow row = index.ReadRow(n);

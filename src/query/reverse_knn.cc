@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "core/distance_ops.h"
+#include "obs/trace.h"
 
 namespace dsig {
 
 ReverseKnnResult SignatureReverseKnn(const SignatureIndex& index, NodeId q,
                                      size_t k) {
+  DSIG_QUERY_TRACE("rknn");
   DSIG_CHECK_GE(k, 1u);
   ReverseKnnResult result;
   const size_t num_objects = index.num_objects();
@@ -39,7 +41,10 @@ ReverseKnnResult SignatureReverseKnn(const SignatureIndex& index, NodeId q,
         neighbor_distances.push_back(table.Get(o, x));
       }
     }
-    std::sort(neighbor_distances.begin(), neighbor_distances.end());
+    {
+      const obs::Span sort_span(obs::Phase::kSort);
+      std::sort(neighbor_distances.begin(), neighbor_distances.end());
+    }
 
     const bool threshold_exact = neighbor_distances.size() >= k;
     // When fewer than k near pairs exist, the k-th neighbour is a far pair:
@@ -77,7 +82,10 @@ ReverseKnnResult SignatureReverseKnn(const SignatureIndex& index, NodeId q,
       if (x == o || !table.IsFar(o, x)) continue;
       all.push_back(ExactDistance(index, index.object_node(o), x));
     }
-    std::sort(all.begin(), all.end());
+    {
+      const obs::Span sort_span(obs::Phase::kSort);
+      std::sort(all.begin(), all.end());
+    }
     DSIG_CHECK_GE(all.size(), k);
     if (d_oq <= all[k - 1]) result.objects.push_back(o);
   }

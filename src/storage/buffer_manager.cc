@@ -1,13 +1,26 @@
 #include "storage/buffer_manager.h"
 
+#include "obs/trace.h"
+
 namespace dsig {
 
+BufferManager::BufferManager(size_t capacity_pages)
+    : capacity_(capacity_pages),
+      metrics_(&obs::GlobalBufferPoolMetrics()),
+      totals_(&obs::GlobalBufferPoolTotals()) {
+  // Last-constructed pool wins; experiments run one pool at a time.
+  metrics_->capacity_pages->Set(static_cast<double>(capacity_pages));
+}
+
 bool BufferManager::Access(FileId file, PageId page) {
+  const obs::Span span(obs::Phase::kBufferIo);
   ++stats_.logical_accesses;
   if (capacity_ == 0) {
     ++stats_.physical_accesses;
+    ++totals_->misses;
     if (read_fault_injector_ && read_fault_injector_(file, page)) {
       ++stats_.failed_reads;
+      ++totals_->failed_reads;
     }
     return false;
   }
@@ -15,12 +28,15 @@ bool BufferManager::Access(FileId file, PageId page) {
   const auto it = table_.find(key);
   if (it != table_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
+    ++totals_->hits;
     return true;
   }
   ++stats_.physical_accesses;
+  ++totals_->misses;
   if (read_fault_injector_ && read_fault_injector_(file, page)) {
     // The read never produced a page, so nothing enters the pool.
     ++stats_.failed_reads;
+    ++totals_->failed_reads;
     return false;
   }
   lru_.push_front(key);
@@ -28,7 +44,10 @@ bool BufferManager::Access(FileId file, PageId page) {
   if (table_.size() > capacity_) {
     table_.erase(lru_.back());
     lru_.pop_back();
+    ++stats_.evictions;
+    ++totals_->evictions;
   }
+  metrics_->cached_pages->Set(static_cast<double>(table_.size()));
   return false;
 }
 
@@ -36,6 +55,7 @@ void BufferManager::Clear() {
   stats_ = {};
   lru_.clear();
   table_.clear();
+  metrics_->cached_pages->Set(0.0);
 }
 
 }  // namespace dsig

@@ -13,29 +13,51 @@
 #include <list>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "storage/page.h"
 
 namespace dsig {
 
+// X(field, comment) for every stat, in declaration order. Aggregate
+// initialization in tests follows this order, so new fields go at the END
+// (same convention as DSIG_OP_COUNTER_FIELDS).
+#define DSIG_BUFFER_STAT_FIELDS(X)                                          \
+  X(logical_accesses, "page touches, hit or miss")                          \
+  X(physical_accesses, "misses: reads that went to storage")                \
+  /* Physical reads the fault injector failed (see SetReadFaultInjector).   \
+     Failed pages are not cached, so a retry re-reads them. */              \
+  X(failed_reads, "physical reads failed by the fault injector")            \
+  X(evictions, "pages dropped from a full pool (LRU victim)")
+
 struct BufferStats {
-  uint64_t logical_accesses = 0;
-  uint64_t physical_accesses = 0;  // misses
-  // Physical reads the fault injector failed (see SetReadFaultInjector).
-  // Failed pages are not cached, so a retry re-reads them.
-  uint64_t failed_reads = 0;
+#define DSIG_BUFFER_STAT_DECLARE(field, comment) uint64_t field = 0;
+  DSIG_BUFFER_STAT_FIELDS(DSIG_BUFFER_STAT_DECLARE)
+#undef DSIG_BUFFER_STAT_DECLARE
 
   BufferStats operator-(const BufferStats& other) const {
-    return {logical_accesses - other.logical_accesses,
-            physical_accesses - other.physical_accesses,
-            failed_reads - other.failed_reads};
+    BufferStats delta;
+#define DSIG_BUFFER_STAT_SUB(field, comment) delta.field = field - other.field;
+    DSIG_BUFFER_STAT_FIELDS(DSIG_BUFFER_STAT_SUB)
+#undef DSIG_BUFFER_STAT_SUB
+    return delta;
+  }
+
+  // Visits (name, value) for every stat in declaration order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+#define DSIG_BUFFER_STAT_VISIT(field, comment) fn(#field, field);
+    DSIG_BUFFER_STAT_FIELDS(DSIG_BUFFER_STAT_VISIT)
+#undef DSIG_BUFFER_STAT_VISIT
   }
 };
 
 class BufferManager {
  public:
   // `capacity_pages` = 0 disables caching entirely (every access is a miss).
-  explicit BufferManager(size_t capacity_pages)
-      : capacity_(capacity_pages) {}
+  // Hits/misses/evictions also charge the process-wide BufferPoolTotals
+  // shared across all pools (published to the registry as "buffer.*" via
+  // PublishBufferPoolMetrics(), see obs/metrics.h).
+  explicit BufferManager(size_t capacity_pages);
 
   BufferManager(const BufferManager&) = delete;
   BufferManager& operator=(const BufferManager&) = delete;
@@ -75,6 +97,8 @@ class BufferManager {
 
   size_t capacity_;
   BufferStats stats_;
+  obs::BufferPoolMetrics* metrics_;  // process-wide gauges, never null
+  obs::BufferPoolTotals* totals_;    // process-wide totals, never null
   std::list<uint64_t> lru_;  // front = most recent
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> table_;
   FileId next_file_ = 0;

@@ -1,5 +1,9 @@
 #include "util/logging.h"
 
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,20 +12,50 @@ namespace {
 
 LogSeverity g_min_severity = LogSeverity::kInfo;
 
-const char* SeverityName(LogSeverity severity) {
+// One-letter tag, glog style: keeps the prefix fixed-width so interleaved
+// bench/test output stays column-aligned and grep-able.
+char SeverityTag(LogSeverity severity) {
   switch (severity) {
     case LogSeverity::kDebug:
-      return "DEBUG";
+      return 'D';
     case LogSeverity::kInfo:
-      return "INFO";
+      return 'I';
     case LogSeverity::kWarning:
-      return "WARNING";
+      return 'W';
     case LogSeverity::kError:
-      return "ERROR";
+      return 'E';
     case LogSeverity::kFatal:
-      return "FATAL";
+      return 'F';
   }
-  return "UNKNOWN";
+  return '?';
+}
+
+// Monotonic seconds since the first log statement of the process: cheap,
+// unaffected by wall-clock jumps, and directly comparable to bench timings.
+double MonotonicLogSeconds() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Emits the whole line through one write(2) so lines from different threads
+// or processes sharing stderr never interleave mid-record. Retries on EINTR
+// and short writes; gives up silently on hard errors (logging must not
+// recurse into logging).
+void WriteWholeLine(const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(STDERR_FILENO, data + done, size - done);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return;
+    }
+  }
 }
 
 }  // namespace
@@ -30,18 +64,43 @@ LogSeverity MinLogSeverity() { return g_min_severity; }
 
 void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
 
+bool ParseLogSeverity(const std::string& name, LogSeverity* severity) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower += (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  }
+  if (lower == "debug" || lower == "d") {
+    *severity = LogSeverity::kDebug;
+  } else if (lower == "info" || lower == "i") {
+    *severity = LogSeverity::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "w") {
+    *severity = LogSeverity::kWarning;
+  } else if (lower == "error" || lower == "e") {
+    *severity = LogSeverity::kError;
+  } else if (lower == "fatal" || lower == "f") {
+    *severity = LogSeverity::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
     : severity_(severity) {
-  stream_ << "[" << SeverityName(severity) << " " << file << ":" << line
-          << "] ";
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%c %.6f ", SeverityTag(severity),
+                MonotonicLogSeconds());
+  stream_ << prefix << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-    std::fflush(stderr);
+    std::string line = stream_.str();
+    line += '\n';
+    WriteWholeLine(line.data(), line.size());
   }
   if (severity_ == LogSeverity::kFatal) {
     std::abort();

@@ -26,6 +26,11 @@ enum class LogSeverity : int {
 LogSeverity MinLogSeverity();
 void SetMinLogSeverity(LogSeverity severity);
 
+// Parses a severity name ("debug".."fatal", case-insensitive, or the single
+// letters d/i/w/e/f). Returns false and leaves *severity alone on unknown
+// input. This is what tools use to wire a --log-level flag through.
+bool ParseLogSeverity(const std::string& name, LogSeverity* severity);
+
 namespace internal_logging {
 
 // Accumulates one log line and emits it (and possibly aborts) on destruction.

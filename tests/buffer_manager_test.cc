@@ -79,6 +79,31 @@ TEST(BufferManagerTest, ClearDropsContents) {
   EXPECT_FALSE(buffer.Access(f, 1));
 }
 
+TEST(BufferManagerTest, EvictionsAreCounted) {
+  BufferManager buffer(2);
+  const FileId f = buffer.RegisterFile();
+  buffer.Access(f, 1);
+  buffer.Access(f, 2);
+  EXPECT_EQ(buffer.stats().evictions, 0u);
+  buffer.Access(f, 3);  // capacity 2: admitting 3 evicts 1
+  EXPECT_EQ(buffer.stats().evictions, 1u);
+  buffer.Access(f, 3);  // hit, no eviction
+  EXPECT_EQ(buffer.stats().evictions, 1u);
+}
+
+TEST(BufferManagerTest, StatsForEachVisitsEveryField) {
+  BufferStats s{10, 6, 3, 2};
+  uint64_t sum = 0;
+  size_t count = 0;
+  s.ForEach([&](const char* name, uint64_t value) {
+    (void)name;
+    sum += value;
+    ++count;
+  });
+  EXPECT_EQ(count, sizeof(BufferStats) / sizeof(uint64_t));
+  EXPECT_EQ(sum, 21u);
+}
+
 TEST(BufferManagerTest, StatsSubtraction) {
   BufferStats a{10, 6, 3};
   BufferStats b{4, 2, 1};

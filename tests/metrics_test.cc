@@ -1,0 +1,241 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace dsig {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddSetResetValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Set(7);
+  EXPECT_EQ(c.Value(), 7u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddResetValue) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 4.0);
+  g.Add(-5.0);
+  EXPECT_DOUBLE_EQ(g.Value(), -1.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketGeometryIsMonotonic) {
+  // Bucket bounds must be strictly increasing, and every tracked value must
+  // land in a bucket whose [lower, upper) range contains it (up to rounding).
+  double prev = 0;
+  for (int b = 1; b < Histogram::kNumBuckets; ++b) {
+    const double lo = Histogram::BucketLowerBound(b);
+    EXPECT_GE(lo, prev) << "bucket " << b;
+    EXPECT_LT(lo, Histogram::BucketUpperBound(b)) << "bucket " << b;
+    prev = lo;
+  }
+  for (double v = Histogram::kMinTracked; v < 1e8; v *= 3.7) {
+    const int b = Histogram::BucketOf(v);
+    EXPECT_GE(b, 1) << "value " << v;
+    EXPECT_LT(b, Histogram::kNumBuckets) << "value " << v;
+    EXPECT_LE(Histogram::BucketLowerBound(b), v * (1 + 1e-9)) << "value " << v;
+    EXPECT_GE(Histogram::BucketUpperBound(b), v * (1 - 1e-9)) << "value " << v;
+  }
+  // Underflow and overflow.
+  EXPECT_EQ(Histogram::BucketOf(0.0), 0);
+  EXPECT_EQ(Histogram::BucketOf(Histogram::kMinTracked / 2), 0);
+  EXPECT_EQ(Histogram::BucketOf(1e300), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(HistogramTest, ExactStatsOnSmallSample) {
+  Histogram h;
+  h.Record(1.0);
+  h.Record(2.0);
+  h.Record(4.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 7.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 4.0);
+  // Min/max clamp the bucket interpolation, so the extreme percentiles stay
+  // within one bucket (~9%) of the true extremes.
+  EXPECT_NEAR(h.Percentile(0), 1.0, 0.1);
+  EXPECT_NEAR(h.Percentile(100), 4.0, 0.4);
+}
+
+TEST(HistogramTest, PercentilesWithinBucketError) {
+  // 1..1000 uniformly: percentile p should come out near p * 10 with at most
+  // one bucket (~9%) of relative error.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  for (const double p : {50.0, 90.0, 99.0}) {
+    const double want = p * 10.0;
+    const double got = h.Percentile(p);
+    EXPECT_NEAR(got, want, want * 0.10) << "p" << p;
+  }
+  EXPECT_EQ(h.Count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 1000.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotonicInP) {
+  Histogram h;
+  for (int i = 1; i <= 97; ++i) h.Record(std::pow(1.3, i % 13));
+  double prev = 0;
+  for (double p = 0; p <= 100; p += 5) {
+    const double cur = h.Percentile(p);
+    EXPECT_GE(cur, prev) << "p" << p;
+    prev = cur;
+  }
+}
+
+TEST(HistogramTest, MergeMatchesCombinedRecording) {
+  Histogram a, b, combined;
+  for (int i = 1; i <= 100; ++i) {
+    a.Record(i * 0.5);
+    combined.Record(i * 0.5);
+  }
+  for (int i = 1; i <= 50; ++i) {
+    b.Record(i * 20.0);
+    combined.Record(i * 20.0);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), combined.Count());
+  EXPECT_DOUBLE_EQ(a.Sum(), combined.Sum());
+  EXPECT_DOUBLE_EQ(a.Min(), combined.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), combined.Max());
+  for (const double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), combined.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(3.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+  // Recording after a reset starts a fresh min/max window.
+  h.Record(9.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 9.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 9.0);
+}
+
+TEST(ScopedTimerTest, RecordsOneSample) {
+  Histogram h;
+  { const ScopedTimer timer(&h); }
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_GE(h.Max(), 0.0);
+}
+
+TEST(MetricsRegistryTest, LookupsReturnStablePointers) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("test.counter");
+  Counter* c2 = registry.GetCounter("test.counter");
+  EXPECT_EQ(c1, c2);
+  Gauge* g1 = registry.GetGauge("test.gauge");
+  EXPECT_EQ(g1, registry.GetGauge("test.gauge"));
+  Histogram* h1 = registry.GetHistogram("test.histogram");
+  EXPECT_EQ(h1, registry.GetHistogram("test.histogram"));
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesButKeepsNames) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  Histogram* h = registry.GetHistogram("test.histogram");
+  c->Add(5);
+  h->Record(1.0);
+  registry.ResetAll();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->Count(), 0u);
+  // Same pointer after reset: names stay registered.
+  EXPECT_EQ(registry.GetCounter("test.counter"), c);
+}
+
+TEST(MetricsRegistryTest, ToJsonHasAllSections) {
+  MetricsRegistry registry;
+  registry.GetCounter("reads")->Add(3);
+  registry.GetGauge("pages")->Set(1.5);
+  Histogram* h = registry.GetHistogram("latency_ms");
+  h->Record(2.0);
+  h->Record(8.0);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"reads\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"pages\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("buffer.hits")->Add(12);
+  registry.GetGauge("buffer.cached_pages")->Set(4);
+  registry.GetHistogram("query.knn.latency_ms")->Record(1.0);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE dsig_buffer_hits counter"), std::string::npos);
+  EXPECT_NE(text.find("dsig_buffer_hits 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dsig_buffer_cached_pages gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dsig_query_knn_latency_ms summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(text.find("dsig_query_knn_latency_ms_count 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+TEST(BufferPoolMetricsTest, WiredToRegistry) {
+  BufferPoolMetrics& m = GlobalBufferPoolMetrics();
+  ASSERT_NE(m.hits, nullptr);
+  EXPECT_EQ(m.hits, MetricsRegistry::Global().GetCounter("buffer.hits"));
+  EXPECT_EQ(m.cached_pages,
+            MetricsRegistry::Global().GetGauge("buffer.cached_pages"));
+}
+
+TEST(BufferPoolMetricsTest, PublishCopiesTotalsIntoRegistry) {
+  BufferPoolTotals& totals = GlobalBufferPoolTotals();
+  totals.hits += 5;
+  totals.misses += 3;
+  totals.evictions += 2;
+  PublishBufferPoolMetrics();
+  auto& registry = MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetCounter("buffer.hits")->Value(), totals.hits);
+  EXPECT_EQ(registry.GetCounter("buffer.misses")->Value(), totals.misses);
+  EXPECT_EQ(registry.GetCounter("buffer.evictions")->Value(), totals.evictions);
+  EXPECT_EQ(registry.GetCounter("buffer.failed_reads")->Value(),
+            totals.failed_reads);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dsig

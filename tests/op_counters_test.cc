@@ -1,6 +1,9 @@
-#include "core/op_counters.h"
+#include "obs/op_counters.h"
 
 #include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
 
 #include "core/distance_ops.h"
 #include "core/signature_builder.h"
@@ -59,6 +62,26 @@ TEST(OpCountersTest, KnnTypesUseIncreasingWork) {
 
   EXPECT_GE(type2_steps, type3_steps);  // type 2 sorts every bucket
   EXPECT_GT(type2_compares, 0u);
+}
+
+TEST(OpCountersTest, ForEachVisitsEveryFieldInOrder) {
+  // The X-macro is the single source of truth: the visitor must cover the
+  // whole struct (every field is a uint64_t) in declaration order.
+  OpCounters c{1, 2, 3, 4, 5, 6, 7};
+  std::vector<std::string> names;
+  uint64_t sum = 0;
+  size_t count = 0;
+  c.ForEach([&](const char* name, uint64_t value) {
+    names.emplace_back(name);
+    sum += value;
+    ++count;
+  });
+  EXPECT_EQ(count, sizeof(OpCounters) / sizeof(uint64_t));
+  EXPECT_EQ(sum, 1u + 2 + 3 + 4 + 5 + 6 + 7);
+  ASSERT_GE(names.size(), 3u);
+  EXPECT_EQ(names[0], "row_reads");
+  EXPECT_EQ(names[1], "entry_reads");
+  EXPECT_EQ(names.back(), "decode_fallbacks");
 }
 
 TEST(OpCountersTest, SubtractionGivesDeltas) {

@@ -1,0 +1,170 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/signature_builder.h"
+#include "graph/graph_generator.h"
+#include "query/aggregate_query.h"
+#include "query/knn_query.h"
+#include "workload/dataset_generator.h"
+#include "workload/query_generator.h"
+
+namespace dsig {
+namespace obs {
+namespace {
+
+// Redirects trace output to a tmpfile for the test's lifetime and restores
+// the defaults (tracing off, stderr sink) afterwards.
+class TraceCapture {
+ public:
+  TraceCapture() : file_(std::tmpfile()) {
+    SetTraceSink(file_);
+    SetTracingEnabled(true);
+  }
+  ~TraceCapture() {
+    SetTracingEnabled(false);
+    SetTraceSink(stderr);
+    std::fclose(file_);
+  }
+
+  std::string Contents() {
+    std::fflush(file_);
+    std::fseek(file_, 0, SEEK_END);
+    const long size = std::ftell(file_);
+    std::string out(static_cast<size_t>(size), '\0');
+    std::rewind(file_);
+    const size_t got = std::fread(out.data(), 1, out.size(), file_);
+    out.resize(got);
+    return out;
+  }
+
+  std::vector<std::string> Lines() {
+    std::vector<std::string> lines;
+    std::string buf;
+    for (const char c : Contents()) {
+      if (c == '\n') {
+        lines.push_back(buf);
+        buf.clear();
+      } else {
+        buf += c;
+      }
+    }
+    return lines;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+// Pulls the number following `"key": ` out of a JSON trace line.
+double ExtractNumber(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t pos = line.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "missing " << key << " in " << line;
+  if (pos == std::string::npos) return -1;
+  return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+}
+
+struct SmallWorld {
+  RoadNetwork graph;
+  std::unique_ptr<SignatureIndex> index;
+  std::vector<NodeId> queries;
+};
+
+SmallWorld MakeSmallWorld() {
+  SmallWorld world;
+  world.graph = MakeRandomPlanar({.num_nodes = 400, .seed = 7});
+  const std::vector<NodeId> objects = UniformDataset(world.graph, 0.05, 7);
+  world.index = BuildSignatureIndex(world.graph, objects, {.t = 5, .c = 2});
+  world.queries = RandomQueryNodes(world.graph, 3, 8);
+  return world;
+}
+
+TEST(TraceTest, DisabledEmitsNothingButRecordsLatency) {
+  const SmallWorld world = MakeSmallWorld();
+  Histogram* latency =
+      MetricsRegistry::Global().GetHistogram("query.knn.latency_ms");
+  const uint64_t before = latency->Count();
+
+  std::FILE* sink = std::tmpfile();
+  SetTraceSink(sink);
+  SetTracingEnabled(false);
+  SignatureKnnQuery(*world.index, world.queries[0], 3, KnnResultType::kType1);
+  SetTraceSink(stderr);
+
+  std::fseek(sink, 0, SEEK_END);
+  EXPECT_EQ(std::ftell(sink), 0) << "trace output while disabled";
+  std::fclose(sink);
+  EXPECT_EQ(latency->Count(), before + 1)
+      << "latency histogram must record even when tracing is off";
+}
+
+TEST(TraceTest, EnabledEmitsOneLinePerQueryWithShape) {
+  const SmallWorld world = MakeSmallWorld();
+  TraceCapture capture;
+  for (const NodeId q : world.queries) {
+    SignatureKnnQuery(*world.index, q, 3, KnnResultType::kType1);
+  }
+  const std::vector<std::string> lines = capture.Lines();
+  ASSERT_EQ(lines.size(), world.queries.size());
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("\"query\": \"knn\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"total_ms\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"phases_ms\""), std::string::npos) << line;
+    for (int p = 0; p < kNumPhases; ++p) {
+      EXPECT_NE(line.find(std::string("\"") +
+                          PhaseName(static_cast<Phase>(p)) + "\""),
+                std::string::npos)
+          << line;
+    }
+    EXPECT_NE(line.find("\"ops\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"buffer\""), std::string::npos) << line;
+    // Each kNN query reads exactly one signature row.
+    EXPECT_GE(ExtractNumber(line, "row_reads"), 1.0) << line;
+  }
+}
+
+TEST(TraceTest, PhasesSumToTotal) {
+  const SmallWorld world = MakeSmallWorld();
+  TraceCapture capture;
+  for (const NodeId q : world.queries) {
+    SignatureKnnQuery(*world.index, q, 5, KnnResultType::kType1);
+  }
+  for (const std::string& line : capture.Lines()) {
+    const double total = ExtractNumber(line, "total_ms");
+    double sum = 0;
+    for (int p = 0; p < kNumPhases; ++p) {
+      sum += ExtractNumber(line, PhaseName(static_cast<Phase>(p)));
+    }
+    // Self-time attribution partitions the query's wall time exactly; only
+    // print rounding separates the sum from the total.
+    EXPECT_NEAR(sum, total, total * 0.01 + 1e-4) << line;
+    EXPECT_GT(total, 0.0) << line;
+  }
+}
+
+TEST(TraceTest, NestedCompositeQueryEmitsOneLine) {
+  const SmallWorld world = MakeSmallWorld();
+  Histogram* range_latency =
+      MetricsRegistry::Global().GetHistogram("query.range.latency_ms");
+  const uint64_t range_before = range_latency->Count();
+
+  TraceCapture capture;
+  // A count query runs a range query internally; only the outer query may
+  // emit a trace line.
+  SignatureCountQuery(*world.index, world.queries[0], 30.0);
+  const std::vector<std::string> lines = capture.Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"query\": \"count\""), std::string::npos)
+      << lines[0];
+  // The inner range query still feeds its own latency histogram.
+  EXPECT_EQ(range_latency->Count(), range_before + 1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dsig
