@@ -5,6 +5,12 @@
 // clock time. Expected shape (paper §6.1): signature ~ 1/6-1/7 of full;
 // full and signature sizes proportional to density; NVD size *grows* as
 // density drops and is sensitive to clustering.
+//
+// A third exhibit sweeps the parallel build (SignatureBuildOptions::
+// num_threads) over thread counts up to --threads (default 4) on the p=0.01
+// dataset, recording build_seconds and speedup_vs_1 per point. The parallel
+// pipeline is byte-identical to the serial one (see signature_builder.h), so
+// the sweep measures pure scheduling overhead/speedup.
 #include "bench/bench_common.h"
 
 int main(int argc, char** argv) {
@@ -82,6 +88,40 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape: Sig/Full ~ 1/6; NVD explodes for sparse datasets\n"
       "and is sensitive to the clustered 0.01(nu) dataset.\n");
+
+  // --- (c) parallel signature build: thread-count sweep ---------------------
+  const size_t max_threads =
+      std::max<size_t>(1, static_cast<size_t>(flags.GetInt("threads", 4)));
+  json.SetParam("max_threads", static_cast<double>(max_threads));
+  const std::vector<NodeId> sweep_objects =
+      MakeDataset(graph, {"0.01", 0.01, false}, seed + 1);
+  TablePrinter thread_table({"threads", "Signature (s)", "speedup vs 1"});
+  double serial_seconds = 0;
+  for (size_t t = 1; t <= max_threads; t *= 2) {
+    std::unique_ptr<SignatureIndex> built;
+    const Measurement m = MeasureOnce(nullptr, [&] {
+      built = BuildSignatureIndex(graph, sweep_objects,
+                                  {.t = 10,
+                                   .c = 2.718281828,
+                                   .keep_forest = false,
+                                   .num_threads = t});
+    });
+    const double seconds = m.mean_ms / 1000.0;
+    if (t == 1) serial_seconds = seconds;
+    const double speedup = seconds > 0 ? serial_seconds / seconds : 0;
+    auto* point =
+        json.Add("construction_vs_threads", "Signature", std::to_string(t), m);
+    if (point != nullptr) {
+      point->metrics["build_seconds"] = seconds;
+      point->metrics["speedup_vs_1"] = speedup;
+      point->metrics["index_mb"] = ToMb(built->IndexBytes());
+    }
+    thread_table.AddRow({std::to_string(t), Fmt("%.2f", seconds),
+                         Fmt("%.2f", speedup)});
+  }
+  std::printf("\n--- (c) signature build vs threads (p = 0.01) ---\n");
+  thread_table.Print();
+
   json.Write();
   return 0;
 }

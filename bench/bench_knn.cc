@@ -5,9 +5,20 @@
 //
 // Expected shape: full ~independent of k; NVD wins k=1 but degrades sharply
 // (x50+ pages k=1 -> 50 in the paper); signature grows moderately (~x8).
+//
+// Two hot-path exhibits ride along:
+//  * knn_vs_threads — the same signature workload through the parallel batch
+//    driver (query/batch.h) with a private ThreadPool per point, up to
+//    --threads workers (default 4); records batch wall time and queries/s.
+//  * knn_rowcache — a repeated-querier workload (a few queriers re-asking
+//    from the same nodes) with the decoded-row cache disabled vs enabled,
+//    recording the per-query time and the cache hit rate per point.
 #include "bench/bench_common.h"
 
+#include "core/row_cache.h"
+#include "query/batch.h"
 #include "query/knn_query.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -85,6 +96,84 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape: Full flat; NVD best at k=1 then degrades sharply;\n"
       "Signature grows ~8x from k=1 to k=50 (paper) vs NVD's 50-170x.\n");
+
+  // --- (c) parallel batch driver: thread-count sweep ------------------------
+  const size_t max_threads =
+      std::max<size_t>(1, static_cast<size_t>(flags.GetInt("threads", 4)));
+  json.SetParam("max_threads", static_cast<double>(max_threads));
+  const size_t batch_k = 10;
+  TablePrinter thread_table({"threads", "batch (ms)", "queries/s", "speedup"});
+  double serial_batch_ms = 0;
+  for (size_t t = 1; t <= max_threads; t *= 2) {
+    ThreadPool pool(t);
+    const Measurement m = MeasureOnce(w.buffer.get(), [&] {
+      BatchKnnQuery(*signature, queries, batch_k, KnnResultType::kType3,
+                    {.pool = &pool});
+    });
+    const double batch_ms = m.mean_ms;  // one item == the whole batch
+    if (t == 1) serial_batch_ms = batch_ms;
+    const double speedup = batch_ms > 0 ? serial_batch_ms / batch_ms : 0;
+    const double qps =
+        batch_ms > 0 ? 1000.0 * static_cast<double>(queries.size()) / batch_ms
+                     : 0;
+    auto* point =
+        json.Add("knn_vs_threads", "Signature", std::to_string(t), m);
+    if (point != nullptr) {
+      point->metrics["batch_ms"] = batch_ms;
+      point->metrics["queries_per_second"] = qps;
+      point->metrics["speedup_vs_1"] = speedup;
+    }
+    thread_table.AddRow({std::to_string(t), Fmt("%.2f", batch_ms),
+                         Fmt("%.0f", qps), Fmt("%.2f", speedup)});
+  }
+  std::printf("\n--- (c) batch kNN vs threads (k = %zu) ---\n", batch_k);
+  thread_table.Print();
+
+  // --- (d) decoded-row cache on a repeated-querier workload -----------------
+  // A handful of queriers each re-ask kNN from their own node several times
+  // (the paper's motivating navigation clients). With the cache disabled
+  // every repeat re-decodes the same compressed rows; with it enabled the
+  // repeats hit resolved rows.
+  std::vector<NodeId> repeated;
+  {
+    const size_t queriers = std::min<size_t>(8, queries.size());
+    const size_t repeats = 16;
+    for (size_t r = 0; r < repeats; ++r) {
+      for (size_t i = 0; i < queriers; ++i) repeated.push_back(queries[i]);
+    }
+  }
+  auto* reg = &obs::MetricsRegistry::Global();
+  TablePrinter cache_table({"row cache", "ms/query", "hit rate"});
+  for (const bool enabled : {false, true}) {
+    signature->ConfigureRowCache(
+        {.byte_budget = enabled ? RowCache::Options().byte_budget : 0});
+    const uint64_t hits0 = reg->GetCounter("rowcache.hits")->Value();
+    const uint64_t misses0 = reg->GetCounter("rowcache.misses")->Value();
+    const Measurement m =
+        MeasureItems(w.buffer.get(), repeated, [&](NodeId q) {
+          SignatureKnnQuery(*signature, q, batch_k, KnnResultType::kType3);
+        });
+    const double hits =
+        static_cast<double>(reg->GetCounter("rowcache.hits")->Value() - hits0);
+    const double misses = static_cast<double>(
+        reg->GetCounter("rowcache.misses")->Value() - misses0);
+    const double hit_rate =
+        hits + misses > 0 ? hits / (hits + misses) : 0;
+    const char* label = enabled ? "enabled" : "disabled";
+    auto* point = json.Add("knn_rowcache", label, std::to_string(batch_k), m);
+    if (point != nullptr) {
+      point->metrics["hit_rate"] = hit_rate;
+      point->metrics["cache_bytes"] =
+          static_cast<double>(signature->row_cache().bytes());
+    }
+    cache_table.AddRow(
+        {label, Fmt("%.3f", m.mean_ms), Fmt("%.3f", hit_rate)});
+  }
+  std::printf("\n--- (d) repeated queriers, row cache off/on (k = %zu) ---\n",
+              batch_k);
+  cache_table.Print();
+  PublishRowCacheMetrics();
+
   json.Write();
   return 0;
 }

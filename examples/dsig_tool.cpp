@@ -5,13 +5,22 @@
 // Commands:
 //   generate  --network=<file> [--nodes=N] [--kind=planar|continental] [--seed=S]
 //   build     --network=<file> --index=<file> [--density=p] [--t=T] [--c=C]
+//             [--threads=N]
 //   info      --network=<file> --index=<file>
 //   verify    --network=<file> --index=<file>
 //   corrupt   --file=<file> --offset=<byte> [--xor=mask] [--truncate]
 //   knn       --network=<file> --index=<file> --node=<id> [--k=K]
 //   range     --network=<file> --index=<file> --node=<id> [--radius=R]
 //   stats     --network=<file> --index=<file> [--queries=N] [--k=K]
-//             [--radius=R] [--format=json|prometheus]
+//             [--radius=R] [--threads=N] [--cache-kb=N]
+//             [--format=json|prometheus]
+//
+// `build --threads=N` runs the construction pipeline on N worker threads
+// (0 = all hardware threads); the built index is byte-identical at every N.
+// `stats --threads=N` serves the query workload through the parallel batch
+// driver on N threads; `--cache-kb` sizes the decoded-row LRU (0 disables
+// it). The dumped registry includes the pool ("pool.*") and row-cache
+// ("rowcache.*", with hit_rate) metrics next to the buffer and op counters.
 //
 // Global flags (any command):
 //   --trace            emit one JSON trace line per query to stderr
@@ -40,6 +49,7 @@
 #include "obs/metrics.h"
 #include "obs/op_counters.h"
 #include "obs/trace.h"
+#include "query/batch.h"
 #include "query/knn_query.h"
 #include "query/range_query.h"
 #include "util/flags.h"
@@ -106,7 +116,8 @@ int Build(const Flags& flags) {
       **graph, objects,
       {.t = flags.GetDouble("t", 10.0),
        .c = flags.GetDouble("c", 2.718281828),
-       .keep_forest = false});
+       .keep_forest = false,
+       .num_threads = static_cast<size_t>(flags.GetInt("threads", 0))});
   std::printf("built index over %zu objects in %.2fs (%.1f KB)\n",
               objects.size(), timer.ElapsedSeconds(),
               static_cast<double>(index->IndexBytes()) / 1024.0);
@@ -280,14 +291,35 @@ int Stats(const Flags& flags) {
   const Weight radius = flags.GetDouble("radius", 100.0);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 44));
 
+  if (flags.Has("cache-kb")) {
+    loaded.index->ConfigureRowCache(
+        {.byte_budget =
+             static_cast<size_t>(flags.GetInt("cache-kb", 0)) * 1024});
+  }
+
   const std::vector<NodeId> queries =
       RandomQueryNodes(*loaded.graph, num_queries, seed);
-  for (const NodeId q : queries) {
-    SignatureKnnQuery(*loaded.index, q, k, KnnResultType::kType1);
-    SignatureRangeQuery(*loaded.index, q, radius);
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    RunBatch(
+        queries.size(),
+        [&](size_t i) {
+          SignatureKnnQuery(*loaded.index, queries[i], k,
+                            KnnResultType::kType1);
+          SignatureRangeQuery(*loaded.index, queries[i], radius);
+        },
+        {.pool = &pool});
+  } else {
+    for (const NodeId q : queries) {
+      SignatureKnnQuery(*loaded.index, q, k, KnnResultType::kType1);
+      SignatureRangeQuery(*loaded.index, q, radius);
+    }
   }
   PublishOpCounters();
   obs::PublishBufferPoolMetrics();
+  obs::PublishThreadPoolMetrics();
+  PublishRowCacheMetrics();
 
   const std::string format = flags.GetString("format", "json");
   if (format == "prometheus") {

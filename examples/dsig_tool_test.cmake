@@ -8,7 +8,7 @@ set(IDX ${WORKDIR}/tool_test.idx)
 set(BAD ${WORKDIR}/tool_test_corrupt.idx)
 foreach(args
     "generate;--network=${NET};--nodes=2000"
-    "build;--network=${NET};--index=${IDX};--density=0.02"
+    "build;--network=${NET};--index=${IDX};--density=0.02;--threads=2"
     "info;--network=${NET};--index=${IDX}"
     "verify;--network=${NET};--index=${IDX}"
     "knn;--network=${NET};--index=${IDX};--node=10;--k=3"
@@ -65,9 +65,11 @@ endif()
 
 # Observability smoke: `stats` runs a small query workload in-process and
 # dumps the metrics registry. The dump must show real work (nonzero
-# ops.row_reads) and a populated query-latency histogram.
+# ops.row_reads), a populated query-latency histogram, and the pool /
+# row-cache sections (--threads exercises the parallel batch driver, so
+# pool.tasks_run must be nonzero).
 execute_process(COMMAND ${TOOL} stats --network=${NET} --index=${IDX}
-                        --queries=5
+                        --queries=5 --threads=2
                 OUTPUT_VARIABLE stats_out RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "dsig_tool stats failed with ${rc}")
@@ -81,6 +83,12 @@ endif()
 if(NOT stats_out MATCHES "\"p50\"")
   message(FATAL_ERROR "stats output missing latency percentiles:\n${stats_out}")
 endif()
+if(NOT stats_out MATCHES "\"pool\\.tasks_run\": [1-9]")
+  message(FATAL_ERROR "stats output missing nonzero pool.tasks_run:\n${stats_out}")
+endif()
+if(NOT stats_out MATCHES "\"rowcache\\.hit_rate\"")
+  message(FATAL_ERROR "stats output missing rowcache.hit_rate gauge:\n${stats_out}")
+endif()
 
 # Prometheus exposition of the same registry.
 execute_process(COMMAND ${TOOL} stats --network=${NET} --index=${IDX}
@@ -91,4 +99,10 @@ if(NOT rc EQUAL 0)
 endif()
 if(NOT prom_out MATCHES "# TYPE dsig_ops_row_reads counter")
   message(FATAL_ERROR "prometheus output missing row_reads counter:\n${prom_out}")
+endif()
+if(NOT prom_out MATCHES "# TYPE dsig_pool_tasks_run counter")
+  message(FATAL_ERROR "prometheus output missing pool counter:\n${prom_out}")
+endif()
+if(NOT prom_out MATCHES "# TYPE dsig_rowcache_hit_rate gauge")
+  message(FATAL_ERROR "prometheus output missing rowcache hit_rate:\n${prom_out}")
 endif()

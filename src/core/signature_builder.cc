@@ -1,9 +1,21 @@
 #include "core/signature_builder.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <utility>
 
+#include "util/thread_pool.h"
+
 namespace dsig {
+
+namespace {
+
+// Nodes per chunk in the row sweeps: coarse enough that the chunk-claim
+// mutex and the merge locks are noise, fine enough to steal-balance.
+constexpr size_t kRowSweepGrain = 64;
+
+}  // namespace
 
 SignatureRow BuildRowFromForest(const RoadNetwork& graph,
                                 const SpanningForest& forest,
@@ -41,21 +53,39 @@ std::unique_ptr<SignatureIndex> BuildSignatureIndex(
              objects.end())
       << "duplicate object nodes";
 
+  // One pool drives every parallel phase. All cross-chunk merges below use
+  // commutative operations only (sums, max), so the built index is
+  // byte-identical at every thread count.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = &ThreadPool::Global();
+  if (options.num_threads > 0) {
+    owned_pool = std::make_unique<ThreadPool>(options.num_threads);
+    pool = owned_pool.get();
+  }
+
   auto forest = std::make_unique<SpanningForest>(&graph, objects);
-  forest->Build();
+  forest->Build(pool);
 
   // Partition the spectrum. max_distance = farthest (object, node) pair so
-  // the finite boundaries cover the whole observed spectrum.
+  // the finite boundaries cover the whole observed spectrum. Per-object max
+  // scans are independent; max merges commutatively.
   Weight max_distance = 1;
-  for (uint32_t o = 0; o < objects.size(); ++o) {
-    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
-      const Weight d = forest->dist(o, n);
-      DSIG_CHECK_LT(d, kInfiniteWeight)
-          << "disconnected network: object " << o << " cannot reach node "
-          << n;
-      max_distance = std::max(max_distance, d);
-    }
-  }
+  std::mutex merge_mu;
+  pool->ParallelForChunks(
+      objects.size(), 1, [&](size_t obj_begin, size_t obj_end) {
+        Weight local_max = 1;
+        for (size_t o = obj_begin; o < obj_end; ++o) {
+          for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+            const Weight d = forest->dist(static_cast<uint32_t>(o), n);
+            DSIG_CHECK_LT(d, kInfiniteWeight)
+                << "disconnected network: object " << o
+                << " cannot reach node " << n;
+            local_max = std::max(local_max, d);
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        max_distance = std::max(max_distance, local_max);
+      });
   const CategoryPartition partition =
       options.optimal_partition
           ? CategoryPartition::Optimal(options.spreading_bound, max_distance)
@@ -79,13 +109,28 @@ std::unique_ptr<SignatureIndex> BuildSignatureIndex(
 
   const RowCompressor compressor(&partition, &table);
 
-  // Pass 1: category frequencies of the uncompressed rows (the entropy code
-  // is chosen against the pre-compression distribution, as in §5.2).
+  // Sweep phase A: build every node's row ONCE, accumulating the category
+  // frequencies the entropy code is chosen against (the pre-compression
+  // distribution, as in §5.2). Rows are kept for phase B — the old pipeline
+  // rebuilt each row from the forest a second time to encode it. Per-chunk
+  // histograms merge by integer addition, so the totals are exact and
+  // order-independent.
+  const size_t num_nodes = graph.num_nodes();
+  std::vector<SignatureRow> built_rows(num_nodes);
   std::vector<uint64_t> frequencies(static_cast<size_t>(m), 0);
-  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
-    const SignatureRow row = BuildRowFromForest(graph, *forest, partition, n);
-    AccumulateCategoryFrequencies(row, &frequencies);
-  }
+  pool->ParallelForChunks(
+      num_nodes, kRowSweepGrain, [&](size_t begin, size_t end) {
+        std::vector<uint64_t> local_freq(static_cast<size_t>(m), 0);
+        for (size_t n = begin; n < end; ++n) {
+          built_rows[n] = BuildRowFromForest(graph, *forest, partition,
+                                             static_cast<NodeId>(n));
+          AccumulateCategoryFrequencies(built_rows[n], &local_freq);
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        for (size_t cat = 0; cat < local_freq.size(); ++cat) {
+          frequencies[cat] += local_freq[cat];
+        }
+      });
 
   // Link width: one slot index per adjacency entry, with one spare bit of
   // headroom so edge insertions during maintenance rarely force a re-encode.
@@ -101,26 +146,39 @@ std::unique_ptr<SignatureIndex> BuildSignatureIndex(
           ? HuffmanCode::ReverseZeroPadding(m)
           : BuildCategoryCode(options.code_kind, m, frequencies);
 
-  // Pass 2: compress + encode every row, accumulating the size accounting
-  // of Table 1 (raw -> encoded -> compressed).
+  // Sweep phase B: compress + encode the rows built in phase A, accumulating
+  // the size accounting of Table 1 (raw -> encoded -> compressed). Each row
+  // encodes independently into its own slot; per-chunk stats merge by
+  // addition. Rows are consumed (moved out) as they encode, so peak memory
+  // falls as the sweep progresses.
   SignatureSizeStats stats;
   const int fixed_bits = partition.fixed_code_bits();
-  std::vector<EncodedRow> rows(graph.num_nodes());
-  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
-    SignatureRow row = BuildRowFromForest(graph, *forest, partition, n);
-    for (const SignatureEntry& entry : row) {
-      stats.raw_bits += static_cast<uint64_t>(fixed_bits) + link_bits;
-      stats.encoded_bits +=
-          static_cast<uint64_t>(entropy_code.length(entry.category)) +
-          link_bits;
-      ++stats.entries;
-    }
-    if (options.compress) {
-      stats.compressed_entries += compressor.Compress(&row);
-    }
-    rows[n] = codec.EncodeRow(row);
-    stats.compressed_bits += rows[n].size_bits;
-  }
+  std::vector<EncodedRow> rows(num_nodes);
+  pool->ParallelForChunks(
+      num_nodes, kRowSweepGrain, [&](size_t begin, size_t end) {
+        SignatureSizeStats local;
+        for (size_t n = begin; n < end; ++n) {
+          SignatureRow row = std::move(built_rows[n]);
+          for (const SignatureEntry& entry : row) {
+            local.raw_bits += static_cast<uint64_t>(fixed_bits) + link_bits;
+            local.encoded_bits +=
+                static_cast<uint64_t>(entropy_code.length(entry.category)) +
+                link_bits;
+            ++local.entries;
+          }
+          if (options.compress) {
+            local.compressed_entries += compressor.Compress(&row);
+          }
+          rows[n] = codec.EncodeRow(row);
+          local.compressed_bits += rows[n].size_bits;
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        stats.raw_bits += local.raw_bits;
+        stats.encoded_bits += local.encoded_bits;
+        stats.compressed_bits += local.compressed_bits;
+        stats.entries += local.entries;
+        stats.compressed_entries += local.compressed_entries;
+      });
 
   return std::make_unique<SignatureIndex>(
       &graph, std::move(objects), partition, std::move(codec),

@@ -4,6 +4,14 @@
 // only object-rooted trees compute distances the signatures need), derives
 // the category partition, fills and compresses each node's row, picks the
 // category code, and bit-packs everything.
+//
+// The pipeline is parallel and single-pass: the per-object Dijkstras, the
+// row-building + category-frequency sweep, and the compress + encode sweep
+// all run as data-parallel loops on a ThreadPool, and each node's row is
+// built exactly ONCE (it used to be built twice — once for frequencies, once
+// for encoding). Per-chunk partial results merge with commutative operations
+// only (integer sums, max), so the built index is byte-identical at every
+// thread count — enforced by tests/parallel_build_test.cc.
 #ifndef DSIG_CORE_SIGNATURE_BUILDER_H_
 #define DSIG_CORE_SIGNATURE_BUILDER_H_
 
@@ -29,6 +37,12 @@ struct SignatureBuildOptions {
   // Retain the spanning forest (needed by SignatureUpdater). Costs
   // O(objects x nodes) memory.
   bool keep_forest = true;
+
+  // Worker threads for the parallel phases: 0 = the process-wide pool,
+  // N > 0 = a private pool of N threads for this build (what the benches'
+  // --threads sweep and the determinism test use). The result is
+  // byte-identical either way.
+  size_t num_threads = 0;
 };
 
 // `objects` are dataset node ids (distinct). The graph must be connected and

@@ -12,12 +12,6 @@
 #include "obs/trace.h"
 
 namespace dsig {
-namespace {
-
-// Bound on the resolved-row memo (rows are a few hundred bytes each).
-constexpr size_t kResolvedCacheRows = 4096;
-
-}  // namespace
 
 SignatureIndex::SignatureIndex(const RoadNetwork* graph,
                                std::vector<NodeId> objects,
@@ -35,7 +29,8 @@ SignatureIndex::SignatureIndex(const RoadNetwork* graph,
       table_(std::move(table)),
       compressor_(&partition_, &table_),
       size_stats_(size_stats),
-      forest_(std::move(forest)) {
+      forest_(std::move(forest)),
+      resolved_cache_(std::make_unique<RowCache>()) {
   DSIG_CHECK(graph_ != nullptr);
   DSIG_CHECK_EQ(rows_.size(), graph_->num_nodes());
   object_of_node_.assign(graph_->num_nodes(), kInvalidObject);
@@ -95,30 +90,37 @@ SignatureEntry SignatureIndex::ReadEntry(NodeId n,
     ++GlobalOpCounters().resolves;
     // Decompression is CPU work against the in-memory object table plus the
     // already-fetched row (paper §5.3); no extra page charge. Resolved rows
-    // are memoized — backtracking walks revisit nodes constantly.
-    auto it = resolved_cache_.find(n);
-    if (it == resolved_cache_.end()) {
-      if (resolved_cache_.size() >= kResolvedCacheRows) {
-        resolved_cache_.clear();
-      }
+    // are cached — backtracking walks revisit nodes constantly, and batch
+    // workers share the LRU (the shared_ptr keeps a row alive for this read
+    // even if another thread evicts it).
+    std::shared_ptr<const SignatureRow> resolved = resolved_cache_->Get(n);
+    if (resolved == nullptr) {
       SignatureRow row;
       if (!codec_.TryDecodeRow(rows_[n], objects_.size(), &row) ||
           !compressor_.TryResolveRow(&row)) {
         row = FallbackRow(n);
       }
-      it = resolved_cache_.emplace(n, std::move(row)).first;
+      auto owned = std::make_shared<const SignatureRow>(std::move(row));
+      resolved_cache_->Put(n, owned);
+      resolved = std::move(owned);
     }
-    entry = it->second[object_index];
+    entry = (*resolved)[object_index];
   }
   return entry;
 }
 
 const SignatureRow& SignatureIndex::FallbackRow(NodeId n) const {
-  auto it = fallback_rows_.find(n);
-  if (it == fallback_rows_.end()) {
-    it = fallback_rows_.emplace(n, ComputeFallbackRow(n)).first;
+  {
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    const auto it = fallback_rows_.find(n);
+    if (it != fallback_rows_.end()) return it->second;
   }
-  return it->second;
+  // Compute outside the lock — bounded Dijkstra is milliseconds, and other
+  // readers must not stall behind it. A concurrent computation of the same
+  // row is wasted work, not a correctness problem: emplace keeps the first.
+  SignatureRow computed = ComputeFallbackRow(n);
+  std::lock_guard<std::mutex> lock(fallback_mu_);
+  return fallback_rows_.emplace(n, std::move(computed)).first->second;
 }
 
 SignatureRow SignatureIndex::ComputeFallbackRow(NodeId n) const {
@@ -182,9 +184,16 @@ SignatureRow SignatureIndex::ComputeFallbackRow(NodeId n) const {
 
 EncodedRow& SignatureIndex::mutable_encoded_row(NodeId n) {
   DSIG_CHECK_LT(n, rows_.size());
-  resolved_cache_.erase(n);
-  fallback_rows_.erase(n);
+  resolved_cache_->Erase(n);
+  {
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    fallback_rows_.erase(n);
+  }
   return rows_[n];
+}
+
+void SignatureIndex::ConfigureRowCache(const RowCache::Options& options) {
+  resolved_cache_ = std::make_unique<RowCache>(options);
 }
 
 void SignatureIndex::AttachStorage(BufferManager* buffer,
@@ -398,7 +407,13 @@ size_t SignatureIndex::ReplaceRow(NodeId n, const SignatureRow& row) {
     if (!(old_row[i] == new_resolved[i])) ++changed;
   }
 
-  resolved_cache_.erase(n);
+  resolved_cache_->Erase(n);
+  {
+    // The fallback memo is derived from the graph, which just changed under
+    // this row; a stale entry would shadow the replacement.
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    fallback_rows_.erase(n);
+  }
   const EncodedRow& old_encoded = rows_[n];
   EncodedRow new_encoded = codec_.EncodeRow(row);
   size_stats_.compressed_bits += new_encoded.size_bits;

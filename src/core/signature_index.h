@@ -14,6 +14,7 @@
 #define DSIG_CORE_SIGNATURE_INDEX_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "core/category_partition.h"
 #include "core/compression.h"
 #include "core/object_distance_table.h"
+#include "core/row_cache.h"
 #include "core/signature.h"
 #include "graph/road_network.h"
 #include "graph/spanning_tree.h"
@@ -109,6 +111,14 @@ class SignatureIndex {
   const NetworkStore* network_store() const { return network_store_; }
   bool merged_storage() const { return merged_; }
 
+  // --- Decoded-row cache ---------------------------------------------------
+
+  // Replaces the resolved-row cache (dropping its contents). byte_budget = 0
+  // disables caching; see row_cache.h. Not thread-safe — configure before
+  // serving queries.
+  void ConfigureRowCache(const RowCache::Options& options);
+  const RowCache& row_cache() const { return *resolved_cache_; }
+
   // Payload size of the index as stored (compressed form), in bytes.
   uint64_t IndexBytes() const;
   const SignatureSizeStats& size_stats() const { return size_stats_; }
@@ -178,12 +188,15 @@ class SignatureIndex {
   PagedStore store_;
   const NetworkStore* network_store_ = nullptr;
   // CPU cache of resolved rows, used when a single-component read hits a
-  // compressed entry (resolution needs the whole row). Bounded; cleared
-  // wholesale when full. Not thread-safe — the index is single-threaded by
-  // design (one query stream), like the paper's testbed.
-  mutable std::unordered_map<NodeId, SignatureRow> resolved_cache_;
+  // compressed entry (resolution needs the whole row). Sharded LRU with a
+  // byte budget and incremental eviction; thread-safe, so RunBatch workers
+  // share it. Never null.
+  mutable std::unique_ptr<RowCache> resolved_cache_;
   // Rows recomputed after a decode failure (see FallbackRow). Bounded by the
-  // number of corrupt rows.
+  // number of corrupt rows; guarded by fallback_mu_ for concurrent readers
+  // (values are node-stable: inserts never move them, only the exclusive
+  // maintenance hooks erase).
+  mutable std::mutex fallback_mu_;
   mutable std::unordered_map<NodeId, SignatureRow> fallback_rows_;
   // Merged schema: row bits start after the adjacency record inside each
   // node's combined record.

@@ -1,14 +1,13 @@
 #include "graph/spanning_tree.h"
 
 #include <algorithm>
-#include <atomic>
 #include <deque>
-#include <thread>
 #include <queue>
 #include <tuple>
 #include <utility>
 
 #include "graph/dijkstra.h"
+#include "util/thread_pool.h"
 
 namespace dsig {
 
@@ -18,7 +17,7 @@ SpanningForest::SpanningForest(const RoadNetwork* graph,
   DSIG_CHECK(graph_ != nullptr);
 }
 
-void SpanningForest::Build() {
+void SpanningForest::Build(ThreadPool* pool) {
   num_nodes_ = graph_->num_nodes();
   const size_t slots = objects_.size() * num_nodes_;
   dist_.assign(slots, kInfiniteWeight);
@@ -27,33 +26,20 @@ void SpanningForest::Build() {
   reverse_index_.assign(graph_->num_edge_slots(), {});
 
   // The per-object Dijkstras are independent and dominate construction time
-  // (§5.2); run them across hardware threads. Each writes a disjoint slice
-  // of the row-major arrays; only the shared reverse index is filled
+  // (§5.2); run them on the shared pool (steal-balanced: a central object's
+  // Dijkstra settles far more nodes than a peripheral one's). Each writes a
+  // disjoint row-major slice; only the shared reverse index is filled
   // serially afterwards.
-  const size_t hardware = std::max(1u, std::thread::hardware_concurrency());
-  const size_t num_threads = std::min(hardware, objects_.size());
-  std::atomic<uint32_t> next_object{0};
-  const auto worker = [&]() {
-    while (true) {
-      const uint32_t o = next_object.fetch_add(1);
-      if (o >= objects_.size()) return;
-      const ShortestPathTree tree = RunDijkstra(*graph_, objects_[o]);
-      for (NodeId n = 0; n < num_nodes_; ++n) {
-        const size_t slot = Slot(o, n);
-        dist_[slot] = tree.dist[n];
-        parent_[slot] = tree.parent[n];
-        parent_edge_[slot] = tree.parent_edge[n];
-      }
+  if (pool == nullptr) pool = &ThreadPool::Global();
+  pool->ParallelFor(objects_.size(), [&](size_t o) {
+    const ShortestPathTree tree = RunDijkstra(*graph_, objects_[o]);
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      const size_t slot = Slot(static_cast<uint32_t>(o), n);
+      dist_[slot] = tree.dist[n];
+      parent_[slot] = tree.parent[n];
+      parent_edge_[slot] = tree.parent_edge[n];
     }
-  };
-  if (num_threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
-    for (std::thread& t : threads) t.join();
-  }
+  });
   for (uint32_t o = 0; o < objects_.size(); ++o) {
     for (NodeId n = 0; n < num_nodes_; ++n) {
       const EdgeId edge = parent_edge_[Slot(o, n)];

@@ -20,6 +20,8 @@
 
 namespace dsig {
 
+class ThreadPool;
+
 // One tree-entry change produced by an update notification.
 struct TreeChange {
   uint32_t object_index;  // position in objects(), not the node id
@@ -39,7 +41,10 @@ class SpanningForest {
 
   // Runs one Dijkstra per object and fills the reverse edge index. The node
   // count of the graph is frozen from this point on (edges may still change).
-  void Build();
+  // The Dijkstras run on `pool` (nullptr = the process-wide pool); each
+  // writes a disjoint row-major slice, so the result does not depend on the
+  // pool size.
+  void Build(ThreadPool* pool = nullptr);
 
   size_t num_objects() const { return objects_.size(); }
   const std::vector<NodeId>& objects() const { return objects_; }

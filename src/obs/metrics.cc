@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/json.h"
+#include "util/thread_pool.h"
 
 namespace dsig {
 namespace obs {
@@ -281,12 +282,25 @@ BufferPoolTotals& GlobalBufferPoolTotals() {
 }
 
 void PublishBufferPoolMetrics() {
-  const BufferPoolTotals& totals = GlobalBufferPoolTotals();
+  const BufferPoolTotalsSnapshot totals = GlobalBufferPoolTotals().Snapshot();
   const BufferPoolMetrics& m = GlobalBufferPoolMetrics();
   m.hits->Set(totals.hits);
   m.misses->Set(totals.misses);
   m.evictions->Set(totals.evictions);
   m.failed_reads->Set(totals.failed_reads);
+}
+
+void PublishThreadPoolMetrics() {
+  const ThreadPoolTotals& totals = GlobalThreadPoolTotals();
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("pool.tasks_run")
+      ->Set(totals.tasks_run.load(std::memory_order_relaxed));
+  registry.GetCounter("pool.steals")
+      ->Set(totals.steals.load(std::memory_order_relaxed));
+  registry.GetCounter("pool.parallel_fors")
+      ->Set(totals.parallel_fors.load(std::memory_order_relaxed));
+  registry.GetCounter("pool.chunks_run")
+      ->Set(totals.chunks_run.load(std::memory_order_relaxed));
 }
 
 BufferPoolMetrics& GlobalBufferPoolMetrics() {

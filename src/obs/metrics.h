@@ -154,20 +154,41 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
-// Process-wide buffer-pool totals, charged by every BufferManager instance
-// on its Access path and folded into query traces as deltas. Plain globals
-// for the same reason as OpCounters: the library is single-threaded per
-// query stream, and a relaxed atomic add per page access (~30k per large
-// kNN query) is measurable in bench_knn. PublishBufferPoolMetrics() copies
-// them into the registry ("buffer.*" counters) for dumps and exporters.
-struct BufferPoolTotals {
+// Plain point-in-time copy of the buffer-pool totals; what traces store and
+// diff (BufferPoolTotals itself holds atomics and is not copyable).
+struct BufferPoolTotalsSnapshot {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t failed_reads = 0;
 };
+
+// Process-wide buffer-pool totals, charged by every BufferManager instance
+// on its Access path and folded into query traces as deltas. Relaxed
+// atomics: batch query workers on different threads share one pool, and a
+// relaxed add per page access is the cheapest thing that stays coherent.
+struct BufferPoolTotals {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> failed_reads{0};
+
+  BufferPoolTotalsSnapshot Snapshot() const {
+    BufferPoolTotalsSnapshot s;
+    s.hits = hits.load(std::memory_order_relaxed);
+    s.misses = misses.load(std::memory_order_relaxed);
+    s.evictions = evictions.load(std::memory_order_relaxed);
+    s.failed_reads = failed_reads.load(std::memory_order_relaxed);
+    return s;
+  }
+};
 BufferPoolTotals& GlobalBufferPoolTotals();
+// Copies the totals into the registry ("buffer.*" counters).
 void PublishBufferPoolMetrics();
+
+// Copies the process-wide ThreadPoolTotals (util/thread_pool.h) into the
+// registry as "pool.*" counters, same pattern as the buffer pool.
+void PublishThreadPoolMetrics();
 
 // Registry handles for the buffer-pool gauges that track current state
 // (cheap relaxed stores, set on insert/clear rather than per access).

@@ -7,7 +7,7 @@
 namespace dsig {
 namespace {
 
-OpCounters g_counters;
+thread_local OpCounters g_counters;
 
 }  // namespace
 

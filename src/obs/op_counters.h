@@ -4,8 +4,11 @@
 // backtracking steps, and comparisons (e.g., §6.2 attributes the kNN
 // clock-time gap at k = 50 to sorting CPU and decompression). These counters
 // expose that decomposition to benches, tests, traces, and the metrics
-// registry. Plain globals — the library is single-threaded per query stream,
-// and the counters are diagnostics, not control flow.
+// registry. THREAD-LOCAL plain fields — each query stream counts into its
+// own instance for free (no atomics on per-entry-decode paths), and the
+// batch driver (query/batch.h) merges worker deltas back into the caller's
+// counters with operator+= so single-threaded measurement code keeps
+// working unchanged.
 //
 // The field list lives in one X-macro so a new counter automatically joins
 // the struct, the snapshot delta, and every consumer that iterates fields
@@ -47,6 +50,13 @@ struct OpCounters {
     return delta;
   }
 
+  OpCounters& operator+=(const OpCounters& other) {
+#define DSIG_OP_COUNTER_ADD(field, comment) field += other.field;
+    DSIG_OP_COUNTER_FIELDS(DSIG_OP_COUNTER_ADD)
+#undef DSIG_OP_COUNTER_ADD
+    return *this;
+  }
+
   // Visits (name, value) for every counter in declaration order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
@@ -56,9 +66,12 @@ struct OpCounters {
   }
 };
 
-// The live counters (mutable; reset with ResetOpCounters).
+// The CALLING THREAD's live counters (mutable; reset with ResetOpCounters).
+// Each thread counts independently; aggregation across threads is the batch
+// driver's job, not this accessor's.
 OpCounters& GlobalOpCounters();
 
+// Resets the calling thread's counters.
 void ResetOpCounters();
 
 // Copies the live counters into the metrics registry as "ops.<field>"

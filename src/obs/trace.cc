@@ -95,7 +95,7 @@ QueryTrace::QueryTrace(QueryInstrument* instrument)
   root_ = true;
   g_active_trace = this;
   ops_before_ = GlobalOpCounters();
-  buffer_before_ = GlobalBufferPoolTotals();
+  buffer_before_ = GlobalBufferPoolTotals().Snapshot();
 }
 
 QueryTrace::~QueryTrace() {
@@ -111,7 +111,7 @@ QueryTrace::~QueryTrace() {
       total_ns > top_level_span_ns_ ? total_ns - top_level_span_ns_ : 0;
 
   const OpCounters ops = GlobalOpCounters() - ops_before_;
-  const BufferPoolTotals& buffer = GlobalBufferPoolTotals();
+  const BufferPoolTotalsSnapshot buffer = GlobalBufferPoolTotals().Snapshot();
 
   JsonWriter w;
   w.BeginObject();

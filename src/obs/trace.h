@@ -121,7 +121,7 @@ class QueryTrace {
   uint64_t top_level_span_ns_ = 0;  // total time of depth-1 spans
   Span* current_span_ = nullptr;
   OpCounters ops_before_;
-  BufferPoolTotals buffer_before_;
+  BufferPoolTotalsSnapshot buffer_before_;
 };
 
 }  // namespace obs

@@ -14,13 +14,14 @@ BufferManager::BufferManager(size_t capacity_pages)
 
 bool BufferManager::Access(FileId file, PageId page) {
   const obs::Span span(obs::Phase::kBufferIo);
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.logical_accesses;
   if (capacity_ == 0) {
     ++stats_.physical_accesses;
-    ++totals_->misses;
+    totals_->misses.fetch_add(1, std::memory_order_relaxed);
     if (read_fault_injector_ && read_fault_injector_(file, page)) {
       ++stats_.failed_reads;
-      ++totals_->failed_reads;
+      totals_->failed_reads.fetch_add(1, std::memory_order_relaxed);
     }
     return false;
   }
@@ -28,15 +29,15 @@ bool BufferManager::Access(FileId file, PageId page) {
   const auto it = table_.find(key);
   if (it != table_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
-    ++totals_->hits;
+    totals_->hits.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   ++stats_.physical_accesses;
-  ++totals_->misses;
+  totals_->misses.fetch_add(1, std::memory_order_relaxed);
   if (read_fault_injector_ && read_fault_injector_(file, page)) {
     // The read never produced a page, so nothing enters the pool.
     ++stats_.failed_reads;
-    ++totals_->failed_reads;
+    totals_->failed_reads.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   lru_.push_front(key);
@@ -45,13 +46,14 @@ bool BufferManager::Access(FileId file, PageId page) {
     table_.erase(lru_.back());
     lru_.pop_back();
     ++stats_.evictions;
-    ++totals_->evictions;
+    totals_->evictions.fetch_add(1, std::memory_order_relaxed);
   }
   metrics_->cached_pages->Set(static_cast<double>(table_.size()));
   return false;
 }
 
 void BufferManager::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_ = {};
   lru_.clear();
   table_.clear();

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "obs/metrics.h"
@@ -62,16 +63,23 @@ class BufferManager {
   BufferManager(const BufferManager&) = delete;
   BufferManager& operator=(const BufferManager&) = delete;
 
-  // Touches one page; returns true on a buffer hit.
+  // Touches one page; returns true on a buffer hit. Thread-safe: batch
+  // query workers share one pool, so the LRU list and stats are guarded by
+  // an internal mutex (one short critical section per page touch).
   bool Access(FileId file, PageId page);
 
   // Allocates a fresh file-id namespace for a new paged structure.
   FileId RegisterFile() { return next_file_++; }
 
+  // Measurement APIs: call only while no other thread is in Access() — the
+  // returned reference aliases state the mutex guards.
   const BufferStats& stats() const { return stats_; }
 
   // Clears counters but keeps buffer contents (for steady-state measurement).
-  void ResetStats() { stats_ = {}; }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = {};
+  }
 
   // Drops all cached pages and counters (cold-cache measurement).
   void Clear();
@@ -96,6 +104,7 @@ class BufferManager {
   }
 
   size_t capacity_;
+  mutable std::mutex mu_;  // guards stats_, lru_, table_
   BufferStats stats_;
   obs::BufferPoolMetrics* metrics_;  // process-wide gauges, never null
   obs::BufferPoolTotals* totals_;    // process-wide totals, never null

@@ -1,0 +1,237 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dsig {
+
+ThreadPoolTotals& GlobalThreadPoolTotals() {
+  static ThreadPoolTotals totals;
+  return totals;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Run(std::function<void()> task) {
+  DSIG_CHECK(task != nullptr);
+  const size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++queued_;
+    ++in_flight_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(size_t self, std::function<void()>* task) {
+  {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  for (size_t step = 1; step < queues_.size(); ++step) {
+    WorkerQueue& victim = *queues_[(self + step) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      GlobalThreadPoolTotals().steals.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  while (true) {
+    std::function<void()> task;
+    if (TryPop(self, &task)) {
+      {
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        --queued_;
+      }
+      task();
+      GlobalThreadPoolTotals().tasks_run.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      bool drained = false;
+      {
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        drained = --in_flight_ == 0;
+      }
+      if (drained) drain_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    // Re-check under the lock: a Run() between our failed TryPop and here
+    // would otherwise be missed.
+    wake_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForChunks(n, 1, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+namespace {
+
+// Shared state of one ParallelForChunks call. Heap-allocated and reference-
+// counted so driver tasks that wake after the caller has already returned
+// (having found the cursor exhausted) touch valid memory. Claiming goes
+// through the mutex: chunks are coarse, so the lock is cold, and it makes
+// "every claimed chunk is counted before the caller can unblock" trivially
+// true — the property the completion barrier rests on.
+struct LoopState {
+  static constexpr size_t kNone = ~size_t{0};
+
+  const std::function<void(size_t, size_t)>* fn;
+  size_t n = 0;
+  size_t num_chunks = 0;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t next = 0;       // next unclaimed chunk
+  size_t claimed = 0;    // chunks handed to a driver
+  size_t completed = 0;  // chunks whose fn returned (or threw)
+  bool cancelled = false;
+  std::exception_ptr error;
+
+  size_t Claim() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (cancelled || next >= num_chunks) return kNone;
+    ++claimed;
+    return next++;
+  }
+
+  // mu must be held. Done = no chunk in flight and no chunk will start.
+  bool Finished() const {
+    return completed == claimed && (cancelled || next >= num_chunks);
+  }
+
+  // [begin, end) of chunk c under an even split of n into num_chunks.
+  void Bounds(size_t c, size_t* begin, size_t* end) const {
+    const size_t base = n / num_chunks;
+    const size_t extra = n % num_chunks;
+    *begin = c * base + std::min(c, extra);
+    *end = *begin + base + (c < extra ? 1 : 0);
+  }
+
+  // Claims and runs chunks until the loop is exhausted or cancelled.
+  void Drive() {
+    while (true) {
+      const size_t c = Claim();
+      if (c == kNone) return;
+      size_t begin = 0, end = 0;
+      Bounds(c, &begin, &end);
+      std::exception_ptr thrown;
+      try {
+        (*fn)(begin, end);
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      GlobalThreadPoolTotals().chunks_run.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      bool done = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (thrown != nullptr) {
+          // First failure wins; cancel the chunks not yet claimed.
+          if (error == nullptr) error = thrown;
+          cancelled = true;
+        }
+        ++completed;
+        done = Finished();
+      }
+      if (done) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelForChunks(
+    size_t n, size_t min_grain,
+    const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  GlobalThreadPoolTotals().parallel_fors.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  if (min_grain == 0) min_grain = 1;
+  // ~4 chunks per thread so dynamic claiming rebalances uneven item costs,
+  // but never chunks smaller than the grain and never more chunks than
+  // items. The chunk count must NOT depend on runtime load — it feeds the
+  // determinism contract in the header.
+  const size_t by_grain = (n + min_grain - 1) / min_grain;
+  const size_t num_chunks =
+      std::max<size_t>(1, std::min(by_grain, num_threads() * 4));
+
+  auto state = std::make_shared<LoopState>();
+  state->fn = &fn;
+  state->n = n;
+  state->num_chunks = num_chunks;
+
+  // One helper task per thread that could usefully participate; the caller
+  // drives inline below, so a single-thread pool (or a single chunk) runs
+  // the whole loop on the calling thread with no handoff.
+  const size_t helpers = std::min(num_chunks, num_threads()) - 1;
+  for (size_t h = 0; h < helpers; ++h) {
+    Run([state] { state->Drive(); });
+  }
+  state->Drive();
+
+  // The cursor being exhausted does not mean the loop is done — a helper
+  // may still be inside fn. Completion, tracked under the state mutex, is
+  // the barrier. Helpers that wake later find the cursor exhausted and
+  // exit touching only the shared_ptr state.
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&state] { return state->Finished(); });
+  }
+  if (state->error != nullptr) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace dsig

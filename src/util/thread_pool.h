@@ -1,0 +1,116 @@
+// Shared work-stealing thread pool and data-parallel loops.
+//
+// Construction runs one Dijkstra per object plus two full sweeps over all
+// nodes (§5.2); batch query serving wants many independent queries in
+// flight. Both reduce to "run N independent work items across the hardware",
+// which is what this pool provides:
+//
+//  * ThreadPool — fixed worker set, one deque per worker. Submitted tasks
+//    are distributed round-robin; an idle worker first drains its own deque
+//    (front), then *steals* from the back of a sibling's deque, so uneven
+//    item costs (e.g. Dijkstras from central vs. peripheral objects) balance
+//    without a central queue becoming the bottleneck.
+//  * ParallelFor / ParallelForChunks — blocking data-parallel loops. The
+//    CALLING thread participates: it claims and runs chunks alongside the
+//    workers, which (a) keeps it busy instead of blocked and (b) makes
+//    nested ParallelFor calls deadlock-free — an inner loop issued from a
+//    worker always makes progress on the caller itself even when every
+//    other worker is busy.
+//
+// Exceptions thrown by loop bodies cancel the remaining chunks (best
+// effort), propagate to the ParallelFor caller, and leave the pool usable.
+//
+// Determinism contract: chunk boundaries depend only on the item count and
+// the pool size, and the signature builder only merges chunk results with
+// commutative operations (integer sums, max), so build outputs are
+// byte-identical for every thread count — test-enforced by
+// tests/parallel_build_test.cc.
+//
+// Pool activity accumulates in process-wide ThreadPoolTotals (same pattern
+// as the buffer-pool totals in obs/metrics.h); obs publishes them to the
+// metrics registry as "pool.*" counters.
+#ifndef DSIG_UTIL_THREAD_POOL_H_
+#define DSIG_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsig {
+
+// Process-wide pool activity, charged by every ThreadPool instance with
+// relaxed atomic adds (workers on different cores bump them concurrently).
+struct ThreadPoolTotals {
+  std::atomic<uint64_t> tasks_run{0};      // submitted tasks executed
+  std::atomic<uint64_t> steals{0};         // tasks taken from a sibling deque
+  std::atomic<uint64_t> parallel_fors{0};  // blocking loops executed
+  std::atomic<uint64_t> chunks_run{0};     // loop chunks executed
+};
+ThreadPoolTotals& GlobalThreadPoolTotals();
+
+class ThreadPool {
+ public:
+  // 0 = one worker per hardware thread (at least one).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a fire-and-forget task.
+  void Run(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished.
+  void Wait();
+
+  // Runs fn(i) for every i in [0, n), blocking until all complete. The
+  // calling thread participates. Rethrows the first exception.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // Chunked variant: fn(begin, end) over disjoint ranges covering [0, n).
+  // Each chunk holds at least min_grain items (except possibly the last
+  // pattern of an uneven split). Chunk boundaries are a pure function of
+  // (n, min_grain, num_threads()) — see the determinism contract above.
+  void ParallelForChunks(size_t n, size_t min_grain,
+                         const std::function<void(size_t, size_t)>& fn);
+
+  // Lazily-created process-wide pool sized to the hardware. Never destroyed
+  // (workers are joined at process exit by the OS), so it is safe to use
+  // from static destructors the same way the metrics registry is.
+  static ThreadPool& Global();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  // Pops a task: own deque front first, then steal from siblings' backs.
+  bool TryPop(size_t self, std::function<void()>* task);
+  void WorkerLoop(size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;   // workers sleep here
+  std::condition_variable drain_cv_;  // Wait() sleeps here
+  size_t queued_ = 0;    // tasks sitting in deques (guarded by wake_mu_)
+  size_t in_flight_ = 0; // queued + currently executing (guarded by wake_mu_)
+  bool stop_ = false;
+
+  std::atomic<size_t> next_queue_{0};  // round-robin submission cursor
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_UTIL_THREAD_POOL_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/thread_pool.h"
+
 #include <cmath>
 #include <string>
 #include <vector>
@@ -224,16 +226,33 @@ TEST(BufferPoolMetricsTest, WiredToRegistry) {
 
 TEST(BufferPoolMetricsTest, PublishCopiesTotalsIntoRegistry) {
   BufferPoolTotals& totals = GlobalBufferPoolTotals();
-  totals.hits += 5;
-  totals.misses += 3;
-  totals.evictions += 2;
+  totals.hits.fetch_add(5, std::memory_order_relaxed);
+  totals.misses.fetch_add(3, std::memory_order_relaxed);
+  totals.evictions.fetch_add(2, std::memory_order_relaxed);
   PublishBufferPoolMetrics();
+  const BufferPoolTotalsSnapshot snap = totals.Snapshot();
   auto& registry = MetricsRegistry::Global();
-  EXPECT_EQ(registry.GetCounter("buffer.hits")->Value(), totals.hits);
-  EXPECT_EQ(registry.GetCounter("buffer.misses")->Value(), totals.misses);
-  EXPECT_EQ(registry.GetCounter("buffer.evictions")->Value(), totals.evictions);
+  EXPECT_EQ(registry.GetCounter("buffer.hits")->Value(), snap.hits);
+  EXPECT_EQ(registry.GetCounter("buffer.misses")->Value(), snap.misses);
+  EXPECT_EQ(registry.GetCounter("buffer.evictions")->Value(), snap.evictions);
   EXPECT_EQ(registry.GetCounter("buffer.failed_reads")->Value(),
-            totals.failed_reads);
+            snap.failed_reads);
+}
+
+TEST(ThreadPoolMetricsTest, PublishCopiesPoolTotalsIntoRegistry) {
+  ThreadPoolTotals& totals = GlobalThreadPoolTotals();
+  totals.tasks_run.fetch_add(4, std::memory_order_relaxed);
+  totals.parallel_fors.fetch_add(1, std::memory_order_relaxed);
+  PublishThreadPoolMetrics();
+  auto& registry = MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetCounter("pool.tasks_run")->Value(),
+            totals.tasks_run.load(std::memory_order_relaxed));
+  EXPECT_EQ(registry.GetCounter("pool.steals")->Value(),
+            totals.steals.load(std::memory_order_relaxed));
+  EXPECT_EQ(registry.GetCounter("pool.parallel_fors")->Value(),
+            totals.parallel_fors.load(std::memory_order_relaxed));
+  EXPECT_EQ(registry.GetCounter("pool.chunks_run")->Value(),
+            totals.chunks_run.load(std::memory_order_relaxed));
 }
 
 }  // namespace

@@ -1,0 +1,117 @@
+// The determinism contract of the parallel construction pipeline
+// (signature_builder.h): chunk boundaries are a pure function of the input
+// and merges are commutative, so the built index is BYTE-identical at every
+// thread count — in memory (encoded rows, stats) and on disk (persisted
+// files compare equal byte for byte).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/signature_builder.h"
+#include "graph/graph_generator.h"
+#include "io/persistence.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void ExpectIndexesBitIdentical(const SignatureIndex& a,
+                               const SignatureIndex& b) {
+  const SignatureSizeStats& sa = a.size_stats();
+  const SignatureSizeStats& sb = b.size_stats();
+  EXPECT_EQ(sa.raw_bits, sb.raw_bits);
+  EXPECT_EQ(sa.encoded_bits, sb.encoded_bits);
+  EXPECT_EQ(sa.compressed_bits, sb.compressed_bits);
+  EXPECT_EQ(sa.entries, sb.entries);
+  EXPECT_EQ(sa.compressed_entries, sb.compressed_entries);
+  ASSERT_EQ(a.graph().num_nodes(), b.graph().num_nodes());
+  for (NodeId n = 0; n < a.graph().num_nodes(); ++n) {
+    const EncodedRow& ra = a.encoded_row(n);
+    const EncodedRow& rb = b.encoded_row(n);
+    ASSERT_EQ(ra.size_bits, rb.size_bits) << "node " << n;
+    ASSERT_EQ(ra.bytes, rb.bytes) << "node " << n;
+  }
+}
+
+TEST(ParallelBuildTest, ThreadCountsProduceBitIdenticalIndexes) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 1500, .seed = 21});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.03, 21);
+  const auto build = [&](size_t threads) {
+    return BuildSignatureIndex(g, objects,
+                               {.t = 10,
+                                .c = 2.718281828,
+                                .keep_forest = false,
+                                .num_threads = threads});
+  };
+  const auto serial = build(1);
+  ExpectIndexesBitIdentical(*serial, *build(2));
+  ExpectIndexesBitIdentical(*serial, *build(8));
+  // 0 = the shared process-wide pool, whatever size the hardware gave it.
+  ExpectIndexesBitIdentical(*serial, *build(0));
+}
+
+TEST(ParallelBuildTest, ClusteredDatasetAlsoBitIdentical) {
+  // Clustered objects make Dijkstra costs very uneven across chunks, which
+  // is exactly when work stealing reorders execution the most.
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 1200, .seed = 22});
+  const std::vector<NodeId> objects = ClusteredDataset(g, 0.04, 6, 22);
+  const auto build = [&](size_t threads) {
+    return BuildSignatureIndex(
+        g, objects, {.t = 5, .c = 2.0, .num_threads = threads});
+  };
+  ExpectIndexesBitIdentical(*build(1), *build(8));
+}
+
+TEST(ParallelBuildTest, PersistedFilesAreByteIdentical) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 1000, .seed = 23});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.02, 23);
+  const std::string path1 = TempPath("parallel_build_t1.idx");
+  const std::string path8 = TempPath("parallel_build_t8.idx");
+  for (const auto& [threads, path] :
+       {std::pair<size_t, std::string>{1, path1}, {8, path8}}) {
+    const auto index = BuildSignatureIndex(g, objects,
+                                           {.t = 10,
+                                            .c = 2.718281828,
+                                            .keep_forest = false,
+                                            .num_threads = threads});
+    ASSERT_TRUE(SaveSignatureIndex(*index, path).ok());
+  }
+  const std::string bytes1 = ReadFileBytes(path1);
+  const std::string bytes8 = ReadFileBytes(path8);
+  ASSERT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, bytes8);
+  std::remove(path1.c_str());
+  std::remove(path8.c_str());
+}
+
+TEST(ParallelBuildTest, ParallelBuildRoundTripsThroughPersistence) {
+  const RoadNetwork g = MakeRandomPlanar({.num_nodes = 800, .seed = 24});
+  const std::vector<NodeId> objects = UniformDataset(g, 0.03, 24);
+  const auto built = BuildSignatureIndex(
+      g, objects,
+      {.t = 10, .c = 2.718281828, .keep_forest = false, .num_threads = 4});
+  const std::string path = TempPath("parallel_build_roundtrip.idx");
+  ASSERT_TRUE(SaveSignatureIndex(*built, path).ok());
+  auto loaded = LoadSignatureIndex(g, path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectIndexesBitIdentical(*built, **loaded);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dsig

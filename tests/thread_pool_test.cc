@@ -1,0 +1,174 @@
+// ThreadPool contract tests: loops cover every index exactly once, the
+// caller participates (so nested loops cannot deadlock), exceptions cancel
+// and propagate without wedging the pool, and chunk geometry is the pure
+// function of (n, min_grain, num_threads) the determinism contract promises.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace dsig {
+namespace {
+
+TEST(ThreadPoolTest, RunExecutesAllTasksBeforeWaitReturns) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Run([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not block
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> visits(n);
+  pool.ParallelFor(n, [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsIsANoop) {
+  ThreadPool pool(3);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  pool.ParallelForChunks(0, 8, [&](size_t, size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleItemRuns) {
+  ThreadPool pool(4);
+  std::atomic<int> runs{0};
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    runs.fetch_add(1);
+  });
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunksAreDisjointOrderedAndRespectGrain) {
+  ThreadPool pool(4);
+  const size_t n = 103;
+  const size_t grain = 10;
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  pool.ParallelForChunks(n, grain, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(begin, end);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, 0u);
+  EXPECT_EQ(chunks.back().second, n);
+  for (size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].second, chunks[i + 1].first);  // no gaps, no overlap
+  }
+  // No more chunks than the grain allows.
+  EXPECT_LE(chunks.size(), (n + grain - 1) / grain);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesAreIdenticalAcrossRuns) {
+  // The determinism contract: same (n, grain, threads) => same chunks.
+  const auto chunk_set = [](ThreadPool& pool, size_t n, size_t grain) {
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> chunks;
+    pool.ParallelForChunks(n, grain, [&](size_t b, size_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  ThreadPool pool(4);
+  EXPECT_EQ(chunk_set(pool, 777, 16), chunk_set(pool, 777, 16));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [&](size_t i) {
+                         if (i == 13) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must survive: a fresh loop still completes fully.
+  std::atomic<int> done{0};
+  pool.ParallelFor(64, [&](size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, ExceptionCancelsUnclaimedChunks) {
+  ThreadPool pool(2);
+  std::atomic<int> chunks_run{0};
+  try {
+    pool.ParallelForChunks(1000, 1, [&](size_t, size_t) {
+      chunks_run.fetch_add(1);
+      throw std::runtime_error("first chunk dies");
+    });
+    FAIL() << "expected the exception to propagate";
+  } catch (const std::runtime_error&) {
+  }
+  // Cancellation is best-effort (chunks already claimed still finish), but
+  // nowhere near all 1000 single-item chunks may run after the first throw.
+  EXPECT_LT(chunks_run.load(), 1000);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  // An inner loop issued from inside an outer loop body must make progress
+  // even when every worker is occupied by the outer loop (the caller of the
+  // inner loop drives chunks itself).
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(16, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsEverything) {
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  pool.ParallelFor(100, [&](size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 100);
+  pool.Run([&done] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 101);
+}
+
+TEST(ThreadPoolTest, TotalsAccumulate) {
+  auto& totals = GlobalThreadPoolTotals();
+  const uint64_t tasks0 = totals.tasks_run.load();
+  const uint64_t fors0 = totals.parallel_fors.load();
+  const uint64_t chunks0 = totals.chunks_run.load();
+  ThreadPool pool(2);
+  pool.Run([] {});
+  pool.Wait();
+  pool.ParallelFor(32, [](size_t) {});
+  EXPECT_GT(totals.tasks_run.load(), tasks0);
+  EXPECT_GT(totals.parallel_fors.load(), fors0);
+  EXPECT_GT(totals.chunks_run.load(), chunks0);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  std::atomic<int> done{0};
+  ThreadPool::Global().ParallelFor(10, [&](size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 10);
+  EXPECT_GE(ThreadPool::Global().num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace dsig
