@@ -4,9 +4,20 @@
 // entropy-coded size and its ratio, and the compressed size and its ratio.
 // Paper: encoding ratio ~0.74 across datasets (3 -> ~1.4 bits/id);
 // compression flags ~70% of entries; compressed/encoded ~0.75-0.9.
+//
+// A second exhibit measures the codec kernels themselves: EncodeRow /
+// DecodeRow / DecodeEntry throughput (entries/s and MB/s of encoded bytes)
+// for each category-code scheme, on synthetic rows whose category
+// distribution matches the reverse-zero-padding premise (each category
+// outweighs all earlier ones). These rows gate the word-level kernel work:
+// every query decodes through this path.
 #include "bench/bench_common.h"
 
+#include <bit>
+
 #include "core/cross_node.h"
+#include "core/encoding.h"
+#include "util/random.h"
 
 int main(int argc, char** argv) {
   using namespace dsig;
@@ -61,6 +72,91 @@ int main(int argc, char** argv) {
                   Fmt("%.2f", cross.Ratio())});
   }
   table.Print();
+
+  // --- Codec kernel throughput -------------------------------------------
+  // Synthetic rows, skewed so category k carries weight 2^k (the RZP
+  // premise): the realistic regime where most category codes are 1-3 bits.
+  constexpr size_t kThroughputRows = 256;
+  constexpr size_t kEntriesPerRow = 256;
+  constexpr int kCategories = 8;
+  constexpr int kLinkBits = 4;
+  constexpr int kEncodeReps = 6;
+  constexpr int kDecodeReps = 12;
+  Random trng(seed + 99);
+  std::vector<SignatureRow> plain_rows(kThroughputRows);
+  std::vector<uint64_t> frequencies(kCategories, 0);
+  for (SignatureRow& row : plain_rows) {
+    row.resize(kEntriesPerRow);
+    for (SignatureEntry& entry : row) {
+      // P(category = k) proportional to 2^k: draw r in [1, 2^m - 1] and take
+      // the bit width, so each category outweighs all earlier ones combined.
+      const uint64_t r = 1 + trng.NextUint64((uint64_t{1} << kCategories) - 1);
+      entry.category = static_cast<uint8_t>(std::bit_width(r) - 1);
+      entry.link = static_cast<uint8_t>(trng.NextUint64(1u << kLinkBits));
+      entry.compressed = trng.NextBool(0.4);
+      if (!entry.compressed) ++frequencies[entry.category];
+    }
+  }
+  const size_t total_entries = kThroughputRows * kEntriesPerRow;
+
+  std::printf("\n=== Codec kernel throughput (%zu rows x %zu entries) ===\n",
+              kThroughputRows, kEntriesPerRow);
+  TablePrinter tput({"code", "op", "Mentries/s", "MB/s", "ms/pass"});
+  uint64_t sink = 0;  // defeats dead-code elimination of the decode loops
+  const std::vector<int> encode_passes(kEncodeReps, 0);
+  const std::vector<int> decode_passes(kDecodeReps, 0);
+  for (const CategoryCodeKind kind : kAllCategoryCodeKinds) {
+    const SignatureCodec codec(
+        BuildCategoryCode(kind, kCategories, frequencies), kLinkBits,
+        /*has_flags=*/true);
+    std::vector<EncodedRow> encoded(plain_rows.size());
+    const Measurement enc = MeasureItems(nullptr, encode_passes, [&](int) {
+      for (size_t r = 0; r < plain_rows.size(); ++r) {
+        encoded[r] = codec.EncodeRow(plain_rows[r]);
+      }
+    });
+    uint64_t encoded_bytes = 0;
+    for (const EncodedRow& row : encoded) encoded_bytes += row.bytes.size();
+    const Measurement dec = MeasureItems(nullptr, decode_passes, [&](int) {
+      for (const EncodedRow& row : encoded) {
+        sink += codec.DecodeRow(row).back().link;
+      }
+    });
+    const Measurement ent = MeasureItems(nullptr, decode_passes, [&](int) {
+      SignatureEntry entry;
+      for (const EncodedRow& row : encoded) {
+        // Every 8th component: the checkpoint-scan path queries actually hit.
+        for (uint32_t i = 0; i < kEntriesPerRow; i += 8) {
+          entry = codec.DecodeEntry(row, i, nullptr);
+          sink += entry.link;
+        }
+      }
+    });
+    const auto add_point = [&](const char* op, const Measurement& m,
+                               size_t entries_per_pass) {
+      const double seconds_per_pass = m.mean_ms / 1e3;
+      const double entries_per_s =
+          static_cast<double>(entries_per_pass) / seconds_per_pass;
+      const double mb_per_s =
+          ToMb(encoded_bytes) / seconds_per_pass;
+      tput.AddRow({CategoryCodeKindName(kind), op,
+                   Fmt("%.1f", entries_per_s / 1e6), Fmt("%.1f", mb_per_s),
+                   Fmt("%.3f", m.mean_ms)});
+      auto* point = json.Add("codec_throughput", CategoryCodeKindName(kind),
+                             op, m);
+      if (point != nullptr) {
+        point->metrics["entries_per_s"] = entries_per_s;
+        point->metrics["mb_per_s"] = mb_per_s;
+        point->metrics["encoded_bytes"] = static_cast<double>(encoded_bytes);
+      }
+    };
+    add_point("encode", enc, total_entries);
+    add_point("decode", dec, total_entries);
+    add_point("decode_entry", ent, kThroughputRows * (kEntriesPerRow / 8));
+  }
+  tput.Print();
+  std::printf("(sink %llu)\n", static_cast<unsigned long long>(sink));
+
   std::printf(
       "\nExpected shape: encoding ratio roughly constant (~0.6-0.8);\n"
       "compression ratio improves (smaller) as density p grows.\n"

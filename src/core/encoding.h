@@ -26,6 +26,14 @@ enum class CategoryCodeKind {
   kHuffman,
 };
 
+// Every scheme, in the order above — for benches and tests that sweep the
+// codec configurations.
+inline constexpr CategoryCodeKind kAllCategoryCodeKinds[] = {
+    CategoryCodeKind::kFixed,
+    CategoryCodeKind::kReverseZeroPadding,
+    CategoryCodeKind::kHuffman,
+};
+
 const char* CategoryCodeKindName(CategoryCodeKind kind);
 
 // Builds the category code. `frequencies` (one count per category) is only

@@ -18,7 +18,21 @@ SignatureCodec::SignatureCodec(HuffmanCode category_code, int link_bits,
 
 EncodedRow SignatureCodec::EncodeRow(const SignatureRow& row) const {
   EncodedRow encoded;
+  encoded.checkpoints.reserve(
+      (row.size() + kCheckpointInterval - 1) / kCheckpointInterval);
+  // Exact-size first pass (array lookups only), so the writer allocates its
+  // buffer once instead of growing through the bit appends.
+  size_t total_bits = 0;
+  for (const SignatureEntry& entry : row) {
+    total_bits += has_flags_ ? 1 : 0;
+    if (!entry.compressed) {
+      total_bits += static_cast<size_t>(
+                        category_code_.length(entry.category)) +
+                    static_cast<size_t>(link_bits_);
+    }
+  }
   BitWriter writer;
+  writer.Reserve(total_bits);
   for (uint32_t i = 0; i < row.size(); ++i) {
     if (i % kCheckpointInterval == 0) {
       encoded.checkpoints.push_back(static_cast<uint32_t>(writer.size_bits()));
@@ -39,41 +53,87 @@ EncodedRow SignatureCodec::EncodeRow(const SignatureRow& row) const {
   return encoded;
 }
 
-SignatureRow SignatureCodec::DecodeRow(const EncodedRow& encoded) const {
-  SignatureRow row;
-  BitReader reader(encoded.bytes.data(), encoded.size_bits);
-  while (!reader.AtEnd()) {
-    SignatureEntry entry;
-    if (has_flags_ && reader.ReadBit()) {
-      entry.category = kUnresolvedCategory;
-      entry.link = kUnresolvedLink;
-      entry.compressed = true;
-    } else {
-      entry.category = static_cast<uint8_t>(category_code_.Decode(&reader));
-      entry.link = static_cast<uint8_t>(reader.ReadBits(link_bits_));
-    }
-    row.push_back(entry);
-  }
-  return row;
-}
-
 namespace {
 
+// Peek width that one unaligned LoadWord can always satisfy (64 minus the
+// worst-case 7-bit intra-byte offset). A full component — flag (<= 1 bit) +
+// table-resolved category (<= HuffmanCode::kDecodeTableBits) + link
+// (<= 16 bits) — is at most 28 bits, so one peeked window covers it.
+constexpr int kFusedPeekBits = 57;
+
+// Decodes one component at the reader's position on the trusted path: one
+// peeked window feeds the flag test, the category table lookup, and the link
+// extraction, and the position advances once. Aborts on truncation, exactly
+// like the per-primitive reads it fuses (Skip and the fallbacks are
+// bounds-checked).
+inline SignatureEntry ReadComponentFused(const HuffmanCode& code,
+                                         int link_bits, bool has_flags,
+                                         BitReader* reader) {
+  SignatureEntry entry;
+  const uint64_t window = reader->PeekBits(kFusedPeekBits);
+  if (has_flags && (window & 1)) {
+    entry.category = kUnresolvedCategory;
+    entry.link = kUnresolvedLink;
+    entry.compressed = true;
+    reader->Skip(1);
+    return entry;
+  }
+  const int flag = has_flags ? 1 : 0;
+  int symbol = 0;
+  const int cat_len = code.DecodeWindow(window >> flag, &symbol);
+  if (cat_len != 0) {
+    entry.category = static_cast<uint8_t>(symbol);
+    entry.link = static_cast<uint8_t>((window >> (flag + cat_len)) &
+                                      bitstream_internal::LowMask(link_bits));
+    reader->Skip(flag + cat_len + link_bits);
+  } else {
+    // Category code longer than the decode-table window: per-primitive path.
+    if (has_flags) reader->Skip(1);
+    entry.category = static_cast<uint8_t>(code.Decode(reader));
+    entry.link = static_cast<uint8_t>(reader->ReadBits(link_bits));
+  }
+  return entry;
+}
+
 // Reads one component without aborting; false on truncation / bad prefix /
-// oversized link. Factored so row and entry decoding share the rules.
+// oversized link. Factored so row and entry decoding share the rules. Same
+// fused window as ReadComponentFused, with explicit bounds checks in place
+// of the aborts.
 bool TryReadComponent(const HuffmanCode& category_code, int link_bits,
                       bool has_flags, BitReader* reader,
                       SignatureEntry* entry) {
+  const size_t remaining = reader->size_bits() - reader->position();
+  const uint64_t window = reader->PeekBits(kFusedPeekBits);
   if (has_flags) {
-    if (reader->AtEnd()) return false;
-    if (reader->ReadBit()) {
+    if (remaining == 0) return false;
+    if (window & 1) {
       entry->category = kUnresolvedCategory;
       entry->link = kUnresolvedLink;
       entry->compressed = true;
+      reader->Skip(1);
       return true;
     }
   }
+  const int flag = has_flags ? 1 : 0;
   int symbol = 0;
+  const int cat_len = category_code.DecodeWindow(window >> flag, &symbol);
+  if (cat_len != 0) {
+    // PeekBits zero-pads past the end, so a matched code (or its link) may
+    // extend beyond the stream: that is a truncated component, not a decode.
+    const size_t consumed = static_cast<size_t>(flag + cat_len + link_bits);
+    if (consumed > remaining) return false;
+    if (symbol > 0xFF) return false;
+    const uint64_t link = (window >> (flag + cat_len)) &
+                          bitstream_internal::LowMask(link_bits);
+    if (link > 0xFF) return false;  // adjacency slots are uint8
+    entry->category = static_cast<uint8_t>(symbol);
+    entry->link = static_cast<uint8_t>(link);
+    entry->compressed = false;
+    reader->Skip(static_cast<int>(consumed));
+    return true;
+  }
+  // Long category code (or no decode table): per-primitive path.
+  if (has_flags) reader->Skip(1);
   if (!category_code.TryDecode(reader, &symbol)) return false;
   if (symbol > 0xFF) return false;
   if (reader->size_bits() - reader->position() <
@@ -90,10 +150,26 @@ bool TryReadComponent(const HuffmanCode& category_code, int link_bits,
 
 }  // namespace
 
+SignatureRow SignatureCodec::DecodeRow(const EncodedRow& encoded) const {
+  SignatureRow row;
+  // Checkpoints bound the component count from below; compressed rows can
+  // hold more (one bit each), so this is a reservation, not a size.
+  row.reserve(encoded.checkpoints.size() * kCheckpointInterval);
+  BitReader reader(encoded.bytes.data(), encoded.size_bits);
+  const HuffmanCode& code = category_code_;
+  const int link_bits = link_bits_;
+  const bool has_flags = has_flags_;
+  while (!reader.AtEnd()) {
+    row.push_back(ReadComponentFused(code, link_bits, has_flags, &reader));
+  }
+  return row;
+}
+
 bool SignatureCodec::TryDecodeRow(const EncodedRow& encoded,
                                   size_t expected_entries,
                                   SignatureRow* row) const {
   row->clear();
+  row->reserve(expected_entries);
   if (encoded.size_bits > encoded.bytes.size() * 8) return false;
   BitReader reader(encoded.bytes.data(), encoded.size_bits);
   while (!reader.AtEnd()) {
@@ -139,18 +215,10 @@ SignatureEntry SignatureCodec::DecodeEntry(const EncodedRow& encoded,
   DSIG_CHECK_LT(checkpoint, encoded.checkpoints.size());
   BitReader reader(encoded.bytes.data(), encoded.size_bits);
   reader.Seek(encoded.checkpoints[checkpoint]);
-  SignatureEntry entry;
   for (uint32_t i = checkpoint * kCheckpointInterval;; ++i) {
     const uint64_t start = reader.position();
-    if (has_flags_ && reader.ReadBit()) {
-      entry.category = kUnresolvedCategory;
-      entry.link = kUnresolvedLink;
-      entry.compressed = true;
-    } else {
-      entry.category = static_cast<uint8_t>(category_code_.Decode(&reader));
-      entry.link = static_cast<uint8_t>(reader.ReadBits(link_bits_));
-      entry.compressed = false;
-    }
+    const SignatureEntry entry =
+        ReadComponentFused(category_code_, link_bits_, has_flags_, &reader);
     if (i == index) {
       if (bit_offset != nullptr) *bit_offset = start;
       return entry;

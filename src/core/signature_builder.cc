@@ -146,38 +146,43 @@ std::unique_ptr<SignatureIndex> BuildSignatureIndex(
           ? HuffmanCode::ReverseZeroPadding(m)
           : BuildCategoryCode(options.code_kind, m, frequencies);
 
-  // Sweep phase B: compress + encode the rows built in phase A, accumulating
-  // the size accounting of Table 1 (raw -> encoded -> compressed). Each row
-  // encodes independently into its own slot; per-chunk stats merge by
-  // addition. Rows are consumed (moved out) as they encode, so peak memory
-  // falls as the sweep progresses.
+  // The raw/entropy-coded totals of Table 1 follow directly from the phase-A
+  // category histogram (phase A sees every entry pre-compression), so the
+  // encode sweep below no longer re-walks entries for size accounting.
   SignatureSizeStats stats;
   const int fixed_bits = partition.fixed_code_bits();
+  for (size_t cat = 0; cat < frequencies.size(); ++cat) {
+    stats.entries += frequencies[cat];
+    stats.encoded_bits +=
+        frequencies[cat] *
+        static_cast<uint64_t>(entropy_code.length(static_cast<int>(cat)));
+  }
+  stats.raw_bits =
+      stats.entries * static_cast<uint64_t>(fixed_bits + link_bits);
+  stats.encoded_bits += stats.entries * static_cast<uint64_t>(link_bits);
+
+  // Sweep phase B: compress + encode the rows built in phase A. Each row
+  // encodes independently into its own slot through the word-level codec
+  // kernels (EncodeRow pre-sizes its buffer, so each row costs one
+  // allocation); per-chunk stats merge by addition. Rows are consumed
+  // (moved out) as they encode, so peak memory falls as the sweep
+  // progresses.
   std::vector<EncodedRow> rows(num_nodes);
   pool->ParallelForChunks(
       num_nodes, kRowSweepGrain, [&](size_t begin, size_t end) {
-        SignatureSizeStats local;
+        uint64_t local_compressed_bits = 0;
+        uint64_t local_compressed_entries = 0;
         for (size_t n = begin; n < end; ++n) {
           SignatureRow row = std::move(built_rows[n]);
-          for (const SignatureEntry& entry : row) {
-            local.raw_bits += static_cast<uint64_t>(fixed_bits) + link_bits;
-            local.encoded_bits +=
-                static_cast<uint64_t>(entropy_code.length(entry.category)) +
-                link_bits;
-            ++local.entries;
-          }
           if (options.compress) {
-            local.compressed_entries += compressor.Compress(&row);
+            local_compressed_entries += compressor.Compress(&row);
           }
           rows[n] = codec.EncodeRow(row);
-          local.compressed_bits += rows[n].size_bits;
+          local_compressed_bits += rows[n].size_bits;
         }
         std::lock_guard<std::mutex> lock(merge_mu);
-        stats.raw_bits += local.raw_bits;
-        stats.encoded_bits += local.encoded_bits;
-        stats.compressed_bits += local.compressed_bits;
-        stats.entries += local.entries;
-        stats.compressed_entries += local.compressed_entries;
+        stats.compressed_bits += local_compressed_bits;
+        stats.compressed_entries += local_compressed_entries;
       });
 
   return std::make_unique<SignatureIndex>(

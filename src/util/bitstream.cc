@@ -1,57 +1,89 @@
 #include "util/bitstream.h"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
-
-#include "util/logging.h"
 
 namespace dsig {
 
-void BitWriter::WriteBits(uint64_t value, int width) {
-  DSIG_CHECK_GE(width, 0);
-  DSIG_CHECK_LE(width, 64);
-  for (int i = 0; i < width; ++i) {
-    const size_t byte = size_bits_ >> 3;
-    const int bit = static_cast<int>(size_bits_ & 7);
-    if (byte >= bytes_.size()) bytes_.push_back(0);
-    if ((value >> i) & 1) bytes_[byte] |= static_cast<uint8_t>(1u << bit);
-    ++size_bits_;
+void BitWriter::Unmaterialize() {
+  // Drop the partial tail appended by Materialize(); the flushed prefix is
+  // exactly the whole words before the accumulator.
+  bytes_.resize((size_bits_ - static_cast<size_t>(acc_bits_)) / 8);
+  materialized_ = false;
+}
+
+void BitWriter::Materialize() const {
+  if (materialized_) return;
+  const size_t tail_bytes = (static_cast<size_t>(acc_bits_) + 7) / 8;
+  const size_t offset = bytes_.size();
+  bytes_.resize(offset + tail_bytes);
+  for (size_t i = 0; i < tail_bytes; ++i) {
+    bytes_[offset + i] = static_cast<uint8_t>(acc_ >> (8 * i));
   }
+  materialized_ = true;
 }
 
 void BitWriter::WriteUnary(int count) {
   DSIG_CHECK_GE(count, 0);
-  for (int i = 0; i < count; ++i) WriteBit(false);
+  for (int left = count; left > 0;) {
+    const int chunk = std::min(left, 64);
+    WriteBits(0, chunk);
+    left -= chunk;
+  }
   WriteBit(true);
 }
 
 std::vector<uint8_t> BitWriter::TakeBytes() {
-  size_bits_ = 0;
-  return std::move(bytes_);
+  Materialize();
+  std::vector<uint8_t> taken = std::move(bytes_);
+  Clear();
+  return taken;
 }
 
-uint64_t BitReader::ReadBits(int width) {
-  DSIG_CHECK_GE(width, 0);
-  DSIG_CHECK_LE(width, 64);
-  DSIG_CHECK_LE(position_ + static_cast<size_t>(width), size_bits_);
-  uint64_t value = 0;
-  for (int i = 0; i < width; ++i) {
-    const size_t byte = position_ >> 3;
-    const int bit = static_cast<int>(position_ & 7);
-    if ((data_[byte] >> bit) & 1) value |= (uint64_t{1} << i);
-    ++position_;
-  }
-  return value;
-}
-
-int BitReader::ReadUnary() {
+int BitReader::ReadZeros(int cap) {
+  DSIG_CHECK_GE(cap, 0);
   int zeros = 0;
-  while (!ReadBit()) ++zeros;
+  while (zeros < cap && position_ < size_bits_) {
+    const size_t remaining = size_bits_ - position_;
+    const size_t byte = position_ >> 3;
+    const int shift = static_cast<int>(position_ & 7);
+    uint64_t window = LoadWord(byte) >> shift;
+    int avail = 64 - shift;
+    if (static_cast<size_t>(avail) > remaining) {
+      // The window extends past the stream; stray trailing bits must not
+      // fake a terminator (or hide one).
+      avail = static_cast<int>(remaining);
+      window &= bitstream_internal::LowMask(avail);
+    }
+    const int budget = std::min(avail, cap - zeros);
+    const int trailing = std::min(std::countr_zero(window), budget);
+    zeros += trailing;
+    position_ += static_cast<size_t>(trailing);
+    if (trailing < budget) break;  // stopped at a one bit
+  }
   return zeros;
 }
 
-void BitReader::Seek(size_t position) {
-  DSIG_CHECK_LE(position, size_bits_);
-  position_ = position;
+int BitReader::ReadUnary() {
+  const int zeros = ReadZeros(std::numeric_limits<int>::max());
+  // ReadBit aborts past the end, preserving the old bit-at-a-time behavior
+  // on truncated streams; in bounds, the bit is a one by construction.
+  const bool terminator = ReadBit();
+  DSIG_CHECK(terminator);
+  return zeros;
+}
+
+bool BitReader::TryReadUnary(int* zeros) {
+  const size_t saved = position_;
+  const int count = ReadZeros(std::numeric_limits<int>::max());
+  if (AtEnd()) {
+    position_ = saved;
+    return false;
+  }
+  Skip(1);  // the terminating one
+  *zeros = count;
+  return true;
 }
 
 }  // namespace dsig

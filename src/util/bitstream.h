@@ -5,14 +5,36 @@
 // granularity. BitWriter appends into a growable byte buffer; BitReader walks
 // a finished buffer and supports random repositioning, which the signature
 // store uses to jump to per-row checkpoints.
+//
+// Both sides run at word granularity internally while keeping the byte
+// format unchanged: bits are packed LSB-first within each byte, bytes in
+// stream order (so bit i of the stream is bit (i & 7) of byte (i >> 3)).
+// The writer accumulates into a 64-bit word and flushes whole words; the
+// reader extracts with unaligned 64-bit loads and scans unary runs a word at
+// a time. The per-bit/per-word primitives are defined inline here — they are
+// the innermost loop of every signature decode. See ARCHITECTURE.md ("Codec
+// kernels") for the full contract.
 #ifndef DSIG_UTIL_BITSTREAM_H_
 #define DSIG_UTIL_BITSTREAM_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "util/logging.h"
+
 namespace dsig {
+
+namespace bitstream_internal {
+
+// Low-`width` bitmask; width in [0, 64].
+inline uint64_t LowMask(int width) {
+  return width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+}
+
+}  // namespace bitstream_internal
 
 // Append-only bit sink. Bits are packed LSB-first within each byte so that
 // writing then reading with the same widths round-trips.
@@ -20,8 +42,25 @@ class BitWriter {
  public:
   BitWriter() = default;
 
-  // Appends the low `width` bits of `value` (width in [0, 64]).
-  void WriteBits(uint64_t value, int width);
+  // Appends the low `width` bits of `value` (width in [0, 64]). Bits of
+  // `value` above `width` are ignored.
+  void WriteBits(uint64_t value, int width) {
+    DSIG_CHECK_GE(width, 0);
+    DSIG_CHECK_LE(width, 64);
+    if (width == 0) return;
+    if (materialized_) Unmaterialize();
+    value &= bitstream_internal::LowMask(width);
+    acc_ |= value << acc_bits_;
+    if (acc_bits_ + width >= 64) {
+      FlushWord(acc_);
+      const int consumed = 64 - acc_bits_;
+      acc_ = consumed < 64 ? value >> consumed : 0;
+      acc_bits_ = width - consumed;
+    } else {
+      acc_bits_ += width;
+    }
+    size_bits_ += static_cast<size_t>(width);
+  }
 
   // Appends a single bit.
   void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
@@ -29,58 +68,167 @@ class BitWriter {
   // Appends a unary code: `count` zeros followed by a one.
   void WriteUnary(int count);
 
+  // Pre-sizes the underlying buffer for `bits` total bits.
+  void Reserve(size_t bits) { bytes_.reserve((bits + 7) / 8); }
+
   // Number of bits written so far.
   size_t size_bits() const { return size_bits_; }
 
-  // Finished buffer; trailing bits of the last byte are zero.
-  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  // Finished buffer; trailing bits of the last byte are zero. Writing after
+  // this call is allowed and keeps the stream consistent.
+  const std::vector<uint8_t>& bytes() const {
+    Materialize();
+    return bytes_;
+  }
 
   // Moves the underlying buffer out; the writer is empty afterwards.
   std::vector<uint8_t> TakeBytes();
 
   void Clear() {
     bytes_.clear();
+    acc_ = 0;
+    acc_bits_ = 0;
     size_bits_ = 0;
+    materialized_ = false;
   }
 
  private:
-  std::vector<uint8_t> bytes_;
+  // Appends the 8 bytes of `word` (stream order = little-endian bit order).
+  void FlushWord(uint64_t word) {
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + 8);
+    // Stream byte k of the word is its bits [8k, 8k+8) — a little-endian
+    // store, which the compiler collapses to a single 8-byte write.
+    for (int i = 0; i < 8; ++i) {
+      bytes_[offset + static_cast<size_t>(i)] =
+          static_cast<uint8_t>(word >> (8 * i));
+    }
+  }
+
+  // Undoes Materialize(): drops the partially-filled tail bytes appended for
+  // bytes() so writes can keep accumulating into acc_.
+  void Unmaterialize();
+  // Appends the pending accumulator bytes so bytes_ reflects every written
+  // bit; const because observing the buffer must not change the stream.
+  void Materialize() const;
+
+  // bytes_ holds all *flushed* whole words; acc_ holds the pending tail bits
+  // [size_bits_ - acc_bits_, size_bits_), which always start on a 64-bit
+  // boundary of the stream. Bits of acc_ at and above acc_bits_ are zero.
+  mutable std::vector<uint8_t> bytes_;
+  mutable bool materialized_ = false;
+  uint64_t acc_ = 0;
+  int acc_bits_ = 0;  // in [0, 64)
   size_t size_bits_ = 0;
 };
 
 // Sequential bit source over a byte buffer produced by BitWriter.
 class BitReader {
  public:
-  // `data` must outlive the reader. `size_bits` bounds reads.
+  // `data` must outlive the reader. `size_bits` bounds reads; bytes beyond
+  // ceil(size_bits / 8) are never touched.
   BitReader(const uint8_t* data, size_t size_bits)
-      : data_(data), size_bits_(size_bits) {}
+      : data_(data), size_bits_(size_bits), num_bytes_((size_bits + 7) / 8) {}
 
   explicit BitReader(const std::vector<uint8_t>& bytes)
       : BitReader(bytes.data(), bytes.size() * 8) {}
 
   // Reads `width` bits (width in [0, 64]). It is a checked error to read past
   // the end of the stream.
-  uint64_t ReadBits(int width);
+  uint64_t ReadBits(int width) {
+    DSIG_CHECK_GE(width, 0);
+    DSIG_CHECK_LE(width, 64);
+    DSIG_CHECK_LE(position_ + static_cast<size_t>(width), size_bits_);
+    if (width == 0) return 0;
+    const size_t byte = position_ >> 3;
+    const int shift = static_cast<int>(position_ & 7);
+    uint64_t value = LoadWord(byte) >> shift;
+    const int got = 64 - shift;  // >= 57
+    if (width > got) value |= LoadWord(byte + 8) << got;
+    value &= bitstream_internal::LowMask(width);
+    position_ += static_cast<size_t>(width);
+    return value;
+  }
 
   bool ReadBit() { return ReadBits(1) != 0; }
 
   // Reads a unary code written by BitWriter::WriteUnary; returns the number
-  // of zeros before the terminating one.
+  // of zeros before the terminating one. It is a checked error for the
+  // stream to end before the terminator.
   int ReadUnary();
+
+  // Non-aborting ReadUnary for untrusted bitstreams: false when the stream
+  // ends (or was truncated to all zeros) before the terminating one, with
+  // the position left unchanged.
+  bool TryReadUnary(int* zeros);
+
+  // Returns the next `width` bits (width in [0, 64]) without advancing.
+  // Bits past the end of the stream read as zero — including any stray bits
+  // in the final byte beyond size_bits().
+  uint64_t PeekBits(int width) const {
+    DSIG_CHECK_GE(width, 0);
+    DSIG_CHECK_LE(width, 64);
+    if (width == 0 || position_ >= size_bits_) return 0;
+    const size_t byte = position_ >> 3;
+    const int shift = static_cast<int>(position_ & 7);
+    uint64_t value = LoadWord(byte) >> shift;
+    const int got = 64 - shift;
+    if (width > got) value |= LoadWord(byte + 8) << got;
+    // Clamp to both the requested width and the end of the stream, so stray
+    // bits in the final byte (possible on untrusted buffers) read as zero.
+    const size_t remaining = size_bits_ - position_;
+    const int keep =
+        remaining < static_cast<size_t>(width) ? static_cast<int>(remaining)
+                                               : width;
+    return value & bitstream_internal::LowMask(keep);
+  }
+
+  // Advances past `width` bits previously examined with PeekBits. It is a
+  // checked error to skip past the end of the stream.
+  void Skip(int width) {
+    DSIG_CHECK_GE(width, 0);
+    DSIG_CHECK_LE(position_ + static_cast<size_t>(width), size_bits_);
+    position_ += static_cast<size_t>(width);
+  }
+
+  // Consumes consecutive zero bits from the current position, stopping at
+  // the first one bit (left unconsumed), after `cap` zeros, or at the end of
+  // the stream; returns the number of zeros consumed. Scans a word at a time.
+  int ReadZeros(int cap);
 
   // Absolute bit position of the next read.
   size_t position() const { return position_; }
 
   // Repositions the next read to absolute bit offset `position`.
-  void Seek(size_t position);
+  void Seek(size_t position) {
+    DSIG_CHECK_LE(position, size_bits_);
+    position_ = position;
+  }
 
   size_t size_bits() const { return size_bits_; }
 
   bool AtEnd() const { return position_ >= size_bits_; }
 
  private:
+  // Unaligned little-endian 64-bit load at `byte_index`, zero-padded past
+  // the end of the buffer.
+  uint64_t LoadWord(size_t byte_index) const {
+    uint64_t word = 0;
+    if (byte_index + 8 <= num_bytes_) {
+      // Constant-size copy: compiles to a single unaligned 8-byte load.
+      std::memcpy(&word, data_ + byte_index, 8);
+    } else if (byte_index < num_bytes_) {
+      std::memcpy(&word, data_ + byte_index, num_bytes_ - byte_index);
+    }
+    if constexpr (std::endian::native == std::endian::big) {
+      word = __builtin_bswap64(word);
+    }
+    return word;
+  }
+
   const uint8_t* data_;
   size_t size_bits_;
+  size_t num_bytes_;
   size_t position_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "util/huffman.h"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 #include <utility>
 
@@ -21,6 +22,7 @@ struct TreeNode {
 HuffmanCode::HuffmanCode(std::vector<int> lengths, std::vector<uint64_t> codes)
     : lengths_(std::move(lengths)), codes_(std::move(codes)) {
   BuildDecodeTrie();
+  BuildDecodeTable();
 }
 
 HuffmanCode HuffmanCode::FromFrequencies(
@@ -180,18 +182,32 @@ void HuffmanCode::Encode(int symbol, BitWriter* writer) const {
                     lengths_[static_cast<size_t>(symbol)]);
 }
 
-int HuffmanCode::Decode(BitReader* reader) const {
-  int32_t node = 0;
-  while (true) {
-    const auto& [child0, child1] = trie_[static_cast<size_t>(node)];
-    const int32_t next = reader->ReadBit() ? child1 : child0;
-    DSIG_CHECK_NE(next, 0);  // 0 is the root; no code revisits it
-    if (next < 0) return -1 - next;
-    node = next;
-  }
+int HuffmanCode::DecodeLongChecked(BitReader* reader) const {
+  int symbol = -1;
+  const bool decoded = DecodeLong(reader, &symbol);
+  // Truncation aborts here instead of inside ReadBit; prefix-less bits abort
+  // here instead of at the trie root check. Either way: abort, as before.
+  DSIG_CHECK(decoded) << "bitstream truncated or follows no symbol's prefix";
+  return symbol;
 }
 
-bool HuffmanCode::TryDecode(BitReader* reader, int* symbol) const {
+bool HuffmanCode::DecodeLong(BitReader* reader, int* symbol) const {
+  if (rzp_shaped_) {
+    // Reverse zero padding beyond the table window: symbol s >= 1 is
+    // (m-1-s) zeros then a one; symbol 0 is m-1 zeros with no terminator.
+    // One bounded word-scan replaces the per-bit trie walk, and the bound
+    // makes an all-zero (corrupt) stream a clean failure instead of a crash.
+    const int m = num_symbols();
+    const int zeros = reader->ReadZeros(m - 1);
+    if (zeros == m - 1) {
+      *symbol = 0;
+      return true;
+    }
+    if (reader->AtEnd()) return false;  // truncated mid-run
+    reader->Skip(1);  // the terminating one — ReadZeros stopped on it
+    *symbol = m - 1 - zeros;
+    return true;
+  }
   int32_t node = 0;
   while (true) {
     if (reader->AtEnd()) return false;
@@ -203,6 +219,39 @@ bool HuffmanCode::TryDecode(BitReader* reader, int* symbol) const {
       return true;
     }
     node = next;
+  }
+}
+
+void HuffmanCode::BuildDecodeTable() {
+  const int m = num_symbols();
+  // Detect the reverse-zero-padding shape (paper §5.2) — the common codec
+  // configuration — so codes longer than the table window can decode with a
+  // bounded zero-scan instead of the trie. m <= 64 bounds the shift below.
+  rzp_shaped_ = m >= 2 && m <= 64;
+  for (int s = m - 1; s >= 1 && rzp_shaped_; --s) {
+    const int zeros = m - 1 - s;
+    rzp_shaped_ = lengths_[static_cast<size_t>(s)] == zeros + 1 &&
+                  codes_[static_cast<size_t>(s)] == uint64_t{1} << zeros;
+  }
+  if (rzp_shaped_) {
+    rzp_shaped_ = lengths_[0] == m - 1 && codes_[0] == 0;
+  }
+  // Symbols are stored as uint16 in the table; an absurdly large alphabet
+  // (never produced by this library) simply keeps the trie-only decode.
+  if (m > std::numeric_limits<uint16_t>::max()) return;
+  table_.assign(size_t{1} << kDecodeTableBits, DecodeSlot{0, 0});
+  for (int s = 0; s < m; ++s) {
+    const int len = lengths_[static_cast<size_t>(s)];
+    if (len > kDecodeTableBits) continue;
+    // Every window extending this code decodes to this symbol. The windows
+    // are exactly code + k * 2^len; prefix-freeness (checked by the trie
+    // build) guarantees no two codes claim the same slot.
+    const uint64_t step = uint64_t{1} << len;
+    for (uint64_t w = codes_[static_cast<size_t>(s)]; w < table_.size();
+         w += step) {
+      table_[w] = DecodeSlot{static_cast<uint16_t>(s),
+                             static_cast<uint8_t>(len)};
+    }
   }
 }
 

@@ -60,23 +60,94 @@ class HuffmanCode {
   double AverageLength(const std::vector<uint64_t>& frequencies) const;
 
   void Encode(int symbol, BitWriter* writer) const;
-  int Decode(BitReader* reader) const;
+
+  // Decodes one symbol. Codes of up to kDecodeTableBits bits resolve in a
+  // single table lookup (inline — this is the per-component hot path of
+  // every signature decode); longer codes fall back to a unary word-scan
+  // (for reverse-zero-padding-shaped codes) or the bit-at-a-time trie.
+  // Aborts on a truncated or prefix-less stream, like the bit-at-a-time
+  // decoder did.
+  int Decode(BitReader* reader) const {
+    if (!table_.empty()) {
+      const DecodeSlot slot = table_[reader->PeekBits(kDecodeTableBits)];
+      if (slot.length != 0) {
+        // Skip() is bounds-checked, so a code truncated by the end of the
+        // stream still aborts — exactly like the bit-at-a-time walk did.
+        reader->Skip(slot.length);
+        return slot.symbol;
+      }
+    }
+    return DecodeLongChecked(reader);
+  }
 
   // Non-aborting decode for untrusted bitstreams: false when the stream ends
   // mid-code or the bits follow no symbol's prefix; the reader position is
   // unspecified afterwards.
-  bool TryDecode(BitReader* reader, int* symbol) const;
+  bool TryDecode(BitReader* reader, int* symbol) const {
+    if (!table_.empty()) {
+      const DecodeSlot slot = table_[reader->PeekBits(kDecodeTableBits)];
+      if (slot.length != 0) {
+        // PeekBits zero-pads past the end, so the matched code may extend
+        // beyond the stream: that is a truncated code, not a decode.
+        if (reader->position() + slot.length > reader->size_bits()) {
+          return false;
+        }
+        reader->Skip(slot.length);
+        *symbol = slot.symbol;
+        return true;
+      }
+    }
+    return DecodeLong(reader, symbol);
+  }
+
+  // Width of the prefix decode-table window: every code of at most this many
+  // bits decodes in one table hit. Reverse-zero-padding codes over the
+  // paper's typical 7-12 categories fit entirely.
+  static constexpr int kDecodeTableBits = 11;
+
+  // Window-level decode for callers that batch several fields into one
+  // peeked word (see SignatureCodec): decodes a symbol from the low bits of
+  // `window` (LSB-first stream bits, zero-padded past the stream's end) and
+  // returns its code length, or 0 when the code is longer than the table
+  // window (or the table is absent) and the caller must fall back to
+  // Decode()/TryDecode(). The caller is responsible for checking that the
+  // returned length does not run past the end of its stream.
+  int DecodeWindow(uint64_t window, int* symbol) const {
+    if (table_.empty()) return 0;
+    const DecodeSlot slot =
+        table_[window & ((uint64_t{1} << kDecodeTableBits) - 1)];
+    *symbol = slot.symbol;
+    return slot.length;
+  }
 
  private:
   HuffmanCode(std::vector<int> lengths, std::vector<uint64_t> codes);
 
+  // One slot per kDecodeTableBits-bit window. length == 0 marks a window
+  // whose code is longer than the table covers (fall back to trie/unary).
+  struct DecodeSlot {
+    uint16_t symbol;
+    uint8_t length;
+  };
+
   // Decoding walks a flat binary trie; nodes_[i] = {child0, child1} or a
   // leaf marker encoding (-1 - symbol).
   void BuildDecodeTrie();
+  // Fills table_ (when the alphabet fits uint16 symbols) and detects the
+  // reverse-zero-padding shape for the long-code unary fast path.
+  void BuildDecodeTable();
+
+  // Slow path shared by Decode/TryDecode for codes longer than the table
+  // window: trie walk, or a word-level zero-scan when rzp_shaped_.
+  bool DecodeLong(BitReader* reader, int* symbol) const;
+  // DecodeLong for the trusting Decode(): aborts instead of returning false.
+  int DecodeLongChecked(BitReader* reader) const;
 
   std::vector<int> lengths_;
   std::vector<uint64_t> codes_;  // bits emitted LSB-first
   std::vector<std::pair<int32_t, int32_t>> trie_;
+  std::vector<DecodeSlot> table_;
+  bool rzp_shaped_ = false;
 };
 
 }  // namespace dsig

@@ -81,6 +81,107 @@ TEST(BitstreamTest, TakeBytesResetsWriter) {
   EXPECT_EQ(writer.size_bits(), 1u);
 }
 
+TEST(BitstreamTest, PeekBitsDoesNotAdvance) {
+  BitWriter writer;
+  writer.WriteBits(0xABCD, 16);
+  BitReader reader(writer.bytes().data(), writer.size_bits());
+  EXPECT_EQ(reader.PeekBits(8), 0xCDu);
+  EXPECT_EQ(reader.position(), 0u);
+  EXPECT_EQ(reader.PeekBits(16), 0xABCDu);
+  reader.Skip(8);
+  EXPECT_EQ(reader.PeekBits(8), 0xABu);
+  EXPECT_EQ(reader.ReadBits(8), 0xABu);
+}
+
+TEST(BitstreamTest, PeekBitsZeroPadsPastTheEnd) {
+  BitWriter writer;
+  writer.WriteBits(0b101, 3);
+  BitReader reader(writer.bytes().data(), writer.size_bits());
+  // Only 3 bits exist; the rest of the peeked window must read as zero.
+  EXPECT_EQ(reader.PeekBits(64), 0b101u);
+  reader.Skip(3);
+  EXPECT_EQ(reader.PeekBits(64), 0u);  // at the end: all padding
+}
+
+TEST(BitstreamTest, PeekBitsMasksStrayBitsBeyondSizeBits) {
+  // An untrusted buffer can carry garbage in the final byte beyond
+  // size_bits; those bits must never leak into a peeked window.
+  const uint8_t bytes[] = {0xFF};
+  BitReader reader(bytes, 3);
+  EXPECT_EQ(reader.PeekBits(8), 0b111u);
+  reader.Skip(2);
+  EXPECT_EQ(reader.PeekBits(8), 0b1u);
+}
+
+TEST(BitstreamTest, ReadZerosStopsAtOneCapOrEnd) {
+  BitWriter writer;
+  writer.WriteUnary(5);   // 5 zeros then a one
+  writer.WriteBits(0, 4);  // trailing zeros with no terminator
+  BitReader reader(writer.bytes().data(), writer.size_bits());
+  EXPECT_EQ(reader.ReadZeros(3), 3);  // capped
+  EXPECT_EQ(reader.ReadZeros(100), 2);  // stops at the one, leaves it
+  EXPECT_TRUE(reader.ReadBit());
+  EXPECT_EQ(reader.ReadZeros(100), 4);  // stops at the end of the stream
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BitstreamTest, ReadZerosIgnoresStrayBitsBeyondSizeBits) {
+  const uint8_t bytes[] = {0b11110000};
+  BitReader reader(bytes, 5);  // stream: 0 0 0 0 1
+  EXPECT_EQ(reader.ReadZeros(100), 4);
+  EXPECT_TRUE(reader.ReadBit());
+  // Stray high bits of the byte must not be readable as more stream.
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BitstreamTest, LongUnaryRunsCrossWordBoundaries) {
+  BitWriter writer;
+  for (int count : {63, 64, 65, 200}) writer.WriteUnary(count);
+  BitReader reader(writer.bytes().data(), writer.size_bits());
+  EXPECT_EQ(reader.ReadUnary(), 63);
+  EXPECT_EQ(reader.ReadUnary(), 64);
+  EXPECT_EQ(reader.ReadUnary(), 65);
+  EXPECT_EQ(reader.ReadUnary(), 200);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BitstreamTest, TryReadUnaryFailsCleanlyOnAllZeros) {
+  BitWriter writer;
+  writer.WriteBits(0, 40);  // a truncated-to-zeros (corrupt) unary run
+  BitReader reader(writer.bytes().data(), writer.size_bits());
+  int zeros = -1;
+  EXPECT_FALSE(reader.TryReadUnary(&zeros));
+  EXPECT_EQ(reader.position(), 0u);  // position restored on failure
+  // And an in-bounds run still succeeds afterwards.
+  BitWriter ok;
+  ok.WriteUnary(7);
+  BitReader ok_reader(ok.bytes().data(), ok.size_bits());
+  ASSERT_TRUE(ok_reader.TryReadUnary(&zeros));
+  EXPECT_EQ(zeros, 7);
+  EXPECT_TRUE(ok_reader.AtEnd());
+}
+
+TEST(BitstreamTest, TryReadUnaryFailsOnEmptyStream) {
+  BitReader reader(nullptr, 0);
+  int zeros = -1;
+  EXPECT_FALSE(reader.TryReadUnary(&zeros));
+  EXPECT_EQ(reader.position(), 0u);
+}
+
+TEST(BitstreamTest, BytesMidStreamThenKeepWriting) {
+  // bytes() may be observed at any point; later writes must keep the stream
+  // consistent (the writer un-materializes its partial tail).
+  BitWriter writer;
+  writer.WriteBits(0x3, 2);
+  EXPECT_EQ(writer.bytes().size(), 1u);
+  writer.WriteBits(0x55, 8);
+  writer.WriteBits(0xFFFFFFFFFFFFFFFFULL, 64);
+  BitReader reader(writer.bytes().data(), writer.size_bits());
+  EXPECT_EQ(reader.ReadBits(2), 0x3u);
+  EXPECT_EQ(reader.ReadBits(8), 0x55u);
+  EXPECT_EQ(reader.ReadBits(64), 0xFFFFFFFFFFFFFFFFULL);
+}
+
 // Property: any random sequence of (value, width) writes reads back intact.
 class BitstreamRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
 

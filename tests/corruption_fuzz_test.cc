@@ -5,11 +5,13 @@
 // so the files on disk stay pristine and each trial is independent.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/signature_builder.h"
+#include "obs/op_counters.h"
 #include "graph/graph_generator.h"
 #include "io/persistence.h"
 #include "tests/test_util.h"
@@ -136,6 +138,49 @@ TEST(CorruptionFuzzTest, RandomGarbageFilesFail) {
     EXPECT_FALSE(LoadRoadNetwork(path).ok()) << "trial " << trial;
     EXPECT_FALSE(LoadSignatureIndex(c.graph, path).ok()) << "trial " << trial;
   }
+}
+
+TEST(CorruptionFuzzTest, AllZeroRowsDegradeToDijkstraFallback) {
+  // A row smashed to all-zero bytes is the nastiest corruption for the
+  // word-level decoder: with a reverse-zero-padding code, zeros look like an
+  // endless run of category-0 codes (and the unary scan must stay bounded
+  // instead of walking off the stream). Every node's read must degrade to
+  // the bounded-Dijkstra fallback — never crash, hang, or return garbage.
+  Corpus c = MakeCorpus("zero_row");
+  const size_t num_objects = c.index->num_objects();
+  std::vector<SignatureRow> expected;
+  expected.reserve(c.graph.num_nodes());
+  for (NodeId n = 0; n < c.graph.num_nodes(); ++n) {
+    expected.push_back(c.index->ReadRow(n));
+  }
+  uint64_t fallbacks = 0;
+  for (NodeId n = 0; n < c.graph.num_nodes(); ++n) {
+    EncodedRow& encoded = c.index->mutable_encoded_row(n);
+    const std::vector<uint8_t> pristine = encoded.bytes;
+    std::fill(encoded.bytes.begin(), encoded.bytes.end(), uint8_t{0});
+    SignatureRow direct;
+    ASSERT_FALSE(c.index->codec().TryDecodeRow(encoded, num_objects, &direct))
+        << "all-zero row parsed as a valid signature for node " << n;
+    const OpCounters before = GlobalOpCounters();
+    const SignatureRow recovered = c.index->ReadRow(n);
+    const OpCounters delta = GlobalOpCounters() - before;
+    EXPECT_GE(delta.decode_fallbacks, 1u) << "node " << n;
+    ++fallbacks;
+    // The fallback recomputes the row from the graph, so categories must
+    // match the pristine signature exactly; links may differ when shortest
+    // paths tie, but each one must name a live adjacency slot.
+    ASSERT_EQ(recovered.size(), expected[n].size());
+    for (size_t o = 0; o < recovered.size(); ++o) {
+      EXPECT_FALSE(recovered[o].compressed);
+      EXPECT_EQ(recovered[o].category, expected[n][o].category)
+          << "node " << n << " object " << o;
+      EXPECT_LT(recovered[o].link, c.graph.adjacency(n).size() + 1)
+          << "node " << n << " object " << o;
+    }
+    // Restore the row so each node's trial is independent.
+    c.index->mutable_encoded_row(n).bytes = pristine;
+  }
+  EXPECT_EQ(fallbacks, c.graph.num_nodes());
 }
 
 TEST(CorruptionFuzzTest, WriteFailuresNeverLeaveAFile) {

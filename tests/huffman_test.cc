@@ -106,6 +106,88 @@ TEST(HuffmanTest, ReverseZeroPaddingRoundTrip) {
   }
 }
 
+TEST(HuffmanTest, CodesLongerThanTheDecodeTableRoundTrip) {
+  // A large skewed alphabet forces codes past kDecodeTableBits, exercising
+  // the trie fallback behind the table fast path.
+  std::vector<uint64_t> freqs;
+  uint64_t f = 1;
+  for (int s = 0; s < 24; ++s) {
+    freqs.push_back(f);
+    if (f < (uint64_t{1} << 40)) f *= 2;
+  }
+  const HuffmanCode code = HuffmanCode::FromFrequencies(freqs);
+  EXPECT_GT(code.length(0), HuffmanCode::kDecodeTableBits);
+  std::vector<int> expected;
+  for (int r = 0; r < 2; ++r) {
+    for (int s = 0; s < code.num_symbols(); ++s) expected.push_back(s);
+  }
+  EXPECT_EQ(EncodeDecodeAll(code, 2), expected);
+}
+
+TEST(HuffmanTest, LargeRzpAlphabetUsesTheUnaryFallback) {
+  // m = 40 puts most categories past the decode table; those decode through
+  // the bounded zero-scan. Category 0 (m-1 zeros, no terminator) included.
+  const HuffmanCode code = HuffmanCode::ReverseZeroPadding(40);
+  std::vector<int> expected;
+  for (int s = 0; s < 40; ++s) expected.push_back(s);
+  EXPECT_EQ(EncodeDecodeAll(code, 1), expected);
+}
+
+TEST(HuffmanTest, TryDecodeReportsTruncationMidLongCode) {
+  const HuffmanCode code = HuffmanCode::ReverseZeroPadding(40);
+  BitWriter writer;
+  code.Encode(5, &writer);  // 34 zeros then a one
+  // Truncate inside the zero run: every prefix must fail cleanly.
+  for (size_t bits = 0; bits < 34; ++bits) {
+    BitReader reader(writer.bytes().data(), bits);
+    int symbol = -1;
+    EXPECT_FALSE(code.TryDecode(&reader, &symbol)) << bits << " bits";
+  }
+  BitReader reader(writer.bytes().data(), writer.size_bits());
+  int symbol = -1;
+  ASSERT_TRUE(code.TryDecode(&reader, &symbol));
+  EXPECT_EQ(symbol, 5);
+}
+
+TEST(HuffmanTest, TryDecodeReportsTruncationMidShortCode) {
+  // Truncation inside a table-resolved code must be caught too: the table
+  // matches against a zero-padded window, so the explicit bounds check is
+  // what rejects it.
+  const HuffmanCode code = HuffmanCode::FixedLength(8);  // 3-bit codes
+  BitWriter writer;
+  code.Encode(7, &writer);
+  for (size_t bits = 0; bits < 3; ++bits) {
+    BitReader reader(writer.bytes().data(), bits);
+    int symbol = -1;
+    EXPECT_FALSE(code.TryDecode(&reader, &symbol)) << bits << " bits";
+  }
+}
+
+TEST(HuffmanTest, DecodeWindowMatchesDecode) {
+  Random rng(21);
+  for (const int m : {2, 5, 12, 17}) {
+    const HuffmanCode code = HuffmanCode::ReverseZeroPadding(m);
+    for (int s = 0; s < m; ++s) {
+      // Embed the code in random following bits; a window decode must see
+      // exactly the same symbol and length as the streaming decoder.
+      BitWriter writer;
+      code.Encode(s, &writer);
+      writer.WriteBits(rng.NextUint64(), 36);
+      BitReader reader(writer.bytes().data(), writer.size_bits());
+      const uint64_t window = reader.PeekBits(57);
+      int symbol = -1;
+      const int len = code.DecodeWindow(window, &symbol);
+      if (code.length(s) <= HuffmanCode::kDecodeTableBits) {
+        EXPECT_EQ(len, code.length(s)) << "m=" << m << " s=" << s;
+        EXPECT_EQ(symbol, s) << "m=" << m << " s=" << s;
+      } else {
+        EXPECT_EQ(len, 0) << "m=" << m << " s=" << s;  // fallback signal
+      }
+      EXPECT_EQ(code.Decode(&reader), s);
+    }
+  }
+}
+
 // Theorem 5.1: under exponential partition with c > 3/2 (category k holding
 // more objects than all earlier categories combined), reverse zero padding
 // achieves the Huffman-optimal average code length.
