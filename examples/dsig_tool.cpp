@@ -12,8 +12,10 @@
 //   knn       --network=<file> --index=<file> --node=<id> [--k=K]
 //   range     --network=<file> --index=<file> --node=<id> [--radius=R]
 //   stats     --network=<file> --index=<file> [--queries=N] [--k=K]
-//             [--radius=R] [--threads=N] [--cache-kb=N]
+//             [--radius=R] [--threads=N] [--cache-kb=N] [--updates=N]
 //             [--format=json|prometheus]
+//   chaos     --dir=<dir> [--nodes=N] [--updates=N] [--threads=N]
+//             [--crash-at=BYTE] [--checkpoint-interval=N] [--seed=S]
 //
 // `build --threads=N` runs the construction pipeline on N worker threads
 // (0 = all hardware threads); the built index is byte-identical at every N.
@@ -21,6 +23,16 @@
 // driver on N threads; `--cache-kb` sizes the decoded-row LRU (0 disables
 // it). The dumped registry includes the pool ("pool.*") and row-cache
 // ("rowcache.*", with hit_rate) metrics next to the buffer and op counters.
+//
+// `stats --updates=N` first drives N random live updates through
+// SignatureUpdater (rebuilding the spanning forest on load), so the
+// update.* counters and epoch gauges appear in the dump alongside the query
+// metrics. `chaos` is the command-line face of the update/query chaos
+// harness: it builds a throwaway deployment in --dir, hammers it with a
+// random update storm under the WAL while query threads run concurrently,
+// optionally injects a crash at WAL byte --crash-at, then hard-drops the
+// process state, recovers from disk, deep-verifies the recovered index, and
+// dumps the wal.*/update.* metrics.
 //
 // Global flags (any command):
 //   --trace            emit one JSON trace line per query to stderr
@@ -39,12 +51,17 @@
 //   dsig_tool corrupt  --file=/tmp/city.idx --offset=-100 --xor=0x40
 //   dsig_tool verify   --network=/tmp/city.net --index=/tmp/city.idx  # fails
 //   dsig_tool stats    --network=/tmp/city.net --index=/tmp/city.idx --trace
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <thread>
 
 #include "core/signature_builder.h"
+#include "core/update.h"
 #include "graph/graph_generator.h"
+#include "io/durable_index.h"
 #include "io/persistence.h"
 #include "obs/metrics.h"
 #include "obs/op_counters.h"
@@ -54,6 +71,7 @@
 #include "query/range_query.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/random.h"
 #include "util/timer.h"
 #include "workload/dataset_generator.h"
 #include "workload/query_generator.h"
@@ -65,8 +83,8 @@ using namespace dsig;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: dsig_tool <generate|build|info|verify|corrupt|knn|range|stats> "
-      "[flags]\n"
+      "usage: dsig_tool "
+      "<generate|build|info|verify|corrupt|knn|range|stats|chaos> [flags]\n"
       "global flags: --trace --log-level=<debug|info|warning|error>\n"
       "see the header of examples/dsig_tool.cpp for details\n");
   return 1;
@@ -297,6 +315,33 @@ int Stats(const Flags& flags) {
              static_cast<size_t>(flags.GetInt("cache-kb", 0)) * 1024});
   }
 
+  // Optional live-update leg: drive random mutations through the updater so
+  // the update.* counters and epoch gauges show up in the dump.
+  const int num_updates = static_cast<int>(flags.GetInt("updates", 0));
+  if (num_updates > 0) {
+    loaded.index->RebuildForest();  // persistence does not store the forest
+    SignatureUpdater updater(loaded.graph.get(), loaded.index.get());
+    Random rng(seed + 17);
+    for (int i = 0; i < num_updates; ++i) {
+      if (rng.NextBool(0.3)) {
+        const NodeId u = static_cast<NodeId>(
+            rng.NextUint64(loaded.graph->num_nodes()));
+        NodeId v =
+            static_cast<NodeId>(rng.NextUint64(loaded.graph->num_nodes()));
+        if (u == v) {
+          v = (v + 1) % static_cast<NodeId>(loaded.graph->num_nodes());
+        }
+        updater.AddEdge(u, v, rng.NextInt(1, 10));
+      } else {
+        const EdgeId e = static_cast<EdgeId>(
+            rng.NextUint64(loaded.graph->num_edge_slots()));
+        if (loaded.graph->edge_removed(e)) continue;
+        updater.SetEdgeWeight(e, rng.NextInt(1, 10));
+      }
+    }
+    loaded.index->ReclaimRetiredRows();  // freshen the epoch gauges
+  }
+
   const std::vector<NodeId> queries =
       RandomQueryNodes(*loaded.graph, num_queries, seed);
   const size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
@@ -335,6 +380,114 @@ int Stats(const Flags& flags) {
   return 0;
 }
 
+// Update/query chaos driver over the durable-update protocol: a random
+// update storm runs through the WAL while query threads hammer the index,
+// an optional injected crash tears the log at --crash-at, and the run ends
+// with a hard drop of all process state followed by recovery plus deep
+// verification — the same contract tests/update_chaos_test.cc proves
+// exhaustively, runnable against arbitrary sizes from the shell.
+int Chaos(const Flags& flags) {
+  const std::string dir = flags.GetString("dir", "");
+  if (dir.empty()) return Usage();
+  std::filesystem::create_directories(dir);
+  const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 400));
+  const int updates = static_cast<int>(flags.GetInt("updates", 200));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 2));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  RoadNetwork graph = MakeRandomPlanar({.num_nodes = nodes, .seed = seed});
+  const std::vector<NodeId> objects = UniformDataset(graph, 0.02, seed);
+  auto index = BuildSignatureIndex(graph, objects, {.t = 8, .c = 2});
+  std::printf("deployment: %zu junctions, %zu objects, index %.1f KB\n",
+              graph.num_nodes(), objects.size(),
+              static_cast<double>(index->IndexBytes()) / 1024.0);
+
+  DurableOptions options;
+  options.checkpoint_interval =
+      static_cast<uint64_t>(flags.GetInt("checkpoint-interval", 0));
+  if (flags.Has("crash-at")) {
+    options.wal_faults.fail_at =
+        static_cast<uint64_t>(flags.GetInt("crash-at", 0));
+  }
+  auto live = DurableUpdater::Initialize(dir, &graph, index.get(), options);
+  if (!live.ok()) {
+    std::fprintf(stderr, "cannot initialize %s: %s\n", dir.c_str(),
+                 live.status().ToString().c_str());
+    return 1;
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> queries_served{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < threads; ++t) {
+    readers.emplace_back([&, t] {
+      Random rng(seed * 31 + t);
+      while (!done.load(std::memory_order_relaxed)) {
+        const NodeId n =
+            static_cast<NodeId>(rng.NextUint64(graph.num_nodes()));
+        SignatureKnnQuery(*index, n, 4, KnnResultType::kType1);
+        queries_served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Random rng(seed + 1);
+  int applied = 0;
+  Status crash = Status::Ok();
+  for (int i = 0; i < updates; ++i) {
+    UpdateRecord record;
+    const double roll = rng.NextDouble();
+    if (roll < 0.4) {
+      const NodeId u = static_cast<NodeId>(rng.NextUint64(graph.num_nodes()));
+      NodeId v = static_cast<NodeId>(rng.NextUint64(graph.num_nodes()));
+      if (u == v) v = (v + 1) % static_cast<NodeId>(graph.num_nodes());
+      record = UpdateRecord::Add(u, v, rng.NextInt(1, 10));
+    } else {
+      const EdgeId e =
+          static_cast<EdgeId>(rng.NextUint64(graph.num_edge_slots()));
+      if (graph.edge_removed(e)) continue;
+      record = roll < 0.45 ? UpdateRecord::Remove(e)
+                           : UpdateRecord::SetWeight(e, rng.NextInt(1, 10));
+    }
+    const auto result = (*live)->Apply(record);
+    if (!result.ok()) {
+      crash = result.status();
+      break;
+    }
+    ++applied;
+  }
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  std::printf("storm   : %d/%d updates applied, %llu concurrent queries\n",
+              applied, updates,
+              static_cast<unsigned long long>(queries_served.load()));
+  if (!crash.ok()) {
+    std::printf("crash   : %s\n", crash.ToString().c_str());
+  }
+
+  // Hard crash: discard all in-memory state, then recover from disk alone.
+  live->reset();
+  index.reset();
+  RecoverOptions verify;
+  verify.verify = true;
+  auto recovered = DurableUpdater::Recover(dir, {}, verify);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "recovery FAILED: %s\n",
+                 recovered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "recovery: checkpoint seq %llu + %llu replayed records, "
+      "index verified clean\n",
+      static_cast<unsigned long long>(recovered->updater->checkpoint_seq()),
+      static_cast<unsigned long long>(recovered->replayed_records));
+
+  recovered->index->ReclaimRetiredRows();
+  PublishOpCounters();
+  std::printf("%s\n", obs::MetricsRegistry::Global().ToJson().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -359,5 +512,6 @@ int main(int argc, char** argv) {
   if (command == "knn") return Knn(flags);
   if (command == "range") return Range(flags);
   if (command == "stats") return Stats(flags);
+  if (command == "chaos") return Chaos(flags);
   return Usage();
 }

@@ -90,6 +90,40 @@ if(NOT stats_out MATCHES "\"rowcache\\.hit_rate\"")
   message(FATAL_ERROR "stats output missing rowcache.hit_rate gauge:\n${stats_out}")
 endif()
 
+# Live-update observability: --updates applies a small in-process update
+# storm before the query workload, so the dump must additionally carry the
+# update.* counters and the epoch/retired-bytes gauges.
+execute_process(COMMAND ${TOOL} stats --network=${NET} --index=${IDX}
+                        --queries=2 --updates=8
+                OUTPUT_VARIABLE upd_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dsig_tool stats --updates failed with ${rc}")
+endif()
+if(NOT upd_out MATCHES "\"update\\.edges_applied\": [1-9]")
+  message(FATAL_ERROR "stats --updates missing update.edges_applied:\n${upd_out}")
+endif()
+if(NOT upd_out MATCHES "\"update\\.epoch\"")
+  message(FATAL_ERROR "stats --updates missing update.epoch gauge:\n${upd_out}")
+endif()
+
+# Crash/recovery drill: `chaos` runs an update storm with concurrent query
+# threads, kills the WAL at a byte offset, hard-drops all in-memory state,
+# and recovers. It must exit 0, report a verified recovery, and dump
+# nonzero wal.* metrics.
+execute_process(COMMAND ${TOOL} chaos --dir=${WORKDIR}/tool_chaos
+                        --nodes=300 --updates=40 --threads=2 --seed=5
+                        --crash-at=500
+                OUTPUT_VARIABLE chaos_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dsig_tool chaos failed with ${rc}")
+endif()
+if(NOT chaos_out MATCHES "replayed records, index verified clean")
+  message(FATAL_ERROR "chaos output missing verified recovery line:\n${chaos_out}")
+endif()
+if(NOT chaos_out MATCHES "\"wal\\.records\": [1-9]")
+  message(FATAL_ERROR "chaos output missing nonzero wal.records:\n${chaos_out}")
+endif()
+
 # Prometheus exposition of the same registry.
 execute_process(COMMAND ${TOOL} stats --network=${NET} --index=${IDX}
                         --queries=2 --format=prometheus

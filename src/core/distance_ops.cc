@@ -113,6 +113,10 @@ Weight RetrievalCursor::RetrieveExact() {
 }
 
 Weight ExactDistance(const SignatureIndex& index, NodeId n, uint32_t object) {
+  // Snapshot spans every backtracking step, so the link chain is walked
+  // against one published index state. Re-entrant: free under an outer
+  // query-level snapshot.
+  const ReadSnapshot snapshot(index.epoch_gate());
   RetrievalCursor cursor(&index, n, object, nullptr);
   return cursor.RetrieveExact();
 }
@@ -120,12 +124,14 @@ Weight ExactDistance(const SignatureIndex& index, NodeId n, uint32_t object) {
 DistanceRange ApproximateDistance(const SignatureIndex& index, NodeId n,
                                   uint32_t object,
                                   const DistanceRange& delta) {
+  const ReadSnapshot snapshot(index.epoch_gate());
   RetrievalCursor cursor(&index, n, object, nullptr);
   return cursor.RefineAgainst(delta);
 }
 
 CompareResult ExactCompare(const SignatureIndex& index, NodeId n, uint32_t a,
                            uint32_t b, const SignatureRow& row) {
+  const ReadSnapshot snapshot(index.epoch_gate());
   ++GlobalOpCounters().exact_compares;
   RetrievalCursor ca(&index, n, a, &row[a]);
   RetrievalCursor cb(&index, n, b, &row[b]);
@@ -189,6 +195,7 @@ CompareResult ApproximateCompare(const SignatureIndex& index,
                                  NodeId /*n: embedding is node-independent*/,
                                  uint32_t a, uint32_t b,
                                  const SignatureRow& row) {
+  const ReadSnapshot snapshot(index.epoch_gate());
   ++GlobalOpCounters().approx_compares;
   DSIG_CHECK(!row[a].compressed && !row[b].compressed);
   if (row[a].category != row[b].category) {
@@ -294,6 +301,7 @@ CompareResult CompareWithCursors(RetrievalCursor* ca, RetrievalCursor* cb) {
 void SortByDistance(const SignatureIndex& index, NodeId n,
                     const SignatureRow& row, std::vector<uint32_t>* objects) {
   const obs::Span span(obs::Phase::kSort);
+  const ReadSnapshot snapshot(index.epoch_gate());
   std::vector<uint32_t>& objs = *objects;
   // Initial ordering: insertion sort driven by the approximate comparison.
   // (The observer heuristic is not a strict weak ordering, so std::sort is

@@ -1,0 +1,140 @@
+#include "core/epoch.h"
+
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dsig {
+namespace {
+
+// Per-thread registry of gates this thread currently holds, for snapshot
+// re-entrancy and writer self-recognition. A thread realistically holds one
+// or two gates at a time (e.g. a test comparing a maintained index against a
+// rebuilt one), so a linear scan of a tiny vector beats any map.
+struct GateState {
+  const EpochGate* gate;
+  int depth;        // nested ReadSnapshot count
+  bool writer;      // inside an UpdateGuard
+  uint64_t epoch;   // epoch the outermost snapshot pinned
+};
+
+thread_local std::vector<GateState> tls_gates;
+
+GateState* FindGate(const EpochGate* gate) {
+  for (GateState& state : tls_gates) {
+    if (state.gate == gate) return &state;
+  }
+  return nullptr;
+}
+
+void EraseGate(const EpochGate* gate) {
+  for (size_t i = 0; i < tls_gates.size(); ++i) {
+    if (tls_gates[i].gate == gate) {
+      tls_gates[i] = tls_gates.back();
+      tls_gates.pop_back();
+      return;
+    }
+  }
+  DSIG_CHECK(false) << "releasing a gate this thread does not hold";
+}
+
+}  // namespace
+
+uint64_t EpochGate::MinPinnedEpoch() const {
+  uint64_t min_pinned = current_epoch();
+  for (const PinSlot& slot : pins_) {
+    const uint64_t pinned = slot.epoch.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned < min_pinned) min_pinned = pinned;
+  }
+  return min_pinned;
+}
+
+bool EpochGate::ThisThreadHoldsWrite() const {
+  const GateState* state = FindGate(this);
+  return state != nullptr && state->writer;
+}
+
+ReadSnapshot::ReadSnapshot(EpochGate* gate) : gate_(gate) {
+  GateState* state = FindGate(gate);
+  if (state != nullptr) {
+    if (state->writer) {
+      // The updater reading through the ordinary paths must see its own
+      // not-yet-committed rows, and must not self-deadlock on the lock.
+      epoch_ = ~uint64_t{0};
+      return;
+    }
+    ++state->depth;
+    epoch_ = state->epoch;
+    return;
+  }
+
+  outermost_ = true;
+  gate->mu_.lock_shared();
+  // Claim a pin slot, then validate: if the epoch moved between reading it
+  // and publishing the pin, a concurrent reclaimer may have missed us, so
+  // re-pin at the newer epoch. (Under the shared lock no writer can be
+  // advancing the epoch concurrently, so this loop exits first try; it keeps
+  // the pin protocol independently correct for any future gate-free reader.)
+  const size_t start =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      EpochGate::kPinSlots;
+  for (int probe = 0; probe < EpochGate::kPinSlots; ++probe) {
+    const size_t i = (start + probe) % EpochGate::kPinSlots;
+    uint64_t free_slot = 0;
+    if (gate->pins_[i].epoch.compare_exchange_strong(
+            free_slot, gate->epoch_.load(std::memory_order_seq_cst),
+            std::memory_order_seq_cst)) {
+      slot_ = static_cast<int>(i);
+      break;
+    }
+  }
+  if (slot_ >= 0) {
+    for (;;) {
+      const uint64_t now = gate->epoch_.load(std::memory_order_seq_cst);
+      if (gate->pins_[slot_].epoch.load(std::memory_order_seq_cst) == now) {
+        epoch_ = now;
+        break;
+      }
+      gate->pins_[slot_].epoch.store(now, std::memory_order_seq_cst);
+    }
+  } else {
+    // All slots busy: the shared lock alone still excludes the writer, so
+    // reading the current epoch unpinned is safe for lock-holding readers.
+    epoch_ = gate->epoch_.load(std::memory_order_seq_cst);
+  }
+  tls_gates.push_back({gate, 1, false, epoch_});
+}
+
+ReadSnapshot::~ReadSnapshot() {
+  GateState* state = FindGate(gate_);
+  DSIG_CHECK(state != nullptr);
+  if (state->writer) return;  // no-op snapshot inside the write guard
+  if (--state->depth > 0) return;
+  EraseGate(gate_);
+  if (slot_ >= 0) {
+    gate_->pins_[slot_].epoch.store(0, std::memory_order_seq_cst);
+  }
+  if (outermost_) gate_->mu_.unlock_shared();
+}
+
+UpdateGuard::UpdateGuard(EpochGate* gate) : gate_(gate) {
+  GateState* state = FindGate(gate);
+  DSIG_CHECK(state == nullptr)
+      << "UpdateGuard taken while this thread already holds the gate "
+      << (state != nullptr && state->writer ? "(nested update)"
+                                            : "(inside a ReadSnapshot)");
+  gate->mu_.lock();
+  publish_epoch_ = gate->epoch_.load(std::memory_order_relaxed) + 1;
+  tls_gates.push_back({gate, 0, true, publish_epoch_});
+}
+
+UpdateGuard::~UpdateGuard() {
+  EraseGate(gate_);
+  // Release store: everything published into the row store while the guard
+  // was held happens-before any reader that observes the new epoch.
+  gate_->epoch_.store(publish_epoch_, std::memory_order_release);
+  gate_->mu_.unlock();
+}
+
+}  // namespace dsig

@@ -40,6 +40,9 @@ SignatureIndex::SignatureIndex(const RoadNetwork* graph,
 }
 
 SignatureRow SignatureIndex::ReadRow(NodeId n) const {
+  // One snapshot across decode *and* resolve: resolution consults the object
+  // table, which the updater also rewrites.
+  const ReadSnapshot snapshot(&gate_);
   SignatureRow row = ReadRowUnresolved(n);
   const obs::Span span(obs::Phase::kResolve);
   if (!compressor_.TryResolveRow(&row)) {
@@ -51,18 +54,20 @@ SignatureRow SignatureIndex::ReadRow(NodeId n) const {
 }
 
 SignatureRow SignatureIndex::ReadRowUnresolved(NodeId n) const {
+  const ReadSnapshot snapshot(&gate_);
   const obs::Span span(obs::Phase::kRowDecode);
   DSIG_CHECK_LT(n, rows_.size());
   ++GlobalOpCounters().row_reads;
+  const EncodedRow& encoded = rows_.Read(n, snapshot.epoch());
   if (merged_) {
     // Only the signature portion of the combined record is scanned.
     store_.TouchRecordBits(n, adjacency_bits_[n],
-                           adjacency_bits_[n] + rows_[n].size_bits);
+                           adjacency_bits_[n] + encoded.size_bits);
   } else {
     store_.TouchRecord(n);
   }
   SignatureRow row;
-  if (!codec_.TryDecodeRow(rows_[n], objects_.size(), &row)) {
+  if (!codec_.TryDecodeRow(encoded, objects_.size(), &row)) {
     return FallbackRow(n);  // fully resolved, which is also a valid
                             // "unresolved" row (nothing left compressed)
   }
@@ -71,13 +76,15 @@ SignatureRow SignatureIndex::ReadRowUnresolved(NodeId n) const {
 
 SignatureEntry SignatureIndex::ReadEntry(NodeId n,
                                          uint32_t object_index) const {
+  const ReadSnapshot snapshot(&gate_);
   const obs::Span span(obs::Phase::kRowDecode);
   DSIG_CHECK_LT(n, rows_.size());
   DSIG_CHECK_LT(object_index, objects_.size());
   ++GlobalOpCounters().entry_reads;
+  const EncodedRow& encoded = rows_.Read(n, snapshot.epoch());
   uint64_t bit_offset = 0;
   SignatureEntry entry;
-  if (!codec_.TryDecodeEntry(rows_[n], object_index, &entry, &bit_offset)) {
+  if (!codec_.TryDecodeEntry(encoded, object_index, &entry, &bit_offset)) {
     // Charge the page at the row's start — the read was attempted — then
     // degrade to the recomputed row.
     store_.TouchRecordAt(n, merged_ ? adjacency_bits_[n] : 0);
@@ -96,7 +103,7 @@ SignatureEntry SignatureIndex::ReadEntry(NodeId n,
     std::shared_ptr<const SignatureRow> resolved = resolved_cache_->Get(n);
     if (resolved == nullptr) {
       SignatureRow row;
-      if (!codec_.TryDecodeRow(rows_[n], objects_.size(), &row) ||
+      if (!codec_.TryDecodeRow(encoded, objects_.size(), &row) ||
           !compressor_.TryResolveRow(&row)) {
         row = FallbackRow(n);
       }
@@ -189,7 +196,27 @@ EncodedRow& SignatureIndex::mutable_encoded_row(NodeId n) {
     std::lock_guard<std::mutex> lock(fallback_mu_);
     fallback_rows_.erase(n);
   }
-  return rows_[n];
+  return rows_.MutableNewest(n);
+}
+
+void SignatureIndex::InvalidateCachedRows(const std::vector<NodeId>& nodes) {
+  for (const NodeId n : nodes) resolved_cache_->Erase(n);
+  std::lock_guard<std::mutex> lock(fallback_mu_);
+  for (const NodeId n : nodes) fallback_rows_.erase(n);
+}
+
+void SignatureIndex::ReclaimRetiredRows() {
+  const uint64_t min_pinned = gate_.MinPinnedEpoch();
+  rows_.Reclaim(min_pinned);
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Gauge* const epoch_gauge = registry.GetGauge("update.epoch");
+  static obs::Gauge* const lag_gauge = registry.GetGauge("update.epoch_lag");
+  static obs::Gauge* const retired_gauge =
+      registry.GetGauge("update.retired_bytes");
+  const uint64_t current = gate_.current_epoch();
+  epoch_gauge->Set(static_cast<double>(current));
+  lag_gauge->Set(static_cast<double>(current - min_pinned));
+  retired_gauge->Set(static_cast<double>(rows_.retired_bytes()));
 }
 
 void SignatureIndex::ConfigureRowCache(const RowCache::Options& options) {
@@ -201,7 +228,7 @@ void SignatureIndex::AttachStorage(BufferManager* buffer,
                                    const std::vector<NodeId>& order) {
   std::vector<uint64_t> record_bits(rows_.size());
   for (size_t n = 0; n < rows_.size(); ++n) {
-    record_bits[n] = rows_[n].size_bits;
+    record_bits[n] = rows_.ReadNewest(n).size_bits;
   }
   store_ = PagedStore(PageLayout(record_bits, order), buffer);
   network_store_ = network;
@@ -215,7 +242,7 @@ void SignatureIndex::AttachMergedStorage(BufferManager* buffer,
   std::vector<uint64_t> record_bits(rows_.size());
   for (NodeId n = 0; n < rows_.size(); ++n) {
     adjacency_bits_[n] = AdjacencyRecordBits(*graph_, n);
-    record_bits[n] = adjacency_bits_[n] + rows_[n].size_bits;
+    record_bits[n] = adjacency_bits_[n] + rows_.ReadNewest(n).size_bits;
   }
   store_ = PagedStore(PageLayout(record_bits, order), buffer);
   network_store_ = nullptr;
@@ -252,6 +279,9 @@ Status SignatureIndex::Verify() const {
   static obs::Histogram* const verify_ms =
       obs::MetricsRegistry::Global().GetHistogram("index.verify_ms");
   const obs::ScopedTimer timer(verify_ms);
+  // One snapshot for the whole verification: both passes must see a single
+  // generation of rows, table, and graph even if an updater is waiting.
+  const ReadSnapshot snapshot(&gate_);
   const size_t num_nodes = graph_->num_nodes();
   const size_t num_objects = objects_.size();
   if (rows_.size() != num_nodes) {
@@ -298,7 +328,8 @@ Status SignatureIndex::Verify() const {
   std::vector<uint8_t> categories(num_nodes * num_objects, 0);
   for (NodeId n = 0; n < num_nodes; ++n) {
     SignatureRow row;
-    if (!codec_.TryDecodeRow(rows_[n], num_objects, &row)) {
+    if (!codec_.TryDecodeRow(rows_.Read(n, snapshot.epoch()), num_objects,
+                             &row)) {
       return Status::Corruption("row of node " + std::to_string(n) +
                                 " does not decode");
     }
@@ -398,13 +429,21 @@ size_t SignatureIndex::ReplaceRow(NodeId n, const SignatureRow& row) {
   DSIG_CHECK_EQ(row.size(), objects_.size());
   // Diff against the old row in resolved form so flag-only differences (same
   // category/link, different compression decision) do not count as changes.
-  SignatureRow old_row = codec_.DecodeRow(rows_[n]);
-  compressor_.ResolveRow(&old_row);
+  // TryDecodeRow rather than the aborting DecodeRow: a row corrupted in
+  // memory must degrade (count every component as changed), not crash the
+  // updater.
+  const EncodedRow& old_encoded = rows_.ReadNewest(n);
   SignatureRow new_resolved = row;
   compressor_.ResolveRow(&new_resolved);
   size_t changed = 0;
-  for (size_t i = 0; i < row.size(); ++i) {
-    if (!(old_row[i] == new_resolved[i])) ++changed;
+  SignatureRow old_row;
+  if (codec_.TryDecodeRow(old_encoded, objects_.size(), &old_row) &&
+      compressor_.TryResolveRow(&old_row)) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (!(old_row[i] == new_resolved[i])) ++changed;
+    }
+  } else {
+    changed = row.size();
   }
 
   resolved_cache_->Erase(n);
@@ -414,11 +453,16 @@ size_t SignatureIndex::ReplaceRow(NodeId n, const SignatureRow& row) {
     std::lock_guard<std::mutex> lock(fallback_mu_);
     fallback_rows_.erase(n);
   }
-  const EncodedRow& old_encoded = rows_[n];
   EncodedRow new_encoded = codec_.EncodeRow(row);
   size_stats_.compressed_bits += new_encoded.size_bits;
   size_stats_.compressed_bits -= old_encoded.size_bits;
-  rows_[n] = std::move(new_encoded);
+  // Copy-on-write publish: inside an UpdateGuard the new version carries the
+  // guard's publish epoch and stays invisible until the guard commits;
+  // quiesced callers (tests, tools) publish at the current epoch instead.
+  const uint64_t publish_epoch = gate_.ThisThreadHoldsWrite()
+                                     ? gate_.current_epoch() + 1
+                                     : gate_.current_epoch();
+  rows_.Publish(n, std::move(new_encoded), publish_epoch);
   return changed;
 }
 

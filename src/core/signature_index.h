@@ -21,9 +21,11 @@
 
 #include "core/category_partition.h"
 #include "core/compression.h"
+#include "core/epoch.h"
 #include "core/object_distance_table.h"
 #include "core/row_cache.h"
 #include "core/signature.h"
+#include "core/versioned_rows.h"
 #include "graph/road_network.h"
 #include "graph/spanning_tree.h"
 #include "storage/network_store.h"
@@ -75,6 +77,25 @@ class SignatureIndex {
   }
   // Object living on node `n`, or kInvalidObject.
   ObjectId object_at(NodeId n) const { return object_of_node_[n]; }
+
+  // --- Concurrency ---------------------------------------------------------
+
+  // Gate coordinating concurrent queries with the single live updater. Query
+  // entry points hold a ReadSnapshot on it for their whole run (epoch.h);
+  // SignatureUpdater holds an UpdateGuard while mutating. Every row read
+  // below takes its own (re-entrant, cheap) snapshot, so plain callers stay
+  // correct too — an outer snapshot just widens the atomicity to the whole
+  // query.
+  EpochGate* epoch_gate() const { return &gate_; }
+
+  // Frees retired row versions no pinned reader can still reach, and
+  // refreshes the update.epoch / update.epoch_lag / update.retired_bytes
+  // gauges. Called by the updater at the start of each exclusive section;
+  // safe to call from any quiesced context.
+  void ReclaimRetiredRows();
+
+  // Bytes held by retired-but-unreclaimed row versions.
+  uint64_t retired_row_bytes() const { return rows_.retired_bytes(); }
 
   // --- Row access (all charge pages when storage is attached) -------------
 
@@ -147,6 +168,12 @@ class SignatureIndex {
   // node's cached resolved/fallback state so the next read re-decodes.
   EncodedRow& mutable_encoded_row(NodeId n);
 
+  // Drops cached resolved rows and fallback memos for every listed node in
+  // one sweep. The updater calls this with the complete set of affected
+  // nodes *before* publishing any rewritten row, so a hot cache can never
+  // serve a resolution computed against the pre-update object table.
+  void InvalidateCachedRows(const std::vector<NodeId>& nodes);
+
   // --- Maintenance hooks (used by SignatureUpdater) ------------------------
 
   // Forest retained for updates; null when built with keep_forest = false.
@@ -160,10 +187,15 @@ class SignatureIndex {
 
   // Replaces node `n`'s row (already compressed by the caller), returning
   // how many resolved components differ from the previous row. Invalidates
-  // the page layout until AttachStorage is called again.
+  // the page layout until AttachStorage is called again. Inside an
+  // UpdateGuard the new row is published copy-on-write at the guard's
+  // publish epoch (invisible to concurrent readers until the guard commits);
+  // outside one it publishes at the current epoch, immediately visible.
   size_t ReplaceRow(NodeId n, const SignatureRow& row);
 
-  const EncodedRow& encoded_row(NodeId n) const { return rows_[n]; }
+  // Newest stored version of `n`'s row (quiesced callers: persistence,
+  // stats, cross-node analysis, the updater itself).
+  const EncodedRow& encoded_row(NodeId n) const { return rows_.ReadNewest(n); }
 
  private:
   // Decode-failure degradation: a row whose bits no longer decode (in-memory
@@ -179,7 +211,10 @@ class SignatureIndex {
   std::vector<ObjectId> object_of_node_;
   CategoryPartition partition_;
   SignatureCodec codec_;
-  std::vector<EncodedRow> rows_;
+  // Epoch-versioned copy-on-write rows plus the reader/updater gate; see
+  // epoch.h for the snapshot-isolation protocol.
+  VersionedRowStore rows_;
+  mutable EpochGate gate_;
   ObjectDistanceTable table_;
   RowCompressor compressor_;
   SignatureSizeStats size_stats_;

@@ -3,8 +3,30 @@
 #include <algorithm>
 
 #include "core/signature_builder.h"
+#include "obs/metrics.h"
 
 namespace dsig {
+namespace {
+
+// update.* registry counters (satellite of the WAL/snapshot work): the
+// running totals dsig_tool stats and the benches read.
+void RecordUpdateMetrics(const UpdateStats& stats) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const edges =
+      registry.GetCounter("update.edges_applied");
+  static obs::Counter* const rows =
+      registry.GetCounter("update.rows_rewritten");
+  static obs::Counter* const tree =
+      registry.GetCounter("update.tree_entries_changed");
+  static obs::Counter* const entries =
+      registry.GetCounter("update.entries_changed");
+  edges->Add(1);
+  rows->Add(stats.rows_rewritten);
+  tree->Add(stats.tree_entries_changed);
+  entries->Add(stats.entries_changed);
+}
+
+}  // namespace
 
 SignatureUpdater::SignatureUpdater(RoadNetwork* graph, SignatureIndex* index)
     : graph_(graph), index_(index) {
@@ -17,27 +39,56 @@ SignatureUpdater::SignatureUpdater(RoadNetwork* graph, SignatureIndex* index)
 
 UpdateStats SignatureUpdater::AddEdge(NodeId u, NodeId v, Weight weight,
                                       EdgeId* edge_out) {
+  const UpdateGuard guard(index_->epoch_gate());
+  index_->ReclaimRetiredRows();  // lazy: previous update's versions drained
   const EdgeId edge = graph_->AddEdge(u, v, weight);
   if (edge_out != nullptr) *edge_out = edge;
-  return ApplyTreeChanges(index_->mutable_forest()->OnEdgeAddedOrDecreased(edge));
+  const UpdateStats stats =
+      ApplyTreeChanges(index_->mutable_forest()->OnEdgeAddedOrDecreased(edge));
+  RecordUpdateMetrics(stats);
+  return stats;
 }
 
 UpdateStats SignatureUpdater::RemoveEdge(EdgeId edge) {
+  const UpdateGuard guard(index_->epoch_gate());
+  index_->ReclaimRetiredRows();
   graph_->RemoveEdge(edge);
-  return ApplyTreeChanges(
+  const UpdateStats stats = ApplyTreeChanges(
       index_->mutable_forest()->OnEdgeIncreasedOrRemoved(edge));
+  RecordUpdateMetrics(stats);
+  return stats;
 }
 
 UpdateStats SignatureUpdater::SetEdgeWeight(EdgeId edge, Weight weight) {
+  const UpdateGuard guard(index_->epoch_gate());
+  index_->ReclaimRetiredRows();
   const Weight old_weight = graph_->edge_weight(edge);
   graph_->SetEdgeWeight(edge, weight);
-  if (weight == old_weight) return {};
+  UpdateStats stats;
   if (weight < old_weight) {
-    return ApplyTreeChanges(
+    stats = ApplyTreeChanges(
         index_->mutable_forest()->OnEdgeAddedOrDecreased(edge));
+  } else if (weight > old_weight) {
+    stats = ApplyTreeChanges(
+        index_->mutable_forest()->OnEdgeIncreasedOrRemoved(edge));
   }
-  return ApplyTreeChanges(
-      index_->mutable_forest()->OnEdgeIncreasedOrRemoved(edge));
+  RecordUpdateMetrics(stats);
+  return stats;
+}
+
+UpdateStats SignatureUpdater::Apply(const UpdateRecord& record) {
+  switch (record.op) {
+    case UpdateRecord::kAddEdge:
+      return AddEdge(record.a, record.b, record.weight);
+    case UpdateRecord::kRemoveEdge:
+      return RemoveEdge(record.a);
+    case UpdateRecord::kSetEdgeWeight:
+      return SetEdgeWeight(record.a, record.weight);
+    default:
+      DSIG_CHECK(false) << "unvalidated update record op "
+                        << static_cast<int>(record.op);
+  }
+  return {};
 }
 
 UpdateStats SignatureUpdater::ApplyTreeChanges(
@@ -94,7 +145,14 @@ UpdateStats SignatureUpdater::ApplyTreeChanges(
     // resolution would now disagree with the encoder's. Sweep the rows (an
     // in-memory scan; no page I/O) and schedule the affected ones.
     for (NodeId n = 0; n < graph_->num_nodes(); ++n) {
-      const SignatureRow row = index_->codec().DecodeRow(index_->encoded_row(n));
+      SignatureRow row;
+      if (!index_->codec().TryDecodeRow(index_->encoded_row(n),
+                                        index_->num_objects(), &row)) {
+        // Undecodable (in-memory rot): rebuild it from the forest rather
+        // than aborting the update.
+        nodes.push_back(n);
+        continue;
+      }
       for (uint32_t o = 0; o < row.size(); ++o) {
         if (row[o].compressed && dirty_object[o]) {
           nodes.push_back(n);
@@ -105,6 +163,13 @@ UpdateStats SignatureUpdater::ApplyTreeChanges(
   }
   std::sort(nodes.begin(), nodes.end());
   nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  // Invalidate the caches for the *complete* affected set before publishing
+  // any rewritten row. ReplaceRow also erases per node as it goes, but doing
+  // it up front means no interleaving of this loop can leave a cached
+  // resolution (computed against the pre-update object table) alive after
+  // its row publishes.
+  index_->InvalidateCachedRows(nodes);
 
   for (const NodeId n : nodes) {
     SignatureRow row =

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "core/signature_index.h"
+#include "core/update_log.h"
 
 namespace dsig {
 
@@ -21,6 +22,12 @@ struct UpdateStats {
   size_t entries_changed = 0;        // components whose category/link moved
 };
 
+// Concurrency: each mutation runs inside an exclusive UpdateGuard on the
+// index's EpochGate, so it is safe to call while query threads are serving
+// (they hold ReadSnapshots) — but the updater itself is single-writer: do
+// not call two mutations concurrently. Durability is layered on top by
+// io/durable_index.h, which logs each mutation to a WAL before invoking it
+// here.
 class SignatureUpdater {
  public:
   // `graph` must be the same network the index was built on, and the index
@@ -34,6 +41,11 @@ class SignatureUpdater {
   UpdateStats RemoveEdge(EdgeId edge);
 
   UpdateStats SetEdgeWeight(EdgeId edge, Weight weight);
+
+  // Applies one logged mutation through the paths above — the recovery
+  // replay and the chaos driver speak UpdateRecord. The record must already
+  // be validated (UpdateRecord::Validate / ApplyTo's range checks).
+  UpdateStats Apply(const UpdateRecord& record);
 
  private:
   UpdateStats ApplyTreeChanges(const std::vector<TreeChange>& changes);

@@ -1,0 +1,119 @@
+#include "core/versioned_rows.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dsig {
+
+VersionedRowStore::VersionedRowStore(std::vector<EncodedRow> rows)
+    : heads_(rows.size()) {
+  for (size_t n = 0; n < rows.size(); ++n) {
+    Version* v = new Version{0, std::move(rows[n]), {}};
+    heads_[n].store(v, std::memory_order_relaxed);
+  }
+}
+
+VersionedRowStore::VersionedRowStore(VersionedRowStore&& other) noexcept {
+  *this = std::move(other);
+}
+
+VersionedRowStore& VersionedRowStore::operator=(
+    VersionedRowStore&& other) noexcept {
+  if (this == &other) return *this;
+  // Moves happen only single-threaded (construction / test setup), so plain
+  // element-wise pointer transfer is fine.
+  FreeAll();
+  heads_ = std::vector<std::atomic<Version*>>(other.heads_.size());
+  for (size_t n = 0; n < heads_.size(); ++n) {
+    heads_[n].store(other.heads_[n].load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    other.heads_[n].store(nullptr, std::memory_order_relaxed);
+  }
+  retired_ = std::move(other.retired_);
+  other.retired_.clear();
+  retired_bytes_.store(other.retired_bytes_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  other.retired_bytes_.store(0, std::memory_order_relaxed);
+  return *this;
+}
+
+VersionedRowStore::~VersionedRowStore() { FreeAll(); }
+
+void VersionedRowStore::FreeAll() {
+  // Retired versions are still linked from their successors' prev pointers,
+  // so freeing every chain from its head covers them too; the retired list
+  // only needs clearing.
+  for (std::atomic<Version*>& head : heads_) {
+    Version* v = head.load(std::memory_order_relaxed);
+    head.store(nullptr, std::memory_order_relaxed);
+    while (v != nullptr) {
+      Version* prev = v->prev.load(std::memory_order_relaxed);
+      delete v;
+      v = prev;
+    }
+  }
+  retired_.clear();
+  retired_bytes_.store(0, std::memory_order_relaxed);
+}
+
+const EncodedRow& VersionedRowStore::Read(NodeId n, uint64_t epoch) const {
+  DSIG_CHECK_LT(n, heads_.size());
+  const Version* v = heads_[n].load(std::memory_order_acquire);
+  while (v != nullptr && v->epoch > epoch) {
+    v = v->prev.load(std::memory_order_acquire);
+  }
+  DSIG_CHECK(v != nullptr) << "no row version at epoch " << epoch
+                           << " for node " << n;
+  return v->row;
+}
+
+const EncodedRow& VersionedRowStore::ReadNewest(NodeId n) const {
+  DSIG_CHECK_LT(n, heads_.size());
+  const Version* v = heads_[n].load(std::memory_order_acquire);
+  DSIG_CHECK(v != nullptr);
+  return v->row;
+}
+
+EncodedRow& VersionedRowStore::MutableNewest(NodeId n) {
+  DSIG_CHECK_LT(n, heads_.size());
+  Version* v = heads_[n].load(std::memory_order_acquire);
+  DSIG_CHECK(v != nullptr);
+  return v->row;
+}
+
+void VersionedRowStore::Publish(NodeId n, EncodedRow row, uint64_t epoch) {
+  DSIG_CHECK_LT(n, heads_.size());
+  Version* old_head = heads_[n].load(std::memory_order_relaxed);
+  Version* v = new Version{epoch, std::move(row), {}};
+  v->prev.store(old_head, std::memory_order_relaxed);
+  // Release: a reader that loads the new head sees a fully built version and
+  // the intact chain behind it.
+  heads_[n].store(v, std::memory_order_release);
+  if (old_head != nullptr) {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    retired_.push_back({old_head, v, epoch});
+    retired_bytes_.fetch_add(VersionBytes(*old_head),
+                             std::memory_order_relaxed);
+  }
+}
+
+uint64_t VersionedRowStore::Reclaim(uint64_t min_pinned) {
+  uint64_t freed = 0;
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  // FIFO: retire epochs are non-decreasing, so the reclaimable prefix is
+  // contiguous. Within one node's chain the oldest version retires first, so
+  // each entry freed here is the current tail of its chain; unlinking it
+  // from its successor keeps every reachable prev pointer valid.
+  while (!retired_.empty() && retired_.front().retire_epoch <= min_pinned) {
+    const Retired entry = retired_.front();
+    retired_.pop_front();
+    entry.successor->prev.store(nullptr, std::memory_order_relaxed);
+    freed += VersionBytes(*entry.version);
+    delete entry.version;
+  }
+  retired_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+}  // namespace dsig

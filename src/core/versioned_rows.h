@@ -1,0 +1,104 @@
+// Epoch-versioned copy-on-write storage for encoded signature rows.
+//
+// Each node's row is the head of a short singly-linked version chain, newest
+// first; a version is stamped with the epoch it became visible at. Readers
+// (holding an epoch pin from core/epoch.h) walk the chain from an
+// acquire-loaded head to the newest version at or below their pinned epoch,
+// so an update that rewrites many rows becomes visible to each query either
+// entirely (the query pinned the post-bump epoch) or not at all. The single
+// writer publishes under the exclusive gate with release stores and retires
+// displaced heads onto a FIFO list; Reclaim() frees retired versions once no
+// pinned epoch can still reach them.
+//
+// The chain is almost always length 1: retired versions only accumulate
+// between an update and the next Reclaim, and the paper's locality argument
+// (§5.4) keeps the number of rewritten rows per update small.
+#ifndef DSIG_CORE_VERSIONED_ROWS_H_
+#define DSIG_CORE_VERSIONED_ROWS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/signature.h"
+#include "graph/road_network.h"
+
+namespace dsig {
+
+class VersionedRowStore {
+ public:
+  VersionedRowStore() = default;
+  // Seeds every node with its built row at epoch 0 (visible to any reader).
+  explicit VersionedRowStore(std::vector<EncodedRow> rows);
+  ~VersionedRowStore();
+
+  VersionedRowStore(const VersionedRowStore&) = delete;
+  VersionedRowStore& operator=(const VersionedRowStore&) = delete;
+  VersionedRowStore(VersionedRowStore&& other) noexcept;
+  VersionedRowStore& operator=(VersionedRowStore&& other) noexcept;
+
+  size_t size() const { return heads_.size(); }
+
+  // Newest version visible at `epoch`. The returned reference stays valid as
+  // long as the caller's epoch pin is held (Reclaim never frees a version a
+  // pinned epoch can reach).
+  const EncodedRow& Read(NodeId n, uint64_t epoch) const;
+
+  // Newest version regardless of epoch — for the writer and for quiesced
+  // single-threaded paths (persistence, stats).
+  const EncodedRow& ReadNewest(NodeId n) const;
+
+  // In-place mutable access to the newest version. Exclusive-use seam for
+  // corruption tests; concurrent readers of the same node see the mutation
+  // (that is the point of the seam — it models in-memory bit rot).
+  EncodedRow& MutableNewest(NodeId n);
+
+  // Writer only (exclusive gate): makes `row` node `n`'s newest version,
+  // visible to readers pinned at `epoch` or later; the displaced head is
+  // retired at `epoch`.
+  void Publish(NodeId n, EncodedRow row, uint64_t epoch);
+
+  // Frees every retired version whose retirement epoch is <= min_pinned
+  // (EpochGate::MinPinnedEpoch()). Must not run concurrently with Publish;
+  // the update protocol calls it at the start of each exclusive section.
+  // Returns the number of bytes freed.
+  uint64_t Reclaim(uint64_t min_pinned);
+
+  // Bytes held by retired-but-not-yet-freed versions (the update.retired_
+  // bytes gauge).
+  uint64_t retired_bytes() const {
+    return retired_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Version {
+    uint64_t epoch;
+    EncodedRow row;
+    std::atomic<Version*> prev{nullptr};  // next-older version
+  };
+
+  struct Retired {
+    Version* version;
+    Version* successor;     // the version whose prev points at `version`
+    uint64_t retire_epoch;  // epoch of `successor`
+  };
+
+  static uint64_t VersionBytes(const Version& v) {
+    return sizeof(Version) + v.row.bytes.capacity() +
+           v.row.checkpoints.capacity() * sizeof(uint32_t);
+  }
+
+  void FreeAll();
+
+  std::vector<std::atomic<Version*>> heads_;
+  std::mutex retired_mu_;
+  std::deque<Retired> retired_;  // FIFO by retire_epoch
+  std::atomic<uint64_t> retired_bytes_{0};
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_CORE_VERSIONED_ROWS_H_

@@ -22,26 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "util/fault_plan.h"
 #include "util/status.h"
 
 namespace dsig {
-
-// No fault at this offset; see BinaryReader::InjectFaults.
-inline constexpr uint64_t kNoFault = ~uint64_t{0};
-
-// Deterministic corruption applied beneath the reader's checksum layer, as a
-// failing disk or torn write would. Offsets are absolute file positions.
-struct ReadFaultPlan {
-  uint64_t truncate_at = kNoFault;  // simulated EOF at this byte offset
-  uint64_t flip_byte = kNoFault;    // XOR flip_mask into the byte here
-  uint8_t flip_mask = 0x01;
-  uint64_t fail_at = kNoFault;      // hard I/O error when reading this byte
-};
-
-// Deterministic write failure (e.g. a full disk after N bytes).
-struct WriteFaultPlan {
-  uint64_t fail_at = kNoFault;  // writes reaching this byte offset fail
-};
 
 // Buffered binary writer over a file. Errors are sticky; call Close() (or
 // check status()) to learn whether everything — including the final flush —

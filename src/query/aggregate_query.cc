@@ -11,6 +11,7 @@ namespace dsig {
 CountResult SignatureCountQuery(const SignatureIndex& index, NodeId n,
                                 Weight epsilon) {
   DSIG_QUERY_TRACE("count");
+  const ReadSnapshot snapshot(index.epoch_gate());
   // COUNT shares the range algorithm; only the result shape differs.
   const RangeQueryResult range = SignatureRangeQuery(index, n, epsilon);
   return {range.objects.size(), range.refined};
@@ -19,6 +20,9 @@ CountResult SignatureCountQuery(const SignatureIndex& index, NodeId n,
 DistanceAggregateResult SignatureDistanceAggregateQuery(
     const SignatureIndex& index, NodeId n, Weight epsilon) {
   DSIG_QUERY_TRACE("aggregate");
+  // Covers both the range scan and the exact-distance refinements, so the
+  // aggregate is computed against a single index state.
+  const ReadSnapshot snapshot(index.epoch_gate());
   DistanceAggregateResult result;
   const RangeQueryResult range = SignatureRangeQuery(index, n, epsilon);
   for (const uint32_t o : range.objects) {

@@ -36,6 +36,11 @@ std::vector<KnnResult> BatchKnnQuery(const SignatureIndex& index,
                                      const std::vector<NodeId>& queries,
                                      size_t k, KnnResultType type,
                                      const BatchOptions& options) {
+  // No batch-wide snapshot here, deliberately: each worker thread takes its
+  // own whole-query ReadSnapshot inside SignatureKnnQuery (pins are
+  // per-thread), so every individual query is atomic. Holding a shared lock
+  // on this thread while workers also acquire it could deadlock against a
+  // waiting writer on writer-preferring rwlock implementations.
   std::vector<KnnResult> results(queries.size());
   RunBatch(
       queries.size(),

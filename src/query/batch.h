@@ -1,8 +1,9 @@
 // Parallel batch-query driver.
 //
-// The index is immutable while queries run (see ARCHITECTURE.md,
-// "Parallelism & thread-safety"), so independent queries parallelize
-// trivially — except for the op counters, which are thread-local
+// Each query pins its own read snapshot on the index's EpochGate (see
+// ARCHITECTURE.md, "Parallelism & thread-safety"), so independent queries
+// parallelize trivially even while a live updater runs — except for the op
+// counters, which are thread-local
 // (obs/op_counters.h). RunBatch repairs that seam: every chunk of queries
 // snapshots its thread's counters before running, withdraws its delta after,
 // and the merged batch total is credited to the CALLER's thread exactly

@@ -8,6 +8,8 @@ namespace dsig {
 ClosestPairResult SignatureClosestPair(const SignatureIndex& left,
                                        const SignatureIndex& right) {
   DSIG_QUERY_TRACE("closest_pair");
+  const ReadSnapshot left_snapshot(left.epoch_gate());
+  const ReadSnapshot right_snapshot(right.epoch_gate());
   DSIG_CHECK_EQ(&left.graph(), &right.graph())
       << "closest pair requires indexes over the same network";
   DSIG_CHECK_GT(left.num_objects(), 0u);

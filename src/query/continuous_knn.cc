@@ -11,6 +11,7 @@ namespace dsig {
 CnnResult SignatureContinuousKnn(const SignatureIndex& index,
                                  const std::vector<NodeId>& path, size_t k) {
   DSIG_QUERY_TRACE("cnn");
+  const ReadSnapshot snapshot(index.epoch_gate());
   DSIG_CHECK_GE(k, 1u);
   CnnResult result;
   if (path.empty()) return result;

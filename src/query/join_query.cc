@@ -31,6 +31,8 @@ JoinResult SignatureEpsilonJoin(const SignatureIndex& left,
                                 const SignatureIndex& right, NodeId n,
                                 Weight epsilon) {
   DSIG_QUERY_TRACE("join");
+  const ReadSnapshot left_snapshot(left.epoch_gate());
+  const ReadSnapshot right_snapshot(right.epoch_gate());
   DSIG_CHECK_EQ(&left.graph(), &right.graph())
       << "join requires indexes over the same network";
   JoinResult result;

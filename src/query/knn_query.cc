@@ -10,6 +10,9 @@ namespace dsig {
 KnnResult SignatureKnnQuery(const SignatureIndex& index, NodeId n, size_t k,
                             KnnResultType type) {
   DSIG_QUERY_TRACE("knn");
+  // One epoch for the whole query: the row read, every backtracking step and
+  // the final sort all see the same published index state.
+  const ReadSnapshot snapshot(index.epoch_gate());
   KnnResult result;
   if (k == 0) return result;
   const SignatureRow row = index.ReadRow(n);

@@ -8,6 +8,7 @@ namespace dsig {
 RangeQueryResult SignatureRangeQuery(const SignatureIndex& index, NodeId n,
                                      Weight epsilon) {
   DSIG_QUERY_TRACE("range");
+  const ReadSnapshot snapshot(index.epoch_gate());
   DSIG_CHECK_GE(epsilon, 0);
   RangeQueryResult result;
   const SignatureRow row = index.ReadRow(n);

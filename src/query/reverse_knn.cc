@@ -10,6 +10,7 @@ namespace dsig {
 ReverseKnnResult SignatureReverseKnn(const SignatureIndex& index, NodeId q,
                                      size_t k) {
   DSIG_QUERY_TRACE("rknn");
+  const ReadSnapshot snapshot(index.epoch_gate());
   DSIG_CHECK_GE(k, 1u);
   ReverseKnnResult result;
   const size_t num_objects = index.num_objects();

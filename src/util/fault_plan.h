@@ -1,0 +1,35 @@
+// Deterministic I/O fault plans shared by every file-touching layer
+// (io/binary_io, core/update_log): corruption tests describe *where* a read
+// or write must fail, and the layer under test injects the fault beneath its
+// own checksum/validation machinery — exactly as a failing disk or torn
+// write would present it. Lives in util so core code (the write-ahead update
+// log) can use the plans without depending on the io layer.
+#ifndef DSIG_UTIL_FAULT_PLAN_H_
+#define DSIG_UTIL_FAULT_PLAN_H_
+
+#include <cstdint>
+
+namespace dsig {
+
+// No fault at this offset.
+inline constexpr uint64_t kNoFault = ~uint64_t{0};
+
+// Deterministic corruption applied beneath a reader's checksum layer.
+// Offsets are absolute file positions.
+struct ReadFaultPlan {
+  uint64_t truncate_at = kNoFault;  // simulated EOF at this byte offset
+  uint64_t flip_byte = kNoFault;    // XOR flip_mask into the byte here
+  uint8_t flip_mask = 0x01;
+  uint64_t fail_at = kNoFault;      // hard I/O error when reading this byte
+};
+
+// Deterministic write failure (e.g. a full disk after N bytes, or a process
+// killed mid-write: everything before `fail_at` reaches the file, nothing
+// after).
+struct WriteFaultPlan {
+  uint64_t fail_at = kNoFault;  // writes reaching this byte offset fail
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_UTIL_FAULT_PLAN_H_

@@ -7,12 +7,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "core/signature_builder.h"
+#include "core/update_log.h"
 #include "obs/op_counters.h"
 #include "graph/graph_generator.h"
+#include "io/durable_index.h"
 #include "io/persistence.h"
 #include "tests/test_util.h"
 #include "util/random.h"
@@ -203,6 +206,152 @@ TEST(CorruptionFuzzTest, WriteFailuresNeverLeaveAFile) {
   // And with no fault the very same path works.
   ASSERT_TRUE(SaveSignatureIndex(*c.index, path).ok());
   EXPECT_TRUE(LoadSignatureIndex(c.graph, path).ok());
+}
+
+// --- WAL / MANIFEST sweeps -------------------------------------------------
+//
+// The update log has a weaker contract than the snapshot files: a damaged
+// tail is EXPECTED after a crash, so replay may legitimately succeed with a
+// prefix of the records. What it must never do is crash, hang, or hand back
+// records that were never appended.
+
+std::string WriteWalCorpus(const char* tag,
+                           std::vector<UpdateRecord>* script) {
+  const std::string path =
+      TempPath((std::string("fuzz_") + tag + ".wal").c_str());
+  std::remove(path.c_str());
+  EXPECT_TRUE(UpdateLog::Create(path, /*base_seq=*/7).ok());
+  auto log = UpdateLog::Open(path);
+  EXPECT_TRUE(log.ok());
+  Random rng(6);
+  for (int i = 0; i < 12; ++i) {
+    UpdateRecord r;
+    if (i % 3 == 0) {
+      r = UpdateRecord::Add(static_cast<NodeId>(rng.NextUint64(50)),
+                            static_cast<NodeId>(50 + rng.NextUint64(50)),
+                            rng.NextInt(1, 9));
+    } else {
+      r = UpdateRecord::SetWeight(static_cast<EdgeId>(rng.NextUint64(40)),
+                                  rng.NextInt(1, 9));
+    }
+    script->push_back(r);
+    EXPECT_TRUE((*log)->Append(r).ok());
+  }
+  EXPECT_TRUE((*log)->Sync().ok());
+  EXPECT_TRUE((*log)->Close().ok());
+  return path;
+}
+
+void ExpectPrefixOf(const std::vector<UpdateRecord>& got,
+                    const std::vector<UpdateRecord>& script,
+                    uint64_t offset) {
+  ASSERT_LE(got.size(), script.size()) << "offset " << offset;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].op, script[i].op) << "offset " << offset << " rec " << i;
+    ASSERT_EQ(got[i].a, script[i].a) << "offset " << offset << " rec " << i;
+    ASSERT_EQ(got[i].b, script[i].b) << "offset " << offset << " rec " << i;
+    ASSERT_EQ(got[i].weight, script[i].weight)
+        << "offset " << offset << " rec " << i;
+  }
+}
+
+TEST(CorruptionFuzzTest, EveryByteFlipOfTheWalReplaysAPrefixOrFailsTyped) {
+  std::vector<UpdateRecord> script;
+  const std::string path = WriteWalCorpus("wal_flip", &script);
+  const uint64_t size = FileSize(path);
+  Random rng(7);
+  for (uint64_t offset = 0; offset < size; ++offset) {
+    const uint8_t mask = static_cast<uint8_t>(1u << rng.NextUint64(8));
+    const auto replay = UpdateLog::Replay(
+        path, {.flip_byte = offset, .flip_mask = mask});
+    if (replay.ok()) {
+      // A flip the framing tolerates may only ever shorten the log: the
+      // tail record is dropped as torn, never altered or reordered.
+      EXPECT_EQ(replay->base_seq, 7u) << "offset " << offset;
+      ExpectPrefixOf(replay->records, script, offset);
+      EXPECT_LT(replay->records.size(), script.size())
+          << "offset " << offset << ": a flipped log replayed in full";
+    } else {
+      EXPECT_EQ(replay.status().code(), StatusCode::kCorruption)
+          << "offset " << offset << ": " << replay.status().ToString();
+    }
+  }
+  // The pristine file still replays everything.
+  const auto clean = UpdateLog::Replay(path);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->records.size(), script.size());
+}
+
+TEST(CorruptionFuzzTest, EveryTruncationOfTheWalReplaysTheCommittedPrefix) {
+  std::vector<UpdateRecord> script;
+  const std::string path = WriteWalCorpus("wal_trunc", &script);
+  const uint64_t size = FileSize(path);
+  for (uint64_t cut = 0; cut < size; ++cut) {
+    const auto replay = UpdateLog::Replay(path, {.truncate_at = cut});
+    if (cut < UpdateLog::kHeaderBytes) {
+      // No complete header — that is corruption, not a torn tail.
+      ASSERT_FALSE(replay.ok()) << "cut " << cut;
+      EXPECT_EQ(replay.status().code(), StatusCode::kCorruption);
+      continue;
+    }
+    ASSERT_TRUE(replay.ok()) << "cut " << cut << ": "
+                             << replay.status().ToString();
+    const size_t committed = static_cast<size_t>(
+        (cut - UpdateLog::kHeaderBytes) / UpdateLog::kFrameBytes);
+    EXPECT_EQ(replay->records.size(), committed) << "cut " << cut;
+    ExpectPrefixOf(replay->records, script, cut);
+  }
+}
+
+TEST(CorruptionFuzzTest, EveryByteFlipOfTheManifestFailsRecovery) {
+  // The MANIFEST is the commit point of a checkpoint, so unlike the WAL it
+  // gets the strict treatment: any damaged byte must refuse recovery with a
+  // typed error rather than load from a wrong (or imaginary) checkpoint.
+  const std::string dir = TempPath("fuzz_manifest");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  RoadNetwork graph = MakeRandomPlanar({.num_nodes = 40, .seed = 9});
+  const std::vector<NodeId> objects = UniformDataset(graph, 0.1, 9);
+  auto index = BuildSignatureIndex(graph, objects,
+                                   {.t = 5, .c = 2, .keep_forest = true});
+  auto live = DurableUpdater::Initialize(dir, &graph, index.get(), {});
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE((*live)->Close().ok());
+
+  const std::string manifest = DurableUpdater::ManifestPath(dir);
+  std::FILE* f = std::fopen(manifest.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<uint8_t> pristine(64);
+  const size_t bytes = std::fread(pristine.data(), 1, pristine.size(), f);
+  std::fclose(f);
+  pristine.resize(bytes);
+  ASSERT_GT(bytes, 0u);
+
+  Random rng(8);
+  for (size_t offset = 0; offset < pristine.size(); ++offset) {
+    std::vector<uint8_t> smashed = pristine;
+    smashed[offset] ^= static_cast<uint8_t>(1u << rng.NextUint64(8));
+    f = std::fopen(manifest.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(smashed.data(), 1, smashed.size(), f),
+              smashed.size());
+    std::fclose(f);
+    const auto recovered = DurableUpdater::Recover(dir, {}, {});
+    ASSERT_FALSE(recovered.ok()) << "recovery survived manifest flip at byte "
+                                 << offset;
+    EXPECT_EQ(recovered.status().code(), StatusCode::kCorruption)
+        << "offset " << offset << ": " << recovered.status().ToString();
+  }
+
+  // Restore and prove the setup itself was sound.
+  f = std::fopen(manifest.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(pristine.data(), 1, pristine.size(), f),
+            pristine.size());
+  std::fclose(f);
+  auto recovered = DurableUpdater::Recover(dir, {}, {});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
