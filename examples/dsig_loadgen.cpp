@@ -1,0 +1,61 @@
+// dsig_loadgen: open-loop load generator for dsig_serve.
+//
+// Drives Poisson traffic (kNN / range / join / updates) at a target rate
+// against a running server, with per-request deadlines, client-side
+// timeouts, and bounded exponential-backoff retries for RETRY_AFTER — a
+// well-behaved production client in miniature. See serve/loadgen.h.
+//
+//   $ ./dsig_loadgen --port=PORT [--rate=200] [--duration-s=5] [--threads=4]
+//                    [--update-fraction=0.1] [--deadline-ms=100]
+//                    [--timeout-ms=1000] [--max-retries=3] [--seed=42]
+//                    [--knn-k=8] [--epsilon=0] [--report=serve_report.json]
+//
+// --port-file=PATH reads the port dsig_serve wrote. Prints one greppable
+// LOADGEN_SUMMARY line; exits 1 only on setup failure (cannot reach the
+// server at all) — traffic-level assertions belong to the caller.
+#include <cstdio>
+#include <fstream>
+
+#include "serve/loadgen.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace dsig;
+
+  const Flags flags(argc, argv);
+  serve::LoadgenOptions options;
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  const std::string port_file = flags.GetString("port-file", "");
+  if (options.port == 0 && !port_file.empty()) {
+    std::ifstream in(port_file);
+    unsigned port = 0;
+    in >> port;
+    options.port = static_cast<uint16_t>(port);
+  }
+  if (options.port == 0) {
+    std::fprintf(stderr, "need --port or --port-file\n");
+    return 1;
+  }
+  options.rate = flags.GetDouble("rate", 200);
+  options.duration_s = flags.GetDouble("duration-s", 5);
+  options.threads = static_cast<int>(flags.GetInt("threads", 4));
+  options.update_fraction = flags.GetDouble("update-fraction", 0.1);
+  options.join_fraction = flags.GetDouble("join-fraction", 0.02);
+  options.deadline_ms = flags.GetDouble("deadline-ms", 100);
+  options.timeout_ms = flags.GetDouble("timeout-ms", 1000);
+  options.max_retries = static_cast<int>(flags.GetInt("max-retries", 3));
+  options.backoff_base_ms = flags.GetDouble("backoff-base-ms", 10);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  options.knn_k = static_cast<uint32_t>(flags.GetInt("knn-k", 8));
+  options.epsilon = flags.GetDouble("epsilon", 0);
+  options.report_path = flags.GetString("report", "");
+
+  auto report = serve::RunLoadgen(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "loadgen failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", serve::FormatLoadgenSummary(*report).c_str());
+  return 0;
+}

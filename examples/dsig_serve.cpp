@@ -1,0 +1,194 @@
+// dsig_serve: the fault-tolerant serving front-end as a process.
+//
+// Serves kNN / range / join / update over the DSRV socket protocol with
+// admission control, deadlines, and graceful degradation (see
+// ARCHITECTURE.md, "Serving, overload & degradation"). The durable
+// deployment lives in --dir: a fresh directory gets a generated city +
+// Initialize; a directory with a MANIFEST is recovered (checkpoint +
+// committed WAL tail), which is what makes kill -9 survivable.
+//
+//   $ ./dsig_serve --dir=/tmp/dsig [--nodes=5000] [--seed=42] [--port=0]
+//                  [--port-file=PATH] [--checkpoint-interval=64]
+//                  [--max-inflight=8] [--max-queue=32]
+//                  [--degrade-fraction=0.5] [--default-deadline-ms=0]
+//                  [--max-runtime-s=300]
+//
+// Prints one "SERVE_READY port=... nodes=... objects=..." line when
+// accepting. SIGTERM / SIGINT drain gracefully: stop accepting, fail queued
+// work with SHUTTING_DOWN, finish in-flight requests, write a final
+// checkpoint, exit 0.
+//
+//   $ ./dsig_serve --recover-check --dir=/tmp/dsig
+//
+// recovers (with full index verification) and prints "RECOVER_OK
+// last_seq=N ..." or exits 1 — the chaos harness's oracle that no
+// acknowledged update was lost.
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "core/signature_builder.h"
+#include "graph/graph_generator.h"
+#include "io/durable_index.h"
+#include "serve/server.h"
+#include "util/flags.h"
+#include "workload/dataset_generator.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+void HandleSignal(int sig) { g_signal = sig; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsig;
+
+  // Installed before the (potentially slow) build/recover phase: a SIGTERM
+  // at any point drains through the checkpoint epilogue instead of dying
+  // with default disposition.
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  const Flags flags(argc, argv);
+  const std::string dir = flags.GetString(
+      "dir", (std::filesystem::temp_directory_path() / "dsig_serve").string());
+
+  DurableOptions durable;
+  durable.checkpoint_interval =
+      static_cast<uint64_t>(flags.GetInt("checkpoint-interval", 64));
+  // Transient checkpoint I/O errors retry instead of surfacing (satellite:
+  // bounded retry with backoff + jitter; io/durable_index.h).
+  durable.ckpt_retries = static_cast<int>(flags.GetInt("ckpt-retries", 2));
+
+  if (flags.GetBool("recover-check", false)) {
+    RecoverOptions verify;
+    verify.verify = true;
+    auto recovered = DurableUpdater::Recover(dir, durable, verify);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "RECOVER_FAIL %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("RECOVER_OK last_seq=%llu checkpoint_seq=%llu replayed=%llu\n",
+                static_cast<unsigned long long>(
+                    recovered->updater->next_seq() - 1),
+                static_cast<unsigned long long>(
+                    recovered->updater->checkpoint_seq()),
+                static_cast<unsigned long long>(recovered->replayed_records));
+    return 0;
+  }
+
+  // Bring up the deployment: recover an existing directory, else generate
+  // and initialize a fresh one.
+  std::unique_ptr<RoadNetwork> owned_graph;
+  std::unique_ptr<SignatureIndex> owned_index;
+  std::unique_ptr<DurableUpdater> updater;
+  if (std::filesystem::exists(DurableUpdater::ManifestPath(dir))) {
+    auto recovered = DurableUpdater::Recover(dir, durable);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "cannot recover %s: %s\n", dir.c_str(),
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    owned_graph = std::move(recovered->graph);
+    owned_index = std::move(recovered->index);
+    updater = std::move(recovered->updater);
+    std::printf("recovered %s: checkpoint seq %llu + %llu replayed records\n",
+                dir.c_str(),
+                static_cast<unsigned long long>(updater->checkpoint_seq()),
+                static_cast<unsigned long long>(recovered->replayed_records));
+  } else {
+    std::filesystem::create_directories(dir);
+    const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 5000));
+    const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    const double density = flags.GetDouble("density", 0.005);
+    owned_graph = std::make_unique<RoadNetwork>(
+        MakeRandomPlanar({.num_nodes = nodes, .seed = seed}));
+    const std::vector<NodeId> objects =
+        UniformDataset(*owned_graph, density, seed + 1);
+    // keep_forest: the updater needs the per-object spanning trees.
+    owned_index = BuildSignatureIndex(*owned_graph, objects,
+                                      {.t = 10, .c = 2.718281828,
+                                       .keep_forest = true});
+    auto initialized = DurableUpdater::Initialize(dir, owned_graph.get(),
+                                                  owned_index.get(), durable);
+    if (!initialized.ok()) {
+      std::fprintf(stderr, "cannot initialize %s: %s\n", dir.c_str(),
+                   initialized.status().ToString().c_str());
+      return 1;
+    }
+    updater = std::move(initialized).value();
+  }
+
+  serve::ServerOptions options;
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  options.admission.query.max_inflight =
+      static_cast<size_t>(flags.GetInt("max-inflight", 8));
+  options.admission.query.max_queue =
+      static_cast<size_t>(flags.GetInt("max-queue", 32));
+  options.admission.update.max_queue =
+      static_cast<size_t>(flags.GetInt("update-queue", 64));
+  options.admission.retry_after_base_ms =
+      flags.GetDouble("retry-after-base-ms", 25);
+  options.degrade_queue_fraction = flags.GetDouble("degrade-fraction", 0.5);
+  options.default_deadline_ms = flags.GetDouble("default-deadline-ms", 0);
+
+  serve::DsigServer::Deployment deployment;
+  deployment.graph = owned_graph.get();
+  deployment.index = owned_index.get();
+  deployment.updater = updater.get();
+  auto server = serve::DsigServer::Start(deployment, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string port_file = flags.GetString("port-file", "");
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%u\n", (*server)->port());
+      std::fclose(f);
+    }
+  }
+  std::printf("SERVE_READY port=%u nodes=%zu objects=%zu dir=%s\n",
+              (*server)->port(), owned_graph->num_nodes(),
+              owned_index->num_objects(), dir.c_str());
+  std::fflush(stdout);
+
+  // Park until a signal (or the runtime cap, so a harness failure cannot
+  // leak a server into CI forever).
+  const double max_runtime_s = flags.GetDouble("max-runtime-s", 300);
+  const auto started = std::chrono::steady_clock::now();
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (max_runtime_s > 0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+                .count() >= max_runtime_s) {
+      break;
+    }
+  }
+
+  // Graceful drain: refuse new work, finish in-flight work, then make
+  // everything applied so far durable in one final checkpoint.
+  std::printf("draining (signal %d)...\n", static_cast<int>(g_signal));
+  (*server)->Stop();
+  const Status checkpointed = updater->Checkpoint();
+  if (!checkpointed.ok()) {
+    std::fprintf(stderr, "final checkpoint failed: %s\n",
+                 checkpointed.ToString().c_str());
+    return 1;
+  }
+  const Status closed = updater->Close();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "close failed: %s\n", closed.ToString().c_str());
+    return 1;
+  }
+  std::printf("SERVE_DRAINED checkpoint_seq=%llu\n",
+              static_cast<unsigned long long>(updater->checkpoint_seq()));
+  return 0;
+}

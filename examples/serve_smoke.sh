@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Chaos smoke for the serving front-end. Two legs:
+#
+#   A  start dsig_serve on a fresh deployment, drive open-loop traffic,
+#      assert the loadgen completed work with zero protocol errors, then
+#      kill -9 the server mid-flight and assert recovery replays at least
+#      as far as the highest update sequence any client saw acknowledged —
+#      "no acknowledged update lost", the durability headline.
+#
+#   B  restart on the recovered deployment with starvation budgets and
+#      2x the traffic, assert overload shows up as load shedding
+#      (RETRY_AFTER) and degraded (category-only) answers rather than
+#      collapse, SIGTERM the server and assert a clean drain (exit 0,
+#      SERVE_DRAINED, final checkpoint), then recover-check once more.
+#
+# Usage: serve_smoke.sh <dsig_serve> <dsig_loadgen> [workdir]
+set -u
+
+SERVE="$1"
+LOADGEN="$2"
+WORK="${3:-$(mktemp -d)}"
+mkdir -p "$WORK"
+DIR="$WORK/deploy"
+SERVER_PID=""
+
+fail() {
+  echo "SERVE_SMOKE FAIL: $*" >&2
+  for log in "$WORK"/*.log; do
+    [ -f "$log" ] && { echo "--- $log"; tail -20 "$log"; } >&2
+  done
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  exit 1
+}
+
+# Scrape "key=value" off a LOADGEN_SUMMARY / RECOVER_OK line.
+scrape() { # file key
+  grep -o "$2=[^ ]*" "$1" | head -1 | cut -d= -f2
+}
+
+wait_port() { # port-file
+  for _ in $(seq 1 300); do
+    [ -s "$1" ] && return 0
+    sleep 0.1
+  done
+  return 1
+}
+
+# ---- Leg A: traffic, kill -9, recovery oracle -------------------------------
+rm -rf "$DIR"
+mkdir -p "$DIR"
+rm -f "$WORK/port"
+# Launched directly (not via a compound command) so $! is the server itself,
+# which is what kill -9 must hit.
+"$SERVE" --dir="$DIR" --nodes=3000 --checkpoint-interval=32 \
+  --port-file="$WORK/port" >"$WORK/serve_a.log" 2>&1 &
+SERVER_PID=$!
+wait_port "$WORK/port" || fail "server A never published its port"
+
+"$LOADGEN" --port-file="$WORK/port" --rate=300 --duration-s=2 --threads=4 \
+  --deadline-ms=200 --update-fraction=0.15 --seed=11 \
+  --report="$WORK/serve_report.json" >"$WORK/loadgen_a.log" 2>&1 \
+  || fail "loadgen A exited nonzero"
+
+completed=$(scrape "$WORK/loadgen_a.log" completed)
+protocol_errors=$(scrape "$WORK/loadgen_a.log" protocol_errors)
+max_acked_seq=$(scrape "$WORK/loadgen_a.log" max_acked_seq)
+[ -n "$completed" ] || fail "no LOADGEN_SUMMARY in leg A"
+[ "$completed" -gt 0 ] || fail "leg A completed nothing"
+[ "$protocol_errors" -eq 0 ] || fail "leg A protocol_errors=$protocol_errors"
+[ "$max_acked_seq" -gt 0 ] || fail "leg A acked no updates"
+[ -s "$WORK/serve_report.json" ] || fail "loadgen wrote no report"
+
+kill -9 "$SERVER_PID" 2>/dev/null || fail "server A already gone before kill -9"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=""
+
+"$SERVE" --dir="$DIR" --recover-check >"$WORK/recover_a.log" 2>&1 \
+  || fail "recover-check after kill -9 failed"
+grep -q RECOVER_OK "$WORK/recover_a.log" || fail "no RECOVER_OK after kill -9"
+last_seq=$(scrape "$WORK/recover_a.log" last_seq)
+[ "$last_seq" -ge "$max_acked_seq" ] \
+  || fail "acknowledged update lost: recovered seq $last_seq < acked $max_acked_seq"
+echo "leg A ok: completed=$completed acked_seq=$max_acked_seq recovered_seq=$last_seq"
+
+# ---- Leg B: overload + graceful drain ---------------------------------------
+# Overload is statistical; retry the leg a few times before declaring the
+# server refuses to shed.
+for attempt in 1 2 3; do
+  rm -f "$WORK/port"
+  "$SERVE" --dir="$DIR" --port-file="$WORK/port" \
+    --max-inflight=1 --max-queue=2 --retry-after-base-ms=5 \
+    --degrade-fraction=0.25 >"$WORK/serve_b.log" 2>&1 &
+  SERVER_PID=$!
+  wait_port "$WORK/port" || fail "server B never published its port"
+
+  # More connections (8) than slot + queue (1 + 2), and a join-heavy mix so
+  # requests are slow enough to pile up: whenever four senders overlap, the
+  # fourth is shed. The single slot makes overload structural, not timing.
+  "$LOADGEN" --port-file="$WORK/port" --rate=1000 --duration-s=2 --threads=8 \
+    --join-fraction=0.25 --deadline-ms=50 --max-retries=1 \
+    --seed=$((attempt * 13)) \
+    >"$WORK/loadgen_b.log" 2>&1 || fail "loadgen B exited nonzero"
+
+  kill -TERM "$SERVER_PID"
+  wait "$SERVER_PID"
+  rc=$?
+  SERVER_PID=""
+  [ "$rc" -eq 0 ] || fail "server B exited $rc after SIGTERM"
+  grep -q SERVE_DRAINED "$WORK/serve_b.log" || fail "server B drained without SERVE_DRAINED"
+
+  shed=$(scrape "$WORK/loadgen_b.log" shed)
+  degraded=$(scrape "$WORK/loadgen_b.log" degraded)
+  b_protocol_errors=$(scrape "$WORK/loadgen_b.log" protocol_errors)
+  [ "$b_protocol_errors" -eq 0 ] || fail "leg B protocol_errors=$b_protocol_errors"
+  if [ "$shed" -gt 0 ] && [ "$degraded" -gt 0 ]; then
+    break
+  fi
+  [ "$attempt" -lt 3 ] || fail "no overload after 3 attempts (shed=$shed degraded=$degraded)"
+done
+echo "leg B ok: shed=$shed degraded=$degraded"
+
+"$SERVE" --dir="$DIR" --recover-check >"$WORK/recover_b.log" 2>&1 \
+  || fail "final recover-check failed"
+grep -q RECOVER_OK "$WORK/recover_b.log" || fail "no RECOVER_OK after drain"
+
+echo "SERVE_SMOKE OK"

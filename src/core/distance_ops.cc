@@ -6,6 +6,7 @@
 
 #include "obs/op_counters.h"
 #include "obs/trace.h"
+#include "util/deadline.h"
 
 namespace dsig {
 namespace {
@@ -307,6 +308,7 @@ void SortByDistance(const SignatureIndex& index, NodeId n,
   // (The observer heuristic is not a strict weak ordering, so std::sort is
   // off the table; insertion sort is safe with any comparator.)
   for (size_t i = 1; i < objs.size(); ++i) {
+    if ((i & 15u) == 0 && DeadlineExpired()) return;
     const uint32_t value = objs[i];
     size_t j = i;
     while (j > 0 && ApproximateCompare(index, n, value, objs[j - 1], row) ==
@@ -329,6 +331,11 @@ void SortByDistance(const SignatureIndex& index, NodeId n,
   };
   size_t i = 0;
   while (objs.size() > 1 && i + 1 < objs.size()) {
+    // Each exact comparison can cost several backtracking page reads, so the
+    // refinement loop is the sort's deadline phase boundary. Aborting leaves
+    // `objects` an approximately-ordered permutation — callers observe
+    // DeadlineExpired() and tag the result partial.
+    if (DeadlineExpired()) return;
     if (CompareWithCursors(cursor_of(objs[i]), cursor_of(objs[i + 1])) ==
         CompareResult::kGreater) {
       std::swap(objs[i], objs[i + 1]);

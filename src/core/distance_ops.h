@@ -84,7 +84,10 @@ CompareResult ApproximateCompare(const SignatureIndex& index, NodeId n,
 
 // Distance sorting (Algorithm 4): an approximate-comparison insertion sort
 // followed by an exact-comparison bubble refinement. On return `objects` is
-// exactly ordered by d(n, ·).
+// exactly ordered by d(n, ·) — unless the ambient request deadline
+// (util/deadline.h) expired mid-sort, in which case the vector is left an
+// approximately-ordered permutation of its input and DeadlineExpired() is
+// true; callers tag their result partial.
 void SortByDistance(const SignatureIndex& index, NodeId n,
                     const SignatureRow& row, std::vector<uint32_t>* objects);
 

@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/op_counters.h"
 #include "obs/trace.h"
+#include "util/deadline.h"
 
 namespace dsig {
 
@@ -132,6 +133,9 @@ const SignatureRow& SignatureIndex::FallbackRow(NodeId n) const {
 
 SignatureRow SignatureIndex::ComputeFallbackRow(NodeId n) const {
   const obs::Span span(obs::Phase::kDijkstraFallback);
+  // The computed row is memoized and outlives the current request, so it
+  // must never be truncated by the request's deadline.
+  const DeadlineScope shield(Deadline::Infinite());
   ++GlobalOpCounters().decode_fallbacks;
   // Dijkstra from n, bounded to stop once every object is settled; along the
   // way remember which adjacency slot of n each shortest path leaves through

@@ -4,6 +4,8 @@
 #include <queue>
 #include <utility>
 
+#include "util/deadline.h"
+
 namespace dsig {
 namespace {
 
@@ -36,11 +38,21 @@ void Run(const RoadNetwork& graph, const std::vector<NodeId>& sources,
     if (multi_source) tree->owner[s] = s;
     heap.push({0, s});
   }
+  size_t settle_count = 0;
   while (!heap.empty()) {
     const auto [d, u] = heap.top();
     heap.pop();
     if (settled[u] || d > tree->dist[u]) continue;  // stale entry
     if (d > radius) break;  // all remaining entries are at least this far
+    // Bounded runs honour the ambient request deadline: stopping early only
+    // shrinks the settled ball, and the cleanup below marks everything
+    // unsettled as unreachable, so callers see a well-formed (if smaller)
+    // partial result. Unbounded runs stay deadline-free — their callers
+    // (construction, baselines) need the complete tree.
+    if (radius != kInfiniteWeight && (++settle_count & 63u) == 0 &&
+        DeadlineExpired()) {
+      break;
+    }
     settled[u] = true;
     tree->settle_order.push_back(u);
     if (u == target) return;

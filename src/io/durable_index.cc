@@ -2,11 +2,15 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "util/crc32c.h"
+#include "util/random.h"
 
 namespace dsig {
 namespace {
@@ -127,6 +131,12 @@ Status CheckApplicable(const RoadNetwork& graph, const UpdateRecord& record) {
 obs::Counter* CheckpointCounter() {
   static obs::Counter* const c =
       obs::MetricsRegistry::Global().GetCounter("wal.checkpoints");
+  return c;
+}
+
+obs::Counter* CheckpointRetryCounter() {
+  static obs::Counter* const c =
+      obs::MetricsRegistry::Global().GetCounter("update.ckpt_retries");
   return c;
 }
 
@@ -300,14 +310,32 @@ Status DurableUpdater::Checkpoint() {
   const uint64_t seq = wal_->base_seq() + wal_->record_count();
 
   // Failures before the MANIFEST rename leave the previous checkpoint + full
-  // WAL authoritative: report, don't latch.
-  const SaveOptions save{options_.checkpoint_faults};
-  DSIG_RETURN_IF_ERROR(
-      SaveRoadNetwork(*graph_, NetworkCheckpointPath(dir_, seq), save));
-  DSIG_RETURN_IF_ERROR(
-      SaveSignatureIndex(*index_, IndexCheckpointPath(dir_, seq), save));
-  DSIG_RETURN_IF_ERROR(
-      WriteManifest(ManifestPath(dir_), seq, options_.checkpoint_faults));
+  // WAL authoritative: report, don't latch — and, being non-sticky, they are
+  // safely retryable. Each save is all-or-nothing (temp + rename), so a
+  // retry never sees a partial file from the previous attempt.
+  WriteFaultPlan faults = options_.checkpoint_faults;
+  Random jitter(options_.ckpt_retry_jitter_seed);
+  for (int attempt = 0;; ++attempt) {
+    Status saved = SaveRoadNetwork(*graph_, NetworkCheckpointPath(dir_, seq),
+                                   SaveOptions{faults});
+    if (saved.ok()) {
+      saved = SaveSignatureIndex(*index_, IndexCheckpointPath(dir_, seq),
+                                 SaveOptions{faults});
+    }
+    if (saved.ok()) {
+      saved = WriteManifest(ManifestPath(dir_), seq, faults);
+    }
+    if (saved.ok()) break;
+    if (attempt >= options_.ckpt_retries) return saved;
+    CheckpointRetryCounter()->Add(1);
+    if (options_.checkpoint_faults_transient) faults = WriteFaultPlan{};
+    // Exponential backoff with ±50% jitter, deterministic under the seed.
+    const double backoff_ms = options_.ckpt_retry_backoff_ms *
+                              std::pow(2.0, static_cast<double>(attempt)) *
+                              jitter.NextDouble(0.5, 1.5);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+  }
 
   const uint64_t old_seq = checkpoint_seq_;
   checkpoint_seq_ = seq;

@@ -55,6 +55,19 @@ struct DurableOptions {
 
   // Crash injection for the checkpoint saves (network/index/manifest).
   WriteFaultPlan checkpoint_faults;
+
+  // Non-sticky checkpoint failures (any step before the MANIFEST rename —
+  // the old checkpoint + WAL are still fully authoritative) are retried up
+  // to this many more times with exponential backoff before Checkpoint()
+  // reports the error. Retries count update.ckpt_retries. Sticky failures
+  // (WAL restart) are never retried: the failed state is already latched.
+  int ckpt_retries = 0;
+  double ckpt_retry_backoff_ms = 2;  // doubled per attempt, jittered ±50%
+  uint64_t ckpt_retry_jitter_seed = 1;
+
+  // Test seam modelling *transient* I/O errors: when true, checkpoint_faults
+  // fires on the first save attempt only and retries run fault-free.
+  bool checkpoint_faults_transient = false;
 };
 
 struct RecoverOptions {

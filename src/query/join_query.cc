@@ -5,6 +5,7 @@
 
 #include "core/distance_ops.h"
 #include "obs/trace.h"
+#include "util/deadline.h"
 
 namespace dsig {
 namespace {
@@ -36,6 +37,12 @@ JoinResult SignatureEpsilonJoin(const SignatureIndex& left,
   DSIG_CHECK_EQ(&left.graph(), &right.graph())
       << "join requires indexes over the same network";
   JoinResult result;
+  // An already-expired deadline returns before any row read, so a hopeless
+  // request never charges the buffer pool.
+  if (DeadlineExpired()) {
+    result.deadline_exceeded = true;
+    return result;
+  }
   const SignatureRow left_row = left.ReadRow(n);
   const SignatureRow right_row = right.ReadRow(n);
   const CategoryPartition& lp = left.partition();
@@ -60,6 +67,13 @@ JoinResult SignatureEpsilonJoin(const SignatureIndex& left,
   };
 
   for (uint32_t a = 0; a < left_row.size(); ++a) {
+    // Phase boundary per left object: each row of the pair matrix can cost
+    // several exact retrievals/evaluations. Pairs confirmed so far are
+    // sound, so the partial result is usable.
+    if (DeadlineExpired()) {
+      result.deadline_exceeded = true;
+      return result;
+    }
     const DistanceRange ra = lp.RangeOf(left_row[a].category);
     for (uint32_t b = 0; b < right_row.size(); ++b) {
       if (left.object_node(a) == right.object_node(b)) {

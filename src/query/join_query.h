@@ -26,6 +26,10 @@ struct JoinResult {
   std::vector<JoinPair> pairs;
   size_t pruned_by_categories = 0;  // pairs dismissed from s(n) alone
   size_t exact_evaluations = 0;     // pairs needing an exact d(a, b)
+  // True when the ambient request deadline (util/deadline.h) expired before
+  // every pair was classified; `pairs` then holds the confirmed pairs found
+  // so far, a well-formed partial answer.
+  bool deadline_exceeded = false;
 };
 
 // Both indexes must be built over the same RoadNetwork instance.

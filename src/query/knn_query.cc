@@ -4,6 +4,7 @@
 
 #include "core/distance_ops.h"
 #include "obs/trace.h"
+#include "util/deadline.h"
 
 namespace dsig {
 
@@ -15,6 +16,12 @@ KnnResult SignatureKnnQuery(const SignatureIndex& index, NodeId n, size_t k,
   const ReadSnapshot snapshot(index.epoch_gate());
   KnnResult result;
   if (k == 0) return result;
+  // An already-expired deadline returns before the row read, so a hopeless
+  // request never charges the buffer pool.
+  if (DeadlineExpired()) {
+    result.deadline_exceeded = true;
+    return result;
+  }
   const SignatureRow row = index.ReadRow(n);
   k = std::min(k, row.size());
 
@@ -35,16 +42,36 @@ KnnResult SignatureKnnQuery(const SignatureIndex& index, NodeId n, size_t k,
   }
 
   // The boundary bucket must be sorted when it is partially taken (to pick
-  // its top) and for type 2 (whose whole result is ordered).
+  // its top) and for type 2 (whose whole result is ordered). If the deadline
+  // aborts that sort, taking its head would report objects that are merely
+  // *in* the boundary category, not its nearest — so on expiry the boundary
+  // bucket only survives when it is taken whole (membership then needs no
+  // ranking).
   const size_t take_from_m = k - confirmed;
-  if (take_from_m < buckets[m].size() || type == KnnResultType::kType2) {
+  const bool m_needs_ranking = take_from_m < buckets[m].size();
+  if (m_needs_ranking || type == KnnResultType::kType2) {
     SortByDistance(index, n, row, &buckets[m]);
   }
   buckets[m].resize(take_from_m);
 
   if (type == KnnResultType::kType2) {
     // Order must be exact everywhere: sort every contributing bucket.
-    for (int i = 0; i < m; ++i) SortByDistance(index, n, row, &buckets[i]);
+    for (int i = 0; i < m && !DeadlineExpired(); ++i) {
+      SortByDistance(index, n, row, &buckets[i]);
+    }
+  }
+  // Phase boundary: sorting may have been cut short. Buckets below the
+  // boundary are confirmed members by category pruning alone; the boundary
+  // bucket is only trusted when its ranking wasn't needed. The partial is a
+  // subset of the exact answer set — smaller, never wrong.
+  if (DeadlineExpired()) {
+    result.deadline_exceeded = true;
+    const int keep = m_needs_ranking ? m : m + 1;
+    for (int i = 0; i < keep; ++i) {
+      result.objects.insert(result.objects.end(), buckets[i].begin(),
+                            buckets[i].end());
+    }
+    return result;
   }
   for (int i = 0; i <= m; ++i) {
     result.objects.insert(result.objects.end(), buckets[i].begin(),
@@ -57,6 +84,12 @@ KnnResult SignatureKnnQuery(const SignatureIndex& index, NodeId n, size_t k,
     std::vector<std::pair<Weight, uint32_t>> with_distance;
     with_distance.reserve(result.objects.size());
     for (const uint32_t o : result.objects) {
+      // Backtracking is the expensive phase: check before every retrieval
+      // and keep whatever distances are already exact.
+      if (DeadlineExpired()) {
+        result.deadline_exceeded = true;
+        break;
+      }
       RetrievalCursor cursor(&index, n, o, &row[o]);
       with_distance.push_back({cursor.RetrieveExact(), o});
     }

@@ -30,6 +30,11 @@ struct KnnResult {
   std::vector<uint32_t> objects;
   // Exact distances aligned with `objects`; filled for type 1 only.
   std::vector<Weight> distances;
+  // True when the ambient request deadline (util/deadline.h) expired before
+  // the query finished. The result is a well-formed partial answer: objects
+  // confirmed so far (possibly fewer than k, possibly approximately ordered),
+  // with `distances` still aligned to `objects` for type 1.
+  bool deadline_exceeded = false;
 };
 
 KnnResult SignatureKnnQuery(const SignatureIndex& index, NodeId n, size_t k,

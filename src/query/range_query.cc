@@ -2,6 +2,7 @@
 
 #include "core/distance_ops.h"
 #include "obs/trace.h"
+#include "util/deadline.h"
 
 namespace dsig {
 
@@ -11,9 +12,21 @@ RangeQueryResult SignatureRangeQuery(const SignatureIndex& index, NodeId n,
   const ReadSnapshot snapshot(index.epoch_gate());
   DSIG_CHECK_GE(epsilon, 0);
   RangeQueryResult result;
+  // An already-expired deadline returns before the row read, so a hopeless
+  // request never charges the buffer pool.
+  if (DeadlineExpired()) {
+    result.deadline_exceeded = true;
+    return result;
+  }
   const SignatureRow row = index.ReadRow(n);
   const CategoryPartition& partition = index.partition();
   for (uint32_t o = 0; o < row.size(); ++o) {
+    // Category confirm/prune is cheap (throttled check); refinement below is
+    // where a request can burn its budget, and it re-checks per object.
+    if ((o & 15u) == 0 && DeadlineExpired()) {
+      result.deadline_exceeded = true;
+      return result;
+    }
     const DistanceRange range = partition.RangeOf(row[o].category);
     if (range.ub != kInfiniteWeight && range.ub <= epsilon) {
       // Every distance in [lb, ub) is strictly below ub <= epsilon.
@@ -36,6 +49,12 @@ RangeQueryResult SignatureRangeQuery(const SignatureIndex& index, NodeId n,
         break;
       }
       if (r.lb > epsilon) break;
+      if (DeadlineExpired()) {
+        // Abandon this (still ambiguous) object; everything already pushed
+        // is confirmed, so the partial result stays sound.
+        result.deadline_exceeded = true;
+        return result;
+      }
       cursor.Step();
     }
   }

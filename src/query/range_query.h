@@ -20,6 +20,10 @@ struct RangeQueryResult {
   // Objects that needed refinement (the category range straddled epsilon) —
   // a quality metric for the partition.
   size_t refined = 0;
+  // True when the ambient request deadline (util/deadline.h) expired before
+  // every object was classified; `objects` then holds the confirmed prefix
+  // (objects examined so far), a well-formed partial answer.
+  bool deadline_exceeded = false;
 };
 
 RangeQueryResult SignatureRangeQuery(const SignatureIndex& index, NodeId n,

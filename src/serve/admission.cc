@@ -1,0 +1,172 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace dsig {
+namespace serve {
+namespace {
+
+struct ClassMetrics {
+  obs::Counter* admitted;
+  obs::Counter* shed;
+  obs::Counter* queue_timeout;
+  obs::Gauge* queue_depth;
+  obs::Gauge* inflight;
+  obs::Histogram* queued_ms;
+};
+
+// Registry handles are created once and cached (stable pointers, see
+// obs/metrics.h); names are serve.<class>.<metric>.
+const ClassMetrics& MetricsFor(int c) {
+  static const ClassMetrics metrics[kNumWorkClasses] = {
+      {
+          obs::MetricsRegistry::Global().GetCounter("serve.query.admitted"),
+          obs::MetricsRegistry::Global().GetCounter("serve.query.shed"),
+          obs::MetricsRegistry::Global().GetCounter("serve.query.queue_timeout"),
+          obs::MetricsRegistry::Global().GetGauge("serve.query.queue_depth"),
+          obs::MetricsRegistry::Global().GetGauge("serve.query.inflight"),
+          obs::MetricsRegistry::Global().GetHistogram("serve.query.queued_ms"),
+      },
+      {
+          obs::MetricsRegistry::Global().GetCounter("serve.update.admitted"),
+          obs::MetricsRegistry::Global().GetCounter("serve.update.shed"),
+          obs::MetricsRegistry::Global().GetCounter(
+              "serve.update.queue_timeout"),
+          obs::MetricsRegistry::Global().GetGauge("serve.update.queue_depth"),
+          obs::MetricsRegistry::Global().GetGauge("serve.update.inflight"),
+          obs::MetricsRegistry::Global().GetHistogram("serve.update.queued_ms"),
+      },
+  };
+  return metrics[c];
+}
+
+}  // namespace
+
+const char* WorkClassName(WorkClass work_class) {
+  return work_class == WorkClass::kQuery ? "query" : "update";
+}
+
+AdmissionController::AdmissionController(const Options& options)
+    : options_(options) {}
+
+void AdmissionController::PublishGauges(int c) {
+  MetricsFor(c).queue_depth->Set(static_cast<double>(queued_[c]));
+  MetricsFor(c).inflight->Set(static_cast<double>(inflight_[c]));
+}
+
+AdmissionController::AdmitResult AdmissionController::Admit(
+    WorkClass work_class, const Deadline& deadline) {
+  const int c = static_cast<int>(work_class);
+  const ClassBudget& budget =
+      work_class == WorkClass::kQuery ? options_.query : options_.update;
+  const uint64_t enter_ns = Deadline::NowNanos();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  AdmitResult result;
+  if (closed_) {
+    result.outcome = AdmitOutcome::kShuttingDown;
+    return result;
+  }
+  if (inflight_[c] >= budget.max_inflight) {
+    if (queued_[c] >= budget.max_queue) {
+      // Queue full: shed instantly, hinting a backoff proportional to how
+      // deep the overload already is.
+      result.outcome = AdmitOutcome::kShed;
+      result.retry_after_ms =
+          options_.retry_after_base_ms *
+          (1.0 + static_cast<double>(queued_[c]) /
+                     static_cast<double>(std::max<size_t>(budget.max_queue, 1)));
+      MetricsFor(c).shed->Add(1);
+      return result;
+    }
+    ++queued_[c];
+    PublishGauges(c);
+    const auto can_run = [&] {
+      return closed_ || inflight_[c] < budget.max_inflight;
+    };
+    if (deadline.infinite()) {
+      slot_freed_.wait(lock, can_run);
+    } else {
+      // Wait no longer than the request's own budget: a request whose
+      // deadline passes in the queue must not consume an execution slot.
+      const double remaining = deadline.remaining_millis();
+      if (remaining <= 0 ||
+          !slot_freed_.wait_for(
+              lock, std::chrono::duration<double, std::milli>(remaining),
+              can_run)) {
+        --queued_[c];
+        PublishGauges(c);
+        result.outcome = AdmitOutcome::kQueueTimeout;
+        result.queued_ms =
+            static_cast<double>(Deadline::NowNanos() - enter_ns) / 1e6;
+        MetricsFor(c).queue_timeout->Add(1);
+        return result;
+      }
+    }
+    --queued_[c];
+    if (closed_) {
+      PublishGauges(c);
+      result.outcome = AdmitOutcome::kShuttingDown;
+      return result;
+    }
+  }
+  ++inflight_[c];
+  PublishGauges(c);
+  result.outcome = AdmitOutcome::kAdmitted;
+  result.ticket = Ticket(this, work_class);
+  result.queued_ms = static_cast<double>(Deadline::NowNanos() - enter_ns) / 1e6;
+  MetricsFor(c).admitted->Add(1);
+  MetricsFor(c).queued_ms->Record(result.queued_ms);
+  return result;
+}
+
+void AdmissionController::ReleaseSlot(WorkClass work_class) {
+  const int c = static_cast<int>(work_class);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_[c];
+    PublishGauges(c);
+  }
+  slot_freed_.notify_all();
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot(work_class_);
+    controller_ = nullptr;
+  }
+}
+
+void AdmissionController::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  slot_freed_.notify_all();
+}
+
+size_t AdmissionController::queue_depth(WorkClass work_class) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_[static_cast<int>(work_class)];
+}
+
+size_t AdmissionController::inflight(WorkClass work_class) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_[static_cast<int>(work_class)];
+}
+
+bool AdmissionController::QueuePressureAtLeast(WorkClass work_class,
+                                               double fraction) const {
+  const int c = static_cast<int>(work_class);
+  const ClassBudget& budget =
+      work_class == WorkClass::kQuery ? options_.query : options_.update;
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<double>(queued_[c]) >=
+         fraction * static_cast<double>(std::max<size_t>(budget.max_queue, 1));
+}
+
+}  // namespace serve
+}  // namespace dsig

@@ -1,0 +1,482 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/op_counters.h"
+#include "query/knn_query.h"
+#include "query/range_query.h"
+#include "serve/degrade.h"
+#include "util/deadline.h"
+
+namespace dsig {
+namespace serve {
+namespace {
+
+struct ServeMetrics {
+  obs::Counter* requests;
+  obs::Counter* ok;
+  obs::Counter* retry_after;
+  obs::Counter* deadline_exceeded;
+  obs::Counter* shutting_down;
+  obs::Counter* errors;
+  obs::Counter* protocol_errors;
+  obs::Counter* degraded;
+  obs::Counter* connections;
+  obs::Histogram* latency_ms;
+};
+
+const ServeMetrics& Metrics() {
+  static const ServeMetrics m = {
+      obs::MetricsRegistry::Global().GetCounter("serve.requests"),
+      obs::MetricsRegistry::Global().GetCounter("serve.ok"),
+      obs::MetricsRegistry::Global().GetCounter("serve.retry_after"),
+      obs::MetricsRegistry::Global().GetCounter("serve.deadline_exceeded"),
+      obs::MetricsRegistry::Global().GetCounter("serve.shutting_down"),
+      obs::MetricsRegistry::Global().GetCounter("serve.errors"),
+      obs::MetricsRegistry::Global().GetCounter("serve.protocol_errors"),
+      obs::MetricsRegistry::Global().GetCounter("serve.degraded"),
+      obs::MetricsRegistry::Global().GetCounter("serve.connections"),
+      obs::MetricsRegistry::Global().GetHistogram("serve.latency_ms"),
+  };
+  return m;
+}
+
+// Loop until `len` bytes are sent; false on a broken peer. MSG_NOSIGNAL so a
+// client that vanished mid-response costs an error return, not SIGPIPE.
+bool SendAll(int fd, const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Loop until `len` bytes arrive. Returns false on EOF/error; `*clean_eof` is
+// set when the peer closed cleanly at a frame boundary (no bytes read yet).
+bool RecvAll(int fd, uint8_t* data, size_t len, bool* clean_eof) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd, data + off, len - off, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (clean_eof != nullptr) *clean_eof = (n == 0 && off == 0);
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Response ErrorResponse(uint64_t id, std::string message) {
+  Response response;
+  response.id = id;
+  response.status = ResponseStatus::kError;
+  response.text = std::move(message);
+  return response;
+}
+
+}  // namespace
+
+DsigServer::DsigServer(const Deployment& deployment,
+                       const ServerOptions& options)
+    : deployment_(deployment),
+      options_(options),
+      admission_(options.admission) {}
+
+StatusOr<std::unique_ptr<DsigServer>> DsigServer::Start(
+    const Deployment& deployment, const ServerOptions& options) {
+  if (deployment.graph == nullptr || deployment.index == nullptr) {
+    return Status::InvalidArgument("Start: deployment needs graph and index");
+  }
+  std::unique_ptr<DsigServer> server(new DsigServer(deployment, options));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("bind: " + err);
+  }
+  if (::listen(fd, 128) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("getsockname: " + err);
+  }
+
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(bound.sin_port);
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->AcceptLoop();
+  });
+  return server;
+}
+
+DsigServer::~DsigServer() { Stop(); }
+
+void DsigServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Stop() shut the listener down (or something unrecoverable happened
+      // to it); either way this thread is done.
+      return;
+    }
+    Metrics().connections->Add(1);
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+  }
+}
+
+void DsigServer::ConnectionLoop(int fd) {
+  std::vector<uint8_t> payload;
+  std::vector<uint8_t> out;
+  for (;;) {
+    uint8_t header[kFrameHeaderBytes];
+    bool clean_eof = false;
+    if (!RecvAll(fd, header, sizeof(header), &clean_eof)) {
+      if (!clean_eof) Metrics().protocol_errors->Add(1);
+      break;
+    }
+    uint32_t payload_len = 0;
+    const Status header_status = CheckFrameHeader(header, &payload_len);
+    if (!header_status.ok()) {
+      // The stream is desynchronized; there is no way to resync a
+      // length-prefixed protocol, so answer once and hang up.
+      Metrics().protocol_errors->Add(1);
+      out.clear();
+      EncodeResponse(ErrorResponse(0, header_status.ToString()), &out);
+      SendAll(fd, out.data(), out.size());
+      break;
+    }
+    payload.resize(payload_len);
+    if (payload_len > 0 && !RecvAll(fd, payload.data(), payload_len, nullptr)) {
+      Metrics().protocol_errors->Add(1);
+      break;
+    }
+    StatusOr<Request> request = DecodeRequest(payload.data(), payload_len);
+    if (!request.ok()) {
+      Metrics().protocol_errors->Add(1);
+      out.clear();
+      EncodeResponse(ErrorResponse(0, request.status().ToString()), &out);
+      SendAll(fd, out.data(), out.size());
+      break;
+    }
+
+    const Response response = Handle(*request);
+    out.clear();
+    EncodeResponse(response, &out);
+    if (!SendAll(fd, out.data(), out.size())) break;
+  }
+  // Deregister before closing: Stop() only shutdown()s fds still in the
+  // list, so a closed-and-reused descriptor number is never touched.
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connection_fds_.erase(
+        std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+        connection_fds_.end());
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+Response DsigServer::Handle(const Request& request) {
+  const uint64_t start_ns = Deadline::NowNanos();
+  Metrics().requests->Add(1);
+
+  Response response;
+  response.id = request.id;
+
+  // Ping and Stats are health-check plumbing: constant-cost, never queued,
+  // answered even while draining (an orchestrator probing a draining server
+  // should get an answer, not a connection error).
+  if (request.type == RequestType::kPing) {
+    response.num_nodes = deployment_.graph->num_nodes();
+    response.num_objects = deployment_.index->num_objects();
+    const CategoryPartition& partition = deployment_.index->partition();
+    response.suggested_epsilon =
+        CategoryMidpoint(partition, partition.num_categories() / 2);
+    Metrics().ok->Add(1);
+    return response;
+  }
+  if (request.type == RequestType::kStats) {
+    response.text = obs::MetricsRegistry::Global().ToJson();
+    Metrics().ok->Add(1);
+    return response;
+  }
+
+  if (stopping_.load(std::memory_order_relaxed)) {
+    response.status = ResponseStatus::kShuttingDown;
+    Metrics().shutting_down->Add(1);
+    return response;
+  }
+
+  const double budget_ms = request.deadline_ms > 0
+                               ? request.deadline_ms
+                               : options_.default_deadline_ms;
+  const Deadline deadline =
+      budget_ms > 0 ? Deadline::AfterMillis(budget_ms) : Deadline::Infinite();
+
+  const WorkClass work_class = request.type == RequestType::kUpdate
+                                   ? WorkClass::kUpdate
+                                   : WorkClass::kQuery;
+  AdmissionController::AdmitResult admit = admission_.Admit(work_class,
+                                                            deadline);
+  switch (admit.outcome) {
+    case AdmitOutcome::kShed:
+      response.status = ResponseStatus::kRetryAfter;
+      response.retry_after_ms = admit.retry_after_ms;
+      Metrics().retry_after->Add(1);
+      return response;
+    case AdmitOutcome::kQueueTimeout:
+      response.status = ResponseStatus::kDeadlineExceeded;
+      Metrics().deadline_exceeded->Add(1);
+      return response;
+    case AdmitOutcome::kShuttingDown:
+      response.status = ResponseStatus::kShuttingDown;
+      Metrics().shutting_down->Add(1);
+      return response;
+    case AdmitOutcome::kAdmitted:
+      break;
+  }
+
+  // Plan: decide exact vs degraded BEFORE executing, from queue pressure at
+  // admission time. Updates always run the exact path — degrading a mutation
+  // makes no sense.
+  const bool degraded =
+      work_class == WorkClass::kQuery &&
+      admission_.QueuePressureAtLeast(WorkClass::kQuery,
+                                      options_.degrade_queue_fraction);
+
+  if (request.type == RequestType::kUpdate) {
+    response = ExecuteUpdate(request);
+  } else {
+    response = ExecuteQuery(request, deadline, degraded);
+  }
+  admit.ticket.Release();
+
+  switch (response.status) {
+    case ResponseStatus::kOk:
+      Metrics().ok->Add(1);
+      break;
+    case ResponseStatus::kDeadlineExceeded:
+      Metrics().deadline_exceeded->Add(1);
+      break;
+    case ResponseStatus::kError:
+      Metrics().errors->Add(1);
+      break;
+    default:
+      break;
+  }
+  if (response.degradation != Degradation::kNone) Metrics().degraded->Add(1);
+  Metrics().latency_ms->Record(
+      static_cast<double>(Deadline::NowNanos() - start_ns) / 1e6);
+  return response;
+}
+
+Response DsigServer::ExecuteQuery(const Request& request,
+                                  const Deadline& deadline, bool degraded) {
+  Response response;
+  response.id = request.id;
+  const SignatureIndex& index = *deployment_.index;
+
+  if (request.node >= deployment_.graph->num_nodes()) {
+    return ErrorResponse(request.id, "query node out of range");
+  }
+  if ((request.type == RequestType::kRange ||
+       request.type == RequestType::kJoin) &&
+      !(std::isfinite(request.epsilon) && request.epsilon >= 0)) {
+    return ErrorResponse(request.id, "epsilon must be finite and >= 0");
+  }
+
+  // An already-dead request must cost nothing: no row read, no buffer-pool
+  // traffic. (deadline_test.cc pins this with buffer-pool stats.)
+  if (deadline.expired()) {
+    response.status = ResponseStatus::kDeadlineExceeded;
+    return response;
+  }
+
+  const DeadlineScope scope(deadline);
+  // Decode-fault degradation is observed, not planned: diff this thread's
+  // fallback counter across the query. OpCounters are thread-local, so the
+  // delta is exactly this request's fallbacks.
+  const uint64_t fallbacks_before = GlobalOpCounters().decode_fallbacks;
+
+  switch (request.type) {
+    case RequestType::kKnn: {
+      const size_t k =
+          std::min<size_t>(request.k, deployment_.index->num_objects());
+      if (degraded) {
+        DegradedKnnResult result = DegradedKnnQuery(index, request.node, k);
+        response.objects = std::move(result.objects);
+        response.distances = std::move(result.approx_distances);
+        response.degradation = Degradation::kOverload;
+      } else {
+        const KnnResultType type =
+            request.knn_type == 3 ? KnnResultType::kType3
+            : request.knn_type == 2 ? KnnResultType::kType2
+                                    : KnnResultType::kType1;
+        KnnResult result = SignatureKnnQuery(index, request.node, k, type);
+        response.objects = std::move(result.objects);
+        response.distances.assign(result.distances.begin(),
+                                  result.distances.end());
+        if (result.deadline_exceeded) {
+          response.status = ResponseStatus::kDeadlineExceeded;
+        }
+      }
+      break;
+    }
+    case RequestType::kRange: {
+      RangeQueryResult result =
+          degraded ? DegradedRangeQuery(index, request.node, request.epsilon)
+                   : SignatureRangeQuery(index, request.node, request.epsilon);
+      response.objects = std::move(result.objects);
+      if (degraded) {
+        response.degradation = Degradation::kOverload;
+      } else if (result.deadline_exceeded) {
+        response.status = ResponseStatus::kDeadlineExceeded;
+      }
+      break;
+    }
+    case RequestType::kJoin: {
+      // Self-join: the deployment serves one dataset, joined with itself.
+      JoinResult result =
+          degraded
+              ? DegradedEpsilonJoin(index, index, request.node,
+                                    request.epsilon)
+              : SignatureEpsilonJoin(index, index, request.node,
+                                     request.epsilon);
+      response.pair_left.reserve(result.pairs.size());
+      response.pair_right.reserve(result.pairs.size());
+      for (const JoinPair& pair : result.pairs) {
+        response.pair_left.push_back(pair.left);
+        response.pair_right.push_back(pair.right);
+      }
+      if (degraded) {
+        response.degradation = Degradation::kOverload;
+      } else if (result.deadline_exceeded) {
+        response.status = ResponseStatus::kDeadlineExceeded;
+      }
+      break;
+    }
+    default:
+      return ErrorResponse(request.id, "unsupported query type");
+  }
+
+  if (response.degradation == Degradation::kNone &&
+      GlobalOpCounters().decode_fallbacks > fallbacks_before) {
+    response.degradation = Degradation::kDecodeFault;
+  }
+  return response;
+}
+
+Response DsigServer::ExecuteUpdate(const Request& request) {
+  Response response;
+  response.id = request.id;
+  if (deployment_.updater == nullptr) {
+    return ErrorResponse(request.id, "server is read-only (no updater)");
+  }
+  UpdateRecord record;
+  record.op = request.update_op;
+  record.a = request.a;
+  record.b = request.b;
+  record.weight = request.weight;
+
+  // DurableUpdater is single-writer; connection threads serialize here.
+  // Queries are unaffected (epoch snapshots), which is the whole point of
+  // the PR 5 isolation work.
+  std::lock_guard<std::mutex> lock(update_mu_);
+  StatusOr<UpdateStats> applied = deployment_.updater->Apply(record);
+  if (!applied.ok()) {
+    return ErrorResponse(request.id, applied.status().ToString());
+  }
+  // next_seq() is the seq of the NEXT record; ours, just applied under the
+  // same lock, committed at next_seq() - 1. This is the durability ack the
+  // chaos harness checks against recovery.
+  response.update_seq = deployment_.updater->next_seq() - 1;
+  response.rows_rewritten = applied->rows_rewritten;
+  return response;
+}
+
+void DsigServer::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Already stopping/stopped; wait for the first Stop to have finished
+    // joining by taking the connections mutex after the accept thread dies.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+
+  // 1. New requests fail fast: queued waiters wake with kShuttingDown and
+  //    frames arriving after this answer SHUTTING_DOWN.
+  admission_.Close();
+
+  // 2. Stop accepting: shutdown() unblocks accept(); close() releases the fd.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 3. Drain: wait (bounded) for in-flight work to finish so every admitted
+  //    request gets its response bytes out.
+  const uint64_t drain_deadline_ns =
+      Deadline::NowNanos() +
+      static_cast<uint64_t>(std::max(options_.drain_timeout_ms, 0.0) * 1e6);
+  while (admission_.inflight(WorkClass::kQuery) +
+             admission_.inflight(WorkClass::kUpdate) >
+         0) {
+    if (Deadline::NowNanos() >= drain_deadline_ns) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // 4. Unblock connection threads parked in recv() and join them.
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : connection_threads_) {
+    if (t.joinable()) t.join();
+  }
+  listen_fd_ = -1;
+}
+
+}  // namespace serve
+}  // namespace dsig

@@ -1,0 +1,123 @@
+// The dsig serving front-end: a TCP server over one signature deployment.
+//
+// Request lifecycle (the "Serving, overload & degradation" section of
+// ARCHITECTURE.md draws the state machine):
+//
+//   parse -> admit -> plan -> execute -> respond
+//
+//   * parse      length-prefixed frames (serve/protocol.h); malformed bytes
+//                count serve.protocol_errors and close the connection —
+//                never abort the process.
+//   * admit      per-class bounded queue (serve/admission.h). Shed replies
+//                RETRY_AFTER; a deadline that passes while queued replies
+//                DEADLINE_EXCEEDED without ever holding an execution slot.
+//   * plan       under queue pressure (degrade_queue_fraction) queries are
+//                downgraded to the category-only evaluators (serve/degrade.h)
+//                and tagged Degradation::kOverload. Updates never degrade.
+//   * execute    queries run with the request's Deadline installed
+//                (util/deadline.h); the query layer returns typed partial
+//                results on expiry. Updates serialize through the single
+//                DurableUpdater (WAL-first, fsync per its sync policy) — the
+//                OK ack means the update is durable.
+//   * respond    decode-fault fallbacks observed on this thread during
+//                execution tag the response Degradation::kDecodeFault.
+//
+// Threading: one accept thread plus one thread per connection. Concurrency
+// of actual work is bounded by admission, not by connection count — extra
+// connections queue (backpressure) or shed. Queries run under epoch
+// snapshots and may overlap updates freely (PR 5's isolation contract).
+//
+// Shutdown: Stop() stops accepting, fails queued requests with
+// SHUTTING_DOWN, lets in-flight requests finish (bounded by
+// drain_timeout_ms), then closes connections. The dsig_serve binary follows
+// with a final checkpoint.
+#ifndef DSIG_SERVE_SERVER_H_
+#define DSIG_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "io/durable_index.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+
+namespace dsig {
+namespace serve {
+
+struct ServerOptions {
+  uint16_t port = 0;  // 0 = kernel-assigned; see DsigServer::port()
+  AdmissionController::Options admission;
+
+  // Queries degrade to category-only answers when the query queue is at or
+  // beyond this fraction of its bound. <= 0 degrades every query (a test
+  // and brown-out hook); > 1 never degrades.
+  double degrade_queue_fraction = 0.5;
+
+  // Deadline applied to requests that carry none; <= 0 leaves them
+  // unbounded.
+  double default_deadline_ms = 0;
+
+  // How long Stop() waits for in-flight requests before closing their
+  // connections anyway.
+  double drain_timeout_ms = 5000;
+};
+
+class DsigServer {
+ public:
+  // The state being served. The server borrows everything; `updater` may be
+  // null for read-only serving (updates then answer kError).
+  struct Deployment {
+    RoadNetwork* graph = nullptr;
+    SignatureIndex* index = nullptr;
+    DurableUpdater* updater = nullptr;
+  };
+
+  static StatusOr<std::unique_ptr<DsigServer>> Start(
+      const Deployment& deployment, const ServerOptions& options);
+
+  DsigServer(const DsigServer&) = delete;
+  DsigServer& operator=(const DsigServer&) = delete;
+  ~DsigServer();
+
+  // The bound port (useful with options.port = 0).
+  uint16_t port() const { return port_; }
+
+  // Graceful shutdown per the class comment; idempotent, callable once the
+  // caller decides to drain (e.g. on SIGTERM).
+  void Stop();
+
+  bool stopping() const { return stopping_.load(std::memory_order_relaxed); }
+
+ private:
+  DsigServer(const Deployment& deployment, const ServerOptions& options);
+
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+
+  // Full request lifecycle minus parsing; never throws, never aborts.
+  Response Handle(const Request& request);
+  Response ExecuteQuery(const Request& request, const Deadline& deadline,
+                        bool degraded);
+  Response ExecuteUpdate(const Request& request);
+
+  Deployment deployment_;
+  ServerOptions options_;
+  AdmissionController admission_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex connections_mu_;
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+  std::mutex update_mu_;  // serializes the single-writer DurableUpdater
+};
+
+}  // namespace serve
+}  // namespace dsig
+
+#endif  // DSIG_SERVE_SERVER_H_

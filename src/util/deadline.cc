@@ -1,0 +1,55 @@
+#include "util/deadline.h"
+
+#include <chrono>
+
+namespace dsig {
+namespace {
+
+thread_local Deadline tls_deadline;        // infinite by default
+thread_local int tls_fail_after = -1;      // test failpoint, disabled
+
+}  // namespace
+
+uint64_t Deadline::NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Deadline Deadline::AfterMillis(double ms) {
+  const uint64_t now = NowNanos();
+  if (ms <= 0) return Deadline(now);
+  return Deadline(now + static_cast<uint64_t>(ms * 1e6));
+}
+
+double Deadline::remaining_millis() const {
+  if (infinite()) return 1e18;
+  const uint64_t now = NowNanos();
+  if (now >= ns_) {
+    return -static_cast<double>(now - ns_) / 1e6;
+  }
+  return static_cast<double>(ns_ - now) / 1e6;
+}
+
+const Deadline& CurrentDeadline() { return tls_deadline; }
+
+DeadlineScope::DeadlineScope(const Deadline& deadline) : saved_(tls_deadline) {
+  tls_deadline = deadline;
+}
+
+DeadlineScope::~DeadlineScope() { tls_deadline = saved_; }
+
+bool DeadlineExpired() {
+  if (tls_deadline.infinite()) return false;
+  if (tls_fail_after >= 0) {
+    if (tls_fail_after == 0) return true;  // latched: stays expired
+    --tls_fail_after;
+    return false;
+  }
+  return tls_deadline.expired();
+}
+
+void SetDeadlineCheckFailAfter(int n) { tls_fail_after = n; }
+
+}  // namespace dsig

@@ -1,0 +1,487 @@
+// The serving front-end: wire protocol round-trips and hostile bytes,
+// admission control, and a live loopback server exercising deadlines,
+// degradation, updates, and graceful shutdown end to end.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "core/signature_builder.h"
+#include "graph/graph_generator.h"
+#include "io/durable_index.h"
+#include "query/knn_query.h"
+#include "query/range_query.h"
+#include "serve/loadgen.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace serve {
+namespace {
+
+// --- Protocol ---------------------------------------------------------------
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  Request request;
+  request.type = RequestType::kKnn;
+  request.id = 0x1122334455667788ull;
+  request.deadline_ms = 12.5;
+  request.node = 42;
+  request.k = 7;
+  request.knn_type = 2;
+  request.epsilon = 99.25;
+  request.update_op = 1;
+  request.a = 3;
+  request.b = 9;
+  request.weight = 2.75;
+
+  std::vector<uint8_t> frame;
+  EncodeRequest(request, &frame);
+  ASSERT_GE(frame.size(), kFrameHeaderBytes);
+  uint32_t payload_len = 0;
+  ASSERT_TRUE(CheckFrameHeader(frame.data(), &payload_len).ok());
+  ASSERT_EQ(payload_len, frame.size() - kFrameHeaderBytes);
+
+  auto decoded = DecodeRequest(frame.data() + kFrameHeaderBytes, payload_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, request.type);
+  EXPECT_EQ(decoded->id, request.id);
+  EXPECT_DOUBLE_EQ(decoded->deadline_ms, request.deadline_ms);
+  EXPECT_EQ(decoded->node, request.node);
+  EXPECT_EQ(decoded->k, request.k);
+  EXPECT_EQ(decoded->knn_type, request.knn_type);
+  EXPECT_DOUBLE_EQ(decoded->epsilon, request.epsilon);
+  EXPECT_EQ(decoded->a, request.a);
+  EXPECT_EQ(decoded->b, request.b);
+  EXPECT_DOUBLE_EQ(decoded->weight, request.weight);
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  Response response;
+  response.id = 77;
+  response.status = ResponseStatus::kDeadlineExceeded;
+  response.degradation = Degradation::kOverload;
+  response.retry_after_ms = 12.5;
+  response.objects = {1, 2, 3};
+  response.distances = {0.5, 1.5, 2.5};
+  response.pair_left = {4, 5};
+  response.pair_right = {6, 7};
+  response.update_seq = 31;
+  response.rows_rewritten = 9;
+  response.num_nodes = 1000;
+  response.num_objects = 50;
+  response.suggested_epsilon = 123.5;
+  response.text = "hello {json}";
+
+  std::vector<uint8_t> frame;
+  EncodeResponse(response, &frame);
+  uint32_t payload_len = 0;
+  ASSERT_TRUE(CheckFrameHeader(frame.data(), &payload_len).ok());
+  auto decoded = DecodeResponse(frame.data() + kFrameHeaderBytes, payload_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, response.id);
+  EXPECT_EQ(decoded->status, response.status);
+  EXPECT_EQ(decoded->degradation, response.degradation);
+  EXPECT_EQ(decoded->objects, response.objects);
+  EXPECT_EQ(decoded->distances, response.distances);
+  EXPECT_EQ(decoded->pair_left, response.pair_left);
+  EXPECT_EQ(decoded->pair_right, response.pair_right);
+  EXPECT_EQ(decoded->update_seq, response.update_seq);
+  EXPECT_EQ(decoded->rows_rewritten, response.rows_rewritten);
+  EXPECT_EQ(decoded->num_nodes, response.num_nodes);
+  EXPECT_EQ(decoded->num_objects, response.num_objects);
+  EXPECT_DOUBLE_EQ(decoded->suggested_epsilon, response.suggested_epsilon);
+  EXPECT_EQ(decoded->text, response.text);
+}
+
+TEST(ProtocolTest, HostileBytesFailCleanly) {
+  // Wrong magic.
+  uint8_t bad_header[kFrameHeaderBytes] = {0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0};
+  uint32_t payload_len = 0;
+  EXPECT_FALSE(CheckFrameHeader(bad_header, &payload_len).ok());
+
+  // Oversized length.
+  Request ping;
+  std::vector<uint8_t> frame;
+  EncodeRequest(ping, &frame);
+  frame[4] = 0xff;
+  frame[5] = 0xff;
+  frame[6] = 0xff;
+  frame[7] = 0x7f;
+  EXPECT_FALSE(CheckFrameHeader(frame.data(), &payload_len).ok());
+
+  // Every truncation of a valid payload must decode to an error, not a
+  // crash or a silently short request.
+  frame.clear();
+  Request full;
+  full.type = RequestType::kUpdate;
+  full.a = 1;
+  full.b = 2;
+  full.weight = 1.5;
+  EncodeRequest(full, &frame);
+  ASSERT_TRUE(CheckFrameHeader(frame.data(), &payload_len).ok());
+  for (uint32_t cut = 0; cut < payload_len; ++cut) {
+    EXPECT_FALSE(
+        DecodeRequest(frame.data() + kFrameHeaderBytes, cut).ok())
+        << "truncation at " << cut << " decoded";
+  }
+  // Garbage request type.
+  std::vector<uint8_t> payload(frame.begin() + kFrameHeaderBytes, frame.end());
+  payload[0] = 0xee;
+  EXPECT_FALSE(DecodeRequest(payload.data(), payload.size()).ok());
+}
+
+// --- Admission --------------------------------------------------------------
+
+TEST(AdmissionTest, FullQueueShedsWithScaledHint) {
+  AdmissionController::Options options;
+  options.query = {/*max_inflight=*/1, /*max_queue=*/0};
+  options.retry_after_base_ms = 10;
+  AdmissionController admission(options);
+
+  auto first = admission.Admit(WorkClass::kQuery, Deadline::Infinite());
+  ASSERT_EQ(first.outcome, AdmitOutcome::kAdmitted);
+  ASSERT_TRUE(first.ticket.held());
+
+  // Slot taken, zero queue: instant shed with a positive hint.
+  auto second = admission.Admit(WorkClass::kQuery, Deadline::Infinite());
+  EXPECT_EQ(second.outcome, AdmitOutcome::kShed);
+  EXPECT_GE(second.retry_after_ms, options.retry_after_base_ms);
+
+  first.ticket.Release();
+  auto third = admission.Admit(WorkClass::kQuery, Deadline::Infinite());
+  EXPECT_EQ(third.outcome, AdmitOutcome::kAdmitted);
+}
+
+TEST(AdmissionTest, QueuedRequestTimesOutAtItsDeadline) {
+  AdmissionController::Options options;
+  options.query = {/*max_inflight=*/1, /*max_queue=*/4};
+  AdmissionController admission(options);
+  auto holder = admission.Admit(WorkClass::kQuery, Deadline::Infinite());
+  ASSERT_EQ(holder.outcome, AdmitOutcome::kAdmitted);
+
+  const uint64_t before = Deadline::NowNanos();
+  auto queued = admission.Admit(WorkClass::kQuery, Deadline::AfterMillis(30));
+  EXPECT_EQ(queued.outcome, AdmitOutcome::kQueueTimeout);
+  EXPECT_GE(Deadline::NowNanos() - before, 25ull * 1000 * 1000);
+  EXPECT_EQ(admission.queue_depth(WorkClass::kQuery), 0u);
+}
+
+TEST(AdmissionTest, UpdateClassIsIndependentOfQueryClass) {
+  AdmissionController::Options options;
+  options.query = {/*max_inflight=*/1, /*max_queue=*/0};
+  AdmissionController admission(options);
+  auto query = admission.Admit(WorkClass::kQuery, Deadline::Infinite());
+  ASSERT_EQ(query.outcome, AdmitOutcome::kAdmitted);
+  // Query class saturated; updates still flow.
+  auto update = admission.Admit(WorkClass::kUpdate, Deadline::Infinite());
+  EXPECT_EQ(update.outcome, AdmitOutcome::kAdmitted);
+}
+
+TEST(AdmissionTest, CloseWakesQueuedWaitersWithShuttingDown) {
+  AdmissionController::Options options;
+  options.query = {/*max_inflight=*/1, /*max_queue=*/4};
+  AdmissionController admission(options);
+  auto holder = admission.Admit(WorkClass::kQuery, Deadline::Infinite());
+  ASSERT_EQ(holder.outcome, AdmitOutcome::kAdmitted);
+
+  AdmitOutcome waiter_outcome = AdmitOutcome::kAdmitted;
+  std::thread waiter([&] {
+    waiter_outcome =
+        admission.Admit(WorkClass::kQuery, Deadline::Infinite()).outcome;
+  });
+  while (admission.queue_depth(WorkClass::kQuery) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  admission.Close();
+  waiter.join();
+  EXPECT_EQ(waiter_outcome, AdmitOutcome::kShuttingDown);
+  EXPECT_EQ(admission.Admit(WorkClass::kQuery, Deadline::Infinite()).outcome,
+            AdmitOutcome::kShuttingDown);
+}
+
+// --- Live server ------------------------------------------------------------
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = std::make_unique<RoadNetwork>(
+        MakeRandomPlanar({.num_nodes = 500, .seed = 21}));
+    objects_ = UniformDataset(*graph_, 0.05, 21);
+    index_ = BuildSignatureIndex(*graph_, objects_,
+                                 {.t = 5, .c = 2, .keep_forest = true});
+    dir_ = TempDir("serve_fixture");
+    auto updater =
+        DurableUpdater::Initialize(dir_, graph_.get(), index_.get(), {});
+    ASSERT_TRUE(updater.ok()) << updater.status().ToString();
+    updater_ = std::move(updater).value();
+  }
+
+  void StartServer(const ServerOptions& options) {
+    DsigServer::Deployment deployment;
+    deployment.graph = graph_.get();
+    deployment.index = index_.get();
+    deployment.updater = updater_.get();
+    auto server = DsigServer::Start(deployment, options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+    ASSERT_TRUE(client_.Connect(server_->port(), /*timeout_ms=*/5000).ok());
+  }
+
+  Response MustCall(const Request& request) {
+    auto response = client_.Call(request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? *response : Response{};
+  }
+
+  std::unique_ptr<RoadNetwork> graph_;
+  std::vector<NodeId> objects_;
+  std::unique_ptr<SignatureIndex> index_;
+  std::string dir_;
+  std::unique_ptr<DurableUpdater> updater_;
+  std::unique_ptr<DsigServer> server_;
+  ServeClient client_;
+};
+
+TEST_F(ServerFixture, AnswersMatchDirectQueries) {
+  StartServer({});
+
+  Request ping;
+  ping.type = RequestType::kPing;
+  ping.id = 1;
+  const Response pong = MustCall(ping);
+  EXPECT_EQ(pong.status, ResponseStatus::kOk);
+  EXPECT_EQ(pong.num_nodes, graph_->num_nodes());
+  EXPECT_EQ(pong.num_objects, index_->num_objects());
+  EXPECT_GT(pong.suggested_epsilon, 0);
+
+  Request knn;
+  knn.type = RequestType::kKnn;
+  knn.id = 2;
+  knn.node = 17;
+  knn.k = 5;
+  knn.knn_type = 1;
+  const Response served = MustCall(knn);
+  EXPECT_EQ(served.status, ResponseStatus::kOk);
+  EXPECT_EQ(served.degradation, Degradation::kNone);
+  const KnnResult direct =
+      SignatureKnnQuery(*index_, 17, 5, KnnResultType::kType1);
+  ASSERT_EQ(served.objects.size(), direct.objects.size());
+  for (size_t i = 0; i < direct.objects.size(); ++i) {
+    EXPECT_DOUBLE_EQ(served.distances[i], direct.distances[i]);
+  }
+
+  Request range;
+  range.type = RequestType::kRange;
+  range.id = 3;
+  range.node = 17;
+  range.epsilon = pong.suggested_epsilon;
+  const Response ranged = MustCall(range);
+  EXPECT_EQ(ranged.status, ResponseStatus::kOk);
+  const RangeQueryResult direct_range =
+      SignatureRangeQuery(*index_, 17, range.epsilon);
+  EXPECT_EQ(ranged.objects, direct_range.objects);
+
+  Request stats;
+  stats.type = RequestType::kStats;
+  stats.id = 4;
+  const Response stat = MustCall(stats);
+  EXPECT_EQ(stat.status, ResponseStatus::kOk);
+  EXPECT_NE(stat.text.find("serve.requests"), std::string::npos);
+}
+
+TEST_F(ServerFixture, UpdatesAreDurablyAckedWithWalSeq) {
+  StartServer({});
+  Request update;
+  update.type = RequestType::kUpdate;
+  update.id = 9;
+  update.update_op = UpdateRecord::kAddEdge;
+  update.a = 3;
+  update.b = 250;
+  update.weight = 2.5;
+  const Response first = MustCall(update);
+  EXPECT_EQ(first.status, ResponseStatus::kOk);
+  EXPECT_EQ(first.update_seq, 1u);
+  EXPECT_GT(first.rows_rewritten, 0u);
+
+  update.id = 10;
+  update.a = 5;
+  update.b = 300;
+  const Response second = MustCall(update);
+  EXPECT_EQ(second.update_seq, 2u);
+
+  // A malformed update (self-loop) is refused without poisoning the WAL.
+  update.id = 11;
+  update.a = 7;
+  update.b = 7;
+  const Response refused = MustCall(update);
+  EXPECT_EQ(refused.status, ResponseStatus::kError);
+  EXPECT_EQ(updater_->next_seq(), 3u);
+}
+
+TEST_F(ServerFixture, ExpiredDeadlineAnswersWithoutExecuting) {
+  StartServer({});
+  Request knn;
+  knn.type = RequestType::kKnn;
+  knn.id = 5;
+  knn.node = 17;
+  knn.k = 5;
+  knn.knn_type = 1;
+  knn.deadline_ms = 1e-9;  // expired before the server can look at it
+  const Response response = MustCall(knn);
+  EXPECT_EQ(response.status, ResponseStatus::kDeadlineExceeded);
+  EXPECT_TRUE(response.objects.empty());
+}
+
+TEST_F(ServerFixture, OverloadDegradesToCategoryAnswers) {
+  ServerOptions options;
+  options.degrade_queue_fraction = -1;  // brown-out hook: degrade everything
+  StartServer(options);
+
+  Request knn;
+  knn.type = RequestType::kKnn;
+  knn.id = 6;
+  knn.node = 17;
+  knn.k = 5;
+  knn.knn_type = 1;
+  const Response response = MustCall(knn);
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.degradation, Degradation::kOverload);
+  EXPECT_EQ(response.objects.size(), 5u);
+  // Degraded distances are category midpoints: positive, finite estimates.
+  for (const double d : response.distances) {
+    EXPECT_GT(d, 0);
+  }
+
+  Request range;
+  range.type = RequestType::kRange;
+  range.id = 7;
+  range.node = 17;
+  range.epsilon = 50;
+  EXPECT_EQ(MustCall(range).degradation, Degradation::kOverload);
+}
+
+TEST_F(ServerFixture, DecodeFaultTagsTheResponse) {
+  StartServer({});
+  const NodeId n = 23;
+  // Smash node 23's row to zeros: reads must fall back to bounded Dijkstra
+  // (still exact) and the response must say so.
+  EncodedRow& row = index_->mutable_encoded_row(n);
+  std::fill(row.bytes.begin(), row.bytes.end(), uint8_t{0});
+
+  Request knn;
+  knn.type = RequestType::kKnn;
+  knn.id = 8;
+  knn.node = n;
+  knn.k = 3;
+  knn.knn_type = 1;
+  const Response response = MustCall(knn);
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.degradation, Degradation::kDecodeFault);
+  EXPECT_EQ(response.objects.size(), 3u);
+}
+
+TEST_F(ServerFixture, ShedRepliesRetryAfterUnderSaturation) {
+  ServerOptions options;
+  options.admission.query = {/*max_inflight=*/1, /*max_queue=*/0};
+  StartServer(options);
+
+  // Keep the single slot saturated from two other connections hammering the
+  // most expensive request we have, then observe the shed on the fixture
+  // connection.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> blockers;
+  for (int t = 0; t < 2; ++t) {
+    blockers.emplace_back([&, t] {
+      ServeClient heavy;
+      if (!heavy.Connect(server_->port(), 5000).ok()) return;
+      Request join;
+      join.type = RequestType::kJoin;
+      join.id = 100 + static_cast<uint64_t>(t);
+      join.node = 3;
+      join.epsilon = 1e9;  // every pair straddles
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!heavy.Call(join).ok()) break;
+      }
+    });
+  }
+
+  bool saw_shed = false;
+  for (int i = 0; i < 2000 && !saw_shed; ++i) {
+    Request knn;
+    knn.type = RequestType::kKnn;
+    knn.id = 200;
+    knn.node = 17;
+    knn.k = 3;
+    knn.knn_type = 3;
+    auto response = client_.Call(knn);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    if (response->status == ResponseStatus::kRetryAfter) {
+      EXPECT_GT(response->retry_after_ms, 0);
+      saw_shed = true;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& b : blockers) b.join();
+  EXPECT_TRUE(saw_shed) << "single-slot server never shed";
+}
+
+TEST_F(ServerFixture, GracefulStopDrainsAndRefuses) {
+  StartServer({});
+  Request ping;
+  ping.type = RequestType::kPing;
+  ping.id = 12;
+  EXPECT_EQ(MustCall(ping).status, ResponseStatus::kOk);
+
+  server_->Stop();
+  // The listener is gone: new connections are refused.
+  ServeClient late;
+  EXPECT_FALSE(late.Connect(server_->port(), 500).ok());
+  // Stop() is idempotent.
+  server_->Stop();
+
+  // The durable tail survives the drain: a final checkpoint + recovery
+  // round-trips.
+  ASSERT_TRUE(updater_->Checkpoint().ok());
+  ASSERT_TRUE(updater_->Close().ok());
+  auto recovered = DurableUpdater::Recover(dir_, {});
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+}
+
+TEST_F(ServerFixture, LoadgenDrivesTrafficEndToEnd) {
+  StartServer({});
+  LoadgenOptions options;
+  options.port = server_->port();
+  options.rate = 400;
+  options.duration_s = 1.0;
+  options.threads = 2;
+  options.deadline_ms = 200;
+  options.seed = 5;
+  auto report = RunLoadgen(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->arrivals, 0u);
+  EXPECT_GT(report->completed, 0u);
+  EXPECT_EQ(report->protocol_errors, 0u);
+  EXPECT_GT(report->updates_acked, 0u);
+  // Every acked seq was really committed: the WAL is at least that far.
+  EXPECT_GT(report->max_acked_seq, 0u);
+  EXPECT_LE(report->max_acked_seq, updater_->next_seq() - 1);
+  EXPECT_GT(report->p99_ms, 0);
+  const std::string summary = FormatLoadgenSummary(*report);
+  EXPECT_NE(summary.find("LOADGEN_SUMMARY"), std::string::npos);
+  EXPECT_NE(summary.find("protocol_errors=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dsig
