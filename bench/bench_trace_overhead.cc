@@ -1,0 +1,143 @@
+// Regression guard — the cost of the tracing instrumentation itself.
+//
+// The serve path wraps EVERY request in a light collect trace (totals +
+// op/buffer deltas, no span rooting) and upgrades a sampled subset to a
+// full span-rooting trace, because Span objects sit on per-backtrack-step
+// and per-entry-decode inner loops. The split is only sound if:
+//   1. a disabled Span stays a thread-local load and a branch
+//      (nanoseconds, not a function call into the tracer), and
+//   2. the always-on light wrapper does not move query latency measurably.
+// This bench measures both — plus the full-trace cost that justifies the
+// sampling design — and prints a TRACE_OVERHEAD line that CI asserts
+// against hard bounds (ns_per_span_disabled < 30, light overhead < 2%), so
+// an accidental virtual call, mutex, or clock read on the fast path fails
+// the build instead of quietly taxing every query.
+#include "bench/bench_common.h"
+
+#include <algorithm>
+
+#include "query/knn_query.h"
+
+namespace {
+
+// Defeats hoisting of the span's thread-local root load out of the loop:
+// the compiler must assume memory (and so the TLS slot) changed.
+inline void ClobberMemory() { asm volatile("" ::: "memory"); }
+
+// Nanoseconds per Span construct+destruct at the current tracing state.
+double MeasureSpanNs(size_t iterations) {
+  dsig::Timer timer;
+  for (size_t i = 0; i < iterations; ++i) {
+    dsig::obs::Span span(dsig::obs::Phase::kRowDecode);
+    ClobberMemory();
+  }
+  return timer.ElapsedSeconds() * 1e9 / static_cast<double>(iterations);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsig;
+  using namespace dsig::bench;
+
+  const Flags flags(argc, argv);
+  if (!ApplyObsFlags(flags)) return 1;
+  const size_t nodes = static_cast<size_t>(flags.GetInt("nodes", 4000));
+  const size_t num_queries = static_cast<size_t>(flags.GetInt("queries", 400));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const size_t span_iters =
+      static_cast<size_t>(flags.GetInt("span-iters", 2000000));
+  const int rounds = static_cast<int>(flags.GetInt("rounds", 3));
+
+  BenchJson json(flags, "trace_overhead");
+  json.SetParam("nodes", static_cast<double>(nodes));
+  json.SetParam("queries", static_cast<double>(num_queries));
+  json.SetParam("seed", static_cast<double>(seed));
+
+  std::printf("=== Observability tax: spans and the collect-root wrapper ===\n");
+
+  // --- 1. Span cost, disabled vs under an active collect root. ---
+  obs::SetTracingEnabled(false);
+  MeasureSpanNs(span_iters / 10);  // warm up TLS + branch predictor
+  const double disabled_ns = MeasureSpanNs(span_iters);
+
+  double active_ns;
+  {
+    obs::QueryTrace root(nullptr, obs::QueryTrace::Mode::kCollectRoot);
+    MeasureSpanNs(span_iters / 10);
+    active_ns = MeasureSpanNs(span_iters);
+    root.Finish();
+  }
+  std::printf("span: %.2f ns disabled, %.1f ns under a collect root\n",
+              disabled_ns, active_ns);
+
+  // --- 2. kNN latency with and without the per-request collect wrapper. ---
+  // Interleaved min-of-N rounds: both variants see the same cache and
+  // frequency conditions, and the min discards scheduler noise.
+  const RoadNetwork graph =
+      MakeRandomPlanar({.num_nodes = nodes, .seed = seed});
+  const std::vector<NodeId> objects = UniformDataset(graph, 0.01, seed);
+  const auto index = BuildSignatureIndex(graph, objects, {.t = 10, .c = 2});
+  const std::vector<NodeId> queries =
+      RandomQueryNodes(graph, num_queries, seed + 1);
+
+  auto run_plain = [&] {
+    Timer timer;
+    for (const NodeId q : queries) {
+      SignatureKnnQuery(*index, q, 10, KnnResultType::kType1);
+    }
+    return timer.ElapsedMillis();
+  };
+  auto run_wrapped = [&](obs::QueryTrace::Mode mode) {
+    Timer timer;
+    for (const NodeId q : queries) {
+      obs::QueryTrace trace(nullptr, mode);
+      SignatureKnnQuery(*index, q, 10, KnnResultType::kType1);
+      obs::TraceSummary summary = trace.Finish();
+      (void)summary;
+    }
+    return timer.ElapsedMillis();
+  };
+
+  run_plain();  // one throwaway round to warm the index
+  double best_plain = 1e300, best_light = 1e300, best_full = 1e300;
+  for (int r = 0; r < rounds; ++r) {
+    best_plain = std::min(best_plain, run_plain());
+    best_light = std::min(
+        best_light, run_wrapped(obs::QueryTrace::Mode::kCollectLight));
+    best_full =
+        std::min(best_full, run_wrapped(obs::QueryTrace::Mode::kCollectRoot));
+  }
+  const double light_percent = (best_light - best_plain) / best_plain * 100.0;
+  const double full_percent = (best_full - best_plain) / best_plain * 100.0;
+
+  const double n = static_cast<double>(num_queries);
+  std::printf("knn k=10: %.3f ms/query plain, %.3f ms/query light (%+.3f%%), "
+              "%.3f ms/query full trace (%+.1f%%)\n",
+              best_plain / n, best_light / n, light_percent, best_full / n,
+              full_percent);
+
+  // The line CI greps and asserts bounds against. The full-trace number is
+  // informational: it is paid only on 1-in-trace_sample_period requests.
+  std::printf("TRACE_OVERHEAD ns_per_span_disabled=%.2f "
+              "ns_per_span_active=%.1f knn_light_overhead_percent=%.3f "
+              "knn_full_overhead_percent=%.1f\n",
+              disabled_ns, active_ns, light_percent, full_percent);
+
+  if (json.enabled()) {
+    json.AddScalar("span_overhead", "Span", "disabled", "ns_per_span",
+                   disabled_ns);
+    json.AddScalar("span_overhead", "Span", "active", "ns_per_span",
+                   active_ns);
+    auto* point = json.AddScalar("request_overhead", "Signature", "knn_k10",
+                                 "light_overhead_percent", light_percent);
+    if (point != nullptr) {
+      point->metrics["full_overhead_percent"] = full_percent;
+      point->metrics["plain_ms_per_query"] = best_plain / n;
+      point->metrics["light_ms_per_query"] = best_light / n;
+      point->metrics["full_ms_per_query"] = best_full / n;
+    }
+  }
+  json.Write();
+  return 0;
+}

@@ -12,6 +12,16 @@
 //                  [--max-inflight=8] [--max-queue=32]
 //                  [--degrade-fraction=0.5] [--default-deadline-ms=0]
 //                  [--max-runtime-s=300]
+//                  [--slo-budget-ms=50] [--slo-join-budget-ms=250]
+//                  [--slo-update-budget-ms=100] [--slo-availability=0.99]
+//                  [--slo-fast-s=10] [--slo-slow-s=60] [--slo-slot-ms=1000]
+//                  [--slow-query-log=PATH] [--slow-trace-qps=20]
+//                  [--trace-sample-period=16]
+//
+// SLO flags declare per-request-class objectives (latency budget +
+// availability) evaluated with fast/slow burn-rate windows; `dsig_tool slo`
+// reads the resulting health report. --slow-query-log appends one JSON
+// trace line (queue wait + execution phases) per SLO-breaching request.
 //
 // Prints one "SERVE_READY port=... nodes=... objects=..." line when
 // accepting. SIGTERM / SIGINT drain gracefully: stop accepting, fail queued
@@ -135,6 +145,39 @@ int main(int argc, char** argv) {
   options.degrade_queue_fraction = flags.GetDouble("degrade-fraction", 0.5);
   options.default_deadline_ms = flags.GetDouble("default-deadline-ms", 0);
 
+  // SLO objectives: one latency budget for the interactive classes (knn,
+  // range), separate knobs for the join scan and updates.
+  const double slo_budget_ms = flags.GetDouble("slo-budget-ms", 50);
+  const double slo_availability = flags.GetDouble("slo-availability", 0.99);
+  options.slo = {
+      {"knn", slo_budget_ms, slo_availability},
+      {"range", slo_budget_ms, slo_availability},
+      {"join", flags.GetDouble("slo-join-budget-ms", 250), slo_availability},
+      {"update", flags.GetDouble("slo-update-budget-ms", 100),
+       slo_availability},
+  };
+  options.slo_windows.fast_ns = static_cast<uint64_t>(
+      flags.GetDouble("slo-fast-s", 10) * 1e9);
+  options.slo_windows.slow_ns = static_cast<uint64_t>(
+      flags.GetDouble("slo-slow-s", 60) * 1e9);
+  options.slo_windows.slot_ns = static_cast<uint64_t>(
+      flags.GetDouble("slo-slot-ms", 1000) * 1e6);
+
+  const std::string slow_log = flags.GetString("slow-query-log", "");
+  std::FILE* slow_log_file = nullptr;
+  if (!slow_log.empty()) {
+    slow_log_file = std::fopen(slow_log.c_str(), "a");
+    if (slow_log_file == nullptr) {
+      std::fprintf(stderr, "cannot open slow-query log %s\n",
+                   slow_log.c_str());
+      return 1;
+    }
+    options.slow_trace_sink = slow_log_file;
+    options.slow_trace_qps = flags.GetDouble("slow-trace-qps", 20);
+  }
+  options.trace_sample_period = static_cast<uint32_t>(
+      flags.GetInt("trace-sample-period", 16));
+
   serve::DsigServer::Deployment deployment;
   deployment.graph = owned_graph.get();
   deployment.index = owned_index.get();
@@ -177,6 +220,7 @@ int main(int argc, char** argv) {
   // everything applied so far durable in one final checkpoint.
   std::printf("draining (signal %d)...\n", static_cast<int>(g_signal));
   (*server)->Stop();
+  if (slow_log_file != nullptr) std::fclose(slow_log_file);
   const Status checkpointed = updater->Checkpoint();
   if (!checkpointed.ok()) {
     std::fprintf(stderr, "final checkpoint failed: %s\n",

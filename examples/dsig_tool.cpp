@@ -16,6 +16,8 @@
 //             [--format=json|prometheus]
 //   chaos     --dir=<dir> [--nodes=N] [--updates=N] [--threads=N]
 //             [--crash-at=BYTE] [--checkpoint-interval=N] [--seed=S]
+//   slo       --port=P | --port-file=PATH  [--probe=N] [--out=FILE]
+//             [--timeout-ms=2000]
 //
 // `build --threads=N` runs the construction pipeline on N worker threads
 // (0 = all hardware threads); the built index is byte-identical at every N.
@@ -37,6 +39,12 @@
 // Global flags (any command):
 //   --trace            emit one JSON trace line per query to stderr
 //   --log-level=LEVEL  minimum DSIG_LOG severity (debug|info|warning|error)
+//
+// `slo` asks a running dsig_serve for its SLO health: prints the greppable
+// SLO_HEALTH / SLO_OVERALL lines (per-class burn-rate state) and, with
+// --out, archives the machine-readable health report (the kStats JSON:
+// metrics registry + SLO engine) to a file. --probe=N first issues N cheap
+// kNN queries so an idle server has fresh traffic in its windows.
 //
 // `verify` loads the index and runs the deep integrity check
 // (SignatureIndex::Verify): exit 0 = clean, nonzero = corrupt, with the
@@ -69,6 +77,7 @@
 #include "query/batch.h"
 #include "query/knn_query.h"
 #include "query/range_query.h"
+#include "serve/loadgen.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -84,7 +93,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: dsig_tool "
-      "<generate|build|info|verify|corrupt|knn|range|stats|chaos> [flags]\n"
+      "<generate|build|info|verify|corrupt|knn|range|stats|chaos|slo> "
+      "[flags]\n"
       "global flags: --trace --log-level=<debug|info|warning|error>\n"
       "see the header of examples/dsig_tool.cpp for details\n");
   return 1;
@@ -488,6 +498,96 @@ int Chaos(const Flags& flags) {
   return 0;
 }
 
+// SLO health of a running dsig_serve: greppable text to stdout, optional
+// machine-readable report (the kStats JSON) to --out. Exit 0 whenever the
+// fetch succeeds — health state is data, not an exit code; the smoke
+// harness asserts on the printed lines.
+int Slo(const Flags& flags) {
+  uint16_t port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  const std::string port_file = flags.GetString("port-file", "");
+  if (port == 0 && !port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "r");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot read --port-file=%s\n", port_file.c_str());
+      return 1;
+    }
+    unsigned parsed = 0;
+    if (std::fscanf(f, "%u", &parsed) != 1) {
+      std::fclose(f);
+      std::fprintf(stderr, "no port in %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fclose(f);
+    port = static_cast<uint16_t>(parsed);
+  }
+  if (port == 0) return Usage();
+  const double timeout_ms = flags.GetDouble("timeout-ms", 2000);
+
+  serve::ServeClient client;
+  const Status connected = client.Connect(port, timeout_ms);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "cannot connect to 127.0.0.1:%u: %s\n", port,
+                 connected.ToString().c_str());
+    return 1;
+  }
+
+  // Warm the windows with cheap traffic so an idle server reports on
+  // something fresher than silence.
+  const int probes = static_cast<int>(flags.GetInt("probe", 0));
+  if (probes > 0) {
+    serve::Request ping;
+    ping.type = serve::RequestType::kPing;
+    ping.id = 1;
+    auto pong = client.Call(ping);
+    if (!pong.ok() || (*pong).num_nodes == 0) {
+      std::fprintf(stderr, "probe ping failed\n");
+      return 1;
+    }
+    Random rng(17);
+    for (int i = 0; i < probes; ++i) {
+      serve::Request probe;
+      probe.type = serve::RequestType::kKnn;
+      probe.id = 100 + static_cast<uint64_t>(i);
+      probe.node = static_cast<uint32_t>(rng.NextUint64((*pong).num_nodes));
+      probe.k = 4;
+      (void)client.Call(probe);
+    }
+  }
+
+  serve::Request slo;
+  slo.type = serve::RequestType::kSlo;
+  slo.id = 2;
+  auto health = client.Call(slo);
+  if (!health.ok()) {
+    std::fprintf(stderr, "slo request failed: %s\n",
+                 health.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs((*health).text.c_str(), stdout);
+
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    serve::Request stats;
+    stats.type = serve::RequestType::kStats;
+    stats.id = 3;
+    auto report = client.Call(stats);
+    if (!report.ok()) {
+      std::fprintf(stderr, "stats request failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::fputs((*report).text.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -513,5 +613,6 @@ int main(int argc, char** argv) {
   if (command == "range") return Range(flags);
   if (command == "stats") return Stats(flags);
   if (command == "chaos") return Chaos(flags);
+  if (command == "slo") return Slo(flags);
   return Usage();
 }

@@ -7,18 +7,23 @@
 #      as far as the highest update sequence any client saw acknowledged —
 #      "no acknowledged update lost", the durability headline.
 #
-#   B  restart on the recovered deployment with starvation budgets and
-#      2x the traffic, assert overload shows up as load shedding
-#      (RETRY_AFTER) and degraded (category-only) answers rather than
-#      collapse, SIGTERM the server and assert a clean drain (exit 0,
-#      SERVE_DRAINED, final checkpoint), then recover-check once more.
+#   B  restart on the recovered deployment with starvation budgets, short
+#      SLO burn windows, and 2x the traffic. Assert overload shows up as
+#      load shedding (RETRY_AFTER) and degraded (category-only) answers
+#      rather than collapse, that the SLO engine reports burn-rate critical
+#      while the overload is inside its windows (health_overload.json) and
+#      recovers to ok once it ages out (health_after.json), that breaching
+#      requests left trace lines in the slow-query log, then SIGTERM the
+#      server and assert a clean drain (exit 0, SERVE_DRAINED, final
+#      checkpoint) and recover-check once more.
 #
-# Usage: serve_smoke.sh <dsig_serve> <dsig_loadgen> [workdir]
+# Usage: serve_smoke.sh <dsig_serve> <dsig_loadgen> <dsig_tool> [workdir]
 set -u
 
 SERVE="$1"
 LOADGEN="$2"
-WORK="${3:-$(mktemp -d)}"
+TOOL="$3"
+WORK="${4:-$(mktemp -d)}"
 mkdir -p "$WORK"
 DIR="$WORK/deploy"
 SERVER_PID=""
@@ -69,6 +74,10 @@ max_acked_seq=$(scrape "$WORK/loadgen_a.log" max_acked_seq)
 [ "$protocol_errors" -eq 0 ] || fail "leg A protocol_errors=$protocol_errors"
 [ "$max_acked_seq" -gt 0 ] || fail "leg A acked no updates"
 [ -s "$WORK/serve_report.json" ] || fail "loadgen wrote no report"
+# The loadgen cross-checked its client-side p99 against the server's
+# windowed view; the report must carry that consistency probe.
+grep -q '"server_stats_ok": 1' "$WORK/serve_report.json" \
+  || fail "loadgen report has no server-side stats (p99 consistency probe)"
 
 kill -9 "$SERVER_PID" 2>/dev/null || fail "server A already gone before kill -9"
 wait "$SERVER_PID" 2>/dev/null
@@ -86,10 +95,19 @@ echo "leg A ok: completed=$completed acked_seq=$max_acked_seq recovered_seq=$las
 # Overload is statistical; retry the leg a few times before declaring the
 # server refuses to shed.
 for attempt in 1 2 3; do
-  rm -f "$WORK/port"
+  rm -f "$WORK/port" "$WORK/slow_queries.jsonl"
+  # Short burn windows (fast 2s / slow 8s) so the 2-second overload fills
+  # both and the recovery sleep empties them; a generous 200ms budget so
+  # only shed/timed-out requests burn error budget, not healthy latency;
+  # a three-nines availability objective so the ~5% shed rate the tiny
+  # queue produces burns at ~50x — unambiguously past the 14.4 critical
+  # threshold — while zero bad requests still burns zero.
   "$SERVE" --dir="$DIR" --port-file="$WORK/port" \
     --max-inflight=1 --max-queue=2 --retry-after-base-ms=5 \
-    --degrade-fraction=0.25 >"$WORK/serve_b.log" 2>&1 &
+    --degrade-fraction=0.25 --slo-availability=0.999 \
+    --slo-budget-ms=200 --slo-fast-s=2 --slo-slow-s=8 --slo-slot-ms=250 \
+    --slow-query-log="$WORK/slow_queries.jsonl" --trace-sample-period=4 \
+    >"$WORK/serve_b.log" 2>&1 &
   SERVER_PID=$!
   wait_port "$WORK/port" || fail "server B never published its port"
 
@@ -101,6 +119,27 @@ for attempt in 1 2 3; do
     --seed=$((attempt * 13)) \
     >"$WORK/loadgen_b.log" 2>&1 || fail "loadgen B exited nonzero"
 
+  shed=$(scrape "$WORK/loadgen_b.log" shed)
+  degraded=$(scrape "$WORK/loadgen_b.log" degraded)
+  b_protocol_errors=$(scrape "$WORK/loadgen_b.log" protocol_errors)
+  [ "$b_protocol_errors" -eq 0 ] || fail "leg B protocol_errors=$b_protocol_errors"
+
+  overloaded=0
+  if [ "$shed" -gt 0 ] && [ "$degraded" -gt 0 ]; then
+    overloaded=1
+    # Probe immediately, while the shed traffic is still inside both burn
+    # windows: the health report must say critical.
+    "$TOOL" slo --port-file="$WORK/port" --out="$WORK/health_overload.json" \
+      >"$WORK/slo_overload.log" 2>&1 || fail "dsig_tool slo (overload) failed"
+    # Let the overload age out of the slow (8s) window, then probe again
+    # with fresh good traffic: burn drops to zero and the class windows
+    # forget the overload latencies, while the lifetime histogram does not.
+    sleep 10
+    "$TOOL" slo --port-file="$WORK/port" --probe=30 \
+      --out="$WORK/health_after.json" \
+      >"$WORK/slo_after.log" 2>&1 || fail "dsig_tool slo (recovery) failed"
+  fi
+
   kill -TERM "$SERVER_PID"
   wait "$SERVER_PID"
   rc=$?
@@ -108,16 +147,48 @@ for attempt in 1 2 3; do
   [ "$rc" -eq 0 ] || fail "server B exited $rc after SIGTERM"
   grep -q SERVE_DRAINED "$WORK/serve_b.log" || fail "server B drained without SERVE_DRAINED"
 
-  shed=$(scrape "$WORK/loadgen_b.log" shed)
-  degraded=$(scrape "$WORK/loadgen_b.log" degraded)
-  b_protocol_errors=$(scrape "$WORK/loadgen_b.log" protocol_errors)
-  [ "$b_protocol_errors" -eq 0 ] || fail "leg B protocol_errors=$b_protocol_errors"
-  if [ "$shed" -gt 0 ] && [ "$degraded" -gt 0 ]; then
-    break
-  fi
+  [ "$overloaded" -eq 1 ] && break
   [ "$attempt" -lt 3 ] || fail "no overload after 3 attempts (shed=$shed degraded=$degraded)"
 done
 echo "leg B ok: shed=$shed degraded=$degraded"
+
+# ---- SLO burn-rate + slow-query-log assertions ------------------------------
+grep -q 'SLO_OVERALL state=critical' "$WORK/slo_overload.log" \
+  || fail "SLO not critical during overload (slo_overload.log)"
+grep -q 'SLO_OVERALL state=ok' "$WORK/slo_after.log" \
+  || fail "SLO did not recover to ok (slo_after.log)"
+[ -s "$WORK/slow_queries.jsonl" ] || fail "no slow-query trace lines"
+grep -q '"trace_id"' "$WORK/slow_queries.jsonl" \
+  || fail "slow-query lines carry no trace_id"
+
+# The archived health reports are machine-readable: re-assert the burn-rate
+# transition from them, and that after recovery the windowed view has
+# forgotten the overload latencies while the lifetime histogram remembers.
+python3 - "$WORK/health_overload.json" "$WORK/health_after.json" <<'EOF' \
+  || fail "health report assertions failed"
+import json, sys
+
+with open(sys.argv[1]) as f:
+    overload = json.load(f)
+with open(sys.argv[2]) as f:
+    after = json.load(f)
+
+assert overload["slo"]["overall"] == "critical", overload["slo"]["overall"]
+worst = next(c for c in overload["slo"]["classes"] if c["state"] == "critical")
+assert worst["fast_burn"] >= 14.4 and worst["slow_burn"] >= 14.4, worst
+
+assert after["slo"]["overall"] == "ok", after["slo"]["overall"]
+knn = next(c for c in after["slo"]["classes"] if c["class"] == "knn")
+assert knn["fast_burn"] == 0.0, knn
+# The probe traffic is all the window remembers; the overload's queueing
+# latencies survive only in the lifetime percentile.
+assert knn["window_count"] > 0, knn
+assert knn["lifetime_p99_ms"] > 1.3 * knn["window_p99_ms"], (
+    knn["lifetime_p99_ms"], knn["window_p99_ms"])
+print("health reports ok: burn", round(worst["slow_burn"], 1),
+      "-> 0; window p99", round(knn["window_p99_ms"], 2),
+      "ms vs lifetime p99", round(knn["lifetime_p99_ms"], 2), "ms")
+EOF
 
 "$SERVE" --dir="$DIR" --recover-check >"$WORK/recover_b.log" 2>&1 \
   || fail "final recover-check failed"

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/json.h"
+#include "obs/window.h"
 #include "util/thread_pool.h"
 
 namespace dsig {
@@ -170,6 +171,11 @@ ScopedTimer::~ScopedTimer() {
   histogram_->Record(static_cast<double>(MonotonicNanos() - start_ns_) * 1e-6);
 }
 
+// Out of line so WindowedHistogram (forward-declared in the header) is
+// complete where the map's destructor is instantiated.
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry;
   return *registry;
@@ -196,12 +202,44 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+WindowedHistogram* MetricsRegistry::GetWindowedHistogram(
+    const std::string& name) {
+  return GetWindowedHistogram(name, WindowOptions{});
+}
+
+WindowedHistogram* MetricsRegistry::GetWindowedHistogram(
+    const std::string& name, const WindowOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = windows_[name];
+  if (slot == nullptr) slot = std::make_unique<WindowedHistogram>(options);
+  return slot.get();
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, window] : windows_) window->Reset();
 }
+
+namespace {
+
+// The window labels matching MetricsRegistry::kExportWindowsNs.
+const char* const kExportWindowNames[3] = {"10s", "60s", "300s"};
+
+void WriteSnapshotJson(JsonWriter* w, const HistogramSnapshot& s) {
+  w->Field("count", s.count);
+  w->Field("sum", s.sum);
+  w->Field("mean", s.Mean());
+  w->Field("min", s.min);
+  w->Field("max", s.max);
+  w->Field("p50", s.p50);
+  w->Field("p90", s.p90);
+  w->Field("p99", s.p99);
+}
+
+}  // namespace
 
 std::string MetricsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -219,17 +257,25 @@ std::string MetricsRegistry::ToJson() const {
   w.EndObject();
   w.Key("histograms").BeginObject();
   for (const auto& [name, histogram] : histograms_) {
-    const HistogramSnapshot s = histogram->Snapshot();
     w.Key(name).BeginObject();
-    w.Field("count", s.count);
-    w.Field("sum", s.sum);
-    w.Field("mean", s.Mean());
-    w.Field("min", s.min);
-    w.Field("max", s.max);
-    w.Field("p50", s.p50);
-    w.Field("p90", s.p90);
-    w.Field("p99", s.p99);
+    WriteSnapshotJson(&w, histogram->Snapshot());
     w.EndObject();
+  }
+  w.EndObject();
+  w.Key("windows").BeginObject();
+  {
+    const uint64_t now_ns = MonotonicNanos();
+    for (const auto& [name, window] : windows_) {
+      w.Key(name).BeginObject();
+      for (int i = 0; i < 3; ++i) {
+        Histogram merged;
+        window->SnapshotWindowAt(kExportWindowsNs[i], now_ns, &merged);
+        w.Key(kExportWindowNames[i]).BeginObject();
+        WriteSnapshotJson(&w, merged.Snapshot());
+        w.EndObject();
+      }
+      w.EndObject();
+    }
   }
   w.EndObject();
   w.EndObject();
@@ -248,6 +294,97 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+// Escapes a label VALUE per the exposition format: backslash, double quote,
+// and newline must be backslash-escaped inside the quotes.
+std::string PrometheusLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// HELP text: no newlines allowed; backslash must be escaped.
+std::string PrometheusHelpText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void AppendFamilyHeader(std::string* out, const std::string& prom,
+                        const std::string& source_name, const char* type) {
+  *out += "# HELP " + prom + " dsig metric " +
+          PrometheusHelpText(source_name) + "\n";
+  *out += "# TYPE " + prom + " " + type + "\n";
+}
+
+// One histogram family: cumulative le buckets at octave upper bounds (only
+// where the cumulative count advances, plus +Inf), then _sum and _count.
+// Scrapers require the bucket counts to be monotone and the +Inf bucket to
+// equal _count; the conformance test pins both.
+void AppendHistogramFamily(std::string* out, const std::string& prom,
+                           const std::string& source_name,
+                           const Histogram& histogram) {
+  AppendFamilyHeader(out, prom, source_name, "histogram");
+  uint64_t cumulative = 0;
+  uint64_t last_emitted = 0;
+  bool emitted_any = false;
+  // Walk octaves; bucket 0 (underflow) folds into the first le line.
+  uint64_t octave_pending =
+      0;  // samples accumulated since the last emitted le
+  for (int octave = 0; octave <= Histogram::kOctaves; ++octave) {
+    if (octave == 0) {
+      octave_pending += histogram.BucketCount(0);
+    } else {
+      const int first =
+          1 + (octave - 1) * Histogram::kBucketsPerOctave;
+      for (int b = first; b < first + Histogram::kBucketsPerOctave; ++b) {
+        octave_pending += histogram.BucketCount(b);
+      }
+    }
+    cumulative += octave_pending;
+    octave_pending = 0;
+    const bool advanced = cumulative != last_emitted;
+    if (advanced || (!emitted_any && octave == Histogram::kOctaves)) {
+      const double le =
+          octave == 0 ? Histogram::kMinTracked
+                      : Histogram::BucketUpperBound(
+                            octave * Histogram::kBucketsPerOctave);
+      *out += prom + "_bucket{le=\"" + JsonNumber(le) + "\"} " +
+              std::to_string(cumulative) + "\n";
+      last_emitted = cumulative;
+      emitted_any = true;
+    }
+  }
+  // The overflow bucket (kNumBuckets - 1) and anything else lands in +Inf.
+  *out += prom + "_bucket{le=\"+Inf\"} " +
+          std::to_string(histogram.Count()) + "\n";
+  *out += prom + "_sum " + JsonNumber(histogram.Sum()) + "\n";
+  *out += prom + "_count " + std::to_string(histogram.Count()) + "\n";
+}
+
 }  // namespace
 
 std::string MetricsRegistry::ToPrometheusText() const {
@@ -255,23 +392,40 @@ std::string MetricsRegistry::ToPrometheusText() const {
   std::string out;
   for (const auto& [name, counter] : counters_) {
     const std::string prom = PrometheusName(name);
-    out += "# TYPE " + prom + " counter\n";
+    AppendFamilyHeader(&out, prom, name, "counter");
     out += prom + " " + std::to_string(counter->Value()) + "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
     const std::string prom = PrometheusName(name);
-    out += "# TYPE " + prom + " gauge\n";
+    AppendFamilyHeader(&out, prom, name, "gauge");
     out += prom + " " + JsonNumber(gauge->Value()) + "\n";
   }
   for (const auto& [name, histogram] : histograms_) {
-    const std::string prom = PrometheusName(name);
-    const HistogramSnapshot s = histogram->Snapshot();
-    out += "# TYPE " + prom + " summary\n";
-    out += prom + "{quantile=\"0.5\"} " + JsonNumber(s.p50) + "\n";
-    out += prom + "{quantile=\"0.9\"} " + JsonNumber(s.p90) + "\n";
-    out += prom + "{quantile=\"0.99\"} " + JsonNumber(s.p99) + "\n";
-    out += prom + "_sum " + JsonNumber(s.sum) + "\n";
-    out += prom + "_count " + std::to_string(s.count) + "\n";
+    AppendHistogramFamily(&out, PrometheusName(name), name, *histogram);
+  }
+  // Windowed histograms: one gauge family per ring, labeled by window and
+  // stat, plus a _count family so dashboards can see sample volume.
+  const uint64_t now_ns = MonotonicNanos();
+  for (const auto& [name, window] : windows_) {
+    const std::string prom = PrometheusName(name) + "_window";
+    AppendFamilyHeader(&out, prom, name, "gauge");
+    std::string counts;
+    for (int i = 0; i < 3; ++i) {
+      Histogram merged;
+      window->SnapshotWindowAt(kExportWindowsNs[i], now_ns, &merged);
+      const HistogramSnapshot s = merged.Snapshot();
+      const std::string win = PrometheusLabelValue(kExportWindowNames[i]);
+      out += prom + "{window=\"" + win + "\",stat=\"p50\"} " +
+             JsonNumber(s.p50) + "\n";
+      out += prom + "{window=\"" + win + "\",stat=\"p99\"} " +
+             JsonNumber(s.p99) + "\n";
+      out += prom + "{window=\"" + win + "\",stat=\"mean\"} " +
+             JsonNumber(s.Mean()) + "\n";
+      counts += prom + "_count{window=\"" + win + "\"} " +
+                std::to_string(s.count) + "\n";
+    }
+    AppendFamilyHeader(&out, prom + "_count", name, "gauge");
+    out += counts;
   }
   return out;
 }

@@ -28,6 +28,9 @@
 namespace dsig {
 namespace obs {
 
+class WindowedHistogram;  // obs/window.h
+struct WindowOptions;
+
 class Counter {
  public:
   void Add(uint64_t delta = 1) {
@@ -100,6 +103,11 @@ class Histogram {
   static double BucketLowerBound(int bucket);
   static double BucketUpperBound(int bucket);
 
+  // Raw per-bucket count, for exporters and tests.
+  uint64_t BucketCount(int bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> count_{0};
@@ -128,23 +136,43 @@ class ScopedTimer {
 // Names use dotted lowercase ("buffer.hits", "query.knn.latency_ms").
 class MetricsRegistry {
  public:
+  // The windows every registered WindowedHistogram is summarized over in
+  // ToJson / ToPrometheusText: 10 s, 60 s, 5 min.
+  static constexpr uint64_t kExportWindowsNs[3] = {
+      10ull * 1000 * 1000 * 1000, 60ull * 1000 * 1000 * 1000,
+      300ull * 1000 * 1000 * 1000};
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+
   static MetricsRegistry& Global();
 
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+  // Rolling-window companion to GetHistogram (obs/window.h). The options
+  // apply on first creation only; later lookups of the same name return
+  // the existing ring unchanged.
+  WindowedHistogram* GetWindowedHistogram(const std::string& name);
+  WindowedHistogram* GetWindowedHistogram(const std::string& name,
+                                          const WindowOptions& options);
 
   // Zeroes every registered metric (names stay registered). Benches and the
   // stats subcommand use this to measure a clean window.
   void ResetAll();
 
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
-  // mean, min, max, p50, p90, p99}}}, keys sorted.
+  // mean, min, max, p50, p90, p99}}, "windows": {name: {"10s": {...},
+  // "60s": {...}, "300s": {...}}}}, keys sorted.
   std::string ToJson() const;
 
-  // Prometheus text exposition: counters/gauges as-is, histograms as
-  // summaries with quantile labels. Dots in names become underscores and
-  // everything is prefixed "dsig_".
+  // Prometheus text exposition, one HELP + TYPE block per family:
+  // counters/gauges as their native types, histograms as real histogram
+  // families (cumulative le="..." buckets at octave boundaries, _sum,
+  // _count), windowed histograms as labeled gauges
+  // (dsig_<name>_window{window="10s",stat="p99"}). Dots in names become
+  // underscores, everything is prefixed "dsig_", and label values are
+  // escaped per the exposition format.
   std::string ToPrometheusText() const;
 
  private:
@@ -152,6 +180,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> windows_;
 };
 
 // Plain point-in-time copy of the buffer-pool totals; what traces store and

@@ -88,22 +88,69 @@ QueryInstrument::QueryInstrument(const char* kind_name) : kind(kind_name) {
   count = registry.GetCounter(prefix + ".count");
 }
 
-QueryTrace::QueryTrace(QueryInstrument* instrument)
+QueryTrace::QueryTrace(QueryInstrument* instrument, Mode mode)
     : instrument_(instrument), start_ns_(MonotonicNanos()) {
-  if (!TracingEnabled() || g_active_trace != nullptr) return;
+  if (mode == Mode::kCollectLight) {
+    // Deltas only: g_active_trace stays untouched, so every Span keeps its
+    // disabled fast path and an enclosing or nested full trace is
+    // unaffected.
+    light_ = true;
+    collect_ = true;
+    ops_before_ = GlobalOpCounters();
+    buffer_before_ = GlobalBufferPoolTotals().Snapshot();
+    return;
+  }
+  const bool want_root = mode == Mode::kCollectRoot || TracingEnabled();
+  if (!want_root || g_active_trace != nullptr) return;
   // Outermost traced query on this thread: collect spans and deltas.
   root_ = true;
+  collect_ = mode == Mode::kCollectRoot;
   g_active_trace = this;
   ops_before_ = GlobalOpCounters();
   buffer_before_ = GlobalBufferPoolTotals().Snapshot();
 }
 
+TraceSummary QueryTrace::Finish() {
+  TraceSummary summary;
+  const uint64_t total_ns = MonotonicNanos() - start_ns_;
+  summary.total_ms = static_cast<double>(total_ns) * 1e-6;
+  if (finished_ || (!root_ && !light_)) return summary;
+  finished_ = true;
+  if (root_) g_active_trace = nullptr;
+
+  summary.collected = true;
+  summary.has_phases = root_;
+  if (root_) {
+    phase_ns_[static_cast<int>(Phase::kOther)] +=
+        total_ns > top_level_span_ns_ ? total_ns - top_level_span_ns_ : 0;
+    for (int p = 0; p < kNumPhases; ++p) {
+      summary.phases_ms[p] = static_cast<double>(phase_ns_[p]) * 1e-6;
+    }
+  } else {
+    // No spans ran: the whole query is unattributed time, so the
+    // phases-partition-the-total invariant still holds for consumers.
+    summary.phases_ms[static_cast<int>(Phase::kOther)] = summary.total_ms;
+  }
+  summary.ops = GlobalOpCounters() - ops_before_;
+  const BufferPoolTotalsSnapshot buffer = GlobalBufferPoolTotals().Snapshot();
+  summary.buffer.hits = buffer.hits - buffer_before_.hits;
+  summary.buffer.misses = buffer.misses - buffer_before_.misses;
+  summary.buffer.evictions = buffer.evictions - buffer_before_.evictions;
+  summary.buffer.failed_reads =
+      buffer.failed_reads - buffer_before_.failed_reads;
+  return summary;
+}
+
 QueryTrace::~QueryTrace() {
   const uint64_t total_ns = MonotonicNanos() - start_ns_;
-  instrument_->latency_ms->Record(static_cast<double>(total_ns) * 1e-6);
-  instrument_->count->Add(1);
-  if (!root_) return;
+  if (instrument_ != nullptr) {
+    instrument_->latency_ms->Record(static_cast<double>(total_ns) * 1e-6);
+    instrument_->count->Add(1);
+  }
+  if (!root_ || finished_) return;
   g_active_trace = nullptr;
+  // A collect-mode root the caller never harvested has nowhere to report.
+  if (collect_) return;
 
   // Whatever ran outside any top-level span is "other"; direct kOther spans
   // (already counted in top_level_span_ns_) keep their share.

@@ -100,22 +100,71 @@ struct QueryInstrument {
   Counter* count;
 };
 
+// What a collect-mode trace hands back from Finish(): the same phase/ops/
+// buffer decomposition a trace line would carry, as data instead of JSON.
+// The serve path stitches this into its per-request trace tree (admission
+// queue-wait + degrade decision + these execution phases) and emits it for
+// SLO-breaching requests only — tail-based sampling.
+struct TraceSummary {
+  bool collected = false;  // false when another trace owned the thread
+  // True only for a full (span-rooting) collect: phases_ms carries real
+  // attribution. A light collect reports everything under kOther.
+  bool has_phases = false;
+  double total_ms = 0;
+  double phases_ms[kNumPhases] = {};
+  OpCounters ops;                    // delta across the trace
+  BufferPoolTotalsSnapshot buffer;   // delta across the trace
+};
+
 // Times one query end to end: always records latency + count into the
 // registry; when tracing is enabled and this is the outermost query on the
 // thread, also snapshots OpCounters and the buffer-pool totals and emits
 // one JSON trace line on destruction.
+//
+// Mode::kCollectRoot instead makes this trace the thread's root regardless
+// of the tracing flag and NEVER emits: the caller harvests the phase/ops
+// decomposition with Finish() and decides what to do with it. Inner
+// QueryTraces (the DSIG_QUERY_TRACE entry points) behave exactly as under
+// an ordinary root: they feed their latency histograms and fold their
+// spans into this trace.
 class QueryTrace {
  public:
-  explicit QueryTrace(QueryInstrument* instrument);
+  enum class Mode : uint8_t {
+    kAuto,         // root iff tracing is enabled and no root is active
+    kCollectRoot,  // root unconditionally (if none active); emits nothing
+    // Collects total time and op/buffer deltas WITHOUT becoming the span
+    // root: every Span in the query keeps its disabled fast path (one
+    // thread-local load), so this mode is cheap enough to wrap every
+    // request. phases_ms comes back unattributed (all kOther). The serve
+    // path uses this always-on and upgrades a sampled subset of requests
+    // to kCollectRoot for full phase attribution — rooting spans costs
+    // tens of nanoseconds per span across the query inner loops, which
+    // bench_trace_overhead shows is far too much to pay on every request.
+    kCollectLight,
+  };
+
+  // `instrument` may be null only in kCollectRoot mode (the caller records
+  // its own latency metrics).
+  explicit QueryTrace(QueryInstrument* instrument, Mode mode = Mode::kAuto);
   QueryTrace(const QueryTrace&) = delete;
   QueryTrace& operator=(const QueryTrace&) = delete;
   ~QueryTrace();
+
+  // Closes a collect-mode trace and returns its summary; the destructor
+  // then only records the instrument metrics (if any). On a trace that is
+  // not the collecting root (another query was already active on the
+  // thread), returns a summary with collected == false and only total_ms
+  // set.
+  TraceSummary Finish();
 
  private:
   friend class Span;
 
   QueryInstrument* instrument_;
-  bool root_ = false;  // outermost traced query on this thread
+  bool root_ = false;   // outermost traced query on this thread
+  bool light_ = false;  // kCollectLight: deltas without span rooting
+  bool collect_ = false;
+  bool finished_ = false;
   uint64_t start_ns_;
   uint64_t phase_ns_[kNumPhases] = {};
   uint64_t top_level_span_ns_ = 0;  // total time of depth-1 spans

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/slo.h"
 #include "util/status.h"
 
 namespace dsig {
@@ -43,6 +44,7 @@ enum class RequestType : uint8_t {
   kJoin = 4,
   kUpdate = 5,
   kStats = 6,
+  kSlo = 7,  // SLO health report: greppable text + structured classes
 };
 
 enum class ResponseStatus : uint8_t {
@@ -80,6 +82,12 @@ struct Request {
   uint32_t a = 0;
   uint32_t b = 0;
   double weight = 0;
+
+  // End-to-end trace id, minted by the client (loadgen) and echoed in the
+  // response; 0 means "none" and the server mints one itself. Appended at
+  // the end of the wire layout so pre-trace clients interoperate: a payload
+  // that ends where the old layout ended decodes with trace_id = 0.
+  uint64_t trace_id = 0;
 };
 
 // One response frame.
@@ -107,8 +115,30 @@ struct Response {
   uint64_t num_objects = 0;
   double suggested_epsilon = 0;
 
-  // kStats / kError payload: metrics JSON or an error message.
+  // kStats / kSlo / kError payload: metrics JSON, SLO health text, or an
+  // error message.
   std::string text;
+
+  // Echo of the request's trace id (server-minted when the request carried
+  // none). Appended at the end of the wire layout with the windowed stats
+  // and SLO classes below; an old peer's frame that ends where the old
+  // layout ended decodes with all of these at their defaults.
+  uint64_t trace_id = 0;
+
+  // Windowed serve-path latency summary (kStats / kSlo / kPing): what the
+  // server's rolling 60 s window says right now, so clients can compare
+  // their observed tail against the server's own without parsing JSON.
+  struct WindowStats {
+    double p50_ms = 0;
+    double p99_ms = 0;
+    uint64_t count = 0;
+    double queued_p99_ms = 0;    // admission queue wait, same window
+    double lifetime_p99_ms = 0;  // process-lifetime histogram, for contrast
+  };
+  WindowStats window;
+
+  // Per-class SLO health (kStats / kSlo): machine-readable burn-rate state.
+  std::vector<obs::SloClassHealth> slo;
 };
 
 // Frame (magic + length + payload) encoders; append to `out`.

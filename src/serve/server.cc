@@ -11,12 +11,16 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/op_counters.h"
+#include "obs/trace.h"
+#include "obs/window.h"
 #include "query/knn_query.h"
 #include "query/range_query.h"
 #include "serve/degrade.h"
 #include "util/deadline.h"
+#include "util/hexid.h"
 
 namespace dsig {
 namespace serve {
@@ -90,13 +94,49 @@ Response ErrorResponse(uint64_t id, std::string message) {
   return response;
 }
 
+// Server-minted trace ids for clients that sent none: splitmix64 over a
+// time-seeded counter, | 1 so 0 keeps meaning "absent".
+uint64_t MintTraceId() {
+  static std::atomic<uint64_t> counter{obs::MonotonicNanos()};
+  uint64_t x = counter.fetch_add(0x9e3779b97f4a7c15ull,
+                                 std::memory_order_relaxed);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x | 1;
+}
+
+// SLOs installed when ServerOptions.slo is empty: the interactive query
+// classes get tight budgets, the join scan and durable updates looser ones.
+std::vector<obs::SloObjective> DefaultObjectives() {
+  return {
+      {"knn", 50, 0.99},
+      {"range", 50, 0.99},
+      {"join", 250, 0.99},
+      {"update", 100, 0.999},
+  };
+}
+
+// The window FillObservability summarizes over (matches the registry's
+// middle export window).
+constexpr uint64_t kServeWindowNs = 60ull * 1000 * 1000 * 1000;
+
 }  // namespace
 
 DsigServer::DsigServer(const Deployment& deployment,
                        const ServerOptions& options)
     : deployment_(deployment),
       options_(options),
-      admission_(options.admission) {}
+      admission_(options.admission),
+      slo_(std::make_unique<obs::SloEngine>(
+          options.slo.empty() ? DefaultObjectives() : options.slo,
+          options.slo_windows)),
+      window_latency_ms_(obs::MetricsRegistry::Global().GetWindowedHistogram(
+          "serve.latency_ms")),
+      window_queued_ms_(obs::MetricsRegistry::Global().GetWindowedHistogram(
+          "serve.queued_ms")) {}
 
 StatusOr<std::unique_ptr<DsigServer>> DsigServer::Start(
     const Deployment& deployment, const ServerOptions& options) {
@@ -223,21 +263,33 @@ Response DsigServer::Handle(const Request& request) {
 
   Response response;
   response.id = request.id;
+  response.trace_id =
+      request.trace_id != 0 ? request.trace_id : MintTraceId();
 
-  // Ping and Stats are health-check plumbing: constant-cost, never queued,
-  // answered even while draining (an orchestrator probing a draining server
-  // should get an answer, not a connection error).
+  // Ping, Stats, and Slo are health-check plumbing: constant-cost, never
+  // queued, answered even while draining (an orchestrator probing a
+  // draining server should get an answer, not a connection error).
   if (request.type == RequestType::kPing) {
     response.num_nodes = deployment_.graph->num_nodes();
     response.num_objects = deployment_.index->num_objects();
     const CategoryPartition& partition = deployment_.index->partition();
     response.suggested_epsilon =
         CategoryMidpoint(partition, partition.num_categories() / 2);
+    FillObservability(&response);
     Metrics().ok->Add(1);
     return response;
   }
   if (request.type == RequestType::kStats) {
-    response.text = obs::MetricsRegistry::Global().ToJson();
+    slo_->PublishGauges();
+    response.text = "{\"metrics\": " + obs::MetricsRegistry::Global().ToJson() +
+                    ", \"slo\": " + slo_->ReportJson() + "}";
+    FillObservability(&response);
+    Metrics().ok->Add(1);
+    return response;
+  }
+  if (request.type == RequestType::kSlo) {
+    response.text = SloText();
+    FillObservability(&response);
     Metrics().ok->Add(1);
     return response;
   }
@@ -257,58 +309,206 @@ Response DsigServer::Handle(const Request& request) {
   const WorkClass work_class = request.type == RequestType::kUpdate
                                    ? WorkClass::kUpdate
                                    : WorkClass::kQuery;
-  AdmissionController::AdmitResult admit = admission_.Admit(work_class,
-                                                            deadline);
+
+  // The request's trace: every request collects totals + op/buffer deltas
+  // (light, near-free); every trace_sample_period-th request upgrades to a
+  // full span-rooting trace for phase attribution. Either way emission
+  // happens only for SLO breaches (tail-based) via the slow-query log.
+  const bool sample_phases =
+      options_.trace_sample_period > 0 &&
+      trace_seq_.fetch_add(1, std::memory_order_relaxed) %
+              options_.trace_sample_period ==
+          0;
+  obs::QueryTrace trace(nullptr,
+                        sample_phases ? obs::QueryTrace::Mode::kCollectRoot
+                                      : obs::QueryTrace::Mode::kCollectLight);
+
+  AdmissionController::AdmitResult admit =
+      admission_.Admit(work_class, deadline);
+  bool executed = false;
   switch (admit.outcome) {
     case AdmitOutcome::kShed:
       response.status = ResponseStatus::kRetryAfter;
       response.retry_after_ms = admit.retry_after_ms;
-      Metrics().retry_after->Add(1);
-      return response;
+      break;
     case AdmitOutcome::kQueueTimeout:
       response.status = ResponseStatus::kDeadlineExceeded;
-      Metrics().deadline_exceeded->Add(1);
-      return response;
+      break;
     case AdmitOutcome::kShuttingDown:
       response.status = ResponseStatus::kShuttingDown;
-      Metrics().shutting_down->Add(1);
-      return response;
-    case AdmitOutcome::kAdmitted:
       break;
+    case AdmitOutcome::kAdmitted: {
+      // Plan: decide exact vs degraded BEFORE executing, from queue
+      // pressure at admission time. Updates always run the exact path —
+      // degrading a mutation makes no sense.
+      const bool degraded =
+          work_class == WorkClass::kQuery &&
+          admission_.QueuePressureAtLeast(WorkClass::kQuery,
+                                          options_.degrade_queue_fraction);
+      const uint64_t trace_id = response.trace_id;
+      if (request.type == RequestType::kUpdate) {
+        response = ExecuteUpdate(request);
+      } else {
+        response = ExecuteQuery(request, deadline, degraded);
+      }
+      response.trace_id = trace_id;  // Execute* builds a fresh Response
+      admit.ticket.Release();
+      executed = true;
+      break;
+    }
   }
-
-  // Plan: decide exact vs degraded BEFORE executing, from queue pressure at
-  // admission time. Updates always run the exact path — degrading a mutation
-  // makes no sense.
-  const bool degraded =
-      work_class == WorkClass::kQuery &&
-      admission_.QueuePressureAtLeast(WorkClass::kQuery,
-                                      options_.degrade_queue_fraction);
-
-  if (request.type == RequestType::kUpdate) {
-    response = ExecuteUpdate(request);
-  } else {
-    response = ExecuteQuery(request, deadline, degraded);
-  }
-  admit.ticket.Release();
+  const obs::TraceSummary summary = trace.Finish();
 
   switch (response.status) {
     case ResponseStatus::kOk:
       Metrics().ok->Add(1);
       break;
+    case ResponseStatus::kRetryAfter:
+      Metrics().retry_after->Add(1);
+      break;
     case ResponseStatus::kDeadlineExceeded:
       Metrics().deadline_exceeded->Add(1);
+      break;
+    case ResponseStatus::kShuttingDown:
+      Metrics().shutting_down->Add(1);
       break;
     case ResponseStatus::kError:
       Metrics().errors->Add(1);
       break;
-    default:
-      break;
   }
   if (response.degradation != Degradation::kNone) Metrics().degraded->Add(1);
-  Metrics().latency_ms->Record(
-      static_cast<double>(Deadline::NowNanos() - start_ns) / 1e6);
+
+  const double total_ms =
+      static_cast<double>(Deadline::NowNanos() - start_ns) / 1e6;
+  if (executed) {
+    // Lifetime and windowed latency cover EXECUTED requests only, matching
+    // the pre-window semantics: a shed request's ~0ms turnaround says
+    // nothing about query latency. Queue wait gets its own window.
+    Metrics().latency_ms->Record(total_ms);
+    window_latency_ms_->Record(total_ms);
+    window_queued_ms_->Record(admit.queued_ms);
+  }
+
+  // SLO accounting for every terminal outcome except shutdown (draining is
+  // operator intent, not error budget). Breach + token = slow-query trace.
+  const int slo_class = slo_->ClassIndex(RequestTypeName(request.type));
+  if (slo_class >= 0 && response.status != ResponseStatus::kShuttingDown) {
+    const bool ok = response.status == ResponseStatus::kOk;
+    const bool breach = slo_->Record(slo_class, total_ms, ok, executed);
+    if (breach && options_.slow_trace_sink != nullptr && AllowSlowTrace()) {
+      EmitSlowTrace(request, response, summary, admit.queued_ms, total_ms,
+                    slo_class);
+    }
+  }
   return response;
+}
+
+void DsigServer::FillObservability(Response* response) const {
+  obs::Histogram latency;
+  window_latency_ms_->SnapshotWindow(kServeWindowNs, &latency);
+  response->window.p50_ms = latency.Percentile(50);
+  response->window.p99_ms = latency.Percentile(99);
+  response->window.count = latency.Count();
+  obs::Histogram queued;
+  window_queued_ms_->SnapshotWindow(kServeWindowNs, &queued);
+  response->window.queued_p99_ms = queued.Percentile(99);
+  response->window.lifetime_p99_ms = Metrics().latency_ms->Percentile(99);
+  response->slo = slo_->ReportAll();
+}
+
+std::string DsigServer::SloText() const {
+  const std::vector<obs::SloClassHealth> classes = slo_->ReportAll();
+  char line[512];
+  std::string text;
+  for (const obs::SloClassHealth& c : classes) {
+    std::snprintf(
+        line, sizeof(line),
+        "SLO_HEALTH class=%s state=%s budget_ms=%.1f fast_burn=%.2f "
+        "slow_burn=%.2f window_p99_ms=%.3f lifetime_p99_ms=%.3f "
+        "window_count=%llu\n",
+        c.name.c_str(), obs::SloStateName(c.state), c.latency_budget_ms,
+        c.fast_burn, c.slow_burn, c.window_p99_ms, c.lifetime_p99_ms,
+        static_cast<unsigned long long>(c.window_count));
+    text += line;
+  }
+  obs::Histogram latency;
+  window_latency_ms_->SnapshotWindow(kServeWindowNs, &latency);
+  std::snprintf(
+      line, sizeof(line),
+      "SLO_OVERALL state=%s window_p99_ms=%.3f lifetime_p99_ms=%.3f "
+      "window_count=%llu\n",
+      obs::SloStateName(obs::SloEngine::Overall(classes)),
+      latency.Percentile(99), Metrics().latency_ms->Percentile(99),
+      static_cast<unsigned long long>(latency.Count()));
+  text += line;
+  return text;
+}
+
+bool DsigServer::AllowSlowTrace() {
+  std::lock_guard<std::mutex> lock(slow_trace_mu_);
+  const uint64_t now_ns = obs::MonotonicNanos();
+  if (slow_trace_refill_ns_ == 0) {
+    slow_trace_refill_ns_ = now_ns;
+    slow_trace_tokens_ = options_.slow_trace_qps;  // full initial burst
+  }
+  const double elapsed_s =
+      static_cast<double>(now_ns - slow_trace_refill_ns_) * 1e-9;
+  slow_trace_refill_ns_ = now_ns;
+  slow_trace_tokens_ =
+      std::min(options_.slow_trace_qps,
+               slow_trace_tokens_ + elapsed_s * options_.slow_trace_qps);
+  if (slow_trace_tokens_ < 1.0) return false;
+  slow_trace_tokens_ -= 1.0;
+  return true;
+}
+
+void DsigServer::EmitSlowTrace(const Request& request,
+                               const Response& response,
+                               const obs::TraceSummary& summary,
+                               double queued_ms, double total_ms,
+                               int slo_class) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("trace_id", HexId(response.trace_id));
+  w.Field("request_id", request.id);
+  w.Field("class", RequestTypeName(request.type));
+  w.Field("status", ResponseStatusName(response.status));
+  w.Field("degradation", DegradationName(response.degradation));
+  w.Field("total_ms", total_ms);
+  w.Field("slo_budget_ms", slo_->objective(slo_class).latency_budget_ms);
+  w.Key("spans").BeginObject();
+  w.Field("queue_wait_ms", queued_ms);
+  // False when this request was a light trace: phases_ms then reports the
+  // whole execution as "other" rather than a real attribution.
+  w.Key("sampled_phases").Bool(summary.has_phases);
+  w.Key("phases_ms").BeginObject();
+  if (summary.collected) {
+    for (int p = 0; p < obs::kNumPhases; ++p) {
+      w.Field(obs::PhaseName(static_cast<obs::Phase>(p)),
+              summary.phases_ms[p]);
+    }
+  }
+  w.EndObject();
+  w.EndObject();
+  w.Key("ops").BeginObject();
+  summary.ops.ForEach(
+      [&w](const char* name, uint64_t value) { w.Field(name, value); });
+  w.EndObject();
+  w.Key("buffer").BeginObject();
+  w.Field("hits", summary.buffer.hits);
+  w.Field("misses", summary.buffer.misses);
+  w.Field("evictions", summary.buffer.evictions);
+  w.Field("failed_reads", summary.buffer.failed_reads);
+  w.EndObject();
+  w.EndObject();
+
+  std::string json = w.Take();
+  json += '\n';
+  // One fwrite per line under the bucket mutex: concurrent breaching
+  // requests cannot interleave mid-record.
+  std::lock_guard<std::mutex> lock(slow_trace_mu_);
+  std::fwrite(json.data(), 1, json.size(), options_.slow_trace_sink);
+  std::fflush(options_.slow_trace_sink);
 }
 
 Response DsigServer::ExecuteQuery(const Request& request,

@@ -36,14 +36,23 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "io/durable_index.h"
+#include "obs/slo.h"
 #include "serve/admission.h"
 #include "serve/protocol.h"
+
+namespace dsig {
+namespace obs {
+class WindowedHistogram;
+struct TraceSummary;
+}  // namespace obs
+}  // namespace dsig
 
 namespace dsig {
 namespace serve {
@@ -64,6 +73,26 @@ struct ServerOptions {
   // How long Stop() waits for in-flight requests before closing their
   // connections anyway.
   double drain_timeout_ms = 5000;
+
+  // Per-request-class SLOs (obs/slo.h). Empty installs defaults for the
+  // four request classes (knn, range, join, update).
+  std::vector<obs::SloObjective> slo;
+  obs::SloWindows slo_windows;
+
+  // Tail-based trace sampling: full trace JSON lines for requests that
+  // breach their class SLO go to `slow_trace_sink` (borrowed; nullptr
+  // disables the slow-query log), rate-limited to `slow_trace_qps` lines
+  // per second so an overload can't drown the log in its own diagnosis.
+  double slow_trace_qps = 20;
+  std::FILE* slow_trace_sink = nullptr;
+
+  // Every request gets a light trace (total time + op/buffer deltas,
+  // ~nothing); every Nth request is upgraded to a FULL trace whose spans
+  // attribute the execution phases. Full tracing activates every Span on
+  // the query's inner loops, which bench_trace_overhead prices at tens of
+  // percent — affordable on a sample, not on every request. 1 traces
+  // everything (tests); 0 disables phase attribution entirely.
+  uint32_t trace_sample_period = 16;
 };
 
 class DsigServer {
@@ -104,9 +133,28 @@ class DsigServer {
                         bool degraded);
   Response ExecuteUpdate(const Request& request);
 
+  // Windowed serve-path stats + per-class SLO health into the response tail.
+  void FillObservability(Response* response) const;
+  // Greppable SLO_HEALTH / SLO_OVERALL text for the kSlo request.
+  std::string SloText() const;
+  // Token-bucket gate on the slow-query log; true grants one line.
+  bool AllowSlowTrace();
+  // One JSON line (trace tree: queue wait + execution phases + ops/buffer
+  // deltas) to the slow-query sink for an SLO-breaching request.
+  void EmitSlowTrace(const Request& request, const Response& response,
+                     const obs::TraceSummary& summary, double queued_ms,
+                     double total_ms, int slo_class);
+
   Deployment deployment_;
   ServerOptions options_;
   AdmissionController admission_;
+  std::unique_ptr<obs::SloEngine> slo_;
+  obs::WindowedHistogram* window_latency_ms_;  // serve.latency_ms ring
+  obs::WindowedHistogram* window_queued_ms_;   // serve.queued_ms ring
+  std::mutex slow_trace_mu_;  // token bucket + sink writes
+  double slow_trace_tokens_ = 0;
+  uint64_t slow_trace_refill_ns_ = 0;
+  std::atomic<uint64_t> trace_seq_{0};  // drives trace_sample_period
   uint16_t port_ = 0;
   int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};

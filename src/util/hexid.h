@@ -1,0 +1,51 @@
+// Fixed-width hexadecimal ids.
+//
+// Trace ids travel the DSRV wire as raw u64 (serve/protocol.h) but appear
+// to humans — slow-query log lines, dsig_tool output, grep pipelines — as
+// 16 lowercase hex digits. One formatter/parser pair here so the loadgen
+// that mints an id and the operator grepping for it in a trace file always
+// agree on the spelling.
+#ifndef DSIG_UTIL_HEXID_H_
+#define DSIG_UTIL_HEXID_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dsig {
+
+// "00c0ffee00c0ffee" — always 16 digits, lowercase.
+inline std::string HexId(uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+// Accepts 1..16 hex digits (either case); false on anything else.
+inline bool ParseHexId(std::string_view text, uint64_t* value) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t v = 0;
+  for (const char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    v = v << 4 | static_cast<uint64_t>(digit);
+  }
+  *value = v;
+  return true;
+}
+
+}  // namespace dsig
+
+#endif  // DSIG_UTIL_HEXID_H_

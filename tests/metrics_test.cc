@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/window.h"
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <vector>
@@ -201,15 +203,126 @@ TEST(MetricsRegistryTest, PrometheusTextShape) {
   registry.GetGauge("buffer.cached_pages")->Set(4);
   registry.GetHistogram("query.knn.latency_ms")->Record(1.0);
   const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# HELP dsig_buffer_hits"), std::string::npos);
   EXPECT_NE(text.find("# TYPE dsig_buffer_hits counter"), std::string::npos);
   EXPECT_NE(text.find("dsig_buffer_hits 12"), std::string::npos);
   EXPECT_NE(text.find("# TYPE dsig_buffer_cached_pages gauge"),
             std::string::npos);
-  EXPECT_NE(text.find("# TYPE dsig_query_knn_latency_ms summary"),
+  // Histograms export as real Prometheus histograms: cumulative le buckets
+  // ending at +Inf, plus _sum and _count.
+  EXPECT_NE(text.find("# TYPE dsig_query_knn_latency_ms histogram"),
             std::string::npos);
-  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(text.find("dsig_query_knn_latency_ms_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
   EXPECT_NE(text.find("dsig_query_knn_latency_ms_count 1"),
             std::string::npos);
+  EXPECT_EQ(text.find("quantile="), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportsWindowedHistograms) {
+  MetricsRegistry registry;
+  WindowedHistogram* w = registry.GetWindowedHistogram("serve.latency_ms");
+  for (int i = 0; i < 100; ++i) w->Record(5.0);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE dsig_serve_latency_ms_window gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("window=\"10s\""), std::string::npos);
+  EXPECT_NE(text.find("stat=\"p99\""), std::string::npos);
+  EXPECT_NE(text.find("dsig_serve_latency_ms_window_count{window=\"10s\"}"),
+            std::string::npos);
+}
+
+// The percentile-accuracy contract: bucket-interpolated percentiles stay
+// within one log bucket (~9% relative error) of the EXACT sample quantiles,
+// on distributions with very different shapes — and merging per-shard
+// histograms must not cost any additional error.
+class HistogramAccuracyTest : public ::testing::Test {
+ protected:
+  static double ExactQuantile(std::vector<double> values, double p) {
+    std::sort(values.begin(), values.end());
+    const size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(values.size())));
+    return values[std::min(values.size() - 1, rank == 0 ? 0 : rank - 1)];
+  }
+
+  static void CheckAgainstExact(const Histogram& h,
+                                const std::vector<double>& values,
+                                const char* label) {
+    for (const double p : {50.0, 90.0, 99.0}) {
+      const double exact = ExactQuantile(values, p);
+      const double approx = h.Percentile(p);
+      // One 8-per-octave bucket is a factor of 2^(1/8) ~ 1.0905 wide; allow
+      // one bucket of relative error plus interpolation slack.
+      EXPECT_NEAR(approx, exact, exact * 0.095)
+          << label << " p" << p;
+    }
+    EXPECT_EQ(h.Count(), values.size()) << label;
+  }
+};
+
+TEST_F(HistogramAccuracyTest, UniformDistribution) {
+  // Deterministic LCG; values uniform in [1, 1001).
+  uint64_t state = 12345;
+  std::vector<double> values;
+  Histogram h;
+  for (int i = 0; i < 20000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double v = 1.0 + static_cast<double>(state >> 11) * 0x1.0p-53 * 1000;
+    values.push_back(v);
+    h.Record(v);
+  }
+  CheckAgainstExact(h, values, "uniform");
+}
+
+TEST_F(HistogramAccuracyTest, LognormalDistribution) {
+  // exp(N(0, 1.5)) via Box-Muller on a deterministic LCG: a heavy right
+  // tail, the shape real latency distributions take.
+  uint64_t state = 99991;
+  auto next_u = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  };
+  std::vector<double> values;
+  Histogram h;
+  for (int i = 0; i < 20000; ++i) {
+    const double u1 = std::max(next_u(), 1e-12);
+    const double u2 = next_u();
+    const double n =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    const double v = std::exp(1.5 * n);
+    values.push_back(v);
+    h.Record(v);
+  }
+  CheckAgainstExact(h, values, "lognormal");
+}
+
+TEST_F(HistogramAccuracyTest, BimodalDistributionMergedAcrossShards) {
+  // Fast path ~1ms, slow path ~100ms — recorded into 8 shards and merged,
+  // the way a windowed snapshot assembles its answer. Accuracy must match a
+  // single histogram's.
+  uint64_t state = 777;
+  auto next_u = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  };
+  std::vector<double> values;
+  Histogram shards[8];
+  for (int i = 0; i < 20000; ++i) {
+    const double v = next_u() < 0.9 ? 1.0 + next_u() * 0.2
+                                    : 100.0 + next_u() * 20.0;
+    values.push_back(v);
+    shards[i % 8].Record(v);
+  }
+  Histogram merged;
+  for (const Histogram& s : shards) merged.Merge(s);
+  CheckAgainstExact(merged, values, "bimodal-merged");
+
+  // The merged histogram is bucket-for-bucket the sum of its shards.
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    uint64_t sum = 0;
+    for (const Histogram& s : shards) sum += s.BucketCount(b);
+    ASSERT_EQ(merged.BucketCount(b), sum) << "bucket " << b;
+  }
 }
 
 TEST(MetricsRegistryTest, GlobalIsSingleton) {

@@ -4,6 +4,7 @@
 #include "serve/server.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -114,24 +115,148 @@ TEST(ProtocolTest, HostileBytesFailCleanly) {
   EXPECT_FALSE(CheckFrameHeader(frame.data(), &payload_len).ok());
 
   // Every truncation of a valid payload must decode to an error, not a
-  // crash or a silently short request.
+  // crash or a silently short request — with ONE exception: cutting exactly
+  // the 8-byte trace-id tail reproduces a valid pre-trace frame, which must
+  // decode (with trace_id = 0) for backward compatibility. A partial tail
+  // is still corruption.
   frame.clear();
   Request full;
   full.type = RequestType::kUpdate;
   full.a = 1;
   full.b = 2;
   full.weight = 1.5;
+  full.trace_id = 0xabcdef01;
   EncodeRequest(full, &frame);
   ASSERT_TRUE(CheckFrameHeader(frame.data(), &payload_len).ok());
+  const uint32_t legacy_len = payload_len - 8;
   for (uint32_t cut = 0; cut < payload_len; ++cut) {
-    EXPECT_FALSE(
-        DecodeRequest(frame.data() + kFrameHeaderBytes, cut).ok())
-        << "truncation at " << cut << " decoded";
+    const auto decoded = DecodeRequest(frame.data() + kFrameHeaderBytes, cut);
+    if (cut == legacy_len) {
+      ASSERT_TRUE(decoded.ok()) << "legacy-length frame rejected";
+      EXPECT_EQ(decoded->trace_id, 0u);
+      EXPECT_EQ(decoded->a, full.a);
+      continue;
+    }
+    EXPECT_FALSE(decoded.ok()) << "truncation at " << cut << " decoded";
   }
   // Garbage request type.
   std::vector<uint8_t> payload(frame.begin() + kFrameHeaderBytes, frame.end());
   payload[0] = 0xee;
   EXPECT_FALSE(DecodeRequest(payload.data(), payload.size()).ok());
+}
+
+TEST(ProtocolTest, ResponseObservabilityTailRoundTrip) {
+  Response response;
+  response.id = 88;
+  response.status = ResponseStatus::kOk;
+  response.text = "body";
+  response.trace_id = 0x1234567890abcdefull;
+  response.window.p50_ms = 1.5;
+  response.window.p99_ms = 42.25;
+  response.window.count = 777;
+  response.window.queued_p99_ms = 3.125;
+  response.window.lifetime_p99_ms = 55.5;
+  response.slo.resize(2);
+  response.slo[0].name = "knn";
+  response.slo[0].state = obs::SloState::kCritical;
+  response.slo[0].latency_budget_ms = 50;
+  response.slo[0].availability = 0.99;
+  response.slo[0].fast_burn = 21.5;
+  response.slo[0].slow_burn = 16.25;
+  response.slo[0].fast_total = 100;
+  response.slo[0].fast_bad = 30;
+  response.slo[0].slow_total = 600;
+  response.slo[0].slow_bad = 90;
+  response.slo[0].window_p50_ms = 4.5;
+  response.slo[0].window_p99_ms = 80.0;
+  response.slo[0].window_count = 590;
+  response.slo[0].lifetime_p99_ms = 65.0;
+  response.slo[0].lifetime_count = 4000;
+  response.slo[1].name = "update";
+  response.slo[1].state = obs::SloState::kOk;
+
+  std::vector<uint8_t> frame;
+  EncodeResponse(response, &frame);
+  uint32_t payload_len = 0;
+  ASSERT_TRUE(CheckFrameHeader(frame.data(), &payload_len).ok());
+  auto decoded = DecodeResponse(frame.data() + kFrameHeaderBytes, payload_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->trace_id, response.trace_id);
+  EXPECT_DOUBLE_EQ(decoded->window.p50_ms, 1.5);
+  EXPECT_DOUBLE_EQ(decoded->window.p99_ms, 42.25);
+  EXPECT_EQ(decoded->window.count, 777u);
+  EXPECT_DOUBLE_EQ(decoded->window.queued_p99_ms, 3.125);
+  EXPECT_DOUBLE_EQ(decoded->window.lifetime_p99_ms, 55.5);
+  ASSERT_EQ(decoded->slo.size(), 2u);
+  EXPECT_EQ(decoded->slo[0].name, "knn");
+  EXPECT_EQ(decoded->slo[0].state, obs::SloState::kCritical);
+  EXPECT_DOUBLE_EQ(decoded->slo[0].latency_budget_ms, 50.0);
+  EXPECT_DOUBLE_EQ(decoded->slo[0].fast_burn, 21.5);
+  EXPECT_DOUBLE_EQ(decoded->slo[0].slow_burn, 16.25);
+  EXPECT_EQ(decoded->slo[0].fast_total, 100u);
+  EXPECT_EQ(decoded->slo[0].fast_bad, 30u);
+  EXPECT_EQ(decoded->slo[0].slow_total, 600u);
+  EXPECT_EQ(decoded->slo[0].slow_bad, 90u);
+  EXPECT_DOUBLE_EQ(decoded->slo[0].window_p99_ms, 80.0);
+  EXPECT_EQ(decoded->slo[0].window_count, 590u);
+  EXPECT_DOUBLE_EQ(decoded->slo[0].lifetime_p99_ms, 65.0);
+  EXPECT_EQ(decoded->slo[0].lifetime_count, 4000u);
+  EXPECT_EQ(decoded->slo[1].name, "update");
+  EXPECT_EQ(decoded->slo[1].state, obs::SloState::kOk);
+}
+
+TEST(ProtocolTest, ResponseTailTruncationFuzz) {
+  // Backward compatibility contract: chopping the ENTIRE observability tail
+  // reproduces a valid pre-observability frame (decodes with zeroed window
+  // stats, no slo classes, trace_id 0). Any partial tail is corruption, and
+  // any truncation inside the core payload stays an error.
+  Response response;
+  response.id = 31;
+  response.status = ResponseStatus::kOk;
+  response.objects = {1, 2};
+  response.distances = {0.5, 1.5};
+  response.text = "t";
+  response.trace_id = 0xfeedull;
+  response.window.p99_ms = 9.5;
+  response.window.count = 3;
+  response.slo.resize(2);
+  response.slo[0].name = "knn";
+  response.slo[1].name = "update";
+
+  std::vector<uint8_t> frame;
+  EncodeResponse(response, &frame);
+  uint32_t payload_len = 0;
+  ASSERT_TRUE(CheckFrameHeader(frame.data(), &payload_len).ok());
+  // Tail layout: 52 fixed bytes + per class (109 fixed + name bytes).
+  uint32_t tail_len = 52;
+  for (const auto& cls : response.slo) {
+    tail_len += 109 + static_cast<uint32_t>(cls.name.size());
+  }
+  ASSERT_GT(payload_len, tail_len);
+  const uint32_t legacy_len = payload_len - tail_len;
+
+  for (uint32_t cut = 0; cut < payload_len; ++cut) {
+    const auto decoded = DecodeResponse(frame.data() + kFrameHeaderBytes, cut);
+    if (cut == legacy_len) {
+      ASSERT_TRUE(decoded.ok()) << "legacy-length response rejected";
+      EXPECT_EQ(decoded->id, response.id);
+      EXPECT_EQ(decoded->objects, response.objects);
+      EXPECT_EQ(decoded->trace_id, 0u);
+      EXPECT_EQ(decoded->window.count, 0u);
+      EXPECT_TRUE(decoded->slo.empty());
+      continue;
+    }
+    EXPECT_FALSE(decoded.ok()) << "truncation at " << cut << " decoded";
+  }
+
+  // A hostile class count must fail the size pre-check, not allocate.
+  std::vector<uint8_t> hostile(frame.begin() + kFrameHeaderBytes, frame.end());
+  const size_t count_at = legacy_len + 52 - 4;  // num_classes field
+  hostile[count_at + 0] = 0xff;
+  hostile[count_at + 1] = 0xff;
+  hostile[count_at + 2] = 0xff;
+  hostile[count_at + 3] = 0x7f;
+  EXPECT_FALSE(DecodeResponse(hostile.data(), hostile.size()).ok());
 }
 
 // --- Admission --------------------------------------------------------------
@@ -220,7 +345,11 @@ class ServerFixture : public ::testing::Test {
     objects_ = UniformDataset(*graph_, 0.05, 21);
     index_ = BuildSignatureIndex(*graph_, objects_,
                                  {.t = 5, .c = 2, .keep_forest = true});
-    dir_ = TempDir("serve_fixture");
+    // Per-test directory: ctest runs each ServerFixture case as its own
+    // process in parallel, and a shared dir makes SetUp race with itself.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = TempDir(std::string("serve_fixture_") + info->name() + "_" +
+                   std::to_string(static_cast<unsigned>(::getpid())));
     auto updater =
         DurableUpdater::Initialize(dir_, graph_.get(), index_.get(), {});
     ASSERT_TRUE(updater.ok()) << updater.status().ToString();
@@ -456,6 +585,114 @@ TEST_F(ServerFixture, GracefulStopDrainsAndRefuses) {
   ASSERT_TRUE(updater_->Close().ok());
   auto recovered = DurableUpdater::Recover(dir_, {});
   EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+}
+
+TEST_F(ServerFixture, TraceIdIsEchoedOrMinted) {
+  StartServer({});
+  Request knn;
+  knn.type = RequestType::kKnn;
+  knn.id = 40;
+  knn.node = 17;
+  knn.k = 3;
+  knn.knn_type = 1;
+  knn.trace_id = 0xc0ffee01ull;
+  const Response echoed = MustCall(knn);
+  EXPECT_EQ(echoed.status, ResponseStatus::kOk);
+  EXPECT_EQ(echoed.trace_id, knn.trace_id);
+
+  // A legacy client (trace_id 0) gets a server-minted id so its request is
+  // still traceable in the slow-query log.
+  knn.id = 41;
+  knn.trace_id = 0;
+  const Response minted = MustCall(knn);
+  EXPECT_NE(minted.trace_id, 0u);
+}
+
+TEST_F(ServerFixture, SloEndpointReportsHealthAndStats) {
+  StartServer({});
+  // Put some traffic through so the windows have samples.
+  for (int i = 0; i < 20; ++i) {
+    Request knn;
+    knn.type = RequestType::kKnn;
+    knn.id = 50 + static_cast<uint64_t>(i);
+    knn.node = 17;
+    knn.k = 3;
+    knn.knn_type = 1;
+    ASSERT_EQ(MustCall(knn).status, ResponseStatus::kOk);
+  }
+
+  Request slo;
+  slo.type = RequestType::kSlo;
+  slo.id = 90;
+  const Response health = MustCall(slo);
+  EXPECT_EQ(health.status, ResponseStatus::kOk);
+  EXPECT_NE(health.text.find("SLO_HEALTH class=knn"), std::string::npos)
+      << health.text;
+  EXPECT_NE(health.text.find("SLO_OVERALL state="), std::string::npos);
+  // The wire tail carries the same machine-readable report.
+  EXPECT_FALSE(health.slo.empty());
+  EXPECT_GT(health.window.count, 0u);
+  bool found_knn = false;
+  for (const auto& cls : health.slo) {
+    if (cls.name == "knn") {
+      found_knn = true;
+      EXPECT_EQ(cls.state, obs::SloState::kOk);
+      EXPECT_GT(cls.window_count, 0u);
+    }
+  }
+  EXPECT_TRUE(found_knn);
+
+  Request stats;
+  stats.type = RequestType::kStats;
+  stats.id = 91;
+  const Response stat = MustCall(stats);
+  EXPECT_NE(stat.text.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(stat.text.find("\"slo\""), std::string::npos);
+  EXPECT_NE(stat.text.find("\"overall\""), std::string::npos);
+}
+
+TEST_F(ServerFixture, BreachingRequestsLandInTheSlowQueryLog) {
+  ServerOptions options;
+  // A zero-latency budget makes every executed request an SLO breach, so
+  // the tail sampler fires deterministically.
+  options.slo = {{"knn", 0.0, 0.99},
+                 {"range", 0.0, 0.99},
+                 {"join", 0.0, 0.99},
+                 {"update", 0.0, 0.999}};
+  std::FILE* log = std::tmpfile();
+  ASSERT_NE(log, nullptr);
+  options.slow_trace_sink = log;
+  StartServer(options);
+
+  Request knn;
+  knn.type = RequestType::kKnn;
+  knn.id = 60;
+  knn.node = 17;
+  knn.k = 3;
+  knn.knn_type = 1;
+  knn.trace_id = 0xabc123ull;
+  ASSERT_EQ(MustCall(knn).status, ResponseStatus::kOk);
+
+  std::fflush(log);
+  std::fseek(log, 0, SEEK_END);
+  const long size = std::ftell(log);
+  ASSERT_GT(size, 0) << "no slow-query trace emitted";
+  std::string line(static_cast<size_t>(size), '\0');
+  std::rewind(log);
+  line.resize(std::fread(line.data(), 1, line.size(), log));
+  EXPECT_NE(line.find("\"trace_id\": \"0000000000abc123\""),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"class\": \"knn\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"queue_wait_ms\""), std::string::npos) << line;
+  // The first request on a fresh server is always phase-sampled.
+  EXPECT_NE(line.find("\"sampled_phases\": true"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"phases_ms\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"slo_budget_ms\""), std::string::npos) << line;
+
+  server_->Stop();
+  server_.reset();  // the sink must outlive the server
+  std::fclose(log);
 }
 
 TEST_F(ServerFixture, LoadgenDrivesTrafficEndToEnd) {

@@ -165,6 +165,87 @@ TEST(TraceTest, NestedCompositeQueryEmitsOneLine) {
   EXPECT_EQ(range_latency->Count(), range_before + 1);
 }
 
+TEST(TraceTest, CollectRootHarvestsPhasesWithoutEmitting) {
+  const SmallWorld world = MakeSmallWorld();
+  // Tracing stays OFF: collect mode must root the thread regardless.
+  SetTracingEnabled(false);
+  std::FILE* sink = std::tmpfile();
+  SetTraceSink(sink);
+
+  QueryTrace trace(nullptr, QueryTrace::Mode::kCollectRoot);
+  SignatureKnnQuery(*world.index, world.queries[0], 3, KnnResultType::kType1);
+  const TraceSummary summary = trace.Finish();
+
+  SetTraceSink(stderr);
+  EXPECT_TRUE(summary.collected);
+  EXPECT_TRUE(summary.has_phases);
+  EXPECT_GT(summary.total_ms, 0.0);
+  // Self-time attribution partitions wall time: phases (incl. kOther) sum
+  // to the total, and the query's spans landed somewhere other than kOther.
+  double sum = 0;
+  for (int p = 0; p < kNumPhases; ++p) sum += summary.phases_ms[p];
+  EXPECT_NEAR(sum, summary.total_ms, summary.total_ms * 0.01 + 1e-4);
+  double span_ms = 0;
+  for (int p = 0; p < kNumPhases - 1; ++p) span_ms += summary.phases_ms[p];
+  EXPECT_GT(span_ms, 0.0);
+  EXPECT_GE(summary.ops.row_reads, 1u);
+
+  std::fseek(sink, 0, SEEK_END);
+  EXPECT_EQ(std::ftell(sink), 0) << "collect-mode trace emitted a line";
+  std::fclose(sink);
+}
+
+TEST(TraceTest, CollectRootStillFeedsInnerLatencyHistograms) {
+  const SmallWorld world = MakeSmallWorld();
+  Histogram* latency =
+      MetricsRegistry::Global().GetHistogram("query.knn.latency_ms");
+  const uint64_t before = latency->Count();
+
+  QueryTrace trace(nullptr, QueryTrace::Mode::kCollectRoot);
+  SignatureKnnQuery(*world.index, world.queries[0], 3, KnnResultType::kType1);
+  const TraceSummary summary = trace.Finish();
+
+  EXPECT_TRUE(summary.collected);
+  EXPECT_EQ(latency->Count(), before + 1);
+}
+
+TEST(TraceTest, CollectLightSkipsSpansButKeepsDeltas) {
+  const SmallWorld world = MakeSmallWorld();
+  QueryTrace trace(nullptr, QueryTrace::Mode::kCollectLight);
+  // Spans must stay on their disabled fast path: no root is installed.
+  EXPECT_EQ(ActiveTrace(), nullptr);
+  SignatureKnnQuery(*world.index, world.queries[0], 3, KnnResultType::kType1);
+  const TraceSummary summary = trace.Finish();
+
+  EXPECT_TRUE(summary.collected);
+  EXPECT_FALSE(summary.has_phases);
+  EXPECT_GT(summary.total_ms, 0.0);
+  // Everything is unattributed, but the partition invariant still holds.
+  EXPECT_DOUBLE_EQ(summary.phases_ms[static_cast<int>(Phase::kOther)],
+                   summary.total_ms);
+  for (int p = 0; p < kNumPhases - 1; ++p) {
+    EXPECT_DOUBLE_EQ(summary.phases_ms[p], 0.0);
+  }
+  EXPECT_GE(summary.ops.row_reads, 1u);
+}
+
+TEST(TraceTest, NestedCollectRootYieldsUncollectedSummary) {
+  const SmallWorld world = MakeSmallWorld();
+  QueryTrace outer(nullptr, QueryTrace::Mode::kCollectRoot);
+  {
+    // The thread already has a root: the inner trace must stand down and
+    // say so, rather than stealing the outer trace's spans.
+    QueryTrace inner(nullptr, QueryTrace::Mode::kCollectRoot);
+    SignatureKnnQuery(*world.index, world.queries[0], 3,
+                      KnnResultType::kType1);
+    const TraceSummary inner_summary = inner.Finish();
+    EXPECT_FALSE(inner_summary.collected);
+  }
+  const TraceSummary outer_summary = outer.Finish();
+  EXPECT_TRUE(outer_summary.collected);
+  EXPECT_GE(outer_summary.ops.row_reads, 1u);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace dsig
