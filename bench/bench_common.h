@@ -16,7 +16,9 @@
 #ifndef DSIG_BENCH_BENCH_COMMON_H_
 #define DSIG_BENCH_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +36,7 @@
 #include "storage/network_store.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/simd/simd.h"
 #include "util/timer.h"
 #include "workload/dataset_generator.h"
 #include "workload/query_generator.h"
@@ -273,6 +276,52 @@ class BenchJson {
   std::string path_;
   obs::BenchReport report_;
 };
+
+// ---- SIMD dispatch A/B ----------------------------------------------------
+
+// Compares the compiled dispatch levels in-process on one query workload:
+// warms the buffer once, then interleaves rounds (each round measures every
+// level) and keeps the per-level minimum mean — process-to-process timing
+// noise swamps kernel-scale effects, so interleave + min is the
+// drift-robust estimator. Results are bit-identical across levels
+// (tests/simd_kernels_test.cc), which is what makes the delta pure kernel
+// time. Emits one table row and one `exhibit` point per level, with the
+// level name as the series and speedup_vs_scalar attached.
+template <typename Fn>
+inline void MeasureDispatchLevels(BenchJson* json, TablePrinter* table,
+                                  const std::string& exhibit,
+                                  const std::string& x, BufferManager* buffer,
+                                  const std::vector<NodeId>& queries,
+                                  const Fn& fn, int rounds = 7) {
+  const std::vector<simd::SimdLevel> levels = simd::AvailableLevels();
+  std::vector<double> best(levels.size(),
+                           std::numeric_limits<double>::infinity());
+  std::vector<Measurement> at_best(levels.size());
+  for (const NodeId q : queries) fn(q);  // warm the buffer and caches
+  for (int round = 0; round < rounds; ++round) {
+    for (size_t li = 0; li < levels.size(); ++li) {
+      simd::SimdOverride pin(levels[li]);
+      if (!pin.applied()) continue;
+      const Measurement m =
+          MeasureItems(buffer, queries, fn, /*clear_buffer=*/false);
+      if (m.mean_ms < best[li]) {
+        best[li] = m.mean_ms;
+        at_best[li] = m;
+      }
+    }
+  }
+  for (size_t li = 0; li < levels.size(); ++li) {
+    if (!std::isfinite(best[li])) continue;
+    const double speedup = best[li] > 0 ? best[0] / best[li] : 1;
+    table->AddRow({x, simd::SimdLevelName(levels[li]), Fmt("%.4f", best[li]),
+                   Fmt("%.2fx", speedup)});
+    auto* point = json->Add(exhibit, simd::SimdLevelName(levels[li]), x, at_best[li]);
+    if (point != nullptr) {
+      point->metrics["best_ms_per_query"] = best[li];
+      point->metrics["speedup_vs_scalar"] = speedup;
+    }
+  }
+}
 
 }  // namespace bench
 }  // namespace dsig

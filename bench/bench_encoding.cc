@@ -18,10 +18,12 @@
 #include "core/cross_node.h"
 #include "core/encoding.h"
 #include "util/random.h"
+#include "util/simd/simd.h"
 
 int main(int argc, char** argv) {
   using namespace dsig;
   using namespace dsig::bench;
+  using simd::KernelTable;
 
   const Flags flags(argc, argv);
   if (!ApplyObsFlags(flags)) return 1;
@@ -155,6 +157,91 @@ int main(int argc, char** argv) {
     add_point("decode_entry", ent, kThroughputRows * (kEntriesPerRow / 8));
   }
   tput.Print();
+  std::printf("(sink %llu)\n", static_cast<unsigned long long>(sink));
+
+  // --- SIMD query-kernel throughput --------------------------------------
+  // The three kernel families the query layer runs per row (util/simd):
+  // category-scan (range/knn/join band extraction), voting/aggregate
+  // (distance aggregation), approx-compare/compact (reverse-kNN near/far
+  // partition). One lane buffer sized like a dense row, same RZP-skewed
+  // category mix as above, measured at every compiled dispatch level.
+  constexpr size_t kLanes = 4096;
+  constexpr int kKernelPasses = 2000;
+  std::vector<uint8_t> cat_lanes(kLanes);
+  std::vector<double> dist_lanes(kLanes);
+  for (size_t i = 0; i < kLanes; ++i) {
+    const uint64_t r = 1 + trng.NextUint64((uint64_t{1} << kCategories) - 1);
+    cat_lanes[i] = static_cast<uint8_t>(std::bit_width(r) - 1);
+    // ~30% far pairs, matching a mid-density object-distance-table row.
+    dist_lanes[i] = trng.NextBool(0.3)
+                        ? kInfiniteWeight
+                        : static_cast<double>(1 + trng.NextUint64(100000));
+  }
+  std::vector<uint32_t> extracted(kLanes);
+  std::vector<double> compacted(kLanes);
+  const std::vector<int> kernel_passes(kKernelPasses, 0);
+  // The band the query layer most often extracts: everything below the top
+  // category (roughly half the lanes under the RZP skew).
+  const int band_hi = kCategories - 1;
+
+  std::printf("\n=== SIMD query-kernel throughput (%zu lanes/pass) ===\n",
+              kLanes);
+  std::printf("dispatch: %s\n", simd::CpuFeatureString().c_str());
+  TablePrinter ksimd({"kernel", "level", "Mlanes/s", "ms/pass", "vs scalar"});
+  struct KernelOp {
+    const char* name;
+    void (*run)(const KernelTable&, const std::vector<uint8_t>&,
+                const std::vector<double>&, int, std::vector<uint32_t>*,
+                std::vector<double>*, uint64_t*);
+  };
+  const KernelOp kernel_ops[] = {
+      {"category_scan",
+       [](const KernelTable& k, const std::vector<uint8_t>& cats,
+          const std::vector<double>&, int hi, std::vector<uint32_t>* out,
+          std::vector<double>*, uint64_t* s) {
+         *s += k.extract_in_range(cats.data(), cats.size(), 0, hi, out->data());
+       }},
+      {"voting_aggregate",
+       [](const KernelTable& k, const std::vector<uint8_t>&,
+          const std::vector<double>& dists, int, std::vector<uint32_t>*,
+          std::vector<double>*, uint64_t* s) {
+         double sum = 0, mn = 0, mx = 0;
+         k.aggregate_f64(dists.data(), dists.size(), &sum, &mn, &mx);
+         *s += static_cast<uint64_t>(mx);
+       }},
+      {"approx_compact",
+       [](const KernelTable& k, const std::vector<uint8_t>&,
+          const std::vector<double>& dists, int, std::vector<uint32_t>*,
+          std::vector<double>* out, uint64_t* s) {
+         *s += k.compact_finite_f64(dists.data(), dists.size(), out->data());
+       }},
+  };
+  for (const KernelOp& op : kernel_ops) {
+    double scalar_rate = 0;
+    for (const simd::SimdLevel level : simd::AvailableLevels()) {
+      simd::SimdOverride pin(level);
+      if (!pin.applied()) continue;
+      const KernelTable& k = simd::Kernels();
+      const Measurement m = MeasureItems(nullptr, kernel_passes, [&](int) {
+        op.run(k, cat_lanes, dist_lanes, band_hi, &extracted, &compacted,
+               &sink);
+      });
+      const double lanes_per_s =
+          static_cast<double>(kLanes) / (m.mean_ms / 1e3);
+      if (level == simd::SimdLevel::kScalar) scalar_rate = lanes_per_s;
+      const double speedup = scalar_rate > 0 ? lanes_per_s / scalar_rate : 1;
+      ksimd.AddRow({op.name, simd::SimdLevelName(level),
+                    Fmt("%.0f", lanes_per_s / 1e6), Fmt("%.4f", m.mean_ms),
+                    Fmt("%.2fx", speedup)});
+      auto* point =
+          json.Add("kernel_throughput", simd::SimdLevelName(level), op.name, m);
+      if (point != nullptr) {
+        point->metrics["lanes_per_s"] = lanes_per_s;
+        point->metrics["speedup_vs_scalar"] = speedup;
+      }
+    }
+  }
+  ksimd.Print();
   std::printf("(sink %llu)\n", static_cast<unsigned long long>(sink));
 
   std::printf(

@@ -15,9 +15,13 @@
 //    recording the per-query time and the cache hit rate per point.
 #include "bench/bench_common.h"
 
+#include <cmath>
+#include <limits>
+
 #include "core/row_cache.h"
 #include "query/batch.h"
 #include "query/knn_query.h"
+#include "util/simd/simd.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -173,6 +177,41 @@ int main(int argc, char** argv) {
               batch_k);
   cache_table.Print();
   PublishRowCacheMetrics();
+
+  // --- (e) SIMD dispatch A/B: same workload at every compiled level --------
+  // Warm buffer (so decode/compute, not page I/O, is what differs), row
+  // cache on, levels interleaved in-process (MeasureDispatchLevels). The
+  // kernel share of a query grows with object density — p = 0.01 is the
+  // figure's dataset, p = 0.05 the paper's densest — so both are measured.
+  {
+    Workbench ab =
+        Workbench::Create(nodes, seed, std::max<size_t>(buffer_pages, 4096));
+    const std::vector<NodeId> ab_queries =
+        RandomQueryNodes(*ab.graph, num_queries, seed + 2);
+    TablePrinter dispatch_table({"workload", "level", "ms/query",
+                                 "vs scalar"});
+    for (const double density : {0.01, 0.05}) {
+      const std::vector<NodeId> ab_objects =
+          UniformDataset(*ab.graph, density, seed + 1);
+      const auto ab_index = BuildSignatureIndex(
+          *ab.graph, ab_objects,
+          {.t = 10, .c = 2.718281828, .keep_forest = false});
+      ab_index->AttachStorage(ab.buffer.get(), ab.network.get(), ab.order);
+      for (const size_t k : {10u, 50u}) {
+        const std::string label =
+            "k=" + std::to_string(k) + " p=" + Fmt("%.2f", density);
+        MeasureDispatchLevels(
+            &json, &dispatch_table, "knn_dispatch", label, ab.buffer.get(),
+            ab_queries, [&](NodeId q) {
+              SignatureKnnQuery(*ab_index, q, k, KnnResultType::kType3);
+            });
+      }
+    }
+    std::printf("\n--- (e) SIMD dispatch A/B, warm buffer (min of "
+                "interleaved rounds) ---\n");
+    std::printf("dispatch: %s\n", simd::CpuFeatureString().c_str());
+    dispatch_table.Print();
+  }
 
   json.Write();
   return 0;

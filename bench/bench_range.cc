@@ -98,6 +98,36 @@ int main(int argc, char** argv) {
       "Expected shape: Full ~flat; NVD jumps sharply R=100 -> 1000 (more on\n"
       "the clustered dataset); Signature sublinear in R; INE worst at large "
       "R.\n");
+
+  // --- SIMD dispatch A/B (p = 0.05, warm buffer) ---------------------------
+  // Same signature workload at every compiled level, interleaved in-process
+  // (MeasureDispatchLevels). The paper's densest dataset is where the
+  // category-scan kernel carries the most lanes per row; large R is the
+  // category-confirm regime where that scan dominates the query.
+  {
+    Workbench ab = Workbench::Create(
+        nodes, seed, std::max<size_t>(buffer_pages, 4096));
+    const std::vector<NodeId> ab_objects =
+        UniformDataset(*ab.graph, 0.05, seed + 1);
+    const auto ab_index = BuildSignatureIndex(
+        *ab.graph, ab_objects, {.t = 10, .c = 2.718281828,
+                                .keep_forest = false});
+    ab_index->AttachStorage(ab.buffer.get(), ab.network.get(), ab.order);
+    const std::vector<NodeId> ab_queries =
+        RandomQueryNodes(*ab.graph, queries, seed + 2);
+    TablePrinter dispatch_table({"R", "level", "ms/query", "vs scalar"});
+    for (const Weight r : {100.0, 1000.0, 10000.0}) {
+      MeasureDispatchLevels(&json, &dispatch_table, "range_dispatch",
+                            Fmt("%.0f", r), ab.buffer.get(), ab_queries,
+                            [&](NodeId q) {
+                              SignatureRangeQuery(*ab_index, q, r);
+                            });
+    }
+    std::printf("\n--- SIMD dispatch A/B, p = 0.05, warm buffer (min of "
+                "interleaved rounds) ---\n");
+    std::printf("dispatch: %s\n", simd::CpuFeatureString().c_str());
+    dispatch_table.Print();
+  }
   json.Write();
   return 0;
 }

@@ -41,8 +41,10 @@
 #include "core/signature_builder.h"
 #include "graph/graph_generator.h"
 #include "io/durable_index.h"
+#include "obs/simd_metrics.h"
 #include "serve/server.h"
 #include "util/flags.h"
+#include "util/simd/simd.h"
 #include "workload/dataset_generator.h"
 
 namespace {
@@ -197,6 +199,11 @@ int main(int argc, char** argv) {
       std::fclose(f);
     }
   }
+  // Record the SIMD dispatch state before serving: the line makes every
+  // server log self-describing, the gauge flows into /stats exports and
+  // serve_report.json.
+  obs::PublishSimdMetrics();
+  std::printf("simd: %s\n", simd::CpuFeatureString().c_str());
   std::printf("SERVE_READY port=%u nodes=%zu objects=%zu dir=%s\n",
               (*server)->port(), owned_graph->num_nodes(),
               owned_index->num_objects(), dir.c_str());

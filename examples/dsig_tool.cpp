@@ -73,6 +73,7 @@
 #include "io/persistence.h"
 #include "obs/metrics.h"
 #include "obs/op_counters.h"
+#include "obs/simd_metrics.h"
 #include "obs/trace.h"
 #include "query/batch.h"
 #include "query/knn_query.h"
@@ -81,6 +82,7 @@
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/simd/simd.h"
 #include "util/timer.h"
 #include "workload/dataset_generator.h"
 #include "workload/query_generator.h"
@@ -375,6 +377,9 @@ int Stats(const Flags& flags) {
   obs::PublishBufferPoolMetrics();
   obs::PublishThreadPoolMetrics();
   PublishRowCacheMetrics();
+  obs::PublishSimdMetrics();
+  // Human-readable dispatch line on stderr; stdout stays machine-readable.
+  std::fprintf(stderr, "simd: %s\n", simd::CpuFeatureString().c_str());
 
   const std::string format = flags.GetString("format", "json");
   if (format == "prometheus") {

@@ -62,6 +62,14 @@ class RowCompressor {
   // has no representative — all states only a corrupt index can reach.
   bool TryResolveRow(SignatureRow* row) const;
 
+  // SoA twin of TryResolveRow for staged rows (core/row_stage.h): the same
+  // deterministic rule and failure conditions through the same shared core,
+  // with category validation and flag extraction running on the SIMD
+  // kernels. Resolved entries are written back into the stage's lanes and
+  // the flags cleared. Relies on the stage invariant that flagged entries
+  // hold the kUnresolved sentinels (which decode guarantees).
+  bool TryResolveStage(RowStage* stage) const;
+
  private:
   struct Rep {
     uint32_t object = 0;  // object index of the representative
@@ -70,6 +78,11 @@ class RowCompressor {
   };
 
   // One rep per distinct link value present among uncompressed entries.
+  // View adapters (defined in compression.cc) give the AoS row and the SoA
+  // stage one implementation of the rep/resolve rule, so the two layouts
+  // cannot drift apart.
+  template <class View>
+  std::vector<Rep> ComputeRepsView(const View& view) const;
   std::vector<Rep> ComputeReps(const SignatureRow& row) const;
 
   // Best u(v) under the deterministic rule; returns false when no rep

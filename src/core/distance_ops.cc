@@ -4,9 +4,11 @@
 #include <cmath>
 #include <memory>
 
+#include "core/row_stage.h"
 #include "obs/op_counters.h"
 #include "obs/trace.h"
 #include "util/deadline.h"
+#include "util/simd/simd.h"
 
 namespace dsig {
 namespace {
@@ -190,6 +192,65 @@ BisectorSegment ComputeBisectorSegment(double d_ab, double range_lb,
   return segment;
 }
 
+// The bisector segment for the (a, b) embedding, or invalid when no bisector
+// position is compatible with the shared category range (verdict kEqual).
+BisectorSegment SegmentForPair(const CategoryPartition& partition,
+                               uint8_t shared_category, double d_ab) {
+  // The open-ended last category gets a pragmatic cap for the embedding.
+  const DistanceRange shared = partition.RangeOf(shared_category);
+  const double growth = partition.c() > 1 ? partition.c() : 2.0;
+  const double shared_ub =
+      shared.ub == kInfiniteWeight
+          ? std::max<double>(shared.lb * growth, shared.lb + d_ab)
+          : shared.ub;
+  return ComputeBisectorSegment(d_ab, shared.lb, shared_ub);
+}
+
+// One observer's vote: -1 for "a is closer", +1 for "b is closer", 0 when it
+// abstains (far pair, sits on the bisector, or its range straddles the
+// candidate segment). Shared by the AoS and SoA comparison paths so their
+// verdicts cannot drift.
+int ObserverVote(const CategoryPartition& partition,
+                 const ObjectDistanceTable& table,
+                 const BisectorSegment& segment, double d_ab, uint32_t a,
+                 uint32_t b, uint32_t c, uint8_t observer_category) {
+  if (table.IsFar(c, a) || table.IsFar(c, b)) return 0;
+  const double d_ca = table.Get(c, a);
+  const double d_cb = table.Get(c, b);
+  if (d_ca == d_cb) return 0;  // the observer sits on the bisector itself
+
+  // Triangulate the observer; clamp the discriminant (network distances
+  // need not satisfy planar geometry exactly).
+  const double cx = (d_ca * d_ca + d_ab * d_ab - d_cb * d_cb) / (2 * d_ab);
+  const double cy2 = std::max(0.0, d_ca * d_ca - cx * cx);
+  const double cy = std::sqrt(cy2);
+
+  // Distance from the observer to the four candidate segment endpoints
+  // (two y signs x two extremes); monotone along each segment, so the
+  // extremes bound all candidate positions.
+  double d_min = kInfiniteWeight, d_max = 0;
+  for (const double sy : {+1.0, -1.0}) {
+    for (const double y : {segment.y_min, segment.y_max}) {
+      const double d = std::hypot(segment.x - cx, sy * y - cy);
+      d_min = std::min(d_min, d);
+      d_max = std::max(d_max, d);
+    }
+  }
+
+  const DistanceRange observed = partition.RangeOf(observer_category);
+  // Closer-to-a / closer-to-b side of the bisector, seen from c.
+  const bool c_nearer_a = d_ca < d_cb;
+  if (observed.ub != kInfiniteWeight && observed.ub <= d_min) {
+    // n is closer to c than any bisector position: n lies on c's side.
+    return c_nearer_a ? -1 : +1;
+  }
+  if (observed.lb >= d_max) {
+    // n is farther from c than any bisector position: opposite side.
+    return c_nearer_a ? +1 : -1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 CompareResult ApproximateCompare(const SignatureIndex& index,
@@ -209,15 +270,8 @@ CompareResult ApproximateCompare(const SignatureIndex& index,
   const double d_ab = table.Get(a, b);
   if (d_ab <= 0) return CompareResult::kEqual;  // co-located objects
 
-  // The open-ended last category gets a pragmatic cap for the embedding.
-  const DistanceRange shared = partition.RangeOf(row[a].category);
-  const double growth = partition.c() > 1 ? partition.c() : 2.0;
-  const double shared_ub =
-      shared.ub == kInfiniteWeight
-          ? std::max<double>(shared.lb * growth, shared.lb + d_ab)
-          : shared.ub;
   const BisectorSegment segment =
-      ComputeBisectorSegment(d_ab, shared.lb, shared_ub);
+      SegmentForPair(partition, row[a].category, d_ab);
   if (!segment.valid) return CompareResult::kEqual;
 
   int votes_a = 0, votes_b = 0;  // votes for "a is closer" / "b is closer"
@@ -226,39 +280,57 @@ CompareResult ApproximateCompare(const SignatureIndex& index,
     // Observers are objects in strictly closer categories: their ranges are
     // tighter and their embedding distortion smaller (§3.2.2).
     if (row[c].category >= row[a].category) continue;
-    if (table.IsFar(c, a) || table.IsFar(c, b)) continue;
-    const double d_ca = table.Get(c, a);
-    const double d_cb = table.Get(c, b);
-    if (d_ca == d_cb) continue;  // the observer sits on the bisector itself
-
-    // Triangulate the observer; clamp the discriminant (network distances
-    // need not satisfy planar geometry exactly).
-    const double cx = (d_ca * d_ca + d_ab * d_ab - d_cb * d_cb) / (2 * d_ab);
-    const double cy2 = std::max(0.0, d_ca * d_ca - cx * cx);
-    const double cy = std::sqrt(cy2);
-
-    // Distance from the observer to the four candidate segment endpoints
-    // (two y signs x two extremes); monotone along each segment, so the
-    // extremes bound all candidate positions.
-    double d_min = kInfiniteWeight, d_max = 0;
-    for (const double sy : {+1.0, -1.0}) {
-      for (const double y : {segment.y_min, segment.y_max}) {
-        const double d =
-            std::hypot(segment.x - cx, sy * y - cy);
-        d_min = std::min(d_min, d);
-        d_max = std::max(d_max, d);
-      }
+    const int vote =
+        ObserverVote(partition, table, segment, d_ab, a, b, c, row[c].category);
+    if (vote < 0) {
+      ++votes_a;
+    } else if (vote > 0) {
+      ++votes_b;
     }
+  }
+  if (votes_a > votes_b) return CompareResult::kLess;
+  if (votes_b > votes_a) return CompareResult::kGreater;
+  return CompareResult::kEqual;
+}
 
-    const DistanceRange observed = partition.RangeOf(row[c].category);
-    // Closer-to-a / closer-to-b side of the bisector, seen from c.
-    const bool c_nearer_a = d_ca < d_cb;
-    if (observed.ub != kInfiniteWeight && observed.ub <= d_min) {
-      // n is closer to c than any bisector position: n lies on c's side.
-      (c_nearer_a ? votes_a : votes_b) += 1;
-    } else if (observed.lb >= d_max) {
-      // n is farther from c than any bisector position: opposite side.
-      (c_nearer_a ? votes_b : votes_a) += 1;
+CompareResult ApproximateCompare(const SignatureIndex& index,
+                                 NodeId /*n: embedding is node-independent*/,
+                                 uint32_t a, uint32_t b,
+                                 const RowStage& stage) {
+  const ReadSnapshot snapshot(index.epoch_gate());
+  ++GlobalOpCounters().approx_compares;
+  const uint8_t* cats = stage.categories();
+  DSIG_CHECK(stage.flags()[a] == 0 && stage.flags()[b] == 0);
+  if (cats[a] != cats[b]) {
+    return cats[a] < cats[b] ? CompareResult::kLess : CompareResult::kGreater;
+  }
+  const CategoryPartition& partition = index.partition();
+  const ObjectDistanceTable& table = index.object_table();
+  if (table.IsFar(a, b)) return CompareResult::kEqual;  // cannot embed
+  const double d_ab = table.Get(a, b);
+  if (d_ab <= 0) return CompareResult::kEqual;  // co-located objects
+
+  const BisectorSegment segment = SegmentForPair(partition, cats[a], d_ab);
+  if (!segment.valid) return CompareResult::kEqual;
+
+  // Observer pre-filter in one vector pass: the candidates are exactly the
+  // entries with category strictly below a's. a and b themselves (equal
+  // category) and unresolved entries (0xFF sentinel lanes) fall outside the
+  // extraction range, so no per-entry exclusion tests remain.
+  static thread_local std::vector<uint32_t> observers;
+  if (observers.size() < stage.size()) observers.resize(stage.size());
+  const size_t count = simd::Kernels().extract_in_range(
+      cats, stage.size(), 0, cats[a], observers.data());
+
+  int votes_a = 0, votes_b = 0;  // votes for "a is closer" / "b is closer"
+  for (size_t j = 0; j < count; ++j) {
+    const uint32_t c = observers[j];
+    const int vote =
+        ObserverVote(partition, table, segment, d_ab, a, b, c, cats[c]);
+    if (vote < 0) {
+      ++votes_a;
+    } else if (vote > 0) {
+      ++votes_b;
     }
   }
   if (votes_a > votes_b) return CompareResult::kLess;
@@ -300,7 +372,7 @@ CompareResult CompareWithCursors(RetrievalCursor* ca, RetrievalCursor* cb) {
 }  // namespace
 
 void SortByDistance(const SignatureIndex& index, NodeId n,
-                    const SignatureRow& row, std::vector<uint32_t>* objects) {
+                    const RowStage& stage, std::vector<uint32_t>* objects) {
   const obs::Span span(obs::Phase::kSort);
   const ReadSnapshot snapshot(index.epoch_gate());
   std::vector<uint32_t>& objs = *objects;
@@ -311,7 +383,7 @@ void SortByDistance(const SignatureIndex& index, NodeId n,
     if ((i & 15u) == 0 && DeadlineExpired()) return;
     const uint32_t value = objs[i];
     size_t j = i;
-    while (j > 0 && ApproximateCompare(index, n, value, objs[j - 1], row) ==
+    while (j > 0 && ApproximateCompare(index, n, value, objs[j - 1], stage) ==
                         CompareResult::kLess) {
       objs[j] = objs[j - 1];
       --j;
@@ -321,11 +393,12 @@ void SortByDistance(const SignatureIndex& index, NodeId n,
   // Refinement (Algorithm 4): exact-compare consecutive pairs, bubbling a
   // switched element back until the order is confirmed. One cursor per
   // object persists across comparisons.
-  std::vector<std::unique_ptr<RetrievalCursor>> cursors(row.size());
+  std::vector<std::unique_ptr<RetrievalCursor>> cursors(stage.size());
   const auto cursor_of = [&](uint32_t object) {
     if (cursors[object] == nullptr) {
-      cursors[object] = std::make_unique<RetrievalCursor>(&index, n, object,
-                                                          &row[object]);
+      const SignatureEntry initial = stage.entry(object);
+      cursors[object] =
+          std::make_unique<RetrievalCursor>(&index, n, object, &initial);
     }
     return cursors[object].get();
   };
@@ -346,6 +419,13 @@ void SortByDistance(const SignatureIndex& index, NodeId n,
     }
     ++i;
   }
+}
+
+void SortByDistance(const SignatureIndex& index, NodeId n,
+                    const SignatureRow& row, std::vector<uint32_t>* objects) {
+  static thread_local RowStage stage;
+  stage.Assign(row);
+  SortByDistance(index, n, stage, objects);
 }
 
 }  // namespace dsig

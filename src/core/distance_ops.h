@@ -82,12 +82,24 @@ CompareResult ApproximateCompare(const SignatureIndex& index, NodeId n,
                                  uint32_t a, uint32_t b,
                                  const SignatureRow& row);
 
+// SoA variant: the observer pre-filter (category strictly below a's) runs as
+// one vectorized extraction over the stage's category lane instead of a
+// per-entry scan; each surviving observer then votes exactly as above, so
+// the verdict is identical to the AoS form on the same row at every SIMD
+// dispatch level.
+CompareResult ApproximateCompare(const SignatureIndex& index, NodeId n,
+                                 uint32_t a, uint32_t b, const RowStage& stage);
+
 // Distance sorting (Algorithm 4): an approximate-comparison insertion sort
 // followed by an exact-comparison bubble refinement. On return `objects` is
 // exactly ordered by d(n, ·) — unless the ambient request deadline
 // (util/deadline.h) expired mid-sort, in which case the vector is left an
 // approximately-ordered permutation of its input and DeadlineExpired() is
 // true; callers tag their result partial.
+void SortByDistance(const SignatureIndex& index, NodeId n,
+                    const RowStage& stage, std::vector<uint32_t>* objects);
+
+// AoS bridge: stages `row` once and runs the SoA sort above.
 void SortByDistance(const SignatureIndex& index, NodeId n,
                     const SignatureRow& row, std::vector<uint32_t>* objects);
 

@@ -38,6 +38,14 @@ class ObjectDistanceTable {
   // Exact distance; the pair must not be far.
   Weight Get(uint32_t u, uint32_t v) const;
 
+  // Dense row of distances from object u, num_objects() long: far pairs hold
+  // kInfiniteWeight, the diagonal 0. The SIMD near/far partition in
+  // reverse-kNN consumes it directly (simd::KernelTable::compact_finite_f64).
+  const Weight* Row(uint32_t u) const {
+    DSIG_CHECK_LT(u, num_objects_);
+    return table_.data() + static_cast<size_t>(u) * num_objects_;
+  }
+
   // Memory footprint of the retained distances (what the paper reports as
   // the "additional memory cost for object distances").
   uint64_t MemoryBytes() const;

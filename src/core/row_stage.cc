@@ -1,0 +1,62 @@
+#include "core/row_stage.h"
+
+#include <cstdint>
+
+namespace dsig {
+
+namespace {
+constexpr size_t kAlign = 64;
+
+size_t RoundUp(size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+
+uint8_t* AlignPtr(uint8_t* p) {
+  const uintptr_t v = reinterpret_cast<uintptr_t>(p);
+  return reinterpret_cast<uint8_t*>((v + kAlign - 1) & ~uintptr_t{kAlign - 1});
+}
+}  // namespace
+
+void RowStage::Resize(size_t n) {
+  const size_t stride = RoundUp(n);
+  if (buffer_.size() < 3 * stride + kAlign) {
+    buffer_.resize(3 * stride + kAlign);
+  }
+  uint8_t* base = AlignPtr(buffer_.data());
+  categories_ = base;
+  links_ = base + stride;
+  flags_ = base + 2 * stride;
+  size_ = n;
+  any_compressed_ = false;
+}
+
+void RowStage::Assign(const SignatureRow& row) {
+  Resize(row.size());
+  bool any = false;
+  for (size_t i = 0; i < row.size(); ++i) {
+    // Flagged lanes always hold the sentinels — the invariant the kernelized
+    // resolve validation relies on (compression.cc).
+    if (row[i].compressed) {
+      categories_[i] = kUnresolvedCategory;
+      links_[i] = kUnresolvedLink;
+      flags_[i] = 1;
+      any = true;
+    } else {
+      categories_[i] = row[i].category;
+      links_[i] = row[i].link;
+      flags_[i] = 0;
+    }
+  }
+  any_compressed_ = any;
+}
+
+SignatureRow RowStage::ToRow() const {
+  SignatureRow row(size_);
+  for (size_t i = 0; i < size_; ++i) row[i] = entry(static_cast<uint32_t>(i));
+  return row;
+}
+
+uint32_t* RowStage::index_scratch() {
+  if (scratch_.size() < size_) scratch_.resize(size_);
+  return scratch_.data();
+}
+
+}  // namespace dsig

@@ -1,0 +1,73 @@
+// SoA staging of one decoded signature row.
+//
+// The AoS SignatureRow (3-byte entries) is convenient for per-entry logic
+// but hostile to the SIMD query kernels (util/simd), which want one
+// contiguous byte lane per field. A RowStage holds the same row as three
+// parallel 64-byte-aligned arrays — categories, links, compression flags —
+// emitted directly by the codec's fused decode (SignatureCodec::
+// TryDecodeRowStage), so the hot query loops scan category lanes 16/32-wide
+// without a gather or a transpose.
+//
+// Stages are scratch: query loops keep one thread_local instance and refill
+// it per row, so the buffers stop reallocating once they reach the object
+// count.
+#ifndef DSIG_CORE_ROW_STAGE_H_
+#define DSIG_CORE_ROW_STAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/signature.h"
+
+namespace dsig {
+
+class RowStage {
+ public:
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Unresolved (compressed) entries hold kUnresolvedCategory /
+  // kUnresolvedLink with flag 1; resolution (RowCompressor::TryResolveStage)
+  // rewrites them in place and clears the flags.
+  const uint8_t* categories() const { return categories_; }
+  const uint8_t* links() const { return links_; }
+  const uint8_t* flags() const { return flags_; }
+  uint8_t* categories() { return categories_; }
+  uint8_t* links() { return links_; }
+  uint8_t* flags() { return flags_; }
+
+  // True while any flag is set; decode and resolve maintain it so readers
+  // can skip the resolve pass entirely for fully materialized rows.
+  bool any_compressed() const { return any_compressed_; }
+  void set_any_compressed(bool v) { any_compressed_ = v; }
+
+  SignatureEntry entry(uint32_t i) const {
+    return {categories_[i], links_[i], flags_[i] != 0};
+  }
+
+  // Sizes the arrays for `n` entries; contents are undefined afterwards.
+  void Resize(size_t n);
+
+  // AoS bridges (tests, fallback rows, legacy call sites).
+  void Assign(const SignatureRow& row);
+  SignatureRow ToRow() const;
+
+  // Index buffer sized to the row, for kernel extraction output
+  // (simd::KernelTable::extract_in_range writes at most size() indices).
+  uint32_t* index_scratch();
+
+ private:
+  // One allocation, three lanes at 64-byte-aligned offsets.
+  std::vector<uint8_t> buffer_;
+  std::vector<uint32_t> scratch_;
+  uint8_t* categories_ = nullptr;
+  uint8_t* links_ = nullptr;
+  uint8_t* flags_ = nullptr;
+  size_t size_ = 0;
+  bool any_compressed_ = false;
+};
+
+}  // namespace dsig
+
+#endif  // DSIG_CORE_ROW_STAGE_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/row_stage.h"
 #include "util/bitstream.h"
 #include "util/logging.h"
 
@@ -182,6 +183,34 @@ bool SignatureCodec::TryDecodeRow(const EncodedRow& encoded,
     if (row->size() > expected_entries) return false;  // trailing garbage
   }
   return row->size() == expected_entries;
+}
+
+bool SignatureCodec::TryDecodeRowStage(const EncodedRow& encoded,
+                                       size_t expected_entries,
+                                       RowStage* stage) const {
+  stage->Resize(expected_entries);
+  if (encoded.size_bits > encoded.bytes.size() * 8) return false;
+  BitReader reader(encoded.bytes.data(), encoded.size_bits);
+  uint8_t* const cats = stage->categories();
+  uint8_t* const links = stage->links();
+  uint8_t* const flags = stage->flags();
+  size_t count = 0;
+  bool any_compressed = false;
+  while (!reader.AtEnd()) {
+    SignatureEntry entry;
+    if (!TryReadComponent(category_code_, link_bits_, has_flags_, &reader,
+                          &entry)) {
+      return false;
+    }
+    if (count >= expected_entries) return false;  // trailing garbage
+    cats[count] = entry.category;
+    links[count] = entry.link;
+    flags[count] = entry.compressed ? 1 : 0;
+    any_compressed |= entry.compressed;
+    ++count;
+  }
+  stage->set_any_compressed(any_compressed);
+  return count == expected_entries;
 }
 
 bool SignatureCodec::TryDecodeEntry(const EncodedRow& encoded, uint32_t index,

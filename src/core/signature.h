@@ -23,6 +23,8 @@
 
 namespace dsig {
 
+class RowStage;
+
 // Sentinels for entries whose category/link await decompression.
 inline constexpr uint8_t kUnresolvedCategory = 0xFF;
 inline constexpr uint8_t kUnresolvedLink = 0xFF;
@@ -83,6 +85,14 @@ class SignatureCodec {
   // garbage. `expected_entries` is the object count the row must decode to.
   bool TryDecodeRow(const EncodedRow& encoded, size_t expected_entries,
                     SignatureRow* row) const;
+
+  // SoA twin of TryDecodeRow: identical failure conditions and component
+  // rules, but the fused decode writes straight into the stage's category /
+  // link / flag lanes (core/row_stage.h) so the SIMD query kernels can scan
+  // them contiguously. Compressed components are staged as
+  // kUnresolvedCategory / kUnresolvedLink with flag 1.
+  bool TryDecodeRowStage(const EncodedRow& encoded, size_t expected_entries,
+                         RowStage* stage) const;
 
   // Non-aborting single-component decode; same failure conditions plus a
   // missing or out-of-range checkpoint.

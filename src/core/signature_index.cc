@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <queue>
 #include <string>
@@ -11,6 +12,7 @@
 #include "obs/op_counters.h"
 #include "obs/trace.h"
 #include "util/deadline.h"
+#include "util/simd/simd.h"
 
 namespace dsig {
 
@@ -73,6 +75,31 @@ SignatureRow SignatureIndex::ReadRowUnresolved(NodeId n) const {
                             // "unresolved" row (nothing left compressed)
   }
   return row;
+}
+
+void SignatureIndex::ReadRowStaged(NodeId n, RowStage* stage) const {
+  // One snapshot across decode *and* resolve, as in ReadRow.
+  const ReadSnapshot snapshot(&gate_);
+  {
+    const obs::Span span(obs::Phase::kRowDecode);
+    DSIG_CHECK_LT(n, rows_.size());
+    ++GlobalOpCounters().row_reads;
+    const EncodedRow& encoded = rows_.Read(n, snapshot.epoch());
+    if (merged_) {
+      store_.TouchRecordBits(n, adjacency_bits_[n],
+                             adjacency_bits_[n] + encoded.size_bits);
+    } else {
+      store_.TouchRecord(n);
+    }
+    if (!codec_.TryDecodeRowStage(encoded, objects_.size(), stage)) {
+      stage->Assign(FallbackRow(n));
+      return;
+    }
+  }
+  const obs::Span span(obs::Phase::kResolve);
+  if (!compressor_.TryResolveStage(stage)) {
+    stage->Assign(FallbackRow(n));
+  }
 }
 
 SignatureEntry SignatureIndex::ReadEntry(NodeId n,
@@ -326,50 +353,75 @@ Status SignatureIndex::Verify() const {
     }
   }
 
-  // Pass 1 — decode and resolve every row; validate categories and links;
-  // collect the link matrix for the chain walk below.
+  // Pass 1 — decode and resolve every row (staged, so the bulk checks run
+  // on the SIMD kernels); validate categories and links; collect the link
+  // matrix for the chain walk below.
   std::vector<uint8_t> links(num_nodes * num_objects, 0);
   std::vector<uint8_t> categories(num_nodes * num_objects, 0);
+  const simd::KernelTable& kernels = simd::Kernels();
+  RowStage stage;
   for (NodeId n = 0; n < num_nodes; ++n) {
-    SignatureRow row;
-    if (!codec_.TryDecodeRow(rows_.Read(n, snapshot.epoch()), num_objects,
-                             &row)) {
+    if (!codec_.TryDecodeRowStage(rows_.Read(n, snapshot.epoch()),
+                                  num_objects, &stage)) {
       return Status::Corruption("row of node " + std::to_string(n) +
                                 " does not decode");
     }
-    if (!compressor_.TryResolveRow(&row)) {
+    if (!compressor_.TryResolveStage(&stage)) {
       return Status::Corruption(
           "row of node " + std::to_string(n) +
           " has a compressed entry the shared rule cannot resolve");
     }
-    for (uint32_t o = 0; o < num_objects; ++o) {
-      const SignatureEntry& entry = row[o];
-      if (entry.category >= num_categories) {
-        return Status::Corruption("category " +
-                                  std::to_string(entry.category) +
-                                  " out of partition range at " +
-                                  NodeObjectContext(n, o));
+    // Vectorized clean-row test. It is deliberately stricter than the real
+    // invariants (the object's own entry need not have a valid link; links
+    // may legally point below any removed slot), so a miss only routes the
+    // row through the exact per-entry checks below — which also keep the
+    // first-violation messages.
+    const auto& adjacency = graph_->adjacency(n);
+    bool adjacency_clean = true;
+    for (const AdjacencyEntry& hop : adjacency) {
+      if (hop.removed) {
+        adjacency_clean = false;
+        break;
       }
-      if (objects_[o] == n) {
-        if (entry.category != 0) {
-          return Status::Corruption(
-              "object's own node is not in category 0 at " +
-              NodeObjectContext(n, o));
-        }
-      } else {
-        if (entry.link >= graph_->degree(n)) {
-          return Status::Corruption("link " + std::to_string(entry.link) +
-                                    " beyond the adjacency list at " +
-                                    NodeObjectContext(n, o));
-        }
-        if (graph_->adjacency(n)[entry.link].removed) {
-          return Status::Corruption("link points at a removed edge at " +
-                                    NodeObjectContext(n, o));
-        }
-      }
-      links[static_cast<size_t>(n) * num_objects + o] = entry.link;
-      categories[static_cast<size_t>(n) * num_objects + o] = entry.category;
     }
+    const ObjectId self = object_of_node_[n];
+    const bool fast_ok =
+        adjacency_clean &&
+        kernels.max_u8(stage.categories(), num_objects) < num_categories &&
+        kernels.max_u8(stage.links(), num_objects) < adjacency.size() &&
+        (self == kInvalidObject || stage.categories()[self] == 0);
+    if (!fast_ok) {
+      for (uint32_t o = 0; o < num_objects; ++o) {
+        const SignatureEntry entry = stage.entry(o);
+        if (entry.category >= num_categories) {
+          return Status::Corruption("category " +
+                                    std::to_string(entry.category) +
+                                    " out of partition range at " +
+                                    NodeObjectContext(n, o));
+        }
+        if (objects_[o] == n) {
+          if (entry.category != 0) {
+            return Status::Corruption(
+                "object's own node is not in category 0 at " +
+                NodeObjectContext(n, o));
+          }
+        } else {
+          if (entry.link >= graph_->degree(n)) {
+            return Status::Corruption("link " + std::to_string(entry.link) +
+                                      " beyond the adjacency list at " +
+                                      NodeObjectContext(n, o));
+          }
+          if (graph_->adjacency(n)[entry.link].removed) {
+            return Status::Corruption("link points at a removed edge at " +
+                                      NodeObjectContext(n, o));
+          }
+        }
+      }
+    }
+    std::memcpy(&links[static_cast<size_t>(n) * num_objects],
+                stage.links(), num_objects);
+    std::memcpy(&categories[static_cast<size_t>(n) * num_objects],
+                stage.categories(), num_objects);
   }
 
   // Pass 2 — per object: follow every node's link chain. Chains must reach

@@ -24,6 +24,7 @@
 #include "core/epoch.h"
 #include "core/object_distance_table.h"
 #include "core/row_cache.h"
+#include "core/row_stage.h"
 #include "core/signature.h"
 #include "core/versioned_rows.h"
 #include "graph/road_network.h"
@@ -106,6 +107,13 @@ class SignatureIndex {
   // Full signature with compressed components left unresolved (cheaper when
   // the caller only cares about categories of resolved entries).
   SignatureRow ReadRowUnresolved(NodeId n) const;
+
+  // SoA twin of ReadRow: the fused decode writes straight into `stage`'s
+  // category/link/flag lanes (core/row_stage.h) and resolution runs in
+  // place, so query loops can hand the lanes to the SIMD kernels without a
+  // transpose. Charges the same pages and op counters as ReadRow and
+  // degrades to the recomputed fallback row identically.
+  void ReadRowStaged(NodeId n, RowStage* stage) const;
 
   // Single component, resolved; charges only the page holding it.
   SignatureEntry ReadEntry(NodeId n, uint32_t object_index) const;

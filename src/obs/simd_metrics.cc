@@ -1,0 +1,16 @@
+#include "obs/simd_metrics.h"
+
+#include "obs/metrics.h"
+#include "util/simd/simd.h"
+
+namespace dsig::obs {
+
+void PublishSimdMetrics() {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetGauge("simd.dispatch_level")
+      ->Set(static_cast<double>(static_cast<int>(simd::ActiveLevel())));
+  registry.GetGauge("simd.detected_level")
+      ->Set(static_cast<double>(static_cast<int>(simd::DetectedLevel())));
+}
+
+}  // namespace dsig::obs

@@ -1,10 +1,12 @@
 #include "query/aggregate_query.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "core/distance_ops.h"
 #include "obs/trace.h"
 #include "query/range_query.h"
+#include "util/simd/simd.h"
 
 namespace dsig {
 
@@ -25,12 +27,23 @@ DistanceAggregateResult SignatureDistanceAggregateQuery(
   const ReadSnapshot snapshot(index.epoch_gate());
   DistanceAggregateResult result;
   const RangeQueryResult range = SignatureRangeQuery(index, n, epsilon);
+  // Exact distances are gathered densely, then reduced by the SIMD
+  // aggregate kernel. The kernel's blocked summation order is fixed across
+  // dispatch levels (util/simd/simd.h), so the sum is deterministic
+  // everywhere, scalar build included.
+  std::vector<Weight> distances;
+  distances.reserve(range.objects.size());
   for (const uint32_t o : range.objects) {
-    const Weight d = ExactDistance(index, n, o);
-    ++result.count;
-    result.sum += d;
-    result.min = std::min(result.min, d);
-    result.max = std::max(result.max, d);
+    distances.push_back(ExactDistance(index, n, o));
+  }
+  if (!distances.empty()) {
+    Weight sum = 0, min = 0, max = 0;
+    simd::Kernels().aggregate_f64(distances.data(), distances.size(), &sum,
+                                  &min, &max);
+    result.count = distances.size();
+    result.sum = sum;
+    result.min = std::min(result.min, min);
+    result.max = std::max(result.max, max);
   }
   return result;
 }

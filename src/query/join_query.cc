@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "core/distance_ops.h"
+#include "core/row_stage.h"
 #include "obs/trace.h"
 #include "util/deadline.h"
+#include "util/simd/simd.h"
 
 namespace dsig {
 namespace {
@@ -43,30 +45,45 @@ JoinResult SignatureEpsilonJoin(const SignatureIndex& left,
     result.deadline_exceeded = true;
     return result;
   }
-  const SignatureRow left_row = left.ReadRow(n);
-  const SignatureRow right_row = right.ReadRow(n);
+  static thread_local RowStage left_stage;
+  static thread_local RowStage right_stage;
+  left.ReadRowStaged(n, &left_stage);
+  right.ReadRowStaged(n, &right_stage);
+  const size_t num_a = left_stage.size();
+  const size_t num_b = right_stage.size();
+  const uint8_t* left_cats = left_stage.categories();
+  const uint8_t* right_cats = right_stage.categories();
   const CategoryPartition& lp = left.partition();
   const CategoryPartition& rp = right.partition();
+  const simd::KernelTable& kernels = simd::Kernels();
 
   // Lazily-computed exact node distances, shared across pairs.
-  std::vector<Weight> left_exact(left_row.size(), -1);
-  std::vector<Weight> right_exact(right_row.size(), -1);
+  std::vector<Weight> left_exact(num_a, -1);
+  std::vector<Weight> right_exact(num_b, -1);
   const auto exact_left = [&](uint32_t a) {
     if (left_exact[a] < 0) {
-      RetrievalCursor cursor(&left, n, a, &left_row[a]);
+      const SignatureEntry initial = left_stage.entry(a);
+      RetrievalCursor cursor(&left, n, a, &initial);
       left_exact[a] = cursor.RetrieveExact();
     }
     return left_exact[a];
   };
   const auto exact_right = [&](uint32_t b) {
     if (right_exact[b] < 0) {
-      RetrievalCursor cursor(&right, n, b, &right_row[b]);
+      const SignatureEntry initial = right_stage.entry(b);
+      RetrievalCursor cursor(&right, n, b, &initial);
       right_exact[b] = cursor.RetrieveExact();
     }
     return right_exact[b];
   };
 
-  for (uint32_t a = 0; a < left_row.size(); ++a) {
+  // Right-hand category ranges, reused across every left object.
+  const int m_right = rp.num_categories();
+  std::vector<DistanceRange> rb_of(static_cast<size_t>(m_right));
+  for (int c = 0; c < m_right; ++c) rb_of[c] = rp.RangeOf(c);
+
+  std::vector<uint32_t> candidates;
+  for (uint32_t a = 0; a < num_a; ++a) {
     // Phase boundary per left object: each row of the pair matrix can cost
     // several exact retrievals/evaluations. Pairs confirmed so far are
     // sound, so the partial result is usable.
@@ -74,18 +91,39 @@ JoinResult SignatureEpsilonJoin(const SignatureIndex& left,
       result.deadline_exceeded = true;
       return result;
     }
-    const DistanceRange ra = lp.RangeOf(left_row[a].category);
-    for (uint32_t b = 0; b < right_row.size(); ++b) {
-      if (left.object_node(a) == right.object_node(b)) {
+    const DistanceRange ra = lp.RangeOf(left_cats[a]);
+    // Category pruning (PairLowerBound > epsilon) is the union of a prefix
+    // and a suffix of the right categories: of its two triangle terms, one
+    // rises and one falls with the category id. The surviving keep-band
+    // [lo, hi) is therefore contiguous and extracts in one vector pass.
+    int lo = 0;
+    while (lo < m_right && PairLowerBound(ra, rb_of[lo]) > epsilon) ++lo;
+    int hi = m_right;
+    while (hi > lo && PairLowerBound(ra, rb_of[hi - 1]) > epsilon) --hi;
+
+    candidates.resize(num_b);
+    candidates.resize(kernels.extract_in_range(right_cats, num_b, lo, hi,
+                                               candidates.data()));
+    result.pruned_by_categories += num_b - candidates.size();
+
+    // A co-located pair joins at distance 0 regardless of its category;
+    // splice it back in (at its object position) when the band dropped it.
+    const ObjectId b_co = right.object_at(left.object_node(a));
+    if (b_co != kInvalidObject &&
+        !(right_cats[b_co] >= lo && right_cats[b_co] < hi)) {
+      candidates.insert(
+          std::lower_bound(candidates.begin(), candidates.end(), b_co), b_co);
+      --result.pruned_by_categories;  // it was counted as pruned above
+    }
+
+    for (const uint32_t b : candidates) {
+      if (b == b_co) {
         // Co-located objects join at distance 0.
         result.pairs.push_back({a, b});
         continue;
       }
-      const DistanceRange rb = rp.RangeOf(right_row[b].category);
-      if (PairLowerBound(ra, rb) > epsilon) {
-        ++result.pruned_by_categories;
-        continue;
-      }
+      // Band membership already certifies PairLowerBound <= epsilon.
+      const DistanceRange rb = rb_of[right_cats[b]];
       const Weight upper = PairUpperBound(ra, rb);
       if (upper != kInfiniteWeight && upper <= epsilon) {
         result.pairs.push_back({a, b});

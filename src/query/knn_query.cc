@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "core/distance_ops.h"
+#include "core/row_stage.h"
 #include "obs/trace.h"
 #include "util/deadline.h"
+#include "util/simd/simd.h"
 
 namespace dsig {
 
@@ -22,23 +24,35 @@ KnnResult SignatureKnnQuery(const SignatureIndex& index, NodeId n, size_t k,
     result.deadline_exceeded = true;
     return result;
   }
-  const SignatureRow row = index.ReadRow(n);
-  k = std::min(k, row.size());
+  static thread_local RowStage stage;
+  index.ReadRowStaged(n, &stage);
+  const size_t num_objects = stage.size();
+  const uint8_t* cats = stage.categories();
+  k = std::min(k, num_objects);
 
-  // Bucket objects by category (the rough ordering s(n) gives for free).
+  // Bucket sizes by category (the rough ordering s(n) gives for free), one
+  // vectorized count per category over the stage's category lane.
+  const simd::KernelTable& kernels = simd::Kernels();
   const int m_categories = index.partition().num_categories();
-  std::vector<std::vector<uint32_t>> buckets(
-      static_cast<size_t>(m_categories));
-  for (uint32_t o = 0; o < row.size(); ++o) {
-    buckets[row[o].category].push_back(o);
+  std::vector<size_t> counts(static_cast<size_t>(m_categories));
+  for (int c = 0; c < m_categories; ++c) {
+    counts[c] = kernels.count_in_range(cats, num_objects, c, c + 1);
   }
 
   // Boundary bucket m: categories before it are wholly confirmed results.
   size_t confirmed = 0;
   int m = 0;
-  while (confirmed + buckets[m].size() < k) {
-    confirmed += buckets[m].size();
+  while (confirmed + counts[m] < k) {
+    confirmed += counts[m];
     ++m;
+  }
+
+  // Materialize only the contributing buckets 0..m (ascending object order,
+  // exactly the order a per-object bucketing scan would produce).
+  std::vector<std::vector<uint32_t>> buckets(static_cast<size_t>(m) + 1);
+  for (int c = 0; c <= m; ++c) {
+    buckets[c].resize(counts[c]);
+    kernels.extract_in_range(cats, num_objects, c, c + 1, buckets[c].data());
   }
 
   // The boundary bucket must be sorted when it is partially taken (to pick
@@ -50,14 +64,14 @@ KnnResult SignatureKnnQuery(const SignatureIndex& index, NodeId n, size_t k,
   const size_t take_from_m = k - confirmed;
   const bool m_needs_ranking = take_from_m < buckets[m].size();
   if (m_needs_ranking || type == KnnResultType::kType2) {
-    SortByDistance(index, n, row, &buckets[m]);
+    SortByDistance(index, n, stage, &buckets[m]);
   }
   buckets[m].resize(take_from_m);
 
   if (type == KnnResultType::kType2) {
     // Order must be exact everywhere: sort every contributing bucket.
     for (int i = 0; i < m && !DeadlineExpired(); ++i) {
-      SortByDistance(index, n, row, &buckets[i]);
+      SortByDistance(index, n, stage, &buckets[i]);
     }
   }
   // Phase boundary: sorting may have been cut short. Buckets below the
@@ -90,7 +104,8 @@ KnnResult SignatureKnnQuery(const SignatureIndex& index, NodeId n, size_t k,
         result.deadline_exceeded = true;
         break;
       }
-      RetrievalCursor cursor(&index, n, o, &row[o]);
+      const SignatureEntry initial = stage.entry(o);
+      RetrievalCursor cursor(&index, n, o, &initial);
       with_distance.push_back({cursor.RetrieveExact(), o});
     }
     {

@@ -21,8 +21,9 @@ struct RangeQueryResult {
   // a quality metric for the partition.
   size_t refined = 0;
   // True when the ambient request deadline (util/deadline.h) expired before
-  // every object was classified; `objects` then holds the confirmed prefix
-  // (objects examined so far), a well-formed partial answer.
+  // every object was classified; `objects` then holds the objects confirmed
+  // so far (all category-confirmed members plus refined confirms), a
+  // well-formed partial answer — a subset of the exact result.
   bool deadline_exceeded = false;
 };
 

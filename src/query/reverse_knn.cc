@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "core/distance_ops.h"
+#include "core/row_stage.h"
 #include "obs/trace.h"
+#include "util/simd/simd.h"
 
 namespace dsig {
 
@@ -22,26 +24,29 @@ ReverseKnnResult SignatureReverseKnn(const SignatureIndex& index, NodeId q,
   }
   k = std::min(k, num_objects - 1);
 
-  const SignatureRow row = index.ReadRow(q);
+  static thread_local RowStage stage;
+  index.ReadRowStaged(q, &stage);
+  const uint8_t* cats = stage.categories();
   const CategoryPartition& partition = index.partition();
   const ObjectDistanceTable& table = index.object_table();
+  const simd::KernelTable& kernels = simd::Kernels();
   const Weight last_lb =
       partition.LowerBound(partition.num_categories() - 1);
 
+  std::vector<Weight> neighbor_distances;
   for (uint32_t o = 0; o < num_objects; ++o) {
     // o's k-th nearest object distance, from the in-memory table. Far pairs
-    // only bound it from below; resolve them exactly (by backtracking from
-    // o's node) only when the decision needs it.
-    std::vector<Weight> neighbor_distances;
-    size_t far_pairs = 0;
-    for (uint32_t x = 0; x < num_objects; ++x) {
-      if (x == o) continue;
-      if (table.IsFar(o, x)) {
-        ++far_pairs;
-      } else {
-        neighbor_distances.push_back(table.Get(o, x));
-      }
-    }
+    // (the kInfiniteWeight slots) only bound it from below; resolve them
+    // exactly (by backtracking from o's node) only when the decision needs
+    // it. The near/far split of o's table row runs as two vector compaction
+    // passes around the diagonal slot.
+    const Weight* distances = table.Row(o);
+    neighbor_distances.resize(num_objects);
+    size_t near = kernels.compact_finite_f64(distances, o,
+                                             neighbor_distances.data());
+    near += kernels.compact_finite_f64(distances + o + 1, num_objects - o - 1,
+                                       neighbor_distances.data() + near);
+    neighbor_distances.resize(near);
     {
       const obs::Span sort_span(obs::Phase::kSort);
       std::sort(neighbor_distances.begin(), neighbor_distances.end());
@@ -53,7 +58,7 @@ ReverseKnnResult SignatureReverseKnn(const SignatureIndex& index, NodeId q,
     const Weight threshold_lb =
         threshold_exact ? neighbor_distances[k - 1] : last_lb;
 
-    const DistanceRange range = partition.RangeOf(row[o].category);
+    const DistanceRange range = partition.RangeOf(cats[o]);
     // Quick accept: every distance in the range is within the threshold.
     if (range.ub != kInfiniteWeight && range.ub <= threshold_lb) {
       result.objects.push_back(o);
@@ -65,7 +70,8 @@ ReverseKnnResult SignatureReverseKnn(const SignatureIndex& index, NodeId q,
     // Refine d(o, q) exactly (d is symmetric on undirected networks, so the
     // row at q holds it).
     ++result.refined;
-    RetrievalCursor cursor(&index, q, o, &row[o]);
+    const SignatureEntry initial = stage.entry(o);
+    RetrievalCursor cursor(&index, q, o, &initial);
     const Weight d_oq = cursor.RetrieveExact();
     if (threshold_exact) {
       if (d_oq <= threshold_lb) result.objects.push_back(o);

@@ -1,0 +1,219 @@
+// AVX2 kernel variants (32-wide u8 lanes, 4-wide f64 lanes). Compiled with
+// -mavx2 on x86 builds only; elsewhere the getter returns null.
+#include "util/simd/simd.h"
+
+#if defined(DSIG_SIMD_ENABLE_AVX2)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <limits>
+
+namespace dsig {
+namespace simd {
+namespace {
+
+// 32-lane mask of lo <= v < hi (same unsigned max/min trick as the SSE
+// variant, see kernels_sse42.cc).
+inline __m256i InRangeMask(__m256i x, int lo, int hi) {
+  __m256i m = _mm256_set1_epi8(static_cast<char>(0xFF));
+  if (lo > 0) {
+    __m256i lov = _mm256_set1_epi8(static_cast<char>(lo));
+    m = _mm256_cmpeq_epi8(_mm256_max_epu8(x, lov), x);
+  }
+  if (hi < 256) {
+    __m256i hiv = _mm256_set1_epi8(static_cast<char>(hi - 1));
+    m = _mm256_and_si256(m, _mm256_cmpeq_epi8(_mm256_min_epu8(x, hiv), x));
+  }
+  return m;
+}
+
+// Clamp to [0, 256] before broadcasting: lanes are bytes, so the clamp is
+// semantics-preserving, and set1_epi8 would truncate wider bounds.
+inline bool NormalizeRange(int* lo, int* hi) {
+  if (*lo < 0) *lo = 0;
+  if (*hi > 256) *hi = 256;
+  return *lo < *hi;
+}
+
+size_t ExtractInRangeAvx2(const uint8_t* v, size_t n, int lo, int hi,
+                          uint32_t* out) {
+  if (!NormalizeRange(&lo, &hi)) return 0;
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    uint32_t mask =
+        static_cast<uint32_t>(_mm256_movemask_epi8(InRangeMask(x, lo, hi)));
+    while (mask != 0) {
+      out[count++] = static_cast<uint32_t>(i) + std::countr_zero(mask);
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] >= lo && v[i] < hi) out[count++] = static_cast<uint32_t>(i);
+  }
+  return count;
+}
+
+size_t CountInRangeAvx2(const uint8_t* v, size_t n, int lo, int hi) {
+  if (!NormalizeRange(&lo, &hi)) return 0;
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    count += std::popcount(
+        static_cast<uint32_t>(_mm256_movemask_epi8(InRangeMask(x, lo, hi))));
+  }
+  for (; i < n; ++i) {
+    if (v[i] >= lo && v[i] < hi) ++count;
+  }
+  return count;
+}
+
+uint8_t MaxU8Avx2(const uint8_t* v, size_t n) {
+  uint8_t m = 0;
+  size_t i = 0;
+  if (n >= 32) {
+    __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v));
+    for (i = 32; i + 32 <= n; i += 32) {
+      acc = _mm256_max_epu8(
+          acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+    }
+    __m128i lane = _mm_max_epu8(_mm256_castsi256_si128(acc),
+                                _mm256_extracti128_si256(acc, 1));
+    lane = _mm_max_epu8(lane, _mm_srli_si128(lane, 8));
+    lane = _mm_max_epu8(lane, _mm_srli_si128(lane, 4));
+    lane = _mm_max_epu8(lane, _mm_srli_si128(lane, 2));
+    lane = _mm_max_epu8(lane, _mm_srli_si128(lane, 1));
+    m = static_cast<uint8_t>(_mm_cvtsi128_si32(lane) & 0xFF);
+  }
+  for (; i < n; ++i) {
+    if (v[i] > m) m = v[i];
+  }
+  return m;
+}
+
+uint8_t MinU8Avx2(const uint8_t* v, size_t n) {
+  uint8_t m = 0xFF;
+  size_t i = 0;
+  if (n >= 32) {
+    __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v));
+    for (i = 32; i + 32 <= n; i += 32) {
+      acc = _mm256_min_epu8(
+          acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+    }
+    __m128i lane = _mm_min_epu8(_mm256_castsi256_si128(acc),
+                                _mm256_extracti128_si256(acc, 1));
+    lane = _mm_min_epu8(lane, _mm_srli_si128(lane, 8));
+    lane = _mm_min_epu8(lane, _mm_srli_si128(lane, 4));
+    lane = _mm_min_epu8(lane, _mm_srli_si128(lane, 2));
+    lane = _mm_min_epu8(lane, _mm_srli_si128(lane, 1));
+    m = static_cast<uint8_t>(_mm_cvtsi128_si32(lane) & 0xFF);
+  }
+  for (; i < n; ++i) {
+    if (v[i] < m) m = v[i];
+  }
+  return m;
+}
+
+void AggregateF64Avx2(const double* v, size_t n, double* sum, double* min,
+                      double* max) {
+  // Two 4-lane accumulators hold blocked lanes (0..3)(4..7); the spill +
+  // fixed combine tree matches the scalar contract exactly.
+  __m256d a0 = _mm256_setzero_pd();
+  __m256d a1 = _mm256_setzero_pd();
+  __m256d vmn = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  __m256d vmx = _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d x0 = _mm256_loadu_pd(v + i);
+    __m256d x1 = _mm256_loadu_pd(v + i + 4);
+    a0 = _mm256_add_pd(a0, x0);
+    a1 = _mm256_add_pd(a1, x1);
+    vmn = _mm256_min_pd(vmn, _mm256_min_pd(x0, x1));
+    vmx = _mm256_max_pd(vmx, _mm256_max_pd(x0, x1));
+  }
+  double acc[8];
+  _mm256_storeu_pd(acc + 0, a0);
+  _mm256_storeu_pd(acc + 4, a1);
+  double mn_arr[4], mx_arr[4];
+  _mm256_storeu_pd(mn_arr, vmn);
+  _mm256_storeu_pd(mx_arr, vmx);
+  double mn = mn_arr[0];
+  double mx = mx_arr[0];
+  for (int j = 1; j < 4; ++j) {
+    if (mn_arr[j] < mn) mn = mn_arr[j];
+    if (mx_arr[j] > mx) mx = mx_arr[j];
+  }
+  for (; i < n; ++i) {
+    acc[i & 7] += v[i];
+    if (v[i] < mn) mn = v[i];
+    if (v[i] > mx) mx = v[i];
+  }
+  double t0 = acc[0] + acc[4];
+  double t1 = acc[1] + acc[5];
+  double t2 = acc[2] + acc[6];
+  double t3 = acc[3] + acc[7];
+  *sum = (t0 + t2) + (t1 + t3);
+  *min = mn;
+  *max = mx;
+}
+
+size_t CompactFiniteF64Avx2(const double* v, size_t n, double* out) {
+  // Left-pack via a 16-entry permutation LUT over the 4-bit keep mask
+  // (64-bit lanes expressed as u32 index pairs for vpermd).
+  alignas(32) static const uint32_t kPack[16][8] = {
+      {0, 1, 2, 3, 4, 5, 6, 7}, {0, 1, 2, 3, 4, 5, 6, 7},
+      {2, 3, 0, 1, 4, 5, 6, 7}, {0, 1, 2, 3, 4, 5, 6, 7},
+      {4, 5, 0, 1, 2, 3, 6, 7}, {0, 1, 4, 5, 2, 3, 6, 7},
+      {2, 3, 4, 5, 0, 1, 6, 7}, {0, 1, 2, 3, 4, 5, 6, 7},
+      {6, 7, 0, 1, 2, 3, 4, 5}, {0, 1, 6, 7, 2, 3, 4, 5},
+      {2, 3, 6, 7, 0, 1, 4, 5}, {0, 1, 2, 3, 6, 7, 4, 5},
+      {4, 5, 6, 7, 0, 1, 2, 3}, {0, 1, 4, 5, 6, 7, 2, 3},
+      {2, 3, 4, 5, 6, 7, 0, 1}, {0, 1, 2, 3, 4, 5, 6, 7},
+  };
+  const __m256d inf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d x = _mm256_loadu_pd(v + i);
+    // NEQ_UQ matches the scalar `v != inf` (NaN compares unequal, so it is
+    // kept at every level alike).
+    int keep =
+        _mm256_movemask_pd(_mm256_cmp_pd(x, inf, _CMP_NEQ_UQ));
+    __m256i idx = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kPack[keep]));
+    __m256d packed = _mm256_castsi256_pd(
+        _mm256_permutevar8x32_epi32(_mm256_castpd_si256(x), idx));
+    _mm256_storeu_pd(out + count, packed);
+    count += static_cast<size_t>(std::popcount(static_cast<unsigned>(keep)));
+  }
+  for (; i < n; ++i) {
+    if (v[i] != std::numeric_limits<double>::infinity()) out[count++] = v[i];
+  }
+  return count;
+}
+
+const KernelTable kAvx2Table = {
+    "avx2",         ExtractInRangeAvx2, CountInRangeAvx2,
+    MaxU8Avx2,      MinU8Avx2,          AggregateF64Avx2,
+    CompactFiniteF64Avx2,
+};
+
+}  // namespace
+
+const KernelTable* Avx2Kernels() { return &kAvx2Table; }
+
+}  // namespace simd
+}  // namespace dsig
+
+#else  // !DSIG_SIMD_ENABLE_AVX2
+
+namespace dsig {
+namespace simd {
+const KernelTable* Avx2Kernels() { return nullptr; }
+}  // namespace simd
+}  // namespace dsig
+
+#endif

@@ -1,0 +1,188 @@
+// NEON kernel variants for aarch64 (16-wide u8 lanes, 2-wide f64 lanes).
+// NEON has no movemask; the nibble-mask idiom (vshrn on the 16-bit view
+// yields 4 mask bits per byte lane in one u64) substitutes. On non-arm
+// builds the getter returns null.
+#include "util/simd/simd.h"
+
+#if defined(DSIG_SIMD_ENABLE_NEON) && defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <bit>
+#include <limits>
+
+namespace dsig {
+namespace simd {
+namespace {
+
+// 16-lane 0xFF/0x00 mask of lo <= v < hi.
+inline uint8x16_t InRangeMask(uint8x16_t x, int lo, int hi) {
+  uint8x16_t m = vdupq_n_u8(0xFF);
+  if (lo > 0) m = vcgeq_u8(x, vdupq_n_u8(static_cast<uint8_t>(lo)));
+  if (hi < 256) {
+    m = vandq_u8(m, vcleq_u8(x, vdupq_n_u8(static_cast<uint8_t>(hi - 1))));
+  }
+  return m;
+}
+
+// Compress a byte mask to a u64 with 4 bits (one nibble) per lane.
+inline uint64_t NibbleMask(uint8x16_t m) {
+  return vget_lane_u64(
+      vreinterpret_u64_u8(vshrn_n_u16(vreinterpretq_u16_u8(m), 4)), 0);
+}
+
+// Clamp to [0, 256] before broadcasting: lanes are bytes, so the clamp is
+// semantics-preserving, and vdupq_n_u8 would truncate wider bounds.
+inline bool NormalizeRange(int* lo, int* hi) {
+  if (*lo < 0) *lo = 0;
+  if (*hi > 256) *hi = 256;
+  return *lo < *hi;
+}
+
+size_t ExtractInRangeNeon(const uint8_t* v, size_t n, int lo, int hi,
+                          uint32_t* out) {
+  if (!NormalizeRange(&lo, &hi)) return 0;
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    uint64_t mask = NibbleMask(InRangeMask(vld1q_u8(v + i), lo, hi));
+    while (mask != 0) {
+      int lane = std::countr_zero(mask) >> 2;
+      out[count++] = static_cast<uint32_t>(i) + static_cast<uint32_t>(lane);
+      mask &= ~(0xFULL << (lane * 4));
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] >= lo && v[i] < hi) out[count++] = static_cast<uint32_t>(i);
+  }
+  return count;
+}
+
+size_t CountInRangeNeon(const uint8_t* v, size_t n, int lo, int hi) {
+  if (!NormalizeRange(&lo, &hi)) return 0;
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    count += static_cast<size_t>(
+        std::popcount(NibbleMask(InRangeMask(vld1q_u8(v + i), lo, hi))) / 4);
+  }
+  for (; i < n; ++i) {
+    if (v[i] >= lo && v[i] < hi) ++count;
+  }
+  return count;
+}
+
+uint8_t MaxU8Neon(const uint8_t* v, size_t n) {
+  uint8_t m = 0;
+  size_t i = 0;
+  if (n >= 16) {
+    uint8x16_t acc = vld1q_u8(v);
+    for (i = 16; i + 16 <= n; i += 16) acc = vmaxq_u8(acc, vld1q_u8(v + i));
+    m = vmaxvq_u8(acc);
+  }
+  for (; i < n; ++i) {
+    if (v[i] > m) m = v[i];
+  }
+  return m;
+}
+
+uint8_t MinU8Neon(const uint8_t* v, size_t n) {
+  uint8_t m = 0xFF;
+  size_t i = 0;
+  if (n >= 16) {
+    uint8x16_t acc = vld1q_u8(v);
+    for (i = 16; i + 16 <= n; i += 16) acc = vminq_u8(acc, vld1q_u8(v + i));
+    m = vminvq_u8(acc);
+  }
+  for (; i < n; ++i) {
+    if (v[i] < m) m = v[i];
+  }
+  return m;
+}
+
+void AggregateF64Neon(const double* v, size_t n, double* sum, double* min,
+                      double* max) {
+  float64x2_t a0 = vdupq_n_f64(0);
+  float64x2_t a1 = vdupq_n_f64(0);
+  float64x2_t a2 = vdupq_n_f64(0);
+  float64x2_t a3 = vdupq_n_f64(0);
+  float64x2_t vmn = vdupq_n_f64(std::numeric_limits<double>::infinity());
+  float64x2_t vmx = vdupq_n_f64(-std::numeric_limits<double>::infinity());
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    float64x2_t x0 = vld1q_f64(v + i);
+    float64x2_t x1 = vld1q_f64(v + i + 2);
+    float64x2_t x2 = vld1q_f64(v + i + 4);
+    float64x2_t x3 = vld1q_f64(v + i + 6);
+    a0 = vaddq_f64(a0, x0);
+    a1 = vaddq_f64(a1, x1);
+    a2 = vaddq_f64(a2, x2);
+    a3 = vaddq_f64(a3, x3);
+    vmn = vminq_f64(vminq_f64(vmn, vminq_f64(x0, x1)), vminq_f64(x2, x3));
+    vmx = vmaxq_f64(vmaxq_f64(vmx, vmaxq_f64(x0, x1)), vmaxq_f64(x2, x3));
+  }
+  double acc[8];
+  vst1q_f64(acc + 0, a0);
+  vst1q_f64(acc + 2, a1);
+  vst1q_f64(acc + 4, a2);
+  vst1q_f64(acc + 6, a3);
+  double mn = vminvq_f64(vmn);
+  double mx = vmaxvq_f64(vmx);
+  for (; i < n; ++i) {
+    acc[i & 7] += v[i];
+    if (v[i] < mn) mn = v[i];
+    if (v[i] > mx) mx = v[i];
+  }
+  double t0 = acc[0] + acc[4];
+  double t1 = acc[1] + acc[5];
+  double t2 = acc[2] + acc[6];
+  double t3 = acc[3] + acc[7];
+  *sum = (t0 + t2) + (t1 + t3);
+  *min = mn;
+  *max = mx;
+}
+
+size_t CompactFiniteF64Neon(const double* v, size_t n, double* out) {
+  const double kInf = std::numeric_limits<double>::infinity();
+  const float64x2_t inf = vdupq_n_f64(kInf);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    float64x2_t x = vld1q_f64(v + i);
+    uint64x2_t eq = vceqq_f64(x, inf);
+    uint64_t drop0 = vgetq_lane_u64(eq, 0);
+    uint64_t drop1 = vgetq_lane_u64(eq, 1);
+    if ((drop0 | drop1) == 0) {
+      vst1q_f64(out + count, x);
+      count += 2;
+    } else {
+      if (drop0 == 0) out[count++] = v[i];
+      if (drop1 == 0) out[count++] = v[i + 1];
+    }
+  }
+  if (i < n && v[i] != kInf) out[count++] = v[i];
+  return count;
+}
+
+const KernelTable kNeonTable = {
+    "neon",         ExtractInRangeNeon, CountInRangeNeon,
+    MaxU8Neon,      MinU8Neon,          AggregateF64Neon,
+    CompactFiniteF64Neon,
+};
+
+}  // namespace
+
+const KernelTable* NeonKernels() { return &kNeonTable; }
+
+}  // namespace simd
+}  // namespace dsig
+
+#else  // !DSIG_SIMD_ENABLE_NEON || !__aarch64__
+
+namespace dsig {
+namespace simd {
+const KernelTable* NeonKernels() { return nullptr; }
+}  // namespace simd
+}  // namespace dsig
+
+#endif
