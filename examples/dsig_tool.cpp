@@ -5,7 +5,7 @@
 // Commands:
 //   generate  --network=<file> [--nodes=N] [--kind=planar|continental] [--seed=S]
 //   build     --network=<file> --index=<file> [--density=p] [--t=T] [--c=C]
-//             [--threads=N]
+//             [--threads=N] [--labels]
 //   info      --network=<file> --index=<file>
 //   verify    --network=<file> --index=<file>
 //   corrupt   --file=<file> --offset=<byte> [--xor=mask] [--truncate]
@@ -21,6 +21,11 @@
 //
 // `build --threads=N` runs the construction pipeline on N worker threads
 // (0 = all hardware threads); the built index is byte-identical at every N.
+// `build --labels` additionally constructs the exact-distance hub-label
+// tier (core/hub_labels.h) and persists it as the optional section of the
+// index file; `info` and `stats` report it (label entry counts, bytes, and
+// the labels.* gauges in the registry dump), and files built without it
+// keep loading unchanged.
 // `stats --threads=N` serves the query workload through the parallel batch
 // driver on N threads; `--cache-kb` sizes the decoded-row LRU (0 disables
 // it). The dumped registry includes the pool ("pool.*") and row-cache
@@ -66,6 +71,7 @@
 #include <string>
 #include <thread>
 
+#include "core/hub_labels.h"
 #include "core/signature_builder.h"
 #include "core/update.h"
 #include "graph/graph_generator.h"
@@ -151,6 +157,19 @@ int Build(const Flags& flags) {
   std::printf("built index over %zu objects in %.2fs (%.1f KB)\n",
               objects.size(), timer.ElapsedSeconds(),
               static_cast<double>(index->IndexBytes()) / 1024.0);
+  if (flags.GetBool("labels", false)) {
+    Timer label_timer;
+    index->set_hub_labels(
+        HubLabels::Build(**graph, {}, &ThreadPool::Global()));
+    const HubLabelStats ls = index->hub_labels()->stats();
+    std::printf(
+        "built hub labels in %.2fs: %llu entries "
+        "(%.1f/node, %.1f KB, %llu pruned settles)\n",
+        label_timer.ElapsedSeconds(),
+        static_cast<unsigned long long>(ls.entries), ls.avg_label_entries,
+        static_cast<double>(ls.bytes) / 1024.0,
+        static_cast<unsigned long long>(ls.pruned_settles));
+  }
   const Status status = SaveSignatureIndex(*index, index_path);
   if (!status.ok()) {
     std::fprintf(stderr, "cannot write %s: %s\n", index_path.c_str(),
@@ -203,6 +222,17 @@ int Info(const Flags& flags) {
   std::printf("compressed entries: %.0f%%\n",
               100.0 * static_cast<double>(s.compressed_entries) /
                   static_cast<double>(s.entries));
+  if (const HubLabels* labels = loaded.index->hub_labels();
+      labels != nullptr && labels->ready()) {
+    const HubLabelStats ls = labels->stats();
+    std::printf("labels  : %llu entries (%.1f/node, %.1f KB)%s\n",
+                static_cast<unsigned long long>(ls.entries),
+                ls.avg_label_entries,
+                static_cast<double>(ls.bytes) / 1024.0,
+                labels->stale() ? " [stale]" : "");
+  } else {
+    std::printf("labels  : none\n");
+  }
   return 0;
 }
 
@@ -378,6 +408,7 @@ int Stats(const Flags& flags) {
   obs::PublishThreadPoolMetrics();
   PublishRowCacheMetrics();
   obs::PublishSimdMetrics();
+  PublishHubLabelMetrics(loaded.index->hub_labels());
   // Human-readable dispatch line on stderr; stdout stays machine-readable.
   std::fprintf(stderr, "simd: %s\n", simd::CpuFeatureString().c_str());
 

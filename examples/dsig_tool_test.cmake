@@ -124,6 +124,52 @@ if(NOT chaos_out MATCHES "\"wal\\.records\": [1-9]")
   message(FATAL_ERROR "chaos output missing nonzero wal.records:\n${chaos_out}")
 endif()
 
+# Hub-label tier: `build --labels` persists the optional label section, the
+# deep verify covers it, `info` reports it, and the `stats` dump carries the
+# labels.* gauges with the tier present. The unlabeled index built above
+# keeps reporting "labels  : none" — files without the section are
+# first-class.
+set(LIDX ${WORKDIR}/tool_test_labels.idx)
+execute_process(COMMAND ${TOOL} build --network=${NET} --index=${LIDX}
+                        --density=0.02 --threads=2 --labels
+                OUTPUT_VARIABLE lbuild_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dsig_tool build --labels failed with ${rc}")
+endif()
+if(NOT lbuild_out MATCHES "built hub labels in")
+  message(FATAL_ERROR "build --labels missing construction line:\n${lbuild_out}")
+endif()
+execute_process(COMMAND ${TOOL} verify --network=${NET} --index=${LIDX}
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "labeled index failed deep verify (${rc})")
+endif()
+execute_process(COMMAND ${TOOL} info --network=${NET} --index=${LIDX}
+                OUTPUT_VARIABLE linfo_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dsig_tool info on labeled index failed with ${rc}")
+endif()
+if(NOT linfo_out MATCHES "labels  : [1-9][0-9]* entries")
+  message(FATAL_ERROR "info missing label stats line:\n${linfo_out}")
+endif()
+execute_process(COMMAND ${TOOL} info --network=${NET} --index=${IDX}
+                OUTPUT_VARIABLE uinfo_out RESULT_VARIABLE rc)
+if(NOT uinfo_out MATCHES "labels  : none")
+  message(FATAL_ERROR "unlabeled info should report no labels:\n${uinfo_out}")
+endif()
+execute_process(COMMAND ${TOOL} stats --network=${NET} --index=${LIDX}
+                        --queries=5
+                OUTPUT_VARIABLE lstats_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dsig_tool stats on labeled index failed with ${rc}")
+endif()
+if(NOT lstats_out MATCHES "\"labels\\.present\": 1")
+  message(FATAL_ERROR "stats missing labels.present gauge:\n${lstats_out}")
+endif()
+if(NOT lstats_out MATCHES "\"labels\\.entries\": [1-9]")
+  message(FATAL_ERROR "stats missing nonzero labels.entries:\n${lstats_out}")
+endif()
+
 # Prometheus exposition of the same registry.
 execute_process(COMMAND ${TOOL} stats --network=${NET} --index=${IDX}
                         --queries=2 --format=prometheus

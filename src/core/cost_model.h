@@ -53,6 +53,39 @@ struct GridCostModel {
   Optimum PaperOptimum() const;
 };
 
+// Cost model for routing one exact point-to-point distance between the
+// hub-label tier, signature link-chasing, and bounded Dijkstra (the
+// query planner, query/planner.h). Same spirit as the §5.1 model above:
+// relative units where one label-merge lane comparison costs 1.
+//
+// A label merge touches |L(u)| + |L(v)| ~ 2·avg_label_entries lanes. A
+// chase covers the expected distance one edge at a time — expected hops ~
+// distance / mean edge weight — and every hop decodes one signature
+// component and touches one adjacency page, orders of magnitude above a
+// lane. A bounded Dijkstra settles every node within the distance; the
+// §5.1 grid estimate (GridNodesWithinRadius) prices that frontier.
+struct ExactRouteCostModel {
+  double avg_label_entries = 0;  // mean |L(v)| of the built labels
+  double mean_edge_weight = 1;   // mean live-edge weight of the network
+  double chase_hop_cost = 64;    // one decode + adjacency touch, in lanes
+  double dijkstra_node_cost = 32;  // one settle + heap traffic, in lanes
+
+  double LabelCost() const { return 2 * avg_label_entries; }
+
+  double ChaseCost(double expected_distance) const {
+    const double hops =
+        mean_edge_weight > 0 ? expected_distance / mean_edge_weight : 1;
+    return (hops < 1 ? 1 : hops) * chase_hop_cost;
+  }
+
+  double DijkstraCost(double expected_distance) const {
+    const double radius =
+        mean_edge_weight > 0 ? expected_distance / mean_edge_weight : 1;
+    return (1 + GridNodesWithinRadius(radius < 1 ? 1 : radius)) *
+           dijkstra_node_cost;
+  }
+};
+
 }  // namespace dsig
 
 #endif  // DSIG_CORE_COST_MODEL_H_

@@ -1,0 +1,171 @@
+// Exact-distance hub labels (pruned landmark labeling, a.k.a. 2-hop cover).
+//
+// Signatures answer *categorical* distance for free and exact distance by
+// link-chasing — one row decode plus one adjacency page per hop. A pruned
+// 2-hop labeling answers the same exact point-to-point query by merging two
+// short sorted arrays: every node u carries a label L(u) of (hub rank,
+// distance) pairs such that for any u, v some hub on a shortest u-v path
+// appears in both labels, so
+//
+//     d(u, v) = min over shared hubs h of  d(u, h) + d(h, v).
+//
+// Construction (Akiba et al.'s pruned landmark labeling): order nodes by
+// estimated centrality, then run one *pruned* Dijkstra per node in that
+// order. When the Dijkstra from root r settles u at distance d, the already
+// built labels are queried first — if they certify d(r, u) <= d through an
+// earlier (more central) hub, u is pruned: it gets no entry for r and the
+// search does not expand it. Central roots therefore build big trees and
+// every later root's tree collapses to a thin residual, which is what keeps
+// labels short. Root processing is inherently sequential (each root's
+// pruning consults every earlier root's entries); the centrality estimate
+// (sampled shortest-path trees) and the flattening sweep run on the shared
+// ThreadPool.
+//
+// The label arrays are canonical: per node, hubs strictly ascending by rank
+// with their distances in lockstep — exactly the layout the simd
+// `label_merge` kernel consumes. Every node's label contains its own rank at
+// distance 0.
+//
+// Distances are exact, not categorical, and because every graph generator
+// produces integer-valued edge weights (graph/graph_generator.h), the label
+// sums d(u,h) + d(h,v) are bitwise equal to the distances guided
+// backtracking accumulates edge by edge — the planner (query/planner.h) can
+// swap routes without perturbing a single result bit.
+//
+// Staleness: labels are immutable after construction. Any WAL-applied
+// network change makes them permanently stale (MarkStale, a sticky latch the
+// updater trips) until a rebuild installs a fresh instance; the planner
+// demotes stale labels to the incrementally-maintained signature/Dijkstra
+// paths. Persistence: one opaque blob (Serialize / FromSerialized) stored as
+// an optional CRC32C section of the index file; decode is lazy — deferred to
+// first use — so loading an index never pays for a tier the workload may not
+// touch.
+#ifndef DSIG_CORE_HUB_LABELS_H_
+#define DSIG_CORE_HUB_LABELS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "util/status.h"
+
+namespace dsig {
+
+class ThreadPool;
+
+// Construction-time accounting, reported by dsig_tool and the benches.
+struct HubLabelStats {
+  uint64_t entries = 0;       // total (hub, dist) pairs
+  uint64_t bytes = 0;         // decoded in-memory footprint of the pools
+  double avg_label_entries = 0;
+  uint64_t pruned_settles = 0;  // Dijkstra settles cut by the label query
+};
+
+class HubLabels {
+ public:
+  struct BuildOptions {
+    // Vertex order: highest estimated centrality first. kDegree is the
+    // cheap classic; kCoverage refines it with sampled shortest-path-tree
+    // subtree sizes (nodes that sit on many shortest paths rank early, which
+    // is what makes pruning bite).
+    enum class Order { kDegree, kCoverage };
+    Order order = Order::kCoverage;
+    size_t coverage_samples = 16;  // sampled SPT roots for kCoverage
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+  };
+
+  // Builds labels for every node of `graph`. `pool` parallelizes the
+  // centrality estimate and the flattening sweep (null = run on the caller).
+  static std::shared_ptr<HubLabels> Build(const RoadNetwork& graph,
+                                          const BuildOptions& options,
+                                          ThreadPool* pool);
+
+  // Wraps a serialized blob without decoding it; the first call that needs
+  // the pools decodes under a once-flag. A blob that fails to decode makes
+  // ready() false and the instance permanently unusable (the planner then
+  // routes around it) — never a crash.
+  static std::shared_ptr<HubLabels> FromSerialized(std::vector<uint8_t> blob);
+
+  HubLabels(const HubLabels&) = delete;
+  HubLabels& operator=(const HubLabels&) = delete;
+
+  // Forces the lazy decode; true when the pools are usable.
+  bool ready() const;
+
+  // Exact d(u, v) via one label_merge kernel call; kInfiniteWeight when the
+  // nodes share no hub (disconnected) or the instance is not ready().
+  Weight Distance(NodeId u, NodeId v) const;
+
+  // The decoded pools, for kernel-level consumers (benches, tests).
+  // Valid only when ready().
+  size_t num_nodes() const { return num_nodes_; }
+  const uint32_t* hubs(NodeId n) const { return hubs_.data() + offsets_[n]; }
+  const double* dists(NodeId n) const { return dists_.data() + offsets_[n]; }
+  size_t label_size(NodeId n) const { return offsets_[n + 1] - offsets_[n]; }
+
+  // Mean live-edge weight of the build graph, persisted with the labels:
+  // the planner's chase-cost estimate (expected hops ~ distance / mean
+  // weight) needs it without an O(E) sweep per process.
+  double mean_edge_weight() const { return mean_edge_weight_; }
+
+  HubLabelStats stats() const;
+
+  // --- Staleness latch -----------------------------------------------------
+
+  // Sticky: set by the updater on any WAL-applied network change; cleared
+  // only by building a fresh instance.
+  void MarkStale() { stale_.store(true, std::memory_order_release); }
+  bool stale() const { return stale_.load(std::memory_order_acquire); }
+
+  // --- Persistence ---------------------------------------------------------
+
+  // Opaque little-endian blob (internal magic + version). The caller frames
+  // it (CRC section, length prefix); FromSerialized re-checks the internal
+  // structure on lazy decode anyway, so torn frames degrade, not crash.
+  std::vector<uint8_t> Serialize() const;
+
+  // --- Integrity -----------------------------------------------------------
+
+  // Deep structural verification against `graph` (for SignatureIndex::Verify
+  // coverage of loaded files): decodes if needed, then checks that offsets
+  // are monotone, hub ranks are a permutation image (every label ascending,
+  // in range, self-entry at distance 0), distances are finite and
+  // non-negative, and — on a handful of sampled roots — that Distance()
+  // agrees exactly with a Dijkstra ground truth.
+  Status VerifyStructure(const RoadNetwork& graph) const;
+
+ private:
+  HubLabels() = default;
+
+  // Decodes blob_ into the pools; called once, lazily.
+  void EnsureDecoded() const;
+  bool DecodeBlob() const;
+
+  // Filled by Build() or the lazy decode.
+  mutable size_t num_nodes_ = 0;
+  mutable std::vector<uint64_t> offsets_;  // num_nodes_ + 1
+  mutable std::vector<uint32_t> rank_of_;  // node -> rank (permutation)
+  mutable std::vector<uint32_t> hubs_;     // per-label ascending ranks
+  mutable std::vector<double> dists_;
+  mutable double mean_edge_weight_ = 1.0;
+  mutable uint64_t pruned_settles_ = 0;
+
+  // Lazy-decode state.
+  mutable std::vector<uint8_t> blob_;
+  mutable std::once_flag decode_once_;
+  mutable std::atomic<bool> decoded_{false};
+  mutable std::atomic<bool> decode_ok_{false};
+
+  std::atomic<bool> stale_{false};
+};
+
+// Refreshes the labels.* gauges (present / entries / bytes / avg_entries /
+// stale) in the global metrics registry. Pass null for "no label tier".
+void PublishHubLabelMetrics(const HubLabels* labels);
+
+}  // namespace dsig
+
+#endif  // DSIG_CORE_HUB_LABELS_H_

@@ -477,6 +477,14 @@ Status SignatureIndex::Verify() const {
       }
     }
   }
+
+  // Hub-label tier, when attached: structural invariants plus a sampled
+  // Dijkstra spot check. A stale tier is skipped — the latch already routes
+  // queries around it, and post-update labels legitimately disagree with the
+  // mutated graph.
+  if (labels_ != nullptr && !labels_->stale()) {
+    DSIG_RETURN_IF_ERROR(labels_->VerifyStructure(*graph_));
+  }
   return Status::Ok();
 }
 

@@ -22,6 +22,7 @@
 #include "core/category_partition.h"
 #include "core/compression.h"
 #include "core/epoch.h"
+#include "core/hub_labels.h"
 #include "core/object_distance_table.h"
 #include "core/row_cache.h"
 #include "core/row_stage.h"
@@ -152,6 +153,28 @@ class SignatureIndex {
   uint64_t IndexBytes() const;
   const SignatureSizeStats& size_stats() const { return size_stats_; }
 
+  // --- Exact-distance hub-label tier (optional; see core/hub_labels.h) -----
+
+  // The attached labels, or null. The pointer is stable for the index's
+  // lifetime once set; the instance itself is immutable apart from its
+  // sticky stale latch, so queries read it without extra locking.
+  const HubLabels* hub_labels() const { return labels_.get(); }
+  std::shared_ptr<HubLabels> shared_hub_labels() const { return labels_; }
+
+  // Attaches (or replaces) the label tier. A fresh instance clears the
+  // effect of any earlier InvalidateHubLabels. Quiesced callers only
+  // (build/load time, or inside an UpdateGuard).
+  void set_hub_labels(std::shared_ptr<HubLabels> labels) {
+    labels_ = std::move(labels);
+  }
+
+  // Trips the sticky stale latch: the planner stops routing exact distances
+  // through the labels until a rebuild installs a fresh instance. Called by
+  // SignatureUpdater on every WAL-applied network change.
+  void InvalidateHubLabels() {
+    if (labels_ != nullptr) labels_->MarkStale();
+  }
+
   // --- Integrity -----------------------------------------------------------
 
   // Deep verification of the index's structural invariants, for indexes from
@@ -162,7 +185,9 @@ class SignatureIndex {
   //     adjacency slots;
   //   * every backtracking link chain terminates at its object without
   //     cycling (so within |V| steps), and the distance accumulated along
-  //     the chain falls in the stored category.
+  //     the chain falls in the stored category;
+  //   * when a hub-label tier is attached, its structural invariants and a
+  //     sampled Dijkstra spot check (HubLabels::VerifyStructure).
   // Returns the first violation found. O(|V|·|objects|) time and memory;
   // charges no pages and no op counters. LoadSignatureIndex runs this when
   // asked (LoadOptions::verify), and `dsig_tool verify` exposes it on the
@@ -227,6 +252,9 @@ class SignatureIndex {
   RowCompressor compressor_;
   SignatureSizeStats size_stats_;
   std::unique_ptr<SpanningForest> forest_;
+  // Optional exact-distance hub-label tier (null when absent). Shared so a
+  // saver/bench can hold the labels across an index swap.
+  std::shared_ptr<HubLabels> labels_;
 
   PagedStore store_;
   const NetworkStore* network_store_ = nullptr;

@@ -41,6 +41,10 @@ UpdateStats SignatureUpdater::AddEdge(NodeId u, NodeId v, Weight weight,
                                       EdgeId* edge_out) {
   const UpdateGuard guard(index_->epoch_gate());
   index_->ReclaimRetiredRows();  // lazy: previous update's versions drained
+  // Any network change invalidates the hub-label tier (sticky latch): labels
+  // are built offline and cannot be maintained incrementally, so the planner
+  // demotes exact distances to the chase/Dijkstra paths until a rebuild.
+  index_->InvalidateHubLabels();
   const EdgeId edge = graph_->AddEdge(u, v, weight);
   if (edge_out != nullptr) *edge_out = edge;
   const UpdateStats stats =
@@ -52,6 +56,7 @@ UpdateStats SignatureUpdater::AddEdge(NodeId u, NodeId v, Weight weight,
 UpdateStats SignatureUpdater::RemoveEdge(EdgeId edge) {
   const UpdateGuard guard(index_->epoch_gate());
   index_->ReclaimRetiredRows();
+  index_->InvalidateHubLabels();
   graph_->RemoveEdge(edge);
   const UpdateStats stats = ApplyTreeChanges(
       index_->mutable_forest()->OnEdgeIncreasedOrRemoved(edge));
@@ -62,6 +67,7 @@ UpdateStats SignatureUpdater::RemoveEdge(EdgeId edge) {
 UpdateStats SignatureUpdater::SetEdgeWeight(EdgeId edge, Weight weight) {
   const UpdateGuard guard(index_->epoch_gate());
   index_->ReclaimRetiredRows();
+  index_->InvalidateHubLabels();
   const Weight old_weight = graph_->edge_weight(edge);
   graph_->SetEdgeWeight(edge, weight);
   UpdateStats stats;

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/hub_labels.h"
 #include "obs/metrics.h"
 #include "util/huffman.h"
 
@@ -264,6 +265,19 @@ Status SaveSignatureIndex(const SignatureIndex& index, const std::string& path,
     writer.WriteU64(stats.compressed_entries);
     writer.EndSection();
 
+    // Optional hub-label tier: one opaque blob in its own CRC section,
+    // between the size stats and the footer. Absent sections keep the file
+    // byte-identical to the pre-label format, so old files load unchanged
+    // (the loader detects presence by the bytes left before the footer).
+    // Stale or undecodable labels are not worth persisting — the planner
+    // would never route to them.
+    const HubLabels* labels = index.hub_labels();
+    if (labels != nullptr && !labels->stale() && labels->ready()) {
+      writer.BeginSection();
+      writer.WriteBytes(labels->Serialize());
+      writer.EndSection();
+    }
+
     WriteFooter(writer);
   });
 }
@@ -432,11 +446,26 @@ StatusOr<std::unique_ptr<SignatureIndex>> LoadSignatureIndex(
   stats.compressed_entries = reader.ReadU64();
   DSIG_RETURN_IF_ERROR(reader.VerifySection("size stats"));
 
+  // Optional hub-label section. The footer is exactly 16 bytes, so anything
+  // beyond that here is the label blob; files written before the label tier
+  // existed land straight on the footer and load unchanged. The blob is
+  // CRC-checked now but *decoded lazily* — the first query that routes
+  // through the labels pays the decode, and a blob that then fails its
+  // structural checks degrades to "no labels" rather than failing the load.
+  std::shared_ptr<HubLabels> labels;
+  if (reader.remaining() > 16) {
+    reader.BeginSection();
+    std::vector<uint8_t> blob = reader.ReadBytes();
+    DSIG_RETURN_IF_ERROR(reader.VerifySection("hub labels"));
+    labels = HubLabels::FromSerialized(std::move(blob));
+  }
+
   DSIG_RETURN_IF_ERROR(CheckFooter(reader, path));
 
   auto index = std::make_unique<SignatureIndex>(
       &graph, std::move(objects), std::move(partition), std::move(codec),
       std::move(rows), std::move(table), stats, nullptr);
+  index->set_hub_labels(std::move(labels));
   if (options.verify) DSIG_RETURN_IF_ERROR(index->Verify());
   return index;
 }

@@ -35,7 +35,14 @@ namespace dsig {
      slipping past load-time checks) and were recomputed by bounded         \
      Dijkstra. Nonzero means queries stayed correct but paid shortest-path  \
      CPU for the affected rows. */                                          \
-  X(decode_fallbacks, "rows recomputed by bounded Dijkstra after decode failure")
+  X(decode_fallbacks,                                                        \
+    "rows recomputed by bounded Dijkstra after decode failure")              \
+  /* Exact-distance routing (query/planner.h): how many exact values the    \
+     hub-label tier answered, and how many label-eligible requests the      \
+     planner demoted to chasing/Dijkstra (stale latch, force-off pin, or    \
+     cost model preferring the hop count). */                               \
+  X(label_distances, "exact distances answered by the hub-label tier")       \
+  X(label_demotions, "label-eligible requests routed to chase/Dijkstra")
 
 struct OpCounters {
 #define DSIG_OP_COUNTER_DECLARE(field, comment) uint64_t field = 0;

@@ -2,7 +2,9 @@
 
 #include "core/distance_ops.h"
 #include "core/row_stage.h"
+#include "obs/op_counters.h"
 #include "obs/trace.h"
+#include "query/planner.h"
 #include "util/simd/simd.h"
 
 namespace dsig {
@@ -61,6 +63,20 @@ ClosestPairResult SignatureClosestPair(const SignatureIndex& left,
       // start and the incumbent may have tightened since.
       if (range.lb >= best.distance) continue;  // cannot win
       ++best.refined;
+      if (PlanObjectRoute(right, &range) == ExactRoute::kLabels) {
+        // Label route: the exact value in one merge. The incumbent check is
+        // the same (exact d vs best), so the winner sequence — and thus the
+        // final pair — matches the chase route bit for bit.
+        ++GlobalOpCounters().label_distances;
+        const Weight d =
+            right.hub_labels()->Distance(node_a, right.object_node(b));
+        if (d < best.distance) {
+          best.left = a;
+          best.right = b;
+          best.distance = d;
+        }
+        continue;
+      }
       const SignatureEntry initial = stage.entry(b);
       RetrievalCursor cursor(&right, node_a, b, &initial);
       // Refine only until the pair provably loses to the incumbent.

@@ -6,6 +6,7 @@
 #include "core/distance_ops.h"
 #include "core/row_stage.h"
 #include "obs/trace.h"
+#include "query/planner.h"
 #include "util/deadline.h"
 #include "util/simd/simd.h"
 
@@ -63,16 +64,14 @@ JoinResult SignatureEpsilonJoin(const SignatureIndex& left,
   const auto exact_left = [&](uint32_t a) {
     if (left_exact[a] < 0) {
       const SignatureEntry initial = left_stage.entry(a);
-      RetrievalCursor cursor(&left, n, a, &initial);
-      left_exact[a] = cursor.RetrieveExact();
+      left_exact[a] = RoutedObjectDistance(left, n, a, &initial);
     }
     return left_exact[a];
   };
   const auto exact_right = [&](uint32_t b) {
     if (right_exact[b] < 0) {
       const SignatureEntry initial = right_stage.entry(b);
-      RetrievalCursor cursor(&right, n, b, &initial);
-      right_exact[b] = cursor.RetrieveExact();
+      right_exact[b] = RoutedObjectDistance(right, n, b, &initial);
     }
     return right_exact[b];
   };
@@ -141,7 +140,10 @@ JoinResult SignatureEpsilonJoin(const SignatureIndex& left,
         continue;
       }
       ++result.exact_evaluations;
-      const Weight dab = ExactDistance(right, left.object_node(a), b);
+      // No category hint here — the signature row at a's node is unread, and
+      // the label route keeps it that way.
+      const Weight dab =
+          RoutedObjectDistance(right, left.object_node(a), b, nullptr);
       if (dab <= epsilon) result.pairs.push_back({a, b});
     }
   }

@@ -5,6 +5,7 @@
 #include "core/distance_ops.h"
 #include "core/row_stage.h"
 #include "obs/trace.h"
+#include "query/planner.h"
 #include "util/deadline.h"
 #include "util/simd/simd.h"
 
@@ -64,14 +65,14 @@ KnnResult SignatureKnnQuery(const SignatureIndex& index, NodeId n, size_t k,
   const size_t take_from_m = k - confirmed;
   const bool m_needs_ranking = take_from_m < buckets[m].size();
   if (m_needs_ranking || type == KnnResultType::kType2) {
-    SortByDistance(index, n, stage, &buckets[m]);
+    RoutedSortByDistance(index, n, stage, &buckets[m]);
   }
   buckets[m].resize(take_from_m);
 
   if (type == KnnResultType::kType2) {
     // Order must be exact everywhere: sort every contributing bucket.
     for (int i = 0; i < m && !DeadlineExpired(); ++i) {
-      SortByDistance(index, n, stage, &buckets[i]);
+      RoutedSortByDistance(index, n, stage, &buckets[i]);
     }
   }
   // Phase boundary: sorting may have been cut short. Buckets below the
@@ -105,8 +106,7 @@ KnnResult SignatureKnnQuery(const SignatureIndex& index, NodeId n, size_t k,
         break;
       }
       const SignatureEntry initial = stage.entry(o);
-      RetrievalCursor cursor(&index, n, o, &initial);
-      with_distance.push_back({cursor.RetrieveExact(), o});
+      with_distance.push_back({RoutedObjectDistance(index, n, o, &initial), o});
     }
     {
       const obs::Span sort_span(obs::Phase::kSort);

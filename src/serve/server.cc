@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/hub_labels.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/op_counters.h"
@@ -21,6 +22,7 @@
 #include "serve/degrade.h"
 #include "util/deadline.h"
 #include "util/hexid.h"
+#include "util/logging.h"
 
 namespace dsig {
 namespace serve {
@@ -142,6 +144,21 @@ StatusOr<std::unique_ptr<DsigServer>> DsigServer::Start(
     const Deployment& deployment, const ServerOptions& options) {
   if (deployment.graph == nullptr || deployment.index == nullptr) {
     return Status::InvalidArgument("Start: deployment needs graph and index");
+  }
+  // Announce the optional exact-distance label tier once and seed the
+  // labels.* gauges so the very first kStats report is self-describing even
+  // if no exact-distance query has run yet.
+  const HubLabels* labels = deployment.index->hub_labels();
+  PublishHubLabelMetrics(labels);
+  if (labels != nullptr && labels->ready()) {
+    const HubLabelStats ls = labels->stats();
+    DSIG_LOG(Info) << "hub-label tier attached: " << ls.entries
+                   << " entries, avg " << ls.avg_label_entries
+                   << "/node, " << (ls.bytes / 1024) << " KB"
+                   << (labels->stale() ? " (stale, demoted)" : "");
+  } else {
+    DSIG_LOG(Info) << "no hub-label tier: exact distances use "
+                      "link-chase/Dijkstra only";
   }
   std::unique_ptr<DsigServer> server(new DsigServer(deployment, options));
 

@@ -74,10 +74,29 @@ size_t CompactFiniteF64Scalar(const double* v, size_t n, double* out) {
   return count;
 }
 
+double LabelMergeScalar(const uint32_t* ah, const double* ad, size_t an,
+                        const uint32_t* bh, const double* bd, size_t bn) {
+  double best = std::numeric_limits<double>::infinity();
+  size_t i = 0, j = 0;
+  while (i < an && j < bn) {
+    if (ah[i] == bh[j]) {
+      const double d = ad[i] + bd[j];
+      if (d < best) best = d;
+      ++i;
+      ++j;
+    } else if (ah[i] < bh[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
 const KernelTable kScalarTable = {
     "scalar",          ExtractInRangeScalar, CountInRangeScalar,
     MaxU8Scalar,       MinU8Scalar,          AggregateF64Scalar,
-    CompactFiniteF64Scalar,
+    CompactFiniteF64Scalar, LabelMergeScalar,
 };
 
 }  // namespace

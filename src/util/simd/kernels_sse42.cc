@@ -189,10 +189,55 @@ size_t CompactFiniteF64Sse42(const double* v, size_t n, double* out) {
   return count;
 }
 
+double LabelMergeSse42(const uint32_t* ah, const double* ad, size_t an,
+                       const uint32_t* bh, const double* bd, size_t bn) {
+  // Block-compare gallop: broadcast the current a-hub against four b-hubs.
+  // Ranks stay below 2^31 (kernel contract), so signed epi32 compares are
+  // exact. min-plus is visit-order independent, so skipping non-matching
+  // b-lanes in blocks cannot change the result bits.
+  double best = std::numeric_limits<double>::infinity();
+  size_t i = 0, j = 0;
+  while (i < an && j + 4 <= bn) {
+    const __m128i av = _mm_set1_epi32(static_cast<int>(ah[i]));
+    const __m128i bv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bh + j));
+    const int eq = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(av, bv)));
+    if (eq != 0) {
+      const int lane = std::countr_zero(static_cast<unsigned>(eq));
+      const double d = ad[i] + bd[j + static_cast<size_t>(lane)];
+      if (d < best) best = d;
+      ++i;
+      j += static_cast<size_t>(lane) + 1;
+      continue;
+    }
+    // b-lanes below the a-hub form a prefix (sorted input); skip them all.
+    const int lt = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(av, bv)));
+    if (lt == 0xF) {
+      j += 4;
+    } else {
+      j += static_cast<size_t>(std::popcount(static_cast<unsigned>(lt)));
+      ++i;  // bh[j] > ah[i] now, so this a-hub cannot match
+    }
+  }
+  while (i < an && j < bn) {
+    if (ah[i] == bh[j]) {
+      const double d = ad[i] + bd[j];
+      if (d < best) best = d;
+      ++i;
+      ++j;
+    } else if (ah[i] < bh[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
 const KernelTable kSse42Table = {
     "sse4.2",        ExtractInRangeSse42, CountInRangeSse42,
     MaxU8Sse42,      MinU8Sse42,          AggregateF64Sse42,
-    CompactFiniteF64Sse42,
+    CompactFiniteF64Sse42, LabelMergeSse42,
 };
 
 }  // namespace

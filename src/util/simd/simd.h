@@ -66,6 +66,14 @@ enum class SimdLevel : int {
 //  * compact_finite_f64(v, n, out): copies the values != kInfiniteWeight
 //    (the object-distance table's "far" marker) to out in order; returns
 //    the count.
+//  * label_merge(ah, ad, an, bh, bd, bn): min-plus merge of two hub labels
+//    (core/hub_labels.h). ah/bh are strictly-ascending hub ranks, ad/bd the
+//    matching finite non-negative distances; returns min over shared hubs h
+//    of ad[h] + bd[h], or +inf when the labels share no hub. Hubs are
+//    unique within a label and ranks stay below 2^31 (they index nodes), so
+//    the candidate set {ad[i] + bd[j] : ah[i] == bh[j]} is visit-order
+//    independent and any intersection strategy (linear merge, galloping,
+//    block compare) yields the same bits.
 struct KernelTable {
   const char* name;
   size_t (*extract_in_range)(const uint8_t* v, size_t n, int lo, int hi,
@@ -76,6 +84,8 @@ struct KernelTable {
   void (*aggregate_f64)(const double* v, size_t n, double* sum, double* min,
                         double* max);
   size_t (*compact_finite_f64)(const double* v, size_t n, double* out);
+  double (*label_merge)(const uint32_t* ah, const double* ad, size_t an,
+                        const uint32_t* bh, const double* bd, size_t bn);
 };
 
 // The active kernel table. First call detects CPU features, applies the

@@ -67,7 +67,7 @@ TEST(OpCountersTest, KnnTypesUseIncreasingWork) {
 TEST(OpCountersTest, ForEachVisitsEveryFieldInOrder) {
   // The X-macro is the single source of truth: the visitor must cover the
   // whole struct (every field is a uint64_t) in declaration order.
-  OpCounters c{1, 2, 3, 4, 5, 6, 7};
+  OpCounters c{1, 2, 3, 4, 5, 6, 7, 8, 9};
   std::vector<std::string> names;
   uint64_t sum = 0;
   size_t count = 0;
@@ -77,11 +77,11 @@ TEST(OpCountersTest, ForEachVisitsEveryFieldInOrder) {
     ++count;
   });
   EXPECT_EQ(count, sizeof(OpCounters) / sizeof(uint64_t));
-  EXPECT_EQ(sum, 1u + 2 + 3 + 4 + 5 + 6 + 7);
+  EXPECT_EQ(sum, 1u + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9);
   ASSERT_GE(names.size(), 3u);
   EXPECT_EQ(names[0], "row_reads");
   EXPECT_EQ(names[1], "entry_reads");
-  EXPECT_EQ(names.back(), "decode_fallbacks");
+  EXPECT_EQ(names.back(), "label_demotions");
 }
 
 TEST(OpCountersTest, SubtractionGivesDeltas) {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/distance_ops.h"
+#include "core/hub_labels.h"
 #include "core/signature_builder.h"
 #include "core/update.h"
 #include "graph/graph_generator.h"
@@ -273,6 +274,68 @@ TEST(SignatureIndexPersistenceTest, InjectedReadFaultsSurfaceAsErrors) {
 
   // kNoFault plans are inert.
   EXPECT_TRUE(LoadSignatureIndex(graph, path, {.faults = {}}).ok());
+}
+
+TEST(SignatureIndexPersistenceTest, HubLabelSectionRoundTrips) {
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = 200, .seed = 41});
+  const auto index = BuildSignatureIndex(graph, UniformDataset(graph, 0.06, 41),
+                                         {.t = 5, .c = 2});
+  index->set_hub_labels(HubLabels::Build(graph, {}, nullptr));
+  const std::string path = TempPath("index_labels.bin");
+  ASSERT_TRUE(SaveSignatureIndex(*index, path).ok());
+
+  // Loads (including a deep Verify, which covers VerifyStructure) and the
+  // tier answers exactly what the in-memory build answers.
+  auto loaded_or = LoadSignatureIndex(graph, path, {.verify = true});
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status();
+  const auto& loaded = *loaded_or;
+  ASSERT_NE(loaded->hub_labels(), nullptr);
+  ASSERT_TRUE(loaded->hub_labels()->ready());
+  EXPECT_FALSE(loaded->hub_labels()->stale());
+  for (const NodeId u : testing_util::SampleNodes(graph, 5, 41)) {
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      ASSERT_EQ(loaded->hub_labels()->Distance(u, v),
+                index->hub_labels()->Distance(u, v));
+    }
+  }
+
+  // A flipped byte inside the (trailing) label section is caught by its
+  // section CRC. The labels are the last section before the 16-byte footer.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  FlipByte(path, size - 200, 0x08);
+  const auto corrupt = LoadSignatureIndex(graph, path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SignatureIndexPersistenceTest, FilesWithoutLabelsStillLoad) {
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = 150, .seed = 43});
+  const auto index = BuildSignatureIndex(graph, UniformDataset(graph, 0.06, 43),
+                                         {.t = 5, .c = 2});
+  const std::string path = TempPath("index_nolabels.bin");
+  ASSERT_TRUE(SaveSignatureIndex(*index, path).ok());
+  auto loaded_or = LoadSignatureIndex(graph, path, {.verify = true});
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status();
+  EXPECT_EQ((*loaded_or)->hub_labels(), nullptr);
+}
+
+TEST(SignatureIndexPersistenceTest, StaleLabelsAreNotPersisted) {
+  const RoadNetwork graph = MakeRandomPlanar({.num_nodes = 150, .seed = 47});
+  const auto index = BuildSignatureIndex(graph, UniformDataset(graph, 0.06, 47),
+                                         {.t = 5, .c = 2});
+  index->set_hub_labels(HubLabels::Build(graph, {}, nullptr));
+  index->InvalidateHubLabels();
+  const std::string path = TempPath("index_stale.bin");
+  ASSERT_TRUE(SaveSignatureIndex(*index, path).ok());
+  auto loaded_or = LoadSignatureIndex(graph, path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status();
+  // Stale labels describe a network that no longer exists; the file must
+  // come back without a label tier rather than with a wrong one.
+  EXPECT_EQ((*loaded_or)->hub_labels(), nullptr);
 }
 
 }  // namespace

@@ -223,6 +223,67 @@ TEST(SimdKernelsTest, CompactFiniteMatchesScalarIncludingNaN) {
   }
 }
 
+TEST(SimdKernelsTest, LabelMergeMatchesScalarOnRandomLabels) {
+  const KernelTable* scalar = simd::ScalarKernels();
+  const std::vector<const KernelTable*> variants = CompiledVariants();
+  Random rng(4242);
+  std::vector<uint32_t> ah, bh;
+  std::vector<double> ad, bd;
+  // Strictly-ascending hub arrays of every awkward length pairing, with a
+  // controllable intersection density (share = 0 exercises the no-common-hub
+  // +inf path, share = 1 the all-common fast advance).
+  const auto fill = [&](std::vector<uint32_t>* hubs, std::vector<double>* dist,
+                        size_t n, uint32_t universe) {
+    hubs->clear();
+    dist->clear();
+    uint32_t next = 0;
+    while (hubs->size() < n && next < universe) {
+      next += 1 + static_cast<uint32_t>(rng.NextUint64(universe / (n + 1) + 1));
+      hubs->push_back(next);
+      dist->push_back(static_cast<double>(rng.NextUint64(1000)));
+    }
+  };
+  for (const size_t an : kLengths) {
+    for (const size_t bn : {size_t{0}, size_t{1}, size_t{7}, size_t{64},
+                            size_t{129}, size_t{1000}}) {
+      for (int round = 0; round < 4; ++round) {
+        const uint32_t universe =
+            static_cast<uint32_t>(4 * (an + bn) + 16);
+        fill(&ah, &ad, an, universe);
+        fill(&bh, &bd, bn, universe);
+        const double want = scalar->label_merge(ah.data(), ad.data(),
+                                                ah.size(), bh.data(),
+                                                bd.data(), bh.size());
+        for (const KernelTable* table : variants) {
+          SCOPED_TRACE(table->name);
+          const double got = table->label_merge(ah.data(), ad.data(),
+                                                ah.size(), bh.data(),
+                                                bd.data(), bh.size());
+          // Bit comparison: +inf (disjoint) must match exactly too.
+          uint64_t want_bits, got_bits;
+          std::memcpy(&want_bits, &want, sizeof want_bits);
+          std::memcpy(&got_bits, &got, sizeof got_bits);
+          ASSERT_EQ(got_bits, want_bits)
+              << "an=" << ah.size() << " bn=" << bh.size();
+        }
+      }
+    }
+  }
+  // Identical arrays: the min over every self-pair, and ranks near the
+  // signed-compare boundary (contract caps ranks below 2^31).
+  ah = {0u, 5u, 0x7FFFFFFEu};
+  ad = {3.0, 1.0, 2.0};
+  const double want =
+      scalar->label_merge(ah.data(), ad.data(), 3, ah.data(), ad.data(), 3);
+  EXPECT_EQ(want, 2.0);
+  for (const KernelTable* table : variants) {
+    SCOPED_TRACE(table->name);
+    EXPECT_EQ(table->label_merge(ah.data(), ad.data(), 3, ah.data(),
+                                 ad.data(), 3),
+              want);
+  }
+}
+
 TEST(SimdKernelsTest, OverridePinsAndRestores) {
   const SimdLevel before = simd::ActiveLevel();
   {

@@ -9,18 +9,22 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/distance_ops.h"
+#include "core/hub_labels.h"
 #include "core/signature_builder.h"
 #include "core/update.h"
 #include "core/update_log.h"
 #include "graph/graph_generator.h"
 #include "io/durable_index.h"
 #include "query/batch.h"
+#include "query/planner.h"
 #include "query/knn_query.h"
 #include "query/range_query.h"
 #include "tests/test_util.h"
@@ -161,11 +165,16 @@ TEST(UpdateChaosTest, CleanShutdownRecoversAndCheckpointTruncates) {
   const std::string dir = TempDir("chaos_clean");
   RoadNetwork g = MakeChaosGraph();
   auto index = BuildSignatureIndex(g, corpus.objects, {.t = 5, .c = 2});
+  // A label tier rides along: the first applied record must latch it stale,
+  // and no checkpoint may persist the stale tier.
+  index->set_hub_labels(HubLabels::Build(g, {}, nullptr));
 
   auto live = DurableUpdater::Initialize(dir, &g, index.get(), {});
   ASSERT_TRUE(live.ok()) << live.status();
+  ASSERT_FALSE(index->hub_labels()->stale());
   for (const UpdateRecord& record : corpus.script) {
     ASSERT_TRUE((*live)->Apply(record).ok());
+    EXPECT_TRUE(index->hub_labels()->stale());
   }
   EXPECT_EQ((*live)->records_since_checkpoint(), corpus.script.size());
   ASSERT_TRUE((*live)->Close().ok());
@@ -190,6 +199,10 @@ TEST(UpdateChaosTest, CleanShutdownRecoversAndCheckpointTruncates) {
   ASSERT_TRUE(again.ok()) << again.status();
   EXPECT_EQ(again->replayed_records, 0u);
   ExpectIndexMatchesRebuild(*again->graph, corpus.objects, *again->index);
+  // The checkpoint was taken after updates had latched the labels stale, so
+  // the recovered index must come back without a label tier (a stale tier
+  // describes the pre-update network — persisting it would be corruption).
+  EXPECT_EQ(again->index->hub_labels(), nullptr);
 }
 
 // The designed crash window: MANIFEST committed the new checkpoint but the
@@ -334,6 +347,10 @@ TEST(UpdateChaosTest, UpdateStormWithConcurrentMixedQueries) {
   auto index = BuildSignatureIndex(g, objects, {.t = 5, .c = 2});
   // A hot row cache, so cache invalidation races are part of the storm.
   index->ConfigureRowCache({.byte_budget = 1 << 16});
+  // And a label tier, so the planner's stale demotion races with queries
+  // mid-flight: readers that raced the first MarkStale answered from their
+  // pinned pre-update snapshot, which is exactly what isolation allows.
+  index->set_hub_labels(HubLabels::Build(g, {}, nullptr));
   SignatureUpdater updater(&g, index.get());
 
   std::atomic<bool> done{false};
@@ -380,7 +397,23 @@ TEST(UpdateChaosTest, UpdateStormWithConcurrentMixedQueries) {
   t1.join();
   t2.join();
   EXPECT_EQ(violations.load(), 0);
+  // The storm applied updates, so the tier is latched stale and demoted;
+  // the maintained signature path carries all queries from here.
+  EXPECT_TRUE(index->hub_labels()->stale());
+  EXPECT_FALSE(LabelsUsable(*index));
   ExpectIndexMatchesRebuild(g, objects, *index);
+  // An offline rebuild on the post-storm network re-enables the tier with
+  // fresh distances (unless the forced-no-labels CI leg pins the planner
+  // off — the direct Distance checks below hold either way).
+  index->set_hub_labels(HubLabels::Build(g, {}, nullptr));
+  const char* pin = std::getenv("DSIG_FORCE_NO_LABELS");
+  if (pin == nullptr || pin[0] == '\0' || std::strcmp(pin, "0") == 0) {
+    ASSERT_TRUE(LabelsUsable(*index));
+  }
+  const auto truth = testing_util::BruteForceDistances(g, objects);
+  for (uint32_t o = 0; o < objects.size(); ++o) {
+    ASSERT_EQ(index->hub_labels()->Distance(19, objects[o]), truth[o][19]);
+  }
 }
 
 }  // namespace
