@@ -2,18 +2,24 @@
 //
 // Drives Poisson traffic (kNN / range / join / updates) at a target rate
 // against a running server, with per-request deadlines, client-side
-// timeouts, and bounded exponential-backoff retries for RETRY_AFTER — a
+// timeouts, and decorrelated-jitter retries honouring RETRY_AFTER — a
 // well-behaved production client in miniature. See serve/loadgen.h.
 //
 //   $ ./dsig_loadgen --port=PORT [--rate=200] [--duration-s=5] [--threads=4]
 //                    [--update-fraction=0.1] [--deadline-ms=100]
 //                    [--timeout-ms=1000] [--max-retries=3] [--seed=42]
+//                    [--backoff-base-ms=10] [--backoff-cap-ms=1000]
+//                    [--tenants=name:id:rate,name:id:rate,...]
 //                    [--knn-k=8] [--epsilon=0] [--report=serve_report.json]
 //
-// --port-file=PATH reads the port dsig_serve wrote. Prints one greppable
-// LOADGEN_SUMMARY line; exits 1 only on setup failure (cannot reach the
-// server at all) — traffic-level assertions belong to the caller.
+// --port-file=PATH reads the port dsig_serve wrote. --tenants runs one
+// open-loop generator per entry (tenant wire id + its own rate, overriding
+// --rate) — the two-tenant isolation harness in examples/serve_smoke.sh is
+// the canonical use. Prints one greppable LOADGEN_SUMMARY line plus one
+// TENANT_SUMMARY line per tenant; exits 1 only on setup failure (cannot
+// reach the server at all) — traffic-level assertions belong to the caller.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "serve/loadgen.h"
@@ -45,10 +51,42 @@ int main(int argc, char** argv) {
   options.timeout_ms = flags.GetDouble("timeout-ms", 1000);
   options.max_retries = static_cast<int>(flags.GetInt("max-retries", 3));
   options.backoff_base_ms = flags.GetDouble("backoff-base-ms", 10);
+  options.backoff_cap_ms = flags.GetDouble("backoff-cap-ms", 1000);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   options.knn_k = static_cast<uint32_t>(flags.GetInt("knn-k", 8));
   options.epsilon = flags.GetDouble("epsilon", 0);
   options.report_path = flags.GetString("report", "");
+
+  // Multi-tenant fan-out: "name:id:rate,..." — one generator per entry.
+  const std::string tenant_spec = flags.GetString("tenants", "");
+  if (!tenant_spec.empty()) {
+    size_t start = 0;
+    while (start <= tenant_spec.size()) {
+      size_t comma = tenant_spec.find(',', start);
+      if (comma == std::string::npos) comma = tenant_spec.size();
+      const std::string entry = tenant_spec.substr(start, comma - start);
+      start = comma + 1;
+      if (entry.empty()) continue;
+      const size_t c1 = entry.find(':');
+      const size_t c2 = c1 == std::string::npos ? c1 : entry.find(':', c1 + 1);
+      if (c1 == std::string::npos || c2 == std::string::npos) {
+        std::fprintf(stderr, "bad --tenants entry \"%s\" (name:id:rate)\n",
+                     entry.c_str());
+        return 1;
+      }
+      serve::TenantLoad tenant;
+      tenant.name = entry.substr(0, c1);
+      tenant.tenant_id =
+          static_cast<uint32_t>(std::atoi(entry.substr(c1 + 1).c_str()));
+      tenant.rate = std::atof(entry.substr(c2 + 1).c_str());
+      if (tenant.name.empty() || tenant.rate <= 0) {
+        std::fprintf(stderr, "bad --tenants entry \"%s\" (name:id:rate)\n",
+                     entry.c_str());
+        return 1;
+      }
+      options.tenants.push_back(std::move(tenant));
+    }
+  }
 
   auto report = serve::RunLoadgen(options);
   if (!report.ok()) {

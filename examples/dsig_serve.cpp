@@ -12,6 +12,11 @@
 //                  [--max-inflight=8] [--max-queue=32]
 //                  [--degrade-fraction=0.5] [--default-deadline-ms=0]
 //                  [--max-runtime-s=300]
+//                  [--tenants=name:weight:rate_qps,name:weight:rate_qps,...]
+//                  [--tenant-slo-budget-ms=100]
+//                  [--no-coalesce] [--read-timeout-ms=5000]
+//                  [--write-timeout-ms=5000] [--idle-timeout-ms=0]
+//                  [--max-connections=0]
 //                  [--slo-budget-ms=50] [--slo-join-budget-ms=250]
 //                  [--slo-update-budget-ms=100] [--slo-availability=0.99]
 //                  [--slo-fast-s=10] [--slo-slow-s=60] [--slo-slot-ms=1000]
@@ -22,6 +27,15 @@
 // availability) evaluated with fast/slow burn-rate windows; `dsig_tool slo`
 // reads the resulting health report. --slow-query-log appends one JSON
 // trace line (queue wait + execution phases) per SLO-breaching request.
+//
+// --tenants declares fair-share principals: wire tenant id = position in
+// the list, weight = DWRR slot share under contention, rate_qps = token-
+// bucket cap (0 = unlimited). Unknown wire ids fold into the first tenant.
+// Each tenant gets its own serve.tenant.<name>.* metrics, a windowed
+// latency ring, and a "tenant_<name>" SLO evaluated at
+// --tenant-slo-budget-ms. --no-coalesce disables single-flight coalescing
+// of identical hot queries; the timeout/connection flags are the hostile-
+// client hardening knobs (serve/net.h).
 //
 // Prints one "SERVE_READY port=... nodes=... objects=..." line when
 // accepting. SIGTERM / SIGINT drain gracefully: stop accepting, fail queued
@@ -35,6 +49,7 @@
 // acknowledged update was lost.
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <thread>
 
@@ -147,6 +162,47 @@ int main(int argc, char** argv) {
   options.degrade_queue_fraction = flags.GetDouble("degrade-fraction", 0.5);
   options.default_deadline_ms = flags.GetDouble("default-deadline-ms", 0);
 
+  // Fair-share tenants: "name:weight:rate_qps,..." — wire id = position.
+  const std::string tenant_spec = flags.GetString("tenants", "");
+  if (!tenant_spec.empty()) {
+    size_t start = 0;
+    while (start <= tenant_spec.size()) {
+      size_t comma = tenant_spec.find(',', start);
+      if (comma == std::string::npos) comma = tenant_spec.size();
+      const std::string entry = tenant_spec.substr(start, comma - start);
+      start = comma + 1;
+      if (entry.empty()) continue;
+      serve::TenantConfig tenant;
+      const size_t c1 = entry.find(':');
+      const size_t c2 = c1 == std::string::npos ? c1 : entry.find(':', c1 + 1);
+      tenant.name = entry.substr(0, c1);
+      if (c1 != std::string::npos) {
+        tenant.weight = std::atof(entry.substr(c1 + 1).c_str());
+      }
+      if (c2 != std::string::npos) {
+        tenant.rate_qps = std::atof(entry.substr(c2 + 1).c_str());
+      }
+      if (tenant.name.empty() || tenant.weight <= 0) {
+        std::fprintf(stderr, "bad --tenants entry \"%s\"\n", entry.c_str());
+        return 1;
+      }
+      options.admission.tenants.push_back(std::move(tenant));
+    }
+  }
+  const double tenant_budget_ms = flags.GetDouble("tenant-slo-budget-ms", 100);
+  for (const auto& tenant : options.admission.tenants) {
+    options.tenant_slo.push_back(
+        {"tenant_" + tenant.name, tenant_budget_ms, 0.99});
+  }
+
+  // Single-flight coalescing + hostile-client hardening.
+  options.coalesce = !flags.GetBool("no-coalesce", false);
+  options.read_timeout_ms = flags.GetDouble("read-timeout-ms", 5000);
+  options.write_timeout_ms = flags.GetDouble("write-timeout-ms", 5000);
+  options.idle_timeout_ms = flags.GetDouble("idle-timeout-ms", 0);
+  options.max_connections =
+      static_cast<size_t>(flags.GetInt("max-connections", 0));
+
   // SLO objectives: one latency budget for the interactive classes (knn,
   // range), separate knobs for the join scan and updates.
   const double slo_budget_ms = flags.GetDouble("slo-budget-ms", 50);
@@ -204,9 +260,13 @@ int main(int argc, char** argv) {
   // serve_report.json.
   obs::PublishSimdMetrics();
   std::printf("simd: %s\n", simd::CpuFeatureString().c_str());
-  std::printf("SERVE_READY port=%u nodes=%zu objects=%zu dir=%s\n",
+  std::printf("SERVE_READY port=%u nodes=%zu objects=%zu tenants=%zu dir=%s\n",
               (*server)->port(), owned_graph->num_nodes(),
-              owned_index->num_objects(), dir.c_str());
+              owned_index->num_objects(),
+              options.admission.tenants.empty()
+                  ? size_t{1}
+                  : options.admission.tenants.size(),
+              dir.c_str());
   std::fflush(stdout);
 
   // Park until a signal (or the runtime cap, so a harness failure cannot

@@ -17,6 +17,13 @@
 #      server and assert a clean drain (exit 0, SERVE_DRAINED, final
 #      checkpoint) and recover-check once more.
 #
+#   C  tenant isolation: restart with two fair-share tenants (compliant,
+#      flood — the flooder rate-capped at its token bucket), drive both from
+#      one loadgen with the flooder at 10x the compliant rate, and assert
+#      from the TENANT_SUMMARY lines that the flooder was shed hard while
+#      the compliant tenant completed nearly everything with a p99 inside
+#      its objective; the server's own TENANT_HEALTH ledger must agree.
+#
 # Usage: serve_smoke.sh <dsig_serve> <dsig_loadgen> <dsig_tool> [workdir]
 set -u
 
@@ -193,5 +200,62 @@ EOF
 "$SERVE" --dir="$DIR" --recover-check >"$WORK/recover_b.log" 2>&1 \
   || fail "final recover-check failed"
 grep -q RECOVER_OK "$WORK/recover_b.log" || fail "no RECOVER_OK after drain"
+
+# ---- Leg C: two-tenant isolation --------------------------------------------
+# Tenant 0 "compliant" (unlimited), tenant 1 "flood" rate-capped at 100 qps.
+# The loadgen drives the flooder at 10x the compliant rate; isolation means
+# the flood is shed at its bucket and its own queue while the compliant
+# tenant's completions and p99 are untouched.
+rm -f "$WORK/port"
+"$SERVE" --dir="$DIR" --port-file="$WORK/port" \
+  --max-inflight=2 --max-queue=8 \
+  --tenants=compliant:1:0,flood:1:100 --tenant-slo-budget-ms=150 \
+  >"$WORK/serve_c.log" 2>&1 &
+SERVER_PID=$!
+wait_port "$WORK/port" || fail "server C never published its port"
+grep -q 'tenants=2' "$WORK/serve_c.log" || fail "server C did not load 2 tenants"
+
+"$LOADGEN" --port-file="$WORK/port" --duration-s=2 --threads=2 \
+  --tenants=compliant:0:40,flood:1:400 \
+  --update-fraction=0 --join-fraction=0 --deadline-ms=250 --max-retries=1 \
+  --seed=29 --report="$WORK/serve_report_tenants.json" \
+  >"$WORK/loadgen_c.log" 2>&1 || fail "loadgen C exited nonzero"
+
+compliant_line=$(grep 'TENANT_SUMMARY tenant=compliant' "$WORK/loadgen_c.log")
+flood_line=$(grep 'TENANT_SUMMARY tenant=flood' "$WORK/loadgen_c.log")
+[ -n "$compliant_line" ] && [ -n "$flood_line" ] \
+  || fail "leg C missing TENANT_SUMMARY lines"
+t_scrape() { echo "$1" | grep -o "$2=[^ ]*" | head -1 | cut -d= -f2; }
+flood_shed=$(t_scrape "$flood_line" shed)
+flood_arrivals=$(t_scrape "$flood_line" arrivals)
+c_arrivals=$(t_scrape "$compliant_line" arrivals)
+c_completed=$(t_scrape "$compliant_line" completed)
+c_shed=$(t_scrape "$compliant_line" shed)
+c_p99=$(t_scrape "$compliant_line" p99_ms)
+[ "$flood_shed" -gt $((flood_arrivals / 4)) ] \
+  || fail "flooder was not shed (shed=$flood_shed of $flood_arrivals)"
+[ "$c_completed" -ge $((c_arrivals * 95 / 100)) ] \
+  || fail "compliant tenant lost work: completed=$c_completed of $c_arrivals"
+[ "$c_shed" -le $((c_arrivals / 20)) ] \
+  || fail "compliant tenant shed alongside the flooder: shed=$c_shed"
+awk "BEGIN { exit !($c_p99 < 150) }" \
+  || fail "compliant p99=${c_p99}ms breached its 150ms objective"
+grep -q 'loadgen_tenant' "$WORK/serve_report_tenants.json" \
+  || fail "tenant report carries no per-tenant points"
+
+# The server's own per-tenant SLO ledger agrees with the client's view.
+"$TOOL" slo --port-file="$WORK/port" --out="$WORK/health_tenants.json" \
+  >"$WORK/slo_tenants.log" 2>&1 || fail "dsig_tool slo (tenants) failed"
+grep -q 'TENANT_HEALTH class=tenant_compliant state=ok' "$WORK/slo_tenants.log" \
+  || fail "compliant tenant not healthy in TENANT_HEALTH"
+grep -q 'TENANT_HEALTH class=tenant_flood' "$WORK/slo_tenants.log" \
+  || fail "no TENANT_HEALTH line for the flood tenant"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+rc=$?
+SERVER_PID=""
+[ "$rc" -eq 0 ] || fail "server C exited $rc after SIGTERM"
+echo "leg C ok: flood shed=$flood_shed/$flood_arrivals compliant p99=${c_p99}ms shed=$c_shed"
 
 echo "SERVE_SMOKE OK"

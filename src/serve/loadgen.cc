@@ -149,10 +149,11 @@ struct WorkloadShape {
 };
 
 Request MakeArrival(const LoadgenOptions& options, const WorkloadShape& shape,
-                    Random& rng, uint64_t id) {
+                    uint32_t tenant_id, Random& rng, uint64_t id) {
   Request request;
   request.id = id;
   request.deadline_ms = options.deadline_ms;
+  request.tenant_id = tenant_id;
   // End-to-end trace id, carried through the DSRV header and echoed back;
   // | 1 because 0 means "absent" on the wire.
   request.trace_id = rng.NextUint64() | 1;
@@ -185,13 +186,20 @@ Request MakeArrival(const LoadgenOptions& options, const WorkloadShape& shape,
   return request;
 }
 
-// Backoff for attempt `attempt` (0-based): base * 2^attempt, jittered
-// +-50% so synchronized clients desynchronize, floored by the server hint.
-double BackoffMillis(const LoadgenOptions& options, int attempt, double hint,
-                     Random& rng) {
-  const double exp_ms =
-      options.backoff_base_ms * std::pow(2.0, static_cast<double>(attempt));
-  return std::max(hint, exp_ms * rng.NextDouble(0.5, 1.5));
+// Decorrelated jitter: sleep ~ U[base, 3 * previous sleep], clamped to the
+// cap and floored by the server's RETRY_AFTER hint. Stepped exponential
+// backoff re-synchronizes a shed storm at 2^k * base — every client that was
+// shed together retries together; drawing from a range anchored to each
+// client's own previous sleep spreads them out instead. `*prev_ms` carries
+// the state across one arrival's retry chain.
+double BackoffMillis(const LoadgenOptions& options, double hint,
+                     double* prev_ms, Random& rng) {
+  const double base = std::max(options.backoff_base_ms, 1.0);
+  const double upper = std::max(base, 3.0 * *prev_ms);
+  double sleep_ms = rng.NextDouble(base, upper);
+  sleep_ms = std::min(sleep_ms, std::max(options.backoff_cap_ms, base));
+  *prev_ms = sleep_ms;
+  return std::max(hint, sleep_ms);
 }
 
 // Drives one arrival to a terminal outcome (answer, exhausted retries, or a
@@ -201,13 +209,16 @@ void IssueArrival(const LoadgenOptions& options, ServeClient& client,
                   const Request& request, uint64_t scheduled_ns, Random& rng,
                   ThreadStats& stats) {
   ++stats.counts.arrivals;
+  double prev_backoff_ms = options.backoff_base_ms;
   for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
     if (attempt > 0) ++stats.counts.retried;
-    if (!client.connected() &&
-        !client.Connect(options.port, options.timeout_ms).ok()) {
-      // Server gone (crashed or drained): terminal for this arrival.
-      ++stats.counts.failed;
-      return;
+    if (!client.connected()) {
+      ++stats.counts.reconnects;
+      if (!client.Connect(options.port, options.timeout_ms).ok()) {
+        // Server gone (crashed or drained): terminal for this arrival.
+        ++stats.counts.failed;
+        return;
+      }
     }
     bool timed_out = false;
     StatusOr<Response> result = client.Call(request, &timed_out);
@@ -222,7 +233,7 @@ void IssueArrival(const LoadgenOptions& options, ServeClient& client,
         return;
       }
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          BackoffMillis(options, attempt, 0, rng)));
+          BackoffMillis(options, 0, &prev_backoff_ms, rng)));
       continue;
     }
     const Response& response = *result;
@@ -254,7 +265,8 @@ void IssueArrival(const LoadgenOptions& options, ServeClient& client,
           return;
         }
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-            BackoffMillis(options, attempt, response.retry_after_ms, rng)));
+            BackoffMillis(options, response.retry_after_ms, &prev_backoff_ms,
+                          rng)));
         continue;
       }
       case ResponseStatus::kShuttingDown:
@@ -270,14 +282,14 @@ void IssueArrival(const LoadgenOptions& options, ServeClient& client,
 }
 
 void SenderLoop(const LoadgenOptions& options, const WorkloadShape& shape,
-                int thread_index, uint64_t base_ns, ThreadStats& stats) {
+                const TenantLoad& tenant, double tenant_rate, int thread_index,
+                uint64_t base_ns, ThreadStats& stats) {
   // Distinct, decorrelated stream per thread; 7919 is just a prime mixer.
   Random rng(options.seed + 7919ull * static_cast<uint64_t>(thread_index + 1));
   ServeClient client;
   (void)client.Connect(options.port, options.timeout_ms);
 
-  const double per_thread_rate =
-      options.rate / std::max(options.threads, 1);
+  const double per_thread_rate = tenant_rate / std::max(options.threads, 1);
   uint64_t next_id = static_cast<uint64_t>(thread_index) << 40;
   double t_s = 0;
   for (;;) {
@@ -292,7 +304,8 @@ void SenderLoop(const LoadgenOptions& options, const WorkloadShape& shape,
       std::this_thread::sleep_for(
           std::chrono::nanoseconds(scheduled_ns - now_ns));
     }
-    const Request request = MakeArrival(options, shape, rng, ++next_id);
+    const Request request =
+        MakeArrival(options, shape, tenant.tenant_id, rng, ++next_id);
     IssueArrival(options, client, request, scheduled_ns, rng, stats);
   }
 }
@@ -327,6 +340,7 @@ void WriteReportJson(const LoadgenOptions& options,
       static_cast<double>(report.deadline_exceeded);
   point->metrics["shed"] = static_cast<double>(report.shed);
   point->metrics["retried"] = static_cast<double>(report.retried);
+  point->metrics["reconnects"] = static_cast<double>(report.reconnects);
   point->metrics["timeouts"] = static_cast<double>(report.timeouts);
   point->metrics["failed"] = static_cast<double>(report.failed);
   point->metrics["degraded"] = static_cast<double>(report.degraded);
@@ -358,6 +372,28 @@ void WriteReportJson(const LoadgenOptions& options,
     point->latency.p90 = Percentile(sorted_ms, 0.90);
     point->latency.p99 = Percentile(sorted_ms, 0.99);
   }
+  // One point per tenant: retry/reconnect behavior and the latency tail the
+  // isolation assertions read straight out of serve_report.json.
+  for (const TenantLoadReport& t : report.tenants) {
+    obs::BenchReport::Point* tenant_point =
+        bench.AddPoint("loadgen_tenant", t.name,
+                       std::to_string(t.tenant_id));
+    tenant_point->queries = t.completed;
+    tenant_point->metrics["tenant_id"] = static_cast<double>(t.tenant_id);
+    tenant_point->metrics["arrivals"] = static_cast<double>(t.arrivals);
+    tenant_point->metrics["completed"] = static_cast<double>(t.completed);
+    tenant_point->metrics["ok"] = static_cast<double>(t.ok);
+    tenant_point->metrics["deadline_exceeded"] =
+        static_cast<double>(t.deadline_exceeded);
+    tenant_point->metrics["shed"] = static_cast<double>(t.shed);
+    tenant_point->metrics["retried"] = static_cast<double>(t.retried);
+    tenant_point->metrics["reconnects"] = static_cast<double>(t.reconnects);
+    tenant_point->metrics["timeouts"] = static_cast<double>(t.timeouts);
+    tenant_point->metrics["failed"] = static_cast<double>(t.failed);
+    tenant_point->metrics["p50_ms"] = t.p50_ms;
+    tenant_point->metrics["p99_ms"] = t.p99_ms;
+    tenant_point->metrics["mean_ms"] = t.mean_ms;
+  }
   bench.WriteFile(options.report_path);
 }
 
@@ -388,14 +424,28 @@ StatusOr<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
     return Status::InvalidArgument("RunLoadgen: server reports 0 nodes");
   }
 
-  std::vector<ThreadStats> per_thread(static_cast<size_t>(options.threads));
+  // One open-loop generator per tenant, `threads` senders each. The default
+  // single-tenant run is just the one-entry case of the same machinery.
+  std::vector<TenantLoad> tenants = options.tenants;
+  const bool multi_tenant = !tenants.empty();
+  if (tenants.empty()) {
+    tenants.push_back({"default", 0, options.rate});
+  }
+  const size_t threads_per_tenant = static_cast<size_t>(options.threads);
+  std::vector<ThreadStats> per_thread(tenants.size() * threads_per_tenant);
   std::vector<std::thread> senders;
   senders.reserve(per_thread.size());
   const uint64_t base_ns = Deadline::NowNanos();
-  for (int i = 0; i < options.threads; ++i) {
-    senders.emplace_back([&, i] {
-      SenderLoop(options, shape, i, base_ns, per_thread[static_cast<size_t>(i)]);
-    });
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    const double tenant_rate =
+        tenants[t].rate > 0 ? tenants[t].rate : options.rate;
+    for (size_t i = 0; i < threads_per_tenant; ++i) {
+      const size_t slot = t * threads_per_tenant + i;
+      senders.emplace_back([&, t, tenant_rate, slot] {
+        SenderLoop(options, shape, tenants[t], tenant_rate,
+                   static_cast<int>(slot), base_ns, per_thread[slot]);
+      });
+    }
   }
   for (std::thread& t : senders) t.join();
 
@@ -409,6 +459,7 @@ StatusOr<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
     report.deadline_exceeded += c.deadline_exceeded;
     report.shed += c.shed;
     report.retried += c.retried;
+    report.reconnects += c.reconnects;
     report.timeouts += c.timeouts;
     report.shutting_down += c.shutting_down;
     report.errors += c.errors;
@@ -419,6 +470,40 @@ StatusOr<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
     report.max_acked_seq = std::max(report.max_acked_seq, c.max_acked_seq);
     latencies.insert(latencies.end(), stats.latencies_ms.begin(),
                      stats.latencies_ms.end());
+  }
+  if (multi_tenant) {
+    for (size_t t = 0; t < tenants.size(); ++t) {
+      TenantLoadReport tenant_report;
+      tenant_report.name = tenants[t].name;
+      tenant_report.tenant_id = tenants[t].tenant_id;
+      std::vector<double> tenant_latencies;
+      for (size_t i = 0; i < threads_per_tenant; ++i) {
+        const ThreadStats& stats = per_thread[t * threads_per_tenant + i];
+        const LoadgenReport& c = stats.counts;
+        tenant_report.arrivals += c.arrivals;
+        tenant_report.completed += c.completed;
+        tenant_report.ok += c.ok;
+        tenant_report.deadline_exceeded += c.deadline_exceeded;
+        tenant_report.shed += c.shed;
+        tenant_report.retried += c.retried;
+        tenant_report.reconnects += c.reconnects;
+        tenant_report.timeouts += c.timeouts;
+        tenant_report.failed += c.failed;
+        tenant_latencies.insert(tenant_latencies.end(),
+                                stats.latencies_ms.begin(),
+                                stats.latencies_ms.end());
+      }
+      std::sort(tenant_latencies.begin(), tenant_latencies.end());
+      if (!tenant_latencies.empty()) {
+        double sum = 0;
+        for (const double v : tenant_latencies) sum += v;
+        tenant_report.mean_ms =
+            sum / static_cast<double>(tenant_latencies.size());
+        tenant_report.p50_ms = Percentile(tenant_latencies, 0.50);
+        tenant_report.p99_ms = Percentile(tenant_latencies, 0.99);
+      }
+      report.tenants.push_back(std::move(tenant_report));
+    }
   }
   std::sort(latencies.begin(), latencies.end());
   if (!latencies.empty()) {
@@ -473,6 +558,7 @@ std::string FormatLoadgenSummary(const LoadgenReport& report) {
      << " ok=" << report.ok
      << " deadline_exceeded=" << report.deadline_exceeded
      << " shed=" << report.shed << " retried=" << report.retried
+     << " reconnects=" << report.reconnects
      << " timeouts=" << report.timeouts
      << " shutting_down=" << report.shutting_down
      << " errors=" << report.errors
@@ -490,6 +576,15 @@ std::string FormatLoadgenSummary(const LoadgenReport& report) {
      << " server_window_count=" << report.server_window_count
      << " divergence_ms=" << report.divergence_ms
      << " divergence_flagged=" << (report.divergence_flagged ? 1 : 0);
+  for (const TenantLoadReport& t : report.tenants) {
+    os << "\nTENANT_SUMMARY tenant=" << t.name << " tenant_id=" << t.tenant_id
+       << " arrivals=" << t.arrivals << " completed=" << t.completed
+       << " ok=" << t.ok << " deadline_exceeded=" << t.deadline_exceeded
+       << " shed=" << t.shed << " retried=" << t.retried
+       << " reconnects=" << t.reconnects << " timeouts=" << t.timeouts
+       << " failed=" << t.failed << " p50_ms=" << t.p50_ms
+       << " p99_ms=" << t.p99_ms << " mean_ms=" << t.mean_ms;
+  }
   return os.str();
 }
 

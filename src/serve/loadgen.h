@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "serve/protocol.h"
 #include "util/status.h"
@@ -57,21 +58,57 @@ class ServeClient {
   int fd_ = -1;
 };
 
+// One tenant's slice of a multi-tenant workload: its wire id and its own
+// open-loop arrival rate.
+struct TenantLoad {
+  std::string name = "default";
+  uint32_t tenant_id = 0;  // rides the DSRV header tenant tail
+  double rate = 0;         // arrivals/second for this tenant
+};
+
 struct LoadgenOptions {
   uint16_t port = 0;
   double duration_s = 5;
   double rate = 200;            // total arrivals/second across all threads
-  int threads = 4;
+  int threads = 4;              // sender threads (per tenant)
   double update_fraction = 0.1;  // remaining arrivals are queries
   double join_fraction = 0.02;   // of arrivals; joins are the expensive tail
   double deadline_ms = 100;      // stamped on every request; <= 0 = none
   double timeout_ms = 1000;      // client-side socket timeout per attempt
   int max_retries = 3;
-  double backoff_base_ms = 10;   // doubled per attempt, jittered +-50%
+  // Decorrelated-jitter retry backoff: each sleep is drawn uniformly from
+  // [base, 3 * previous_sleep] and clamped to the cap, floored by the
+  // server's RETRY_AFTER hint. Unlike stepped exponential backoff, a shed
+  // storm's retries spread out instead of resynchronizing at 2^k * base.
+  double backoff_base_ms = 10;
+  double backoff_cap_ms = 1000;
   uint64_t seed = 42;
   uint32_t knn_k = 8;
   double epsilon = 0;            // <= 0: use the server's Ping suggestion
   std::string report_path;       // non-empty: write a BenchReport JSON here
+
+  // Multi-tenant workloads: one open-loop generator per entry, each with
+  // `threads` senders at the entry's own rate. Empty runs one default
+  // tenant (id 0) at `rate` — the single-tenant behavior.
+  std::vector<TenantLoad> tenants;
+};
+
+// Per-tenant slice of a run; the isolation chaos test asserts on these.
+struct TenantLoadReport {
+  std::string name;
+  uint32_t tenant_id = 0;
+  uint64_t arrivals = 0;
+  uint64_t completed = 0;
+  uint64_t ok = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t shed = 0;
+  uint64_t retried = 0;
+  uint64_t reconnects = 0;
+  uint64_t timeouts = 0;
+  uint64_t failed = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double mean_ms = 0;
 };
 
 struct LoadgenReport {
@@ -81,6 +118,7 @@ struct LoadgenReport {
   uint64_t deadline_exceeded = 0;  // typed partials (still completed)
   uint64_t shed = 0;               // RETRY_AFTER responses observed
   uint64_t retried = 0;            // retry attempts issued
+  uint64_t reconnects = 0;         // mid-run connection re-establishments
   uint64_t timeouts = 0;           // client-side socket timeouts
   uint64_t shutting_down = 0;
   uint64_t errors = 0;             // kError responses
@@ -113,6 +151,9 @@ struct LoadgenReport {
   uint64_t server_window_count = 0;
   double divergence_ms = 0;
   bool divergence_flagged = false;
+
+  // One entry per configured tenant (empty for single-tenant runs).
+  std::vector<TenantLoadReport> tenants;
 };
 
 // Runs the workload against a live server; fails only on setup errors
@@ -121,7 +162,8 @@ struct LoadgenReport {
 StatusOr<LoadgenReport> RunLoadgen(const LoadgenOptions& options);
 
 // One greppable "LOADGEN_SUMMARY key=value ..." line, the interface the
-// serve-smoke script scrapes.
+// serve-smoke script scrapes — followed by one "TENANT_SUMMARY tenant=..."
+// line per configured tenant on multi-tenant runs.
 std::string FormatLoadgenSummary(const LoadgenReport& report);
 
 }  // namespace serve

@@ -1,0 +1,165 @@
+#include "serve/net.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "util/deadline.h"
+
+namespace dsig {
+namespace serve {
+namespace {
+
+// Arms SO_RCVTIMEO/SO_SNDTIMEO with the remaining transfer budget so the
+// next syscall cannot outlive the whole-transfer deadline. A remaining
+// budget of zero still arms a 1us timeout: {0,0} means "block forever" to
+// the kernel, the opposite of what an expired deadline needs.
+void ArmTimeout(int fd, int option, double remaining_ms) {
+  timeval tv{};
+  if (remaining_ms > 0) {
+    tv.tv_sec = static_cast<time_t>(remaining_ms / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((remaining_ms - 1000.0 * tv.tv_sec) * 1000);
+  }
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+// {0,0} = kernel default = block forever. Needed because timeouts are a
+// per-socket setting: a deadline armed for one transfer must not leak into
+// a later deadline-free transfer on the same connection.
+void DisarmTimeout(int fd, int option) {
+  timeval tv{};
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+// Applies the fault plan to the next transfer of up to `want` bytes
+// starting at cumulative offset faults->bytes_moved. Returns the number of
+// bytes the caller may move now (possibly chopped), or 0 with *reset set
+// when the plan kills the connection here.
+size_t ApplyFaults(int fd, SocketFaultState* faults, size_t want,
+                   bool* reset) {
+  *reset = false;
+  if (faults == nullptr || !faults->armed()) return want;
+  const SocketFaultPlan& plan = faults->plan;
+  const uint64_t at = faults->bytes_moved;
+  if (plan.reset_after_bytes != kNoFault && at >= plan.reset_after_bytes) {
+    AbortiveClose(fd);
+    *reset = true;
+    return 0;
+  }
+  size_t n = want;
+  if (plan.reset_after_bytes != kNoFault) {
+    n = static_cast<size_t>(
+        std::min<uint64_t>(n, plan.reset_after_bytes - at));
+  }
+  if (plan.stall_at_byte != kNoFault && at <= plan.stall_at_byte &&
+      plan.stall_at_byte < at + n) {
+    if (at == plan.stall_at_byte) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(plan.stall_ms));
+    } else {
+      // Move only up to the stalled byte so the sleep lands exactly on it.
+      n = static_cast<size_t>(plan.stall_at_byte - at);
+    }
+  }
+  if (plan.max_chunk != 0) n = std::min(n, plan.max_chunk);
+  return n;
+}
+
+}  // namespace
+
+void AbortiveClose(int fd) {
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd);
+}
+
+NetIoResult SendAll(int fd, const uint8_t* data, size_t len,
+                    double deadline_ms, SocketFaultState* faults) {
+  NetIoResult result;
+  const uint64_t start_ns = Deadline::NowNanos();
+  if (deadline_ms <= 0) DisarmTimeout(fd, SO_SNDTIMEO);
+  size_t off = 0;
+  while (off < len) {
+    double remaining_ms = 0;
+    if (deadline_ms > 0) {
+      remaining_ms =
+          deadline_ms -
+          static_cast<double>(Deadline::NowNanos() - start_ns) / 1e6;
+      if (remaining_ms <= 0) {
+        result.timed_out = true;
+        return result;
+      }
+      ArmTimeout(fd, SO_SNDTIMEO, remaining_ms);
+    }
+    bool reset = false;
+    const size_t want = ApplyFaults(fd, faults, len - off, &reset);
+    if (reset) {
+      result.fault_reset = true;
+      return result;
+    }
+    const ssize_t n = ::send(fd, data + off, want, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        result.timed_out = true;
+      }
+      return result;
+    }
+    off += static_cast<size_t>(n);
+    if (faults != nullptr) faults->bytes_moved += static_cast<uint64_t>(n);
+  }
+  result.ok = true;
+  return result;
+}
+
+NetIoResult RecvAll(int fd, uint8_t* data, size_t len, double deadline_ms,
+                    SocketFaultState* faults) {
+  NetIoResult result;
+  const uint64_t start_ns = Deadline::NowNanos();
+  if (deadline_ms <= 0) DisarmTimeout(fd, SO_RCVTIMEO);
+  size_t off = 0;
+  while (off < len) {
+    double remaining_ms = 0;
+    if (deadline_ms > 0) {
+      remaining_ms =
+          deadline_ms -
+          static_cast<double>(Deadline::NowNanos() - start_ns) / 1e6;
+      if (remaining_ms <= 0) {
+        result.timed_out = true;
+        return result;
+      }
+      ArmTimeout(fd, SO_RCVTIMEO, remaining_ms);
+    }
+    bool reset = false;
+    const size_t want = ApplyFaults(fd, faults, len - off, &reset);
+    if (reset) {
+      result.fault_reset = true;
+      return result;
+    }
+    const ssize_t n = ::recv(fd, data + off, want, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        result.timed_out = true;
+      }
+      result.clean_eof = (n == 0 && off == 0);
+      return result;
+    }
+    off += static_cast<size_t>(n);
+    if (faults != nullptr) faults->bytes_moved += static_cast<uint64_t>(n);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace serve
+}  // namespace dsig

@@ -1,0 +1,86 @@
+// Shared socket I/O for the serving front-end: loop-until-done send/recv
+// with optional wall-clock deadlines, and a deterministic SocketFaultPlan
+// injector mirroring util/fault_plan.h's Read/WriteFaultPlan for files.
+//
+// Every byte the server or a client moves goes through SendAll/RecvAll so
+// that (a) partial transfers — the normal case on a stream socket — are
+// always handled by looping, (b) hostile-client defenses are uniform: a
+// read deadline bounds how long a peer may dribble one frame (slowloris),
+// a write deadline bounds how long a peer may refuse to drain its receive
+// buffer, and (c) tests can inject every network failure mode byte-
+// deterministically:
+//
+//   * short writes/reads   max_chunk chops transfers into n-byte pieces,
+//                          proving the loops instead of hoping for them;
+//   * mid-frame reset      reset_after_bytes closes the socket with
+//                          SO_LINGER 0 (a real RST) once the cumulative
+//                          byte counter crosses the threshold;
+//   * stalls               stall_at_byte sleeps stall_ms before moving the
+//                          byte at that cumulative offset — long enough and
+//                          the peer's read deadline fires, which is exactly
+//                          what the slowloris tests assert.
+//
+// Deadlines are enforced with per-call SO_RCVTIMEO/SO_SNDTIMEO re-armed to
+// the remaining budget before every syscall: SO_*TIMEO alone restarts per
+// call, so a peer feeding one byte per timeout would never trip it.
+#ifndef DSIG_SERVE_NET_H_
+#define DSIG_SERVE_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/fault_plan.h"
+
+namespace dsig {
+namespace serve {
+
+// Deterministic network fault injection for one direction of one socket.
+// Offsets are cumulative bytes moved through the plan's FaultySocket, so a
+// test can place a fault mid-frame ("reset after the 3rd byte of the 2nd
+// frame") exactly.
+struct SocketFaultPlan {
+  uint64_t reset_after_bytes = kNoFault;  // RST once this many bytes moved
+  uint64_t stall_at_byte = kNoFault;      // sleep before moving this byte
+  double stall_ms = 0;
+  size_t max_chunk = 0;                   // 0 = unchopped; else short I/O
+};
+
+// Mutable per-socket injection state: one plan + the cumulative counter.
+// Not thread-safe; one per direction per connection, like the plans in
+// util/fault_plan.h are one per file.
+struct SocketFaultState {
+  SocketFaultPlan plan;
+  uint64_t bytes_moved = 0;
+
+  bool armed() const {
+    return plan.reset_after_bytes != kNoFault ||
+           plan.stall_at_byte != kNoFault || plan.max_chunk != 0;
+  }
+};
+
+struct NetIoResult {
+  bool ok = false;
+  bool timed_out = false;   // the deadline elapsed mid-transfer
+  bool clean_eof = false;   // peer closed at a boundary (no bytes moved)
+  bool fault_reset = false; // the fault plan fired its reset
+};
+
+// Abrupt close: SO_LINGER {on, 0} + close() sends an RST instead of a FIN,
+// which is how a crashing or hostile peer actually disappears.
+void AbortiveClose(int fd);
+
+// Sends `len` bytes, bounded by `deadline_ms` (<= 0 = no deadline) measured
+// across the WHOLE transfer, with optional fault injection. MSG_NOSIGNAL so
+// a vanished peer is an error return, not SIGPIPE.
+NetIoResult SendAll(int fd, const uint8_t* data, size_t len,
+                    double deadline_ms = 0,
+                    SocketFaultState* faults = nullptr);
+
+// Receives exactly `len` bytes under the same whole-transfer deadline.
+NetIoResult RecvAll(int fd, uint8_t* data, size_t len, double deadline_ms = 0,
+                    SocketFaultState* faults = nullptr);
+
+}  // namespace serve
+}  // namespace dsig
+
+#endif  // DSIG_SERVE_NET_H_

@@ -147,6 +147,7 @@ void EncodeRequest(const Request& request, std::vector<uint8_t>* out) {
   PutU32(out, request.b);
   PutF64(out, request.weight);
   PutU64(out, request.trace_id);
+  PutU32(out, request.tenant_id);
   FinishFrame(out, payload);
 }
 
@@ -165,6 +166,11 @@ StatusOr<Request> DecodeRequest(const uint8_t* payload, size_t size) {
   // is corruption, not a compat case.
   if (in.remaining() > 0 && !in.ReadU64(&r.trace_id)) {
     return Status::Corruption("truncated request trace id");
+  }
+  // Tenant tail, appended after the trace tail: a pre-tenant frame ends at
+  // the trace boundary and maps to the default tenant.
+  if (in.remaining() > 0 && !in.ReadU32(&r.tenant_id)) {
+    return Status::Corruption("truncated request tenant id");
   }
   if (type < static_cast<uint8_t>(RequestType::kPing) ||
       type > static_cast<uint8_t>(RequestType::kSlo)) {
@@ -232,6 +238,7 @@ void EncodeResponse(const Response& response, std::vector<uint8_t>* out) {
     PutF64(out, c.lifetime_p99_ms);
     PutU64(out, c.lifetime_count);
   }
+  PutU32(out, response.tenant_id);
   FinishFrame(out, payload);
 }
 
@@ -321,6 +328,11 @@ StatusOr<Response> DecodeResponse(const uint8_t* payload, size_t size) {
       return Status::Corruption("unknown slo state");
     }
     c.state = static_cast<obs::SloState>(state);
+  }
+  // Tenant echo, appended after the SLO classes: a pre-tenant server's
+  // frame ends at the class boundary and decodes with the default tenant.
+  if (in.remaining() > 0 && !in.ReadU32(&r.tenant_id)) {
+    return Status::Corruption("truncated response tenant id");
   }
   return r;
 }

@@ -88,7 +88,17 @@ struct Request {
   // the end of the wire layout so pre-trace clients interoperate: a payload
   // that ends where the old layout ended decodes with trace_id = 0.
   uint64_t trace_id = 0;
+
+  // Tenant id for fair-share admission (serve/admission.h). Appended after
+  // the trace tail, so there are two valid legacy cut points: a pre-trace
+  // frame decodes with trace_id = 0 and tenant_id = kDefaultTenant, and a
+  // pre-tenant frame decodes with just tenant_id = kDefaultTenant. Ids the
+  // server has no configuration for fold into the default tenant — a
+  // hostile client cannot mint per-tenant state by inventing ids.
+  uint32_t tenant_id = 0;
 };
+
+inline constexpr uint32_t kDefaultTenant = 0;
 
 // One response frame.
 struct Response {
@@ -139,6 +149,12 @@ struct Response {
 
   // Per-class SLO health (kStats / kSlo): machine-readable burn-rate state.
   std::vector<obs::SloClassHealth> slo;
+
+  // The tenant id the server resolved this request to (after folding
+  // unknown ids into the default tenant), echoed so clients can see which
+  // fair-share bucket billed them. Appended after the SLO classes; frames
+  // from pre-tenant servers end before it and decode with the default.
+  uint32_t tenant_id = 0;
 };
 
 // Frame (magic + length + payload) encoders; append to `out`.

@@ -20,6 +20,7 @@
 #include "query/knn_query.h"
 #include "query/range_query.h"
 #include "serve/degrade.h"
+#include "serve/net.h"
 #include "util/deadline.h"
 #include "util/hexid.h"
 #include "util/logging.h"
@@ -57,35 +58,23 @@ const ServeMetrics& Metrics() {
   return m;
 }
 
-// Loop until `len` bytes are sent; false on a broken peer. MSG_NOSIGNAL so a
-// client that vanished mid-response costs an error return, not SIGPIPE.
-bool SendAll(int fd, const uint8_t* data, size_t len) {
-  size_t off = 0;
-  while (off < len) {
-    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
-}
+// Hostile-client counters: slow peers tripping frame deadlines, writes that
+// never drain, idle reaps, and accept-loop backpressure episodes.
+struct NetHardeningMetrics {
+  obs::Counter* read_timeouts;
+  obs::Counter* write_timeouts;
+  obs::Counter* idle_timeouts;
+  obs::Counter* accept_waits;
+};
 
-// Loop until `len` bytes arrive. Returns false on EOF/error; `*clean_eof` is
-// set when the peer closed cleanly at a frame boundary (no bytes read yet).
-bool RecvAll(int fd, uint8_t* data, size_t len, bool* clean_eof) {
-  size_t off = 0;
-  while (off < len) {
-    const ssize_t n = ::recv(fd, data + off, len - off, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      if (clean_eof != nullptr) *clean_eof = (n == 0 && off == 0);
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
+const NetHardeningMetrics& NetMetrics() {
+  static const NetHardeningMetrics m = {
+      obs::MetricsRegistry::Global().GetCounter("serve.net.read_timeouts"),
+      obs::MetricsRegistry::Global().GetCounter("serve.net.write_timeouts"),
+      obs::MetricsRegistry::Global().GetCounter("serve.net.idle_timeouts"),
+      obs::MetricsRegistry::Global().GetCounter("serve.net.accept_waits"),
+  };
+  return m;
 }
 
 Response ErrorResponse(uint64_t id, std::string message) {
@@ -138,7 +127,25 @@ DsigServer::DsigServer(const Deployment& deployment,
       window_latency_ms_(obs::MetricsRegistry::Global().GetWindowedHistogram(
           "serve.latency_ms")),
       window_queued_ms_(obs::MetricsRegistry::Global().GetWindowedHistogram(
-          "serve.queued_ms")) {}
+          "serve.queued_ms")) {
+  // Per-tenant health: one SLO class and one windowed latency ring per
+  // configured tenant, indexed by tenant id. Names come from the bounded
+  // admission config, so the cardinality here is fixed at startup.
+  std::vector<obs::SloObjective> tenant_objectives = options.tenant_slo;
+  if (tenant_objectives.empty()) {
+    for (uint32_t t = 0; t < admission_.num_tenants(); ++t) {
+      tenant_objectives.push_back(
+          {"tenant_" + admission_.TenantName(t), 100, 0.99});
+    }
+  }
+  tenant_slo_ = std::make_unique<obs::SloEngine>(std::move(tenant_objectives),
+                                                 options.slo_windows);
+  for (uint32_t t = 0; t < admission_.num_tenants(); ++t) {
+    tenant_window_latency_.push_back(
+        obs::MetricsRegistry::Global().GetWindowedHistogram(
+            "serve.tenant." + admission_.TenantName(t) + ".latency_ms"));
+  }
+}
 
 StatusOr<std::unique_ptr<DsigServer>> DsigServer::Start(
     const Deployment& deployment, const ServerOptions& options) {
@@ -212,7 +219,18 @@ void DsigServer::AcceptLoop() {
       return;
     }
     Metrics().connections->Add(1);
-    std::lock_guard<std::mutex> lock(connections_mu_);
+    std::unique_lock<std::mutex> lock(connections_mu_);
+    if (options_.max_connections > 0 &&
+        connection_fds_.size() >= options_.max_connections) {
+      // Backpressure, not rejection: hold the accepted socket un-serviced
+      // until a slot frees. Further clients stack up in the listen backlog
+      // behind it, which is exactly the signal a flooding client deserves.
+      NetMetrics().accept_waits->Add(1);
+      connections_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               connection_fds_.size() < options_.max_connections;
+      });
+    }
     if (stopping_.load(std::memory_order_relaxed)) {
       ::close(fd);
       return;
@@ -227,9 +245,26 @@ void DsigServer::ConnectionLoop(int fd) {
   std::vector<uint8_t> out;
   for (;;) {
     uint8_t header[kFrameHeaderBytes];
-    bool clean_eof = false;
-    if (!RecvAll(fd, header, sizeof(header), &clean_eof)) {
-      if (!clean_eof) Metrics().protocol_errors->Add(1);
+    // Idle wait: a persistent connection may sit arbitrarily long between
+    // frames (bounded only by idle_timeout_ms), so the first byte gets its
+    // own read with the idle budget.
+    const NetIoResult first = RecvAll(fd, header, 1, options_.idle_timeout_ms);
+    if (!first.ok) {
+      if (first.timed_out) {
+        NetMetrics().idle_timeouts->Add(1);
+      } else if (!first.clean_eof) {
+        Metrics().protocol_errors->Add(1);
+      }
+      break;
+    }
+    // Slowloris defense: once a frame has started, the rest of the header
+    // and the payload must land within the per-frame read budget — a peer
+    // dribbling one byte per timeout cannot hold this thread forever.
+    const NetIoResult rest =
+        RecvAll(fd, header + 1, sizeof(header) - 1, options_.read_timeout_ms);
+    if (!rest.ok) {
+      if (rest.timed_out) NetMetrics().read_timeouts->Add(1);
+      Metrics().protocol_errors->Add(1);
       break;
     }
     uint32_t payload_len = 0;
@@ -240,36 +275,50 @@ void DsigServer::ConnectionLoop(int fd) {
       Metrics().protocol_errors->Add(1);
       out.clear();
       EncodeResponse(ErrorResponse(0, header_status.ToString()), &out);
-      SendAll(fd, out.data(), out.size());
+      SendAll(fd, out.data(), out.size(), options_.write_timeout_ms);
       break;
     }
     payload.resize(payload_len);
-    if (payload_len > 0 && !RecvAll(fd, payload.data(), payload_len, nullptr)) {
-      Metrics().protocol_errors->Add(1);
-      break;
+    if (payload_len > 0) {
+      const NetIoResult body =
+          RecvAll(fd, payload.data(), payload_len, options_.read_timeout_ms);
+      if (!body.ok) {
+        if (body.timed_out) NetMetrics().read_timeouts->Add(1);
+        Metrics().protocol_errors->Add(1);
+        break;
+      }
     }
     StatusOr<Request> request = DecodeRequest(payload.data(), payload_len);
     if (!request.ok()) {
       Metrics().protocol_errors->Add(1);
       out.clear();
       EncodeResponse(ErrorResponse(0, request.status().ToString()), &out);
-      SendAll(fd, out.data(), out.size());
+      SendAll(fd, out.data(), out.size(), options_.write_timeout_ms);
       break;
     }
 
     const Response response = Handle(*request);
     out.clear();
     EncodeResponse(response, &out);
-    if (!SendAll(fd, out.data(), out.size())) break;
+    const NetIoResult sent =
+        SendAll(fd, out.data(), out.size(), options_.write_timeout_ms);
+    if (!sent.ok) {
+      // A peer that will not drain its receive buffer is holding this
+      // thread hostage; cut it loose.
+      if (sent.timed_out) NetMetrics().write_timeouts->Add(1);
+      break;
+    }
   }
   // Deregister before closing: Stop() only shutdown()s fds still in the
-  // list, so a closed-and-reused descriptor number is never touched.
+  // list, so a closed-and-reused descriptor number is never touched. The
+  // notify feeds the accept loop's max_connections backpressure wait.
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
     connection_fds_.erase(
         std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
         connection_fds_.end());
   }
+  connections_cv_.notify_all();
   ::shutdown(fd, SHUT_RDWR);
   ::close(fd);
 }
@@ -278,10 +327,16 @@ Response DsigServer::Handle(const Request& request) {
   const uint64_t start_ns = Deadline::NowNanos();
   Metrics().requests->Add(1);
 
+  // Resolve the tenant up front: unknown ids fold into the default tenant
+  // (bounded metric cardinality), and every response echoes the resolved id
+  // so clients can see which fair-share bucket billed them.
+  const uint32_t tenant = admission_.ResolveTenant(request.tenant_id);
+
   Response response;
   response.id = request.id;
   response.trace_id =
       request.trace_id != 0 ? request.trace_id : MintTraceId();
+  response.tenant_id = tenant;
 
   // Ping, Stats, and Slo are health-check plumbing: constant-cost, never
   // queued, answered even while draining (an orchestrator probing a
@@ -298,8 +353,10 @@ Response DsigServer::Handle(const Request& request) {
   }
   if (request.type == RequestType::kStats) {
     slo_->PublishGauges();
+    tenant_slo_->PublishGauges();
     response.text = "{\"metrics\": " + obs::MetricsRegistry::Global().ToJson() +
-                    ", \"slo\": " + slo_->ReportJson() + "}";
+                    ", \"slo\": " + slo_->ReportJson() +
+                    ", \"tenant_slo\": " + tenant_slo_->ReportJson() + "}";
     FillObservability(&response);
     Metrics().ok->Add(1);
     return response;
@@ -340,38 +397,80 @@ Response DsigServer::Handle(const Request& request) {
                         sample_phases ? obs::QueryTrace::Mode::kCollectRoot
                                       : obs::QueryTrace::Mode::kCollectLight);
 
-  AdmissionController::AdmitResult admit =
-      admission_.Admit(work_class, deadline);
+  AdmissionController::AdmitResult admit;
   bool executed = false;
-  switch (admit.outcome) {
-    case AdmitOutcome::kShed:
-      response.status = ResponseStatus::kRetryAfter;
-      response.retry_after_ms = admit.retry_after_ms;
-      break;
-    case AdmitOutcome::kQueueTimeout:
-      response.status = ResponseStatus::kDeadlineExceeded;
-      break;
-    case AdmitOutcome::kShuttingDown:
-      response.status = ResponseStatus::kShuttingDown;
-      break;
-    case AdmitOutcome::kAdmitted: {
-      // Plan: decide exact vs degraded BEFORE executing, from queue
-      // pressure at admission time. Updates always run the exact path —
-      // degrading a mutation makes no sense.
-      const bool degraded =
-          work_class == WorkClass::kQuery &&
-          admission_.QueuePressureAtLeast(WorkClass::kQuery,
-                                          options_.degrade_queue_fraction);
-      const uint64_t trace_id = response.trace_id;
-      if (request.type == RequestType::kUpdate) {
-        response = ExecuteUpdate(request);
-      } else {
-        response = ExecuteQuery(request, deadline, degraded);
+  bool handled = false;
+
+  // Single-flight: checked BEFORE admission, so followers of a hot query
+  // consume no execution slot and no queue space at all.
+  std::unique_ptr<LeaderGuard> leader;
+  if (options_.coalesce && Coalescible(request)) {
+    const std::string key = CoalesceKey(request);
+    SingleFlight::JoinResult join = flights_.Join(key, deadline);
+    if (join.leader) {
+      leader = std::make_unique<LeaderGuard>(&flights_, key);
+      if (options_.coalesce_hold_for_test_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            options_.coalesce_hold_for_test_ms));
       }
-      response.trace_id = trace_id;  // Execute* builds a fresh Response
-      admit.ticket.Release();
-      executed = true;
-      break;
+    } else if (join.ready) {
+      // The leader's answer, re-stamped with THIS request's identity.
+      const uint64_t trace_id = response.trace_id;
+      response = std::move(join.response);
+      response.id = request.id;
+      response.trace_id = trace_id;
+      response.tenant_id = tenant;
+      executed = true;  // a real answer whose latency the caller observed
+      handled = true;
+    } else if (deadline.expired()) {
+      // Waited the whole budget on a leader that never delivered.
+      response.status = ResponseStatus::kDeadlineExceeded;
+      handled = true;
+    }
+    // else: the leader abandoned (shed, errored) — fall through and run
+    // this request normally on whatever budget remains.
+  }
+
+  if (!handled) {
+    admit = admission_.Admit(work_class, tenant, deadline);
+    switch (admit.outcome) {
+      case AdmitOutcome::kShed:
+        response.status = ResponseStatus::kRetryAfter;
+        response.retry_after_ms = admit.retry_after_ms;
+        break;
+      case AdmitOutcome::kQueueTimeout:
+        response.status = ResponseStatus::kDeadlineExceeded;
+        break;
+      case AdmitOutcome::kShuttingDown:
+        response.status = ResponseStatus::kShuttingDown;
+        break;
+      case AdmitOutcome::kAdmitted: {
+        // Plan: decide exact vs degraded BEFORE executing, from THIS
+        // tenant's queue pressure at admission time — one tenant's flood
+        // must not degrade another tenant's answers. Updates always run
+        // the exact path — degrading a mutation makes no sense.
+        const bool degraded =
+            work_class == WorkClass::kQuery &&
+            admission_.QueuePressureAtLeast(WorkClass::kQuery, tenant,
+                                            options_.degrade_queue_fraction);
+        const uint64_t trace_id = response.trace_id;
+        if (request.type == RequestType::kUpdate) {
+          response = ExecuteUpdate(request);
+        } else {
+          response = ExecuteQuery(request, deadline, degraded);
+        }
+        response.trace_id = trace_id;  // Execute* builds a fresh Response
+        response.tenant_id = tenant;
+        admit.ticket.Release();
+        executed = true;
+        break;
+      }
+    }
+    if (leader != nullptr && response.status == ResponseStatus::kOk) {
+      // Publish only complete answers; sheds, errors, and partial results
+      // abandon the flight (via the guard) so followers fend for
+      // themselves instead of inheriting this request's failure.
+      leader->Publish(response);
     }
   }
   const obs::TraceSummary summary = trace.Finish();
@@ -404,17 +503,23 @@ Response DsigServer::Handle(const Request& request) {
     Metrics().latency_ms->Record(total_ms);
     window_latency_ms_->Record(total_ms);
     window_queued_ms_->Record(admit.queued_ms);
+    tenant_window_latency_[tenant]->Record(total_ms);
   }
 
   // SLO accounting for every terminal outcome except shutdown (draining is
   // operator intent, not error budget). Breach + token = slow-query trace.
+  // The per-tenant engine mirrors the per-class one: the isolation proof is
+  // that the compliant tenant's class stays kOk while the flooder burns.
   const int slo_class = slo_->ClassIndex(RequestTypeName(request.type));
-  if (slo_class >= 0 && response.status != ResponseStatus::kShuttingDown) {
+  if (response.status != ResponseStatus::kShuttingDown) {
     const bool ok = response.status == ResponseStatus::kOk;
-    const bool breach = slo_->Record(slo_class, total_ms, ok, executed);
-    if (breach && options_.slow_trace_sink != nullptr && AllowSlowTrace()) {
-      EmitSlowTrace(request, response, summary, admit.queued_ms, total_ms,
-                    slo_class);
+    tenant_slo_->Record(static_cast<int>(tenant), total_ms, ok, executed);
+    if (slo_class >= 0) {
+      const bool breach = slo_->Record(slo_class, total_ms, ok, executed);
+      if (breach && options_.slow_trace_sink != nullptr && AllowSlowTrace()) {
+        EmitSlowTrace(request, response, summary, admit.queued_ms, total_ms,
+                      slo_class);
+      }
     }
   }
   return response;
@@ -431,6 +536,12 @@ void DsigServer::FillObservability(Response* response) const {
   response->window.queued_p99_ms = queued.Percentile(99);
   response->window.lifetime_p99_ms = Metrics().latency_ms->Percentile(99);
   response->slo = slo_->ReportAll();
+  // Tenant health rides the same wire field; "tenant_" names keep the two
+  // engines' classes distinguishable on the client side.
+  std::vector<obs::SloClassHealth> tenants = tenant_slo_->ReportAll();
+  response->slo.insert(response->slo.end(),
+                       std::make_move_iterator(tenants.begin()),
+                       std::make_move_iterator(tenants.end()));
 }
 
 std::string DsigServer::SloText() const {
@@ -445,6 +556,17 @@ std::string DsigServer::SloText() const {
         "window_count=%llu\n",
         c.name.c_str(), obs::SloStateName(c.state), c.latency_budget_ms,
         c.fast_burn, c.slow_burn, c.window_p99_ms, c.lifetime_p99_ms,
+        static_cast<unsigned long long>(c.window_count));
+    text += line;
+  }
+  for (const obs::SloClassHealth& c : tenant_slo_->ReportAll()) {
+    std::snprintf(
+        line, sizeof(line),
+        "TENANT_HEALTH class=%s state=%s budget_ms=%.1f fast_burn=%.2f "
+        "slow_burn=%.2f availability=%.4f window_p99_ms=%.3f "
+        "window_count=%llu\n",
+        c.name.c_str(), obs::SloStateName(c.state), c.latency_budget_ms,
+        c.fast_burn, c.slow_burn, c.availability, c.window_p99_ms,
         static_cast<unsigned long long>(c.window_count));
     text += line;
   }
@@ -665,11 +787,15 @@ void DsigServer::Stop() {
   //    frames arriving after this answer SHUTTING_DOWN.
   admission_.Close();
 
-  // 2. Stop accepting: shutdown() unblocks accept(); close() releases the fd.
+  // 2. Stop accepting: shutdown() unblocks accept(); close() releases the
+  //    fd; the notify unblocks an accept thread parked in max_connections
+  //    backpressure (it re-checks stopping_ under the mutex).
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
   }
+  { std::lock_guard<std::mutex> lock(connections_mu_); }
+  connections_cv_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
 
   // 3. Drain: wait (bounded) for in-flight work to finish so every admitted

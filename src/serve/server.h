@@ -3,14 +3,20 @@
 // Request lifecycle (the "Serving, overload & degradation" section of
 // ARCHITECTURE.md draws the state machine):
 //
-//   parse -> admit -> plan -> execute -> respond
+//   parse -> coalesce -> admit -> plan -> execute -> respond
 //
-//   * parse      length-prefixed frames (serve/protocol.h); malformed bytes
-//                count serve.protocol_errors and close the connection —
-//                never abort the process.
-//   * admit      per-class bounded queue (serve/admission.h). Shed replies
-//                RETRY_AFTER; a deadline that passes while queued replies
-//                DEADLINE_EXCEEDED without ever holding an execution slot.
+//   * parse      length-prefixed frames (serve/protocol.h) moved through
+//                serve/net.h with read/write deadlines (slowloris defense);
+//                malformed bytes count serve.protocol_errors and close the
+//                connection — never abort the process.
+//   * coalesce   identical concurrent hot queries single-flight
+//                (serve/coalesce.h): one leader executes, followers share
+//                its answer without consuming admission slots.
+//   * admit      per-tenant bounded queues drained deficit-weighted
+//                round-robin with token-bucket rate limits
+//                (serve/admission.h). Shed replies RETRY_AFTER; a deadline
+//                that passes while queued replies DEADLINE_EXCEEDED without
+//                ever holding an execution slot.
 //   * plan       under queue pressure (degrade_queue_fraction) queries are
 //                downgraded to the category-only evaluators (serve/degrade.h)
 //                and tagged Degradation::kOverload. Updates never degrade.
@@ -35,6 +41,7 @@
 #define DSIG_SERVE_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -45,6 +52,7 @@
 #include "io/durable_index.h"
 #include "obs/slo.h"
 #include "serve/admission.h"
+#include "serve/coalesce.h"
 #include "serve/protocol.h"
 
 namespace dsig {
@@ -93,6 +101,31 @@ struct ServerOptions {
   // percent — affordable on a sample, not on every request. 1 traces
   // everything (tests); 0 disables phase attribution entirely.
   uint32_t trace_sample_period = 16;
+
+  // Per-tenant SLOs, one objective per admission tenant, in tenant-id
+  // order. Empty derives "tenant_<name>" objectives (100 ms p-budget, 99%
+  // availability) for every configured tenant.
+  std::vector<obs::SloObjective> tenant_slo;
+
+  // Single-flight coalescing (serve/coalesce.h) for identical hot queries.
+  bool coalesce = true;
+  // Test hook: the leader holds its flight open this long before admission,
+  // so a test can pile followers onto it deterministically.
+  double coalesce_hold_for_test_ms = 0;
+
+  // Hostile-client hardening (serve/net.h). Once a frame has started
+  // arriving, the rest of it must land within read_timeout_ms (slowloris
+  // defense); a response must drain within write_timeout_ms; an idle
+  // connection may sit up to idle_timeout_ms between frames. <= 0 disables
+  // the respective bound.
+  double read_timeout_ms = 5000;
+  double write_timeout_ms = 5000;
+  double idle_timeout_ms = 0;
+
+  // Accept backpressure: with more than this many open connections, the
+  // accept loop holds new sockets un-serviced (the TCP backlog queues
+  // behind them) until one frees. 0 = unlimited.
+  size_t max_connections = 0;
 };
 
 class DsigServer {
@@ -148,9 +181,13 @@ class DsigServer {
   Deployment deployment_;
   ServerOptions options_;
   AdmissionController admission_;
+  SingleFlight flights_;
   std::unique_ptr<obs::SloEngine> slo_;
+  std::unique_ptr<obs::SloEngine> tenant_slo_;  // class index == tenant id
   obs::WindowedHistogram* window_latency_ms_;  // serve.latency_ms ring
   obs::WindowedHistogram* window_queued_ms_;   // serve.queued_ms ring
+  // serve.tenant.<name>.latency_ms rings, indexed by tenant id.
+  std::vector<obs::WindowedHistogram*> tenant_window_latency_;
   std::mutex slow_trace_mu_;  // token bucket + sink writes
   double slow_trace_tokens_ = 0;
   uint64_t slow_trace_refill_ns_ = 0;
@@ -160,6 +197,7 @@ class DsigServer {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::mutex connections_mu_;
+  std::condition_variable connections_cv_;  // max_connections backpressure
   std::vector<int> connection_fds_;
   std::vector<std::thread> connection_threads_;
   std::mutex update_mu_;  // serializes the single-writer DurableUpdater

@@ -1,0 +1,369 @@
+// Network-fault chaos: the SocketFaultPlan injector (short I/O, mid-frame
+// resets, stalls), whole-transfer deadlines, slowloris and mid-frame-reset
+// hostile clients against a live server, and max-connection accept
+// backpressure.
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/signature_builder.h"
+#include "graph/graph_generator.h"
+#include "io/durable_index.h"
+#include "obs/metrics.h"
+#include "serve/loadgen.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/deadline.h"
+#include "workload/dataset_generator.h"
+
+namespace dsig {
+namespace serve {
+namespace {
+
+// A connected AF_UNIX socket pair; [0] and [1] are the two ends.
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+};
+
+std::vector<uint8_t> Pattern(size_t n) {
+  std::vector<uint8_t> bytes(n);
+  std::iota(bytes.begin(), bytes.end(), uint8_t{0});
+  return bytes;
+}
+
+// --- SendAll / RecvAll ------------------------------------------------------
+
+TEST(SocketIoTest, ChoppedTransfersStillArriveIntact) {
+  SocketPair pair;
+  const auto sent = Pattern(257);  // not a multiple of the chunk size
+  SocketFaultState faults;
+  faults.plan.max_chunk = 3;
+
+  std::thread sender([&] {
+    const auto result =
+        SendAll(pair.fds[0], sent.data(), sent.size(), 0, &faults);
+    EXPECT_TRUE(result.ok);
+  });
+  std::vector<uint8_t> got(sent.size());
+  const auto result = RecvAll(pair.fds[1], got.data(), got.size());
+  sender.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(got, sent);
+  EXPECT_EQ(faults.bytes_moved, sent.size());
+}
+
+TEST(SocketIoTest, ResetAfterBytesFiresARealReset) {
+  SocketPair pair;
+  const auto sent = Pattern(64);
+  SocketFaultState faults;
+  faults.plan.reset_after_bytes = 10;
+
+  const auto result = SendAll(pair.fds[0], sent.data(), sent.size(), 0,
+                              &faults);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.fault_reset);
+  EXPECT_EQ(faults.bytes_moved, 10u);
+
+  // The peer sees exactly the bytes before the reset, then a broken stream.
+  std::vector<uint8_t> got(10);
+  const auto head = RecvAll(pair.fds[1], got.data(), got.size());
+  EXPECT_TRUE(head.ok);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), sent.begin()));
+  uint8_t more = 0;
+  const auto tail = RecvAll(pair.fds[1], &more, 1);
+  EXPECT_FALSE(tail.ok);
+}
+
+TEST(SocketIoTest, RecvDeadlineTripsOnASilentPeer) {
+  SocketPair pair;
+  uint8_t byte = 0;
+  const uint64_t before = Deadline::NowNanos();
+  const auto result = RecvAll(pair.fds[1], &byte, 1, /*deadline_ms=*/80);
+  const double waited_ms =
+      static_cast<double>(Deadline::NowNanos() - before) / 1e6;
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_GE(waited_ms, 60.0);
+  EXPECT_LT(waited_ms, 5000.0);
+}
+
+TEST(SocketIoTest, DeadlineCoversTheWholeTransferNotEachChunk) {
+  // A peer dribbling one byte per 30 ms would defeat a per-recv timeout of
+  // 100 ms forever; the whole-transfer deadline must still fire.
+  SocketPair pair;
+  std::thread dribbler([&] {
+    for (int i = 0; i < 20; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      const uint8_t b = static_cast<uint8_t>(i);
+      // MSG_NOSIGNAL: the receiver hangs up mid-dribble by design.
+      if (send(pair.fds[0], &b, 1, MSG_NOSIGNAL) != 1) break;
+    }
+  });
+  std::vector<uint8_t> got(64);
+  const auto result =
+      RecvAll(pair.fds[1], got.data(), got.size(), /*deadline_ms=*/150);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.timed_out);
+  ::close(pair.fds[1]);
+  pair.fds[1] = -1;
+  dribbler.join();
+}
+
+TEST(SocketIoTest, StallInjectionDelaysTheMarkedByte) {
+  SocketPair pair;
+  const auto sent = Pattern(32);
+  SocketFaultState faults;
+  faults.plan.stall_at_byte = 16;
+  faults.plan.stall_ms = 120;
+
+  std::vector<uint8_t> got(sent.size());
+  std::thread receiver([&] {
+    const auto result = RecvAll(pair.fds[1], got.data(), got.size());
+    EXPECT_TRUE(result.ok);
+  });
+  const uint64_t before = Deadline::NowNanos();
+  const auto result =
+      SendAll(pair.fds[0], sent.data(), sent.size(), 0, &faults);
+  const double took_ms =
+      static_cast<double>(Deadline::NowNanos() - before) / 1e6;
+  receiver.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_GE(took_ms, 100.0);
+  EXPECT_EQ(got, sent);
+}
+
+TEST(SocketIoTest, CleanEofIsDistinguishedFromTruncation) {
+  SocketPair pair;
+  // Nothing sent, peer closes: a clean EOF (idle connection went away).
+  ::close(pair.fds[0]);
+  pair.fds[0] = -1;
+  uint8_t byte = 0;
+  const auto clean = RecvAll(pair.fds[1], &byte, 1);
+  EXPECT_FALSE(clean.ok);
+  EXPECT_TRUE(clean.clean_eof);
+
+  // Half a message then close: truncation, NOT clean.
+  SocketPair second;
+  const auto sent = Pattern(4);
+  ASSERT_TRUE(SendAll(second.fds[0], sent.data(), sent.size()).ok);
+  ::close(second.fds[0]);
+  second.fds[0] = -1;
+  std::vector<uint8_t> got(8);
+  const auto truncated = RecvAll(second.fds[1], got.data(), got.size());
+  EXPECT_FALSE(truncated.ok);
+  EXPECT_FALSE(truncated.clean_eof);
+}
+
+// --- Live server under hostile clients --------------------------------------
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+class ChaosServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = std::make_unique<RoadNetwork>(
+        MakeRandomPlanar({.num_nodes = 300, .seed = 7}));
+    objects_ = UniformDataset(*graph_, 0.05, 7);
+    index_ = BuildSignatureIndex(*graph_, objects_,
+                                 {.t = 5, .c = 2, .keep_forest = true});
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = TempDir(std::string("serve_chaos_") + info->name() + "_" +
+                   std::to_string(static_cast<unsigned>(::getpid())));
+    auto updater =
+        DurableUpdater::Initialize(dir_, graph_.get(), index_.get(), {});
+    ASSERT_TRUE(updater.ok()) << updater.status().ToString();
+    updater_ = std::move(updater).value();
+  }
+
+  void StartServer(const ServerOptions& options) {
+    DsigServer::Deployment deployment;
+    deployment.graph = graph_.get();
+    deployment.index = index_.get();
+    deployment.updater = updater_.get();
+    auto server = DsigServer::Start(deployment, options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+  }
+
+  // Raw TCP connect to the server, no protocol client in the way.
+  int RawConnect() {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server_->port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(
+        connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  }
+
+  // The server must still answer a well-formed client.
+  void ExpectServerHealthy() {
+    ServeClient client;
+    ASSERT_TRUE(client.Connect(server_->port(), 5000).ok());
+    Request ping;
+    ping.type = RequestType::kPing;
+    ping.id = 999;
+    auto response = client.Call(ping);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, ResponseStatus::kOk);
+  }
+
+  std::unique_ptr<RoadNetwork> graph_;
+  std::vector<NodeId> objects_;
+  std::unique_ptr<SignatureIndex> index_;
+  std::string dir_;
+  std::unique_ptr<DurableUpdater> updater_;
+  std::unique_ptr<DsigServer> server_;
+};
+
+TEST_F(ChaosServerFixture, SlowlorisDribbleIsCutOffByTheReadDeadline) {
+  ServerOptions options;
+  options.read_timeout_ms = 200;  // frame must complete within this
+  StartServer(options);
+  auto& registry = obs::MetricsRegistry::Global();
+  const uint64_t timeouts0 =
+      registry.GetCounter("serve.net.read_timeouts")->Value();
+
+  // Start a frame, then dribble: one header byte, silence.
+  const int fd = RawConnect();
+  Request knn;
+  knn.type = RequestType::kKnn;
+  knn.node = 17;
+  knn.k = 3;
+  knn.knn_type = 1;
+  std::vector<uint8_t> frame;
+  EncodeRequest(knn, &frame);
+  ASSERT_TRUE(SendAll(fd, frame.data(), 1).ok);
+
+  // The server must hang up on us rather than hold the connection thread
+  // hostage: the next read on our end sees the close.
+  uint8_t byte = 0;
+  const auto result = RecvAll(fd, &byte, 1, /*deadline_ms=*/5000);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.timed_out) << "server kept a slowloris alive";
+  ::close(fd);
+  EXPECT_GT(registry.GetCounter("serve.net.read_timeouts")->Value(),
+            timeouts0);
+  ExpectServerHealthy();
+}
+
+TEST_F(ChaosServerFixture, MidFrameResetDoesNotKillTheServer) {
+  StartServer({});
+  // Send half a valid frame, then a real RST.
+  const int fd = RawConnect();
+  Request knn;
+  knn.type = RequestType::kKnn;
+  knn.node = 17;
+  knn.k = 3;
+  knn.knn_type = 1;
+  std::vector<uint8_t> frame;
+  EncodeRequest(knn, &frame);
+  SocketFaultState faults;
+  faults.plan.reset_after_bytes = frame.size() / 2;
+  const auto result =
+      SendAll(fd, frame.data(), frame.size(), 0, &faults);
+  EXPECT_TRUE(result.fault_reset);
+  ExpectServerHealthy();
+}
+
+TEST_F(ChaosServerFixture, FaultSweepAcrossEveryResetOffset) {
+  // One knn frame, reset after every possible prefix — the server survives
+  // all of them and then still answers. This is the socket twin of the
+  // storage layer's corruption fuzz.
+  StartServer({});
+  Request knn;
+  knn.type = RequestType::kKnn;
+  knn.node = 17;
+  knn.k = 3;
+  knn.knn_type = 1;
+  std::vector<uint8_t> frame;
+  EncodeRequest(knn, &frame);
+  for (size_t cut = 0; cut < frame.size(); cut += 5) {
+    const int fd = RawConnect();
+    SocketFaultState faults;
+    faults.plan.reset_after_bytes = cut;
+    faults.plan.max_chunk = 7;  // and prove the short-write loop on the way
+    SendAll(fd, frame.data(), frame.size(), 0, &faults);
+    if (!faults.armed() || faults.bytes_moved == frame.size()) ::close(fd);
+  }
+  ExpectServerHealthy();
+}
+
+TEST_F(ChaosServerFixture, MaxConnectionsHoldsExtraClientsUnserviced) {
+  ServerOptions options;
+  options.max_connections = 1;
+  StartServer(options);
+  auto& registry = obs::MetricsRegistry::Global();
+  const uint64_t waits0 =
+      registry.GetCounter("serve.net.accept_waits")->Value();
+
+  ServeClient first;
+  ASSERT_TRUE(first.Connect(server_->port(), 5000).ok());
+  Request ping;
+  ping.type = RequestType::kPing;
+  ping.id = 1;
+  ASSERT_TRUE(first.Call(ping).ok());
+
+  // The second client connects at the TCP level (the listen backlog takes
+  // it) but gets no service while the first holds the only slot.
+  ServeClient second;
+  ASSERT_TRUE(second.Connect(server_->port(), 1000).ok());
+  ping.id = 2;
+  bool timed_out = false;
+  EXPECT_FALSE(second.Call(ping, &timed_out).ok());
+  EXPECT_TRUE(timed_out);
+  EXPECT_GT(registry.GetCounter("serve.net.accept_waits")->Value(), waits0);
+
+  // Freeing the first slot unblocks service for a fresh connection.
+  first.Close();
+  ServeClient third;
+  ASSERT_TRUE(third.Connect(server_->port(), 5000).ok());
+  ping.id = 3;
+  auto served = third.Call(ping);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(served->status, ResponseStatus::kOk);
+}
+
+TEST_F(ChaosServerFixture, AbortiveCloseSendsButDoesNotHang) {
+  // AbortiveClose on an idle protocol connection: the server logs a broken
+  // stream, not a crash, and Stop() still drains cleanly afterwards.
+  StartServer({});
+  const int fd = RawConnect();
+  Request ping;
+  ping.type = RequestType::kPing;
+  ping.id = 5;
+  std::vector<uint8_t> frame;
+  EncodeRequest(ping, &frame);
+  ASSERT_TRUE(SendAll(fd, frame.data(), frame.size()).ok);
+  AbortiveClose(fd);
+  ExpectServerHealthy();
+  server_->Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dsig

@@ -38,6 +38,7 @@ TEST(ProtocolTest, RequestRoundTrip) {
   request.a = 3;
   request.b = 9;
   request.weight = 2.75;
+  request.tenant_id = 5;
 
   std::vector<uint8_t> frame;
   EncodeRequest(request, &frame);
@@ -58,6 +59,7 @@ TEST(ProtocolTest, RequestRoundTrip) {
   EXPECT_EQ(decoded->a, request.a);
   EXPECT_EQ(decoded->b, request.b);
   EXPECT_DOUBLE_EQ(decoded->weight, request.weight);
+  EXPECT_EQ(decoded->tenant_id, request.tenant_id);
 }
 
 TEST(ProtocolTest, ResponseRoundTrip) {
@@ -115,10 +117,11 @@ TEST(ProtocolTest, HostileBytesFailCleanly) {
   EXPECT_FALSE(CheckFrameHeader(frame.data(), &payload_len).ok());
 
   // Every truncation of a valid payload must decode to an error, not a
-  // crash or a silently short request — with ONE exception: cutting exactly
-  // the 8-byte trace-id tail reproduces a valid pre-trace frame, which must
-  // decode (with trace_id = 0) for backward compatibility. A partial tail
-  // is still corruption.
+  // crash or a silently short request — with TWO exceptions: the tail is
+  // append-only, so cutting exactly the 4-byte tenant tail reproduces a
+  // valid pre-tenant frame (tenant_id = 0), and cutting the 12-byte
+  // trace+tenant tail reproduces a valid pre-trace frame (trace_id = 0
+  // too). Any partial tail is still corruption.
   frame.clear();
   Request full;
   full.type = RequestType::kUpdate;
@@ -126,15 +129,24 @@ TEST(ProtocolTest, HostileBytesFailCleanly) {
   full.b = 2;
   full.weight = 1.5;
   full.trace_id = 0xabcdef01;
+  full.tenant_id = 7;
   EncodeRequest(full, &frame);
   ASSERT_TRUE(CheckFrameHeader(frame.data(), &payload_len).ok());
-  const uint32_t legacy_len = payload_len - 8;
+  const uint32_t legacy_len = payload_len - 12;     // pre-trace cut
+  const uint32_t pre_tenant_len = payload_len - 4;  // pre-tenant cut
   for (uint32_t cut = 0; cut < payload_len; ++cut) {
     const auto decoded = DecodeRequest(frame.data() + kFrameHeaderBytes, cut);
     if (cut == legacy_len) {
       ASSERT_TRUE(decoded.ok()) << "legacy-length frame rejected";
       EXPECT_EQ(decoded->trace_id, 0u);
+      EXPECT_EQ(decoded->tenant_id, 0u);
       EXPECT_EQ(decoded->a, full.a);
+      continue;
+    }
+    if (cut == pre_tenant_len) {
+      ASSERT_TRUE(decoded.ok()) << "pre-tenant-length frame rejected";
+      EXPECT_EQ(decoded->trace_id, full.trace_id);
+      EXPECT_EQ(decoded->tenant_id, 0u);
       continue;
     }
     EXPECT_FALSE(decoded.ok()) << "truncation at " << cut << " decoded";
@@ -206,10 +218,12 @@ TEST(ProtocolTest, ResponseObservabilityTailRoundTrip) {
 }
 
 TEST(ProtocolTest, ResponseTailTruncationFuzz) {
-  // Backward compatibility contract: chopping the ENTIRE observability tail
-  // reproduces a valid pre-observability frame (decodes with zeroed window
-  // stats, no slo classes, trace_id 0). Any partial tail is corruption, and
-  // any truncation inside the core payload stays an error.
+  // Backward compatibility contract: the tail is append-only, so chopping
+  // the 4-byte tenant tail reproduces a valid pre-tenant frame (tenant_id
+  // 0), and chopping the ENTIRE observability tail reproduces a valid
+  // pre-observability frame (zeroed window stats, no slo classes, trace_id
+  // 0). Any partial tail is corruption, and any truncation inside the core
+  // payload stays an error.
   Response response;
   response.id = 31;
   response.status = ResponseStatus::kOk;
@@ -217,6 +231,7 @@ TEST(ProtocolTest, ResponseTailTruncationFuzz) {
   response.distances = {0.5, 1.5};
   response.text = "t";
   response.trace_id = 0xfeedull;
+  response.tenant_id = 3;
   response.window.p99_ms = 9.5;
   response.window.count = 3;
   response.slo.resize(2);
@@ -227,13 +242,16 @@ TEST(ProtocolTest, ResponseTailTruncationFuzz) {
   EncodeResponse(response, &frame);
   uint32_t payload_len = 0;
   ASSERT_TRUE(CheckFrameHeader(frame.data(), &payload_len).ok());
-  // Tail layout: 52 fixed bytes + per class (109 fixed + name bytes).
+  // Tail layout: 52 fixed bytes + per class (109 fixed + name bytes),
+  // then the 4-byte tenant id.
   uint32_t tail_len = 52;
   for (const auto& cls : response.slo) {
     tail_len += 109 + static_cast<uint32_t>(cls.name.size());
   }
+  tail_len += 4;
   ASSERT_GT(payload_len, tail_len);
   const uint32_t legacy_len = payload_len - tail_len;
+  const uint32_t pre_tenant_len = payload_len - 4;
 
   for (uint32_t cut = 0; cut < payload_len; ++cut) {
     const auto decoded = DecodeResponse(frame.data() + kFrameHeaderBytes, cut);
@@ -244,6 +262,14 @@ TEST(ProtocolTest, ResponseTailTruncationFuzz) {
       EXPECT_EQ(decoded->trace_id, 0u);
       EXPECT_EQ(decoded->window.count, 0u);
       EXPECT_TRUE(decoded->slo.empty());
+      EXPECT_EQ(decoded->tenant_id, 0u);
+      continue;
+    }
+    if (cut == pre_tenant_len) {
+      ASSERT_TRUE(decoded.ok()) << "pre-tenant-length response rejected";
+      EXPECT_EQ(decoded->trace_id, response.trace_id);
+      ASSERT_EQ(decoded->slo.size(), 2u);
+      EXPECT_EQ(decoded->tenant_id, 0u);
       continue;
     }
     EXPECT_FALSE(decoded.ok()) << "truncation at " << cut << " decoded";
